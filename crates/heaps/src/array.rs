@@ -1,0 +1,150 @@
+//! Linear-scan priority "queue": the CFZ-era Dijkstra baseline.
+
+use crate::IndexedPriorityQueue;
+
+/// A priority queue whose `pop_min` is an `O(capacity)` scan.
+///
+/// Dijkstra driven by this queue costs `O(V² + E)` — precisely the
+/// implementation the Chlamtac–Faragó–Zhang baseline is charged with in the
+/// paper's Section III-C comparison (`O(k²n + kn²)` on the `kn`-node
+/// wavelength graph). `push` and `decrease_key` are `O(1)`.
+///
+/// # Examples
+///
+/// ```
+/// use heaps::{ArrayHeap, IndexedPriorityQueue};
+///
+/// let mut h: ArrayHeap<u32> = ArrayHeap::with_capacity(3);
+/// h.push(2, 30);
+/// h.push(0, 10);
+/// assert_eq!(h.pop_min(), Some((0, 10)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArrayHeap<P> {
+    /// `slots[item]` holds the queued priority.
+    slots: Vec<Option<P>>,
+    len: usize,
+}
+
+impl<P: Ord + Clone> IndexedPriorityQueue<P> for ArrayHeap<P> {
+    fn with_capacity(capacity: usize) -> Self {
+        ArrayHeap {
+            slots: vec![None; capacity],
+            len: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn contains(&self, item: usize) -> bool {
+        item < self.slots.len() && self.slots[item].is_some()
+    }
+
+    fn priority(&self, item: usize) -> Option<&P> {
+        self.slots.get(item).and_then(|s| s.as_ref())
+    }
+
+    fn push(&mut self, item: usize, priority: P) {
+        assert!(item < self.slots.len(), "item {item} out of capacity");
+        assert!(self.slots[item].is_none(), "item {item} already queued");
+        self.slots[item] = Some(priority);
+        self.len += 1;
+    }
+
+    fn decrease_key(&mut self, item: usize, priority: P) {
+        let slot = self
+            .slots
+            .get_mut(item)
+            .and_then(|s| s.as_mut())
+            .unwrap_or_else(|| panic!("item {item} not queued"));
+        assert!(
+            priority <= *slot,
+            "decrease_key with greater priority for item {item}"
+        );
+        *slot = priority;
+    }
+
+    fn pop_min(&mut self) -> Option<(usize, P)> {
+        let mut best: Option<usize> = None;
+        for (item, slot) in self.slots.iter().enumerate() {
+            if let Some(p) = slot {
+                match best {
+                    None => best = Some(item),
+                    Some(b) if *p < *self.slots[b].as_ref().expect("occupied") => {
+                        best = Some(item)
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        let item = best?;
+        let priority = self.slots[item].take().expect("occupied");
+        self.len -= 1;
+        Some((item, priority))
+    }
+
+    fn peek_min(&self) -> Option<(usize, &P)> {
+        let mut best: Option<(usize, &P)> = None;
+        for (item, slot) in self.slots.iter().enumerate() {
+            if let Some(p) = slot {
+                match best {
+                    None => best = Some((item, p)),
+                    Some((_, bp)) if p < bp => best = Some((item, p)),
+                    Some(_) => {}
+                }
+            }
+        }
+        best
+    }
+
+    fn clear(&mut self) {
+        for slot in &mut self.slots {
+            *slot = None;
+        }
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_sorted_order() {
+        let mut h: ArrayHeap<i32> = ArrayHeap::with_capacity(5);
+        for (i, p) in [(0, 5), (1, 3), (2, 9), (3, 1), (4, 7)] {
+            h.push(i, p);
+        }
+        let mut out = Vec::new();
+        while let Some((_, p)) = h.pop_min() {
+            out.push(p);
+        }
+        assert_eq!(out, vec![1, 3, 5, 7, 9]);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut h: ArrayHeap<i32> = ArrayHeap::with_capacity(4);
+        h.push(1, 12);
+        h.push(3, 4);
+        let (item, &p) = h.peek_min().expect("non-empty");
+        assert_eq!((item, p), (3, 4));
+        assert_eq!(h.pop_min(), Some((3, 4)));
+    }
+
+    #[test]
+    fn decrease_key_takes_effect() {
+        let mut h: ArrayHeap<i32> = ArrayHeap::with_capacity(4);
+        h.push(0, 10);
+        h.push(1, 5);
+        h.decrease_key(0, 2);
+        assert_eq!(h.pop_min(), Some((0, 2)));
+    }
+}

@@ -1,0 +1,448 @@
+//! Fibonacci heap (Fredman & Tarjan, JACM 1987).
+//!
+//! This is the data structure Theorem 1 of the paper relies on: with `O(1)`
+//! amortized `decrease_key` and `O(log n)` amortized `pop_min`, Dijkstra on
+//! the auxiliary graph `G_{s,t}` (≤ `2kn + 2` nodes, ≤ `k²n + km + 2k` links)
+//! runs in `O(k²n + km + kn·log(kn))`.
+
+use crate::IndexedPriorityQueue;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct Node<P> {
+    priority: Option<P>,
+    parent: usize,
+    /// Some child, or `NIL`. Children form a circular doubly-linked list.
+    child: usize,
+    left: usize,
+    right: usize,
+    degree: u32,
+    /// Whether this node has lost a child since it last became a child.
+    mark: bool,
+}
+
+impl<P> Node<P> {
+    fn empty() -> Self {
+        Node {
+            priority: None,
+            parent: NIL,
+            child: NIL,
+            left: NIL,
+            right: NIL,
+            degree: 0,
+            mark: false,
+        }
+    }
+}
+
+/// The Fredman–Tarjan Fibonacci heap over dense `usize` items.
+///
+/// Amortized complexities: `push` and `decrease_key` `O(1)`, `pop_min`
+/// `O(log n)`. Items occupy dedicated arena slots, so after construction the
+/// only allocation is the small consolidation table.
+///
+/// # Examples
+///
+/// ```
+/// use heaps::{FibonacciHeap, IndexedPriorityQueue};
+///
+/// let mut h: FibonacciHeap<u64> = FibonacciHeap::with_capacity(3);
+/// h.push(0, 30);
+/// h.push(1, 20);
+/// h.push(2, 10);
+/// h.decrease_key(0, 1);
+/// assert_eq!(h.pop_min(), Some((0, 1)));
+/// assert_eq!(h.pop_min(), Some((2, 10)));
+/// assert_eq!(h.pop_min(), Some((1, 20)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FibonacciHeap<P> {
+    nodes: Vec<Node<P>>,
+    min: usize,
+    len: usize,
+    /// Consolidation table, reused across `pop_min` calls.
+    degree_table: Vec<usize>,
+}
+
+impl<P: Ord + Clone> FibonacciHeap<P> {
+    fn priority_of(&self, node: usize) -> &P {
+        self.nodes[node].priority.as_ref().expect("node occupied")
+    }
+
+    /// Splices `node` (a detached singleton) into the root list.
+    fn add_to_root_list(&mut self, node: usize) {
+        if self.min == NIL {
+            self.nodes[node].left = node;
+            self.nodes[node].right = node;
+            self.min = node;
+        } else {
+            let min = self.min;
+            let right = self.nodes[min].right;
+            self.nodes[node].left = min;
+            self.nodes[node].right = right;
+            self.nodes[min].right = node;
+            self.nodes[right].left = node;
+            if self.priority_of(node) < self.priority_of(min) {
+                self.min = node;
+            }
+        }
+        self.nodes[node].parent = NIL;
+    }
+
+    /// Removes `node` from its sibling ring (does not touch parent/child
+    /// pointers of `node` itself).
+    fn remove_from_ring(&mut self, node: usize) {
+        let left = self.nodes[node].left;
+        let right = self.nodes[node].right;
+        self.nodes[left].right = right;
+        self.nodes[right].left = left;
+    }
+
+    /// Makes root `child` a child of root `parent` (both in the root list,
+    /// `child` already removed from it).
+    fn link(&mut self, child: usize, parent: usize) {
+        self.nodes[child].parent = parent;
+        self.nodes[child].mark = false;
+        let first = self.nodes[parent].child;
+        if first == NIL {
+            self.nodes[child].left = child;
+            self.nodes[child].right = child;
+            self.nodes[parent].child = child;
+        } else {
+            let right = self.nodes[first].right;
+            self.nodes[child].left = first;
+            self.nodes[child].right = right;
+            self.nodes[first].right = child;
+            self.nodes[right].left = child;
+        }
+        self.nodes[parent].degree += 1;
+    }
+
+    /// Cuts `node` from its parent and moves it to the root list.
+    fn cut(&mut self, node: usize, parent: usize) {
+        if self.nodes[parent].child == node {
+            let right = self.nodes[node].right;
+            self.nodes[parent].child = if right == node { NIL } else { right };
+        }
+        self.remove_from_ring(node);
+        self.nodes[parent].degree -= 1;
+        self.nodes[node].mark = false;
+        self.add_to_root_list(node);
+    }
+
+    fn cascading_cut(&mut self, mut node: usize) {
+        loop {
+            let parent = self.nodes[node].parent;
+            if parent == NIL {
+                break;
+            }
+            if !self.nodes[node].mark {
+                self.nodes[node].mark = true;
+                break;
+            }
+            self.cut(node, parent);
+            node = parent;
+        }
+    }
+
+    fn consolidate(&mut self) {
+        // Max degree is O(log_phi len); 2 + log2 is a safe over-estimate.
+        let cap = 2 + usize::BITS as usize - (self.len.max(1)).leading_zeros() as usize + 1;
+        self.degree_table.clear();
+        self.degree_table.resize(cap.max(4), NIL);
+
+        // Collect current roots (the ring is mutated while linking).
+        let mut roots = Vec::with_capacity(16);
+        if self.min != NIL {
+            let start = self.min;
+            let mut r = start;
+            loop {
+                roots.push(r);
+                r = self.nodes[r].right;
+                if r == start {
+                    break;
+                }
+            }
+        }
+
+        for mut x in roots {
+            let mut d = self.nodes[x].degree as usize;
+            while d >= self.degree_table.len() {
+                self.degree_table.resize(self.degree_table.len() * 2, NIL);
+            }
+            while self.degree_table[d] != NIL {
+                let mut y = self.degree_table[d];
+                if self.priority_of(x) > self.priority_of(y) {
+                    std::mem::swap(&mut x, &mut y);
+                }
+                // y becomes a child of x.
+                self.remove_from_ring(y);
+                self.link(y, x);
+                self.degree_table[d] = NIL;
+                d += 1;
+                while d >= self.degree_table.len() {
+                    self.degree_table.resize(self.degree_table.len() * 2, NIL);
+                }
+            }
+            self.degree_table[d] = x;
+        }
+
+        // Rebuild the root list from the table and find the new min.
+        self.min = NIL;
+        let table = std::mem::take(&mut self.degree_table);
+        for &root in table.iter().filter(|&&r| r != NIL) {
+            self.nodes[root].left = root;
+            self.nodes[root].right = root;
+            self.nodes[root].parent = NIL;
+            if self.min == NIL {
+                self.min = root;
+            } else {
+                let min = self.min;
+                let right = self.nodes[min].right;
+                self.nodes[root].left = min;
+                self.nodes[root].right = right;
+                self.nodes[min].right = root;
+                self.nodes[right].left = root;
+                if self.priority_of(root) < self.priority_of(min) {
+                    self.min = root;
+                }
+            }
+        }
+        self.degree_table = table;
+    }
+}
+
+impl<P: Ord + Clone> IndexedPriorityQueue<P> for FibonacciHeap<P> {
+    fn with_capacity(capacity: usize) -> Self {
+        FibonacciHeap {
+            nodes: (0..capacity).map(|_| Node::empty()).collect(),
+            min: NIL,
+            len: 0,
+            degree_table: Vec::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn capacity(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn contains(&self, item: usize) -> bool {
+        item < self.nodes.len() && self.nodes[item].priority.is_some()
+    }
+
+    fn priority(&self, item: usize) -> Option<&P> {
+        self.nodes.get(item).and_then(|n| n.priority.as_ref())
+    }
+
+    fn push(&mut self, item: usize, priority: P) {
+        assert!(item < self.nodes.len(), "item {item} out of capacity");
+        assert!(
+            self.nodes[item].priority.is_none(),
+            "item {item} already queued"
+        );
+        self.nodes[item] = Node {
+            priority: Some(priority),
+            ..Node::empty()
+        };
+        self.add_to_root_list(item);
+        self.len += 1;
+    }
+
+    fn decrease_key(&mut self, item: usize, priority: P) {
+        assert!(self.contains(item), "item {item} not queued");
+        assert!(
+            priority <= *self.priority_of(item),
+            "decrease_key with greater priority for item {item}"
+        );
+        self.nodes[item].priority = Some(priority);
+        let parent = self.nodes[item].parent;
+        if parent != NIL && self.priority_of(item) < self.priority_of(parent) {
+            self.cut(item, parent);
+            self.cascading_cut(parent);
+        }
+        if self.priority_of(item) < self.priority_of(self.min) {
+            self.min = item;
+        }
+    }
+
+    fn pop_min(&mut self) -> Option<(usize, P)> {
+        if self.min == NIL {
+            return None;
+        }
+        let min = self.min;
+
+        // Move each child of `min` to the root list.
+        let mut child = self.nodes[min].child;
+        if child != NIL {
+            // Collect the child ring first.
+            let mut children = Vec::with_capacity(self.nodes[min].degree as usize);
+            let start = child;
+            loop {
+                children.push(child);
+                child = self.nodes[child].right;
+                if child == start {
+                    break;
+                }
+            }
+            for c in children {
+                self.nodes[c].parent = NIL;
+                self.nodes[c].mark = false;
+                // Splice c next to min in the root ring.
+                let right = self.nodes[min].right;
+                self.nodes[c].left = min;
+                self.nodes[c].right = right;
+                self.nodes[min].right = c;
+                self.nodes[right].left = c;
+            }
+            self.nodes[min].child = NIL;
+            self.nodes[min].degree = 0;
+        }
+
+        // Remove min from the root ring.
+        let right = self.nodes[min].right;
+        self.remove_from_ring(min);
+        let priority = self.nodes[min].priority.take().expect("min occupied");
+        self.len -= 1;
+        if right == min {
+            self.min = NIL;
+        } else {
+            self.min = right;
+            self.consolidate();
+        }
+        self.nodes[min] = Node::empty();
+        Some((min, priority))
+    }
+
+    fn peek_min(&self) -> Option<(usize, &P)> {
+        if self.min == NIL {
+            None
+        } else {
+            Some((self.min, self.priority_of(self.min)))
+        }
+    }
+
+    fn clear(&mut self) {
+        for node in &mut self.nodes {
+            *node = Node::empty();
+        }
+        self.min = NIL;
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_sorted_order() {
+        let mut h: FibonacciHeap<i32> = FibonacciHeap::with_capacity(8);
+        for (i, p) in [(0, 5), (1, 3), (2, 9), (3, 1), (4, 7), (5, 3)] {
+            h.push(i, p);
+        }
+        let mut out = Vec::new();
+        while let Some((_, p)) = h.pop_min() {
+            out.push(p);
+        }
+        assert_eq!(out, vec![1, 3, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn consolidation_builds_trees_then_decrease_key_cuts() {
+        let mut h: FibonacciHeap<u64> = FibonacciHeap::with_capacity(32);
+        for i in 0..32 {
+            h.push(i, 1000 + i as u64);
+        }
+        // First pop triggers consolidation into binomial-like trees.
+        assert_eq!(h.pop_min(), Some((0, 1000)));
+        // Decrease a deep node below everything; cascading cuts must fire.
+        h.decrease_key(31, 1);
+        assert_eq!(h.pop_min(), Some((31, 1)));
+        h.decrease_key(30, 2);
+        h.decrease_key(29, 3);
+        assert_eq!(h.pop_min(), Some((30, 2)));
+        assert_eq!(h.pop_min(), Some((29, 3)));
+        // Remaining pops stay sorted.
+        let mut prev = 0;
+        while let Some((_, p)) = h.pop_min() {
+            assert!(p >= prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn reinsertion_after_pop() {
+        let mut h: FibonacciHeap<i32> = FibonacciHeap::with_capacity(4);
+        h.push(0, 5);
+        h.push(1, 6);
+        assert_eq!(h.pop_min(), Some((0, 5)));
+        h.push(0, 1);
+        assert_eq!(h.pop_min(), Some((0, 1)));
+        assert_eq!(h.pop_min(), Some((1, 6)));
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn decrease_key_updates_min_pointer() {
+        let mut h: FibonacciHeap<i32> = FibonacciHeap::with_capacity(4);
+        h.push(0, 10);
+        h.push(1, 20);
+        h.decrease_key(1, 5);
+        assert_eq!(h.peek_min(), Some((1, &5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "already queued")]
+    fn double_push_panics() {
+        let mut h: FibonacciHeap<i32> = FibonacciHeap::with_capacity(2);
+        h.push(1, 1);
+        h.push(1, 2);
+    }
+
+    #[test]
+    fn large_interleaved_sequence() {
+        let mut h: FibonacciHeap<u64> = FibonacciHeap::with_capacity(256);
+        // Deterministic pseudo-random walk of pushes, decreases, pops.
+        let mut state: u64 = 0x9E3779B97F4A7C15;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in 0..256 {
+            h.push(i, 10_000 + next() % 10_000);
+        }
+        for _ in 0..512 {
+            let r = next();
+            let item = (r % 256) as usize;
+            match r % 3 {
+                0 => {
+                    if let Some(&p) = h.priority(item) {
+                        let lower = p.saturating_sub(next() % 50);
+                        h.decrease_key(item, lower);
+                    }
+                }
+                1 => {
+                    if !h.contains(item) {
+                        h.push(item, 10_000 + next() % 10_000);
+                    }
+                }
+                _ => {
+                    h.pop_min();
+                }
+            }
+        }
+        // Drain and verify monotone order.
+        let mut prev = 0;
+        while let Some((_, p)) = h.pop_min() {
+            assert!(p >= prev, "heap order violated: {p} < {prev}");
+            prev = p;
+        }
+    }
+}

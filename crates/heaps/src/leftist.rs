@@ -1,0 +1,294 @@
+//! Leftist heap (Crane/Knuth).
+
+use crate::IndexedPriorityQueue;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct Node<P> {
+    priority: Option<P>,
+    left: usize,
+    right: usize,
+    parent: usize,
+    /// Null-path length: 1 + npl of the shorter child spine (0 at NIL).
+    npl: u32,
+}
+
+impl<P> Node<P> {
+    fn empty() -> Self {
+        Node {
+            priority: None,
+            left: NIL,
+            right: NIL,
+            parent: NIL,
+            npl: 1,
+        }
+    }
+}
+
+/// A leftist heap over dense `usize` items.
+///
+/// Merge-based like [`crate::SkewHeap`], but balanced explicitly through
+/// null-path lengths: the right spine has `O(log n)` length, so `push`,
+/// `pop_min`, and `meld` are `O(log n)` *worst case*. `decrease_key`
+/// detaches the item's subtree and re-melds it, then repairs null-path
+/// lengths on the ancestor path — `O(log n)` typical, but the leftist
+/// structure allows long *left* spines, so the repair walk is `O(depth)`
+/// worst case. Included to round out the E9 heap ablation with the classic
+/// worst-case-balanced mergeable heap.
+///
+/// # Examples
+///
+/// ```
+/// use heaps::{IndexedPriorityQueue, LeftistHeap};
+///
+/// let mut h: LeftistHeap<u32> = LeftistHeap::with_capacity(3);
+/// h.push(0, 30);
+/// h.push(1, 10);
+/// h.push(2, 20);
+/// h.decrease_key(0, 5);
+/// assert_eq!(h.pop_min(), Some((0, 5)));
+/// assert_eq!(h.pop_min(), Some((1, 10)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LeftistHeap<P> {
+    nodes: Vec<Node<P>>,
+    root: usize,
+    len: usize,
+    /// Reused right-spine buffer for merges.
+    scratch: Vec<usize>,
+}
+
+impl<P: Ord + Clone> LeftistHeap<P> {
+    fn npl(&self, node: usize) -> u32 {
+        if node == NIL {
+            0
+        } else {
+            self.nodes[node].npl
+        }
+    }
+
+    /// Re-establishes the leftist invariant at `node` (children already
+    /// valid): swap children if needed and recompute npl. Returns `true`
+    /// if the npl changed.
+    fn settle(&mut self, node: usize) -> bool {
+        let (l, r) = (self.nodes[node].left, self.nodes[node].right);
+        if self.npl(l) < self.npl(r) {
+            self.nodes[node].left = r;
+            self.nodes[node].right = l;
+        }
+        let new_npl = 1 + self.npl(self.nodes[node].right);
+        let changed = new_npl != self.nodes[node].npl;
+        self.nodes[node].npl = new_npl;
+        changed
+    }
+
+    /// Merges the heaps rooted at `a` and `b` (iteratively), returning
+    /// the new root.
+    fn merge(&mut self, mut a: usize, mut b: usize) -> usize {
+        let mut spine = std::mem::take(&mut self.scratch);
+        spine.clear();
+        // Descend the merged right spine.
+        while a != NIL && b != NIL {
+            if self.nodes[b].priority < self.nodes[a].priority {
+                std::mem::swap(&mut a, &mut b);
+            }
+            spine.push(a);
+            a = self.nodes[a].right;
+        }
+        let mut acc = if a != NIL { a } else { b };
+        // Reattach bottom-up, fixing the leftist invariant.
+        while let Some(node) = spine.pop() {
+            self.nodes[node].right = acc;
+            if acc != NIL {
+                self.nodes[acc].parent = node;
+            }
+            self.settle(node);
+            acc = node;
+        }
+        if acc != NIL {
+            self.nodes[acc].parent = NIL;
+        }
+        self.scratch = spine;
+        acc
+    }
+
+    /// Detaches the subtree at `node` from its parent and repairs npl /
+    /// leftist order on the ancestor path.
+    fn cut(&mut self, node: usize) {
+        let p = self.nodes[node].parent;
+        if p == NIL {
+            return;
+        }
+        if self.nodes[p].left == node {
+            self.nodes[p].left = NIL;
+        } else {
+            debug_assert_eq!(self.nodes[p].right, node);
+            self.nodes[p].right = NIL;
+        }
+        self.nodes[node].parent = NIL;
+        // Repair upward until the npl stabilizes.
+        let mut at = p;
+        while at != NIL {
+            if !self.settle(at) {
+                break;
+            }
+            at = self.nodes[at].parent;
+        }
+    }
+}
+
+impl<P: Ord + Clone> IndexedPriorityQueue<P> for LeftistHeap<P> {
+    fn with_capacity(capacity: usize) -> Self {
+        LeftistHeap {
+            nodes: (0..capacity).map(|_| Node::empty()).collect(),
+            root: NIL,
+            len: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn capacity(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn contains(&self, item: usize) -> bool {
+        item < self.nodes.len() && self.nodes[item].priority.is_some()
+    }
+
+    fn priority(&self, item: usize) -> Option<&P> {
+        self.nodes.get(item).and_then(|n| n.priority.as_ref())
+    }
+
+    fn push(&mut self, item: usize, priority: P) {
+        assert!(item < self.nodes.len(), "item {item} out of capacity");
+        assert!(
+            self.nodes[item].priority.is_none(),
+            "item {item} already queued"
+        );
+        self.nodes[item] = Node {
+            priority: Some(priority),
+            ..Node::empty()
+        };
+        let root = self.root;
+        self.root = if root == NIL {
+            item
+        } else {
+            self.merge(root, item)
+        };
+        self.len += 1;
+    }
+
+    fn decrease_key(&mut self, item: usize, priority: P) {
+        assert!(self.contains(item), "item {item} not queued");
+        assert!(
+            priority <= *self.nodes[item].priority.as_ref().expect("queued"),
+            "decrease_key with greater priority for item {item}"
+        );
+        self.nodes[item].priority = Some(priority);
+        if item != self.root {
+            self.cut(item);
+            let root = self.root;
+            self.root = self.merge(root, item);
+        }
+    }
+
+    fn pop_min(&mut self) -> Option<(usize, P)> {
+        if self.root == NIL {
+            return None;
+        }
+        let min = self.root;
+        let priority = self.nodes[min].priority.take().expect("root occupied");
+        let (l, r) = (self.nodes[min].left, self.nodes[min].right);
+        if l != NIL {
+            self.nodes[l].parent = NIL;
+        }
+        if r != NIL {
+            self.nodes[r].parent = NIL;
+        }
+        self.root = self.merge(l, r);
+        self.nodes[min] = Node::empty();
+        self.len -= 1;
+        Some((min, priority))
+    }
+
+    fn peek_min(&self) -> Option<(usize, &P)> {
+        if self.root == NIL {
+            None
+        } else {
+            Some((self.root, self.nodes[self.root].priority.as_ref()?))
+        }
+    }
+
+    fn clear(&mut self) {
+        for node in &mut self.nodes {
+            *node = Node::empty();
+        }
+        self.root = NIL;
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_sorted_order() {
+        let mut h: LeftistHeap<i32> = LeftistHeap::with_capacity(8);
+        for (i, p) in [(0, 5), (1, 3), (2, 9), (3, 1), (4, 7), (5, 3)] {
+            h.push(i, p);
+        }
+        let mut out = Vec::new();
+        while let Some((_, p)) = h.pop_min() {
+            out.push(p);
+        }
+        assert_eq!(out, vec![1, 3, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn leftist_invariant_holds_after_operations() {
+        let mut h: LeftistHeap<u64> = LeftistHeap::with_capacity(128);
+        for i in 0..128 {
+            h.push(i, (i as u64 * 37) % 101);
+        }
+        for _ in 0..40 {
+            h.pop_min();
+        }
+        for i in 0..128 {
+            if h.contains(i) {
+                let p = *h.priority(i).expect("queued");
+                h.decrease_key(i, p / 2);
+            }
+        }
+        // Check invariant: npl(left) >= npl(right) for all occupied nodes.
+        for i in 0..128 {
+            if h.contains(i) {
+                let (l, r) = (h.nodes[i].left, h.nodes[i].right);
+                assert!(h.npl(l) >= h.npl(r), "leftist violated at {i}");
+                assert_eq!(h.nodes[i].npl, 1 + h.npl(r), "npl stale at {i}");
+            }
+        }
+        let mut prev = 0;
+        while let Some((_, p)) = h.pop_min() {
+            assert!(p >= prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn decrease_key_to_new_minimum() {
+        let mut h: LeftistHeap<u64> = LeftistHeap::with_capacity(32);
+        for i in 0..32 {
+            h.push(i, 100 + i as u64);
+        }
+        h.decrease_key(31, 1);
+        assert_eq!(h.peek_min(), Some((31, &1)));
+        assert_eq!(h.pop_min(), Some((31, 1)));
+        assert_eq!(h.pop_min(), Some((0, 100)));
+    }
+}

@@ -1,0 +1,273 @@
+//! Skew heap (Sleator & Tarjan's self-adjusting heap).
+
+use crate::IndexedPriorityQueue;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct Node<P> {
+    priority: Option<P>,
+    left: usize,
+    right: usize,
+    parent: usize,
+}
+
+impl<P> Node<P> {
+    fn empty() -> Self {
+        Node {
+            priority: None,
+            left: NIL,
+            right: NIL,
+            parent: NIL,
+        }
+    }
+}
+
+/// A self-adjusting skew heap over dense `usize` items.
+///
+/// All operations are `O(log n)` amortized; the structure keeps no balance
+/// information at all — every merge simply swaps children on the merge
+/// path. `decrease_key` detaches the item's subtree and melds it back at
+/// the root.
+///
+/// # Examples
+///
+/// ```
+/// use heaps::{IndexedPriorityQueue, SkewHeap};
+///
+/// let mut h: SkewHeap<u32> = SkewHeap::with_capacity(3);
+/// h.push(0, 30);
+/// h.push(1, 10);
+/// h.push(2, 20);
+/// h.decrease_key(0, 5);
+/// assert_eq!(h.pop_min(), Some((0, 5)));
+/// assert_eq!(h.pop_min(), Some((1, 10)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SkewHeap<P> {
+    nodes: Vec<Node<P>>,
+    root: usize,
+    len: usize,
+    /// Reused spine buffer for merges.
+    scratch: Vec<usize>,
+}
+
+impl<P: Ord + Clone> SkewHeap<P> {
+    /// Merges the heaps rooted at `a` and `b`, returning the new root.
+    ///
+    /// Iterative top-down skew merge: peel the merged right spine into
+    /// `scratch`, then reassemble bottom-up swapping children at every
+    /// node (the "skew" that keeps the structure balanced amortized).
+    fn merge(&mut self, mut a: usize, mut b: usize) -> usize {
+        let mut spine = std::mem::take(&mut self.scratch);
+        spine.clear();
+        while a != NIL && b != NIL {
+            if self.nodes[b].priority < self.nodes[a].priority {
+                std::mem::swap(&mut a, &mut b);
+            }
+            let right = self.nodes[a].right;
+            spine.push(a);
+            a = right;
+        }
+        let mut acc = if a != NIL { a } else { b };
+        while let Some(node) = spine.pop() {
+            // Swap children: old left becomes right, merged tail becomes
+            // left.
+            let old_left = self.nodes[node].left;
+            self.nodes[node].right = old_left;
+            self.nodes[node].left = acc;
+            if acc != NIL {
+                self.nodes[acc].parent = node;
+            }
+            acc = node;
+        }
+        if acc != NIL {
+            self.nodes[acc].parent = NIL;
+        }
+        self.scratch = spine;
+        acc
+    }
+
+    /// Detaches the subtree rooted at `node` from its parent.
+    fn cut(&mut self, node: usize) {
+        let p = self.nodes[node].parent;
+        if p == NIL {
+            return;
+        }
+        if self.nodes[p].left == node {
+            self.nodes[p].left = NIL;
+        } else {
+            debug_assert_eq!(self.nodes[p].right, node);
+            self.nodes[p].right = NIL;
+        }
+        self.nodes[node].parent = NIL;
+    }
+}
+
+impl<P: Ord + Clone> IndexedPriorityQueue<P> for SkewHeap<P> {
+    fn with_capacity(capacity: usize) -> Self {
+        SkewHeap {
+            nodes: (0..capacity).map(|_| Node::empty()).collect(),
+            root: NIL,
+            len: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn capacity(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn contains(&self, item: usize) -> bool {
+        item < self.nodes.len() && self.nodes[item].priority.is_some()
+    }
+
+    fn priority(&self, item: usize) -> Option<&P> {
+        self.nodes.get(item).and_then(|n| n.priority.as_ref())
+    }
+
+    fn push(&mut self, item: usize, priority: P) {
+        assert!(item < self.nodes.len(), "item {item} out of capacity");
+        assert!(
+            self.nodes[item].priority.is_none(),
+            "item {item} already queued"
+        );
+        self.nodes[item] = Node {
+            priority: Some(priority),
+            ..Node::empty()
+        };
+        let root = self.root;
+        self.root = if root == NIL {
+            item
+        } else {
+            self.merge(root, item)
+        };
+        self.len += 1;
+    }
+
+    fn decrease_key(&mut self, item: usize, priority: P) {
+        assert!(self.contains(item), "item {item} not queued");
+        assert!(
+            priority <= *self.nodes[item].priority.as_ref().expect("queued"),
+            "decrease_key with greater priority for item {item}"
+        );
+        self.nodes[item].priority = Some(priority);
+        if item != self.root {
+            self.cut(item);
+            let root = self.root;
+            self.root = self.merge(root, item);
+        }
+    }
+
+    fn pop_min(&mut self) -> Option<(usize, P)> {
+        if self.root == NIL {
+            return None;
+        }
+        let min = self.root;
+        let priority = self.nodes[min].priority.take().expect("root occupied");
+        let (l, r) = (self.nodes[min].left, self.nodes[min].right);
+        if l != NIL {
+            self.nodes[l].parent = NIL;
+        }
+        if r != NIL {
+            self.nodes[r].parent = NIL;
+        }
+        self.root = self.merge(l, r);
+        self.nodes[min] = Node::empty();
+        self.len -= 1;
+        Some((min, priority))
+    }
+
+    fn peek_min(&self) -> Option<(usize, &P)> {
+        if self.root == NIL {
+            None
+        } else {
+            Some((self.root, self.nodes[self.root].priority.as_ref()?))
+        }
+    }
+
+    fn clear(&mut self) {
+        for node in &mut self.nodes {
+            *node = Node::empty();
+        }
+        self.root = NIL;
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_sorted_order() {
+        let mut h: SkewHeap<i32> = SkewHeap::with_capacity(8);
+        for (i, p) in [(0, 5), (1, 3), (2, 9), (3, 1), (4, 7), (5, 3)] {
+            h.push(i, p);
+        }
+        let mut out = Vec::new();
+        while let Some((_, p)) = h.pop_min() {
+            out.push(p);
+        }
+        assert_eq!(out, vec![1, 3, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn decrease_key_on_interior_node() {
+        let mut h: SkewHeap<u64> = SkewHeap::with_capacity(64);
+        for i in 0..64 {
+            h.push(i, 100 + (i as u64 * 31) % 97);
+        }
+        h.pop_min();
+        h.decrease_key(50, 1);
+        assert_eq!(h.pop_min().map(|(i, _)| i), Some(50));
+        let mut prev = 0;
+        while let Some((_, p)) = h.pop_min() {
+            assert!(p >= prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn stress_against_sorted_reference() {
+        let mut h: SkewHeap<u64> = SkewHeap::with_capacity(200);
+        let mut state: u64 = 0xDEADBEEF;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in 0..200 {
+            h.push(i, next() % 10_000);
+        }
+        for _ in 0..400 {
+            let r = next();
+            let item = (r % 200) as usize;
+            match r % 3 {
+                0 => {
+                    if let Some(&p) = h.priority(item) {
+                        h.decrease_key(item, p.saturating_sub(next() % 100));
+                    }
+                }
+                1 => {
+                    if !h.contains(item) {
+                        h.push(item, next() % 10_000);
+                    }
+                }
+                _ => {
+                    h.pop_min();
+                }
+            }
+        }
+        let mut prev = 0;
+        while let Some((_, p)) = h.pop_min() {
+            assert!(p >= prev, "order violated: {p} < {prev}");
+            prev = p;
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! E10 — dynamic provisioning throughput: how fast the RWA engine
+//! processes a Poisson workload under each routing policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use wdm_core::instance::{random_network, InstanceConfig};
+use wdm_graph::topology;
+use wdm_rwa::{simulate, workload, Policy};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_provisioning");
+    group.sample_size(10);
+    let mut rng = SmallRng::seed_from_u64(1);
+    let base = random_network(topology::nsfnet(), &InstanceConfig::standard(8), &mut rng)
+        .expect("valid");
+    let requests = workload::poisson_requests(base.node_count(), 200, 20.0, 1.0, &mut rng);
+    for policy in [Policy::Optimal, Policy::LightpathOnly, Policy::FirstFit] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.name()),
+            &policy,
+            |b, &p| {
+                b.iter(|| std::hint::black_box(simulate(&base, &requests, p)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

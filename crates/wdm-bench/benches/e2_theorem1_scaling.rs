@@ -1,0 +1,27 @@
+//! E2 — Theorem 1: single-pair routing time on sparse WANs
+//! (`m = 3n`, `k = ⌈log2 n⌉`), expected to scale as
+//! `O(k²n + km + kn·log(kn))` ≈ quasi-linear in `n` in this regime.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wdm_bench::{log2_ceil, sparse_instance};
+use wdm_core::LiangShenRouter;
+use wdm_graph::NodeId;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_theorem1_scaling");
+    group.sample_size(10);
+    for exp in [7usize, 8, 9, 10, 11] {
+        let n = 1usize << exp;
+        let k = log2_ceil(n);
+        let net = sparse_instance(n, k, exp as u64);
+        let router = LiangShenRouter::new();
+        let (s, t) = (NodeId::new(0), NodeId::new(n / 2));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(router.route(&net, s, t).expect("ok")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E3 — Section III-C: Liang–Shen layered-graph algorithm vs the
+//! Chlamtac–Faragó–Zhang wavelength-graph baseline. The paper predicts an
+//! `Ω(n / max{k, d, log n})` improvement on sparse WANs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wdm_bench::{log2_ceil, sparse_instance};
+use wdm_core::{CfzRouter, LiangShenRouter};
+use wdm_graph::NodeId;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_vs_cfz");
+    group.sample_size(10);
+    for exp in [6usize, 7, 8, 9, 10] {
+        let n = 1usize << exp;
+        let k = log2_ceil(n);
+        let net = sparse_instance(n, k, 100 + exp as u64);
+        let (s, t) = (NodeId::new(0), NodeId::new(n / 2));
+        let ls = LiangShenRouter::new();
+        let cfz = CfzRouter::new();
+        group.bench_with_input(BenchmarkId::new("liang_shen", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(ls.route(&net, s, t).expect("ok")));
+        });
+        group.bench_with_input(BenchmarkId::new("cfz", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(cfz.route(&net, s, t).expect("ok")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

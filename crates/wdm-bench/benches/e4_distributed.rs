@@ -1,0 +1,26 @@
+//! E4 — Theorem 3: the distributed protocol. Criterion measures the
+//! simulation wall-clock; the message/time complexity tables live in the
+//! `experiments` binary (messages are deterministic, not timing-derived).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wdm_bench::sparse_instance;
+use wdm_distributed::distributed_tree;
+use wdm_graph::NodeId;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_distributed");
+    group.sample_size(10);
+    for n in [32usize, 64, 128, 256] {
+        let net = sparse_instance(n, 4, n as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let tree = distributed_tree(&net, NodeId::new(0)).expect("terminates");
+                std::hint::black_box(tree.data_messages)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

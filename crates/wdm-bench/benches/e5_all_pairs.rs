@@ -1,0 +1,21 @@
+//! E5 — Corollary 1: all-pairs optimal semilightpaths over the shared
+//! `G_all` (n shortest-path trees).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wdm_bench::sparse_instance;
+use wdm_core::AllPairs;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_all_pairs");
+    group.sample_size(10);
+    for n in [8usize, 16, 32, 64] {
+        let net = sparse_instance(n, 4, n as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(AllPairs::solve(&net)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E6 — Theorem 4: with per-link availability bounded by `k0`, routing
+//! time must be independent of the global wavelength count `k`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wdm_bench::bounded_instance;
+use wdm_core::LiangShenRouter;
+use wdm_graph::NodeId;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_special_k0");
+    group.sample_size(10);
+    let n = 1024;
+    let k0 = 2;
+    for mult in [1usize, 4, 16, 64] {
+        let k = k0 * mult;
+        let net = bounded_instance(n, k, k0, k as u64);
+        let router = LiangShenRouter::new();
+        let (s, t) = (NodeId::new(0), NodeId::new(n / 2));
+        group.bench_with_input(BenchmarkId::new("k", k), &k, |b, _| {
+            b.iter(|| std::hint::black_box(router.route(&net, s, t).expect("ok")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

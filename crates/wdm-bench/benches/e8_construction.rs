@@ -1,0 +1,30 @@
+//! E8 — Observations 1–5: auxiliary-graph construction cost
+//! (`O(k²n + km)` per Observation 3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wdm_bench::{log2_ceil, sparse_instance};
+use wdm_core::AuxiliaryGraph;
+use wdm_graph::NodeId;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_construction");
+    group.sample_size(10);
+    for exp in [7usize, 8, 9, 10, 11] {
+        let n = 1usize << exp;
+        let k = log2_ceil(n);
+        let net = sparse_instance(n, k, (n * k) as u64);
+        group.bench_with_input(BenchmarkId::new("g_st", n), &n, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(AuxiliaryGraph::for_pair(
+                    &net,
+                    NodeId::new(0),
+                    NodeId::new(n / 2),
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,576 @@
+//! Implementation of the `wdm` command-line tool.
+//!
+//! The binary wraps the library for shell use over `.wdm` instance files
+//! (the plain-text format of [`wdm_core::textfmt`]):
+//!
+//! ```text
+//! wdm gen --topology nsfnet --k 8 --seed 1 -o nsf.wdm   # make an instance
+//! wdm info nsf.wdm                                      # shape + parameters
+//! wdm route nsf.wdm 0 13                                # optimal semilightpath
+//! wdm route nsf.wdm 0 13 --alternates 3                 # k cheapest routes
+//! wdm route nsf.wdm 0 13 --distributed                  # Theorem-3 protocol
+//! wdm route nsf.wdm 0 13 --baseline                     # CFZ comparison
+//! wdm all-pairs nsf.wdm                                 # Corollary-1 matrix
+//! ```
+//!
+//! Argument parsing is hand-rolled (the workspace carries no CLI
+//! dependency); [`run`] is the testable entry point — it takes the raw
+//! argument list and a writer, and returns the process exit code.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use wdm_core::instance::{random_network, Availability, ConversionSpec, InstanceConfig};
+use wdm_core::{
+    k_shortest_semilightpaths, textfmt, AllPairs, CfzRouter, LiangShenRouter, Semilightpath,
+    WdmNetwork,
+};
+use wdm_distributed::route_distributed;
+use wdm_graph::{topology, NodeId};
+
+/// Runs the CLI with `args` (excluding the program name), writing output
+/// to `out`. Returns the exit code (0 success, 2 usage error, 1 runtime
+/// failure).
+pub fn run(args: &[String], out: &mut String) -> i32 {
+    match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..], out),
+        Some("info") => cmd_info(&args[1..], out),
+        Some("route") => cmd_route(&args[1..], out),
+        Some("all-pairs") => cmd_all_pairs(&args[1..], out),
+        Some("protect") => cmd_protect(&args[1..], out),
+        Some("export") => cmd_export(&args[1..], out),
+        Some("--help") | Some("-h") | Some("help") | None => {
+            let _ = writeln!(out, "{USAGE}");
+            0
+        }
+        Some(other) => {
+            let _ = writeln!(out, "unknown command `{other}`\n{USAGE}");
+            2
+        }
+    }
+}
+
+const USAGE: &str = "wdm — optimal lightpath/semilightpath routing (Liang & Shen)
+
+USAGE:
+  wdm gen --topology <name> --k <k> [--k0 <k0>] [--seed <s>] [-o <file>]
+      topologies: nsfnet | arpanet | eon | abilene | geant |
+                  ring:<n> | grid:<r>x<c> | sparse:<n>
+  wdm info <file.wdm>
+  wdm route <file.wdm> <src> <dst> [--alternates <k>] [--distributed] [--baseline]
+  wdm all-pairs <file.wdm>
+  wdm protect <file.wdm> <src> <dst> [--physical]
+  wdm export <file.wdm>           (Graphviz DOT with wavelength labels)
+  wdm help";
+
+fn cmd_gen(args: &[String], out: &mut String) -> i32 {
+    let mut topo: Option<String> = None;
+    let mut k: Option<usize> = None;
+    let mut k0: Option<usize> = None;
+    let mut seed = 0u64;
+    let mut output: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--topology" => topo = it.next().cloned(),
+            "--k" => k = it.next().and_then(|v| v.parse().ok()),
+            "--k0" => k0 = it.next().and_then(|v| v.parse().ok()),
+            "--seed" => {
+                seed = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(s) => s,
+                    None => return usage_error(out, "bad --seed"),
+                }
+            }
+            "-o" | "--output" => output = it.next().cloned(),
+            other => return usage_error(out, &format!("unknown flag `{other}`")),
+        }
+    }
+    let Some(topo) = topo else {
+        return usage_error(out, "missing --topology");
+    };
+    let Some(k) = k else {
+        return usage_error(out, "missing --k");
+    };
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let graph = match build_topology(&topo, &mut rng) {
+        Ok(g) => g,
+        Err(msg) => return usage_error(out, &msg),
+    };
+    let config = match k0 {
+        Some(k0) => InstanceConfig::bounded(k, k0),
+        None => InstanceConfig {
+            k,
+            availability: Availability::Probability(0.6),
+            link_cost: (10, 100),
+            conversion: ConversionSpec::Uniform { lo: 1, hi: 5 },
+        },
+    };
+    let net = match random_network(graph, &config, &mut rng) {
+        Ok(n) => n,
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}");
+            return 1;
+        }
+    };
+    let text = textfmt::to_text(&net);
+    match output {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, text) {
+                let _ = writeln!(out, "error: cannot write {path}: {e}");
+                return 1;
+            }
+            let _ = writeln!(
+                out,
+                "wrote {path}: n = {}, m = {}, k = {}, k0 = {}",
+                net.node_count(),
+                net.link_count(),
+                net.k(),
+                net.k0()
+            );
+        }
+        None => out.push_str(&text),
+    }
+    0
+}
+
+fn build_topology(
+    spec: &str,
+    rng: &mut SmallRng,
+) -> Result<wdm_graph::DiGraph, String> {
+    match spec {
+        "nsfnet" => Ok(topology::nsfnet()),
+        "arpanet" => Ok(topology::arpanet()),
+        "eon" => Ok(topology::eon()),
+        "abilene" => Ok(topology::abilene()),
+        "geant" => Ok(topology::geant()),
+        other => {
+            if let Some(n) = other.strip_prefix("ring:") {
+                let n: usize = n.parse().map_err(|_| format!("bad ring size `{n}`"))?;
+                if n < 3 {
+                    return Err("ring needs at least 3 nodes".to_string());
+                }
+                Ok(topology::ring(n, true))
+            } else if let Some(dims) = other.strip_prefix("grid:") {
+                let (r, c) = dims
+                    .split_once('x')
+                    .ok_or_else(|| format!("bad grid spec `{dims}` (want RxC)"))?;
+                let r: usize = r.parse().map_err(|_| "bad grid rows".to_string())?;
+                let c: usize = c.parse().map_err(|_| "bad grid cols".to_string())?;
+                if r == 0 || c == 0 {
+                    return Err("grid dimensions must be positive".to_string());
+                }
+                Ok(topology::grid(r, c))
+            } else if let Some(n) = other.strip_prefix("sparse:") {
+                let n: usize = n.parse().map_err(|_| format!("bad node count `{n}`"))?;
+                topology::random_sparse(n, n / 2, 6, rng).map_err(|e| e.to_string())
+            } else {
+                Err(format!("unknown topology `{other}`"))
+            }
+        }
+    }
+}
+
+fn load(path: &str, out: &mut String) -> Result<WdmNetwork, i32> {
+    let text = std::fs::read_to_string(Path::new(path)).map_err(|e| {
+        let _ = writeln!(out, "error: cannot read {path}: {e}");
+        1
+    })?;
+    textfmt::from_text(&text).map_err(|e| {
+        let _ = writeln!(out, "error: {path}: {e}");
+        1
+    })
+}
+
+fn cmd_info(args: &[String], out: &mut String) -> i32 {
+    let [path] = args else {
+        return usage_error(out, "info takes exactly one file");
+    };
+    let net = match load(path, out) {
+        Ok(n) => n,
+        Err(code) => return code,
+    };
+    let stats = wdm_graph::metrics::DegreeStats::of(net.graph());
+    let _ = writeln!(out, "instance  : {path}");
+    let _ = writeln!(out, "nodes     : {}", stats.n);
+    let _ = writeln!(out, "links     : {}", stats.m);
+    let _ = writeln!(out, "max degree: {}", stats.max_degree);
+    let _ = writeln!(out, "wavelengths (k)  : {}", net.k());
+    let _ = writeln!(out, "per-link max (k0): {}", net.k0());
+    let _ = writeln!(out, "Σ|Λ(e)|          : {}", net.multigraph_link_count());
+    let _ = writeln!(
+        out,
+        "strongly connected: {}",
+        wdm_graph::metrics::is_strongly_connected(net.graph())
+    );
+    let _ = writeln!(
+        out,
+        "Theorem-2 restrictions hold: {}",
+        wdm_core::restrictions::theorem2_applies(&net)
+    );
+    0
+}
+
+fn describe(out: &mut String, net: &WdmNetwork, label: &str, path: &Semilightpath) {
+    let _ = writeln!(out, "{label}: {path}");
+    let _ = writeln!(
+        out,
+        "  {} link(s), {} conversion(s), lightpath: {}",
+        path.len(),
+        path.conversion_count(),
+        path.is_lightpath()
+    );
+    let seq: Vec<String> = path
+        .node_sequence(net)
+        .iter()
+        .map(|v| v.to_string())
+        .collect();
+    if !seq.is_empty() {
+        let _ = writeln!(out, "  via {}", seq.join(" → "));
+    }
+}
+
+fn cmd_route(args: &[String], out: &mut String) -> i32 {
+    if args.len() < 3 {
+        return usage_error(out, "route takes <file> <src> <dst>");
+    }
+    let path = &args[0];
+    let (Ok(s), Ok(t)) = (args[1].parse::<usize>(), args[2].parse::<usize>()) else {
+        return usage_error(out, "src/dst must be node indices");
+    };
+    let mut alternates = 1usize;
+    let mut distributed = false;
+    let mut baseline = false;
+    let mut it = args[3..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--alternates" => {
+                alternates = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(n) => n,
+                    None => return usage_error(out, "bad --alternates"),
+                }
+            }
+            "--distributed" => distributed = true,
+            "--baseline" => baseline = true,
+            other => return usage_error(out, &format!("unknown flag `{other}`")),
+        }
+    }
+    let net = match load(path, out) {
+        Ok(n) => n,
+        Err(code) => return code,
+    };
+    let (s, t) = (NodeId::new(s), NodeId::new(t));
+
+    let result = match LiangShenRouter::new().route(&net, s, t) {
+        Ok(r) => r,
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}");
+            return 1;
+        }
+    };
+    match &result.path {
+        Some(p) => describe(out, &net, "optimal semilightpath", p),
+        None => {
+            let _ = writeln!(out, "{s} cannot reach {t} under the wavelength constraints");
+        }
+    }
+
+    if alternates > 1 {
+        match k_shortest_semilightpaths(&net, s, t, alternates) {
+            Ok(paths) => {
+                for (i, p) in paths.iter().enumerate().skip(1) {
+                    describe(out, &net, &format!("alternate #{i}"), p);
+                }
+            }
+            Err(e) => {
+                let _ = writeln!(out, "error: {e}");
+                return 1;
+            }
+        }
+    }
+
+    if distributed {
+        match route_distributed(&net, s, t) {
+            Ok(d) => {
+                let _ = writeln!(
+                    out,
+                    "distributed: cost {}, {} data messages, {} acks, makespan {} (terminated: {})",
+                    d.cost, d.data_messages, d.ack_messages, d.makespan, d.terminated
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(out, "error: {e}");
+                return 1;
+            }
+        }
+    }
+
+    if baseline {
+        match CfzRouter::new().route(&net, s, t) {
+            Ok(b) => {
+                let _ = writeln!(
+                    out,
+                    "cfz baseline: cost {} over {} wavelength-graph nodes",
+                    b.cost(),
+                    b.search_nodes
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(out, "error: {e}");
+                return 1;
+            }
+        }
+    }
+    0
+}
+
+fn cmd_protect(args: &[String], out: &mut String) -> i32 {
+    if args.len() < 3 {
+        return usage_error(out, "protect takes <file> <src> <dst>");
+    }
+    let file = &args[0];
+    let (Ok(s), Ok(t)) = (args[1].parse::<usize>(), args[2].parse::<usize>()) else {
+        return usage_error(out, "src/dst must be node indices");
+    };
+    let disjointness = if args[3..].iter().any(|a| a == "--physical") {
+        wdm_core::Disjointness::PhysicalLink
+    } else {
+        wdm_core::Disjointness::LinkWavelength
+    };
+    let net = match load(file, out) {
+        Ok(n) => n,
+        Err(code) => return code,
+    };
+    match wdm_core::disjoint_semilightpath_pair(&net, NodeId::new(s), NodeId::new(t), disjointness)
+    {
+        Ok(Some(pair)) => {
+            describe(out, &net, "primary", &pair.primary);
+            describe(out, &net, "backup", &pair.backup);
+            let _ = writeln!(
+                out,
+                "total cost {}  (λ-disjoint: {}, fibre-disjoint: {})",
+                pair.total_cost(),
+                pair.is_link_wavelength_disjoint(),
+                pair.is_physical_link_disjoint()
+            );
+            0
+        }
+        Ok(None) => {
+            let _ = writeln!(out, "no disjoint pair from {s} to {t}");
+            0
+        }
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_all_pairs(args: &[String], out: &mut String) -> i32 {
+    let [path] = args else {
+        return usage_error(out, "all-pairs takes exactly one file");
+    };
+    let net = match load(path, out) {
+        Ok(n) => n,
+        Err(code) => return code,
+    };
+    let n = net.node_count();
+    if n > 64 {
+        let _ = writeln!(out, "error: all-pairs table limited to 64 nodes (have {n})");
+        return 1;
+    }
+    let ap = AllPairs::solve(&net);
+    let _ = write!(out, "{:>5}", "");
+    for t in 0..n {
+        let _ = write!(out, "{t:>7}");
+    }
+    out.push('\n');
+    for s in 0..n {
+        let _ = write!(out, "{s:>5}");
+        for t in 0..n {
+            let c = ap.cost(NodeId::new(s), NodeId::new(t));
+            if c.is_infinite() {
+                let _ = write!(out, "{:>7}", "∞");
+            } else {
+                let _ = write!(out, "{:>7}", c.to_string());
+            }
+        }
+        out.push('\n');
+    }
+    0
+}
+
+fn cmd_export(args: &[String], out: &mut String) -> i32 {
+    let [path] = args else {
+        return usage_error(out, "export takes exactly one file");
+    };
+    let net = match load(path, out) {
+        Ok(n) => n,
+        Err(code) => return code,
+    };
+    let link_labels: Vec<String> = net
+        .graph()
+        .links()
+        .map(|(e, _)| {
+            net.wavelengths_on(e)
+                .iter()
+                .map(|(w, _)| w.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        })
+        .collect();
+    let options = wdm_graph::dot::DotOptions {
+        name: "wdm_instance".to_string(),
+        node_labels: Vec::new(),
+        link_labels,
+        merge_fibre_pairs: false,
+    };
+    out.push_str(&wdm_graph::dot::to_dot(net.graph(), &options));
+    0
+}
+
+fn usage_error(out: &mut String, msg: &str) -> i32 {
+    let _ = writeln!(out, "error: {msg}\n{USAGE}");
+    2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_args(args: &[&str]) -> (i32, String) {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = String::new();
+        let code = run(&args, &mut out);
+        (code, out)
+    }
+
+    #[test]
+    fn help_and_unknown_command() {
+        let (code, out) = run_args(&["help"]);
+        assert_eq!(code, 0);
+        assert!(out.contains("USAGE"));
+        let (code, out) = run_args(&["frobnicate"]);
+        assert_eq!(code, 2);
+        assert!(out.contains("unknown command"));
+        let (code, _) = run_args(&[]);
+        assert_eq!(code, 0);
+    }
+
+    #[test]
+    fn gen_to_stdout_parses_back() {
+        let (code, out) = run_args(&["gen", "--topology", "abilene", "--k", "3"]);
+        assert_eq!(code, 0, "{out}");
+        let net = textfmt::from_text(&out).expect("generated instance parses");
+        assert_eq!(net.node_count(), 11);
+        assert_eq!(net.k(), 3);
+    }
+
+    #[test]
+    fn gen_parametric_topologies() {
+        for (spec, nodes) in [("ring:8", 8), ("grid:2x3", 6), ("sparse:12", 12)] {
+            let (code, out) = run_args(&["gen", "--topology", spec, "--k", "2"]);
+            assert_eq!(code, 0, "{spec}: {out}");
+            let net = textfmt::from_text(&out).expect("parses");
+            assert_eq!(net.node_count(), nodes, "{spec}");
+        }
+    }
+
+    #[test]
+    fn gen_rejects_bad_specs() {
+        for bad in ["ring:2", "grid:0x3", "grid:3", "nope", "sparse:x"] {
+            let (code, _) = run_args(&["gen", "--topology", bad, "--k", "2"]);
+            assert_eq!(code, 2, "{bad} should be rejected");
+        }
+        let (code, _) = run_args(&["gen", "--k", "2"]);
+        assert_eq!(code, 2);
+        let (code, _) = run_args(&["gen", "--topology", "nsfnet"]);
+        assert_eq!(code, 2);
+    }
+
+    #[test]
+    fn full_file_workflow() {
+        let dir = std::env::temp_dir().join("wdm-cli-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let file = dir.join("test.wdm");
+        let file_s = file.to_str().expect("utf8").to_string();
+
+        let (code, out) = run_args(&[
+            "gen", "--topology", "nsfnet", "--k", "4", "--seed", "7", "-o", &file_s,
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("wrote"));
+
+        let (code, out) = run_args(&["info", &file_s]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("nodes     : 14"));
+        assert!(out.contains("strongly connected: true"));
+
+        let (code, out) = run_args(&["route", &file_s, "0", "13", "--alternates", "3", "--baseline"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("optimal semilightpath") || out.contains("cannot reach"));
+        if out.contains("optimal semilightpath") {
+            assert!(out.contains("cfz baseline"));
+        }
+
+        let (code, out) = run_args(&["route", &file_s, "0", "5", "--distributed"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("distributed:"));
+
+        let (code, out) = run_args(&["all-pairs", &file_s]);
+        assert_eq!(code, 0, "{out}");
+        // Diagonal is zero.
+        assert!(out.contains('0'));
+        std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn route_usage_errors() {
+        let (code, _) = run_args(&["route", "file.wdm"]);
+        assert_eq!(code, 2);
+        let (code, _) = run_args(&["route", "file.wdm", "a", "b"]);
+        assert_eq!(code, 2);
+        let (code, out) = run_args(&["route", "/nonexistent.wdm", "0", "1"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("cannot read"));
+    }
+
+    #[test]
+    fn export_produces_dot() {
+        let dir = std::env::temp_dir().join("wdm-cli-test-export");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let file = dir.join("x.wdm");
+        let file_s = file.to_str().expect("utf8").to_string();
+        let (code, _) = run_args(&["gen", "--topology", "ring:5", "--k", "2", "-o", &file_s]);
+        assert_eq!(code, 0);
+        let (code, out) = run_args(&["export", &file_s]);
+        assert_eq!(code, 0);
+        assert!(out.starts_with("digraph"));
+        assert!(out.contains("λ"));
+        std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn protect_runs_on_generated_instance() {
+        let dir = std::env::temp_dir().join("wdm-cli-test-protect");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let file = dir.join("p.wdm");
+        let file_s = file.to_str().expect("utf8").to_string();
+        let (code, _) = run_args(&["gen", "--topology", "nsfnet", "--k", "6", "--seed", "2", "-o", &file_s]);
+        assert_eq!(code, 0);
+        let (code, out) = run_args(&["protect", &file_s, "0", "13"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("primary") || out.contains("no disjoint pair"));
+        let (code, _) = run_args(&["protect", &file_s, "0", "13", "--physical"]);
+        assert_eq!(code, 0);
+        std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn info_on_missing_file() {
+        let (code, out) = run_args(&["info", "/nonexistent.wdm"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("cannot read"));
+    }
+}

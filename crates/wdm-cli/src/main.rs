@@ -1,0 +1,9 @@
+//! The `wdm` binary — see [`wdm_cli`] for the command reference.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = String::new();
+    let code = wdm_cli::run(&args, &mut out);
+    print!("{out}");
+    std::process::exit(code);
+}

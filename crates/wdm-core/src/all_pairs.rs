@@ -1,0 +1,310 @@
+//! All-pairs optimal semilightpaths (Corollary 1).
+//!
+//! Build the terminal-equipped auxiliary graph `G_all` once, then grow one
+//! shortest-path tree per source terminal `v'`. Each tree costs
+//! `O(k²n + km + kn·log(kn))` (Theorem 1), giving
+//! `O(k²n² + kmn + kn²·log(kn))` in total.
+
+use crate::auxiliary::{AuxStats, AuxiliaryGraph};
+use crate::dijkstra::dijkstra_with;
+use crate::{Cost, Semilightpath, WdmNetwork};
+use heaps::HeapKind;
+use wdm_graph::NodeId;
+
+/// The all-pairs cost matrix plus the machinery to re-derive paths.
+///
+/// # Examples
+///
+/// ```
+/// use wdm_core::{AllPairs, Cost};
+/// use wdm_graph::DiGraph;
+///
+/// let g = DiGraph::from_links(3, [(0, 1), (1, 2), (2, 0)]);
+/// let net = wdm_core::WdmNetwork::builder(g, 1)
+///     .link_wavelengths(0, [(0, 1)])
+///     .link_wavelengths(1, [(0, 1)])
+///     .link_wavelengths(2, [(0, 1)])
+///     .build()?;
+/// let ap = AllPairs::solve(&net);
+/// assert_eq!(ap.cost(0.into(), 2.into()), Cost::new(2));
+/// assert_eq!(ap.cost(2.into(), 2.into()), Cost::ZERO);
+/// # Ok::<(), wdm_core::WdmError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AllPairs {
+    n: usize,
+    /// Row-major `n × n` optimal costs; diagonal fixed at zero.
+    costs: Vec<Cost>,
+    aux_stats: AuxStats,
+    /// Total Dijkstra pops over all `n` tree computations.
+    total_settled: usize,
+}
+
+impl AllPairs {
+    /// Solves all pairs with the Fibonacci heap.
+    pub fn solve(network: &WdmNetwork) -> Self {
+        Self::solve_with(network, HeapKind::Fibonacci)
+    }
+
+    /// Solves all pairs with a chosen heap.
+    pub fn solve_with(network: &WdmNetwork, heap: HeapKind) -> Self {
+        let n = network.node_count();
+        let aux = AuxiliaryGraph::for_all_pairs(network);
+        let mut costs = vec![Cost::INFINITY; n * n];
+        let mut total_settled = 0;
+        for s in 0..n {
+            let s_node = NodeId::new(s);
+            let source = aux
+                .source_terminal(s_node)
+                .expect("all-pairs graph has terminals");
+            let tree = dijkstra_with(heap, aux.graph(), source);
+            total_settled += tree.stats.settled;
+            for t in 0..n {
+                costs[s * n + t] = if s == t {
+                    Cost::ZERO
+                } else {
+                    let sink = aux
+                        .sink_terminal(NodeId::new(t))
+                        .expect("all-pairs graph has terminals");
+                    tree.dist[sink]
+                };
+            }
+        }
+        AllPairs {
+            n,
+            costs,
+            aux_stats: aux.stats(),
+            total_settled,
+        }
+    }
+
+    /// Number of nodes in the underlying network.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Optimal semilightpath cost from `s` to `t`
+    /// ([`Cost::INFINITY`] when unreachable, zero on the diagonal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` or `t` is out of range.
+    pub fn cost(&self, s: NodeId, t: NodeId) -> Cost {
+        assert!(s.index() < self.n && t.index() < self.n, "node out of range");
+        self.costs[s.index() * self.n + t.index()]
+    }
+
+    /// Construction accounting of the shared `G_all`.
+    pub fn aux_stats(&self) -> AuxStats {
+        self.aux_stats
+    }
+
+    /// Total nodes settled across all `n` Dijkstra runs.
+    pub fn total_settled(&self) -> usize {
+        self.total_settled
+    }
+
+    /// Re-derives the actual optimal path for one pair (runs one more
+    /// Dijkstra; costs are already available via [`AllPairs::cost`]).
+    /// Answers unreachable pairs from the stored matrix without searching.
+    pub fn path(
+        &self,
+        network: &WdmNetwork,
+        s: NodeId,
+        t: NodeId,
+    ) -> Option<Semilightpath> {
+        if self.cost(s, t).is_infinite() {
+            return None;
+        }
+        crate::find_optimal_semilightpath(network, s, t).ok().flatten()
+    }
+}
+
+/// All-pairs solver that *retains* every shortest-path tree, answering
+/// path queries in `O(path length)` without re-running any search.
+///
+/// Memory is `O(n · kn)` (one tree over `G_all` per source), so this is
+/// the right choice when many path queries follow — e.g. populating a
+/// routing table — while [`AllPairs`] is lighter when only costs matter.
+///
+/// # Examples
+///
+/// ```
+/// use wdm_core::AllPairsPaths;
+/// use wdm_graph::DiGraph;
+///
+/// let g = DiGraph::from_links(3, [(0, 1), (1, 2)]);
+/// let net = wdm_core::WdmNetwork::builder(g, 1)
+///     .link_wavelengths(0, [(0, 2)])
+///     .link_wavelengths(1, [(0, 3)])
+///     .build()?;
+/// let ap = AllPairsPaths::solve(&net);
+/// let path = ap.path(0.into(), 2.into()).expect("reachable");
+/// assert_eq!(path.cost(), wdm_core::Cost::new(5));
+/// # Ok::<(), wdm_core::WdmError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AllPairsPaths {
+    aux: AuxiliaryGraph,
+    trees: Vec<crate::dijkstra::ShortestPathTree>,
+}
+
+impl AllPairsPaths {
+    /// Solves all pairs with the Fibonacci heap, retaining the trees.
+    pub fn solve(network: &WdmNetwork) -> Self {
+        Self::solve_with(network, HeapKind::Fibonacci)
+    }
+
+    /// Solves all pairs with a chosen heap, retaining the trees.
+    pub fn solve_with(network: &WdmNetwork, heap: HeapKind) -> Self {
+        let aux = AuxiliaryGraph::for_all_pairs(network);
+        let trees = (0..network.node_count())
+            .map(|s| {
+                let source = aux
+                    .source_terminal(NodeId::new(s))
+                    .expect("all-pairs graph has terminals");
+                dijkstra_with(heap, aux.graph(), source)
+            })
+            .collect();
+        AllPairsPaths { aux, trees }
+    }
+
+    /// Number of sources (= network nodes).
+    pub fn node_count(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Optimal cost from `s` to `t` (zero on the diagonal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` or `t` is out of range.
+    pub fn cost(&self, s: NodeId, t: NodeId) -> Cost {
+        if s == t {
+            return Cost::ZERO;
+        }
+        let sink = self
+            .aux
+            .sink_terminal(t)
+            .expect("all-pairs graph has terminals");
+        self.trees[s.index()].dist[sink]
+    }
+
+    /// The optimal semilightpath from `s` to `t` (`None` when
+    /// unreachable; the empty path on the diagonal), decoded from the
+    /// retained tree without further search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` or `t` is out of range.
+    pub fn path(&self, s: NodeId, t: NodeId) -> Option<Semilightpath> {
+        if s == t {
+            return Some(Semilightpath::new(Vec::new(), Cost::ZERO));
+        }
+        let sink = self
+            .aux
+            .sink_terminal(t)
+            .expect("all-pairs graph has terminals");
+        self.aux
+            .extract_semilightpath(&self.trees[s.index()], sink)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ConversionPolicy, LiangShenRouter};
+    use wdm_graph::{topology, DiGraph};
+
+    fn ring_network() -> WdmNetwork {
+        let g = topology::ring(5, false);
+        let mut b = WdmNetwork::builder(g, 2);
+        for e in 0..5 {
+            b = b.link_wavelengths(e, [(e % 2, 10 + e as u64)]);
+        }
+        b.uniform_conversion(ConversionPolicy::Uniform(Cost::new(1)))
+            .build()
+            .expect("valid")
+    }
+
+    #[test]
+    fn matches_pairwise_queries() {
+        let net = ring_network();
+        let ap = AllPairs::solve(&net);
+        let router = LiangShenRouter::new();
+        for s in 0..5 {
+            for t in 0..5 {
+                let (s, t) = (NodeId::new(s), NodeId::new(t));
+                assert_eq!(
+                    ap.cost(s, t),
+                    router.route(&net, s, t).expect("ok").cost(),
+                    "pair {s} → {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_is_zero() {
+        let net = ring_network();
+        let ap = AllPairs::solve(&net);
+        for v in 0..5 {
+            assert_eq!(ap.cost(NodeId::new(v), NodeId::new(v)), Cost::ZERO);
+        }
+    }
+
+    #[test]
+    fn unreachable_pairs_are_infinite() {
+        // Two disconnected nodes.
+        let g = DiGraph::from_links(2, []);
+        let net = WdmNetwork::builder(g, 1).build().expect("valid");
+        let ap = AllPairs::solve(&net);
+        assert_eq!(ap.cost(0.into(), 1.into()), Cost::INFINITY);
+        assert_eq!(ap.cost(0.into(), 0.into()), Cost::ZERO);
+    }
+
+    #[test]
+    fn heap_choice_is_cost_invariant() {
+        let net = ring_network();
+        let fib = AllPairs::solve_with(&net, HeapKind::Fibonacci);
+        let arr = AllPairs::solve_with(&net, HeapKind::Array);
+        for s in 0..5 {
+            for t in 0..5 {
+                assert_eq!(
+                    fib.cost(NodeId::new(s), NodeId::new(t)),
+                    arr.cost(NodeId::new(s), NodeId::new(t))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_pairs_paths_matches_costs_and_validates() {
+        let net = ring_network();
+        let light = AllPairs::solve(&net);
+        let full = AllPairsPaths::solve(&net);
+        for s in 0..5 {
+            for t in 0..5 {
+                let (sn, tn) = (NodeId::new(s), NodeId::new(t));
+                assert_eq!(light.cost(sn, tn), full.cost(sn, tn), "{s} → {t}");
+                match full.path(sn, tn) {
+                    Some(p) => {
+                        p.validate(&net).expect("valid");
+                        assert_eq!(p.cost(), full.cost(sn, tn));
+                    }
+                    None => assert!(full.cost(sn, tn).is_infinite()),
+                }
+            }
+        }
+        assert_eq!(full.node_count(), 5);
+    }
+
+    #[test]
+    fn path_rederivation_validates() {
+        let net = ring_network();
+        let ap = AllPairs::solve(&net);
+        let p = ap.path(&net, 0.into(), 3.into()).expect("reachable");
+        p.validate(&net).expect("valid");
+        assert_eq!(p.cost(), ap.cost(0.into(), 3.into()));
+    }
+}

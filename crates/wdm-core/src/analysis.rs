@@ -1,0 +1,280 @@
+//! Workload analytics over optimal routes.
+//!
+//! Once a routing workload is solved, network planners ask *where the
+//! conversions happen* (to decide which nodes need converter hardware),
+//! *which wavelengths and links carry the load*, and *how much longer
+//! semilightpaths are than plain hop-count routes*. This module computes
+//! those aggregates from any set of [`Semilightpath`]s.
+
+use crate::{Cost, Semilightpath, WdmNetwork};
+use wdm_graph::metrics::bfs_hops;
+use wdm_graph::NodeId;
+
+/// Aggregated statistics of a set of routes on one network.
+///
+/// # Examples
+///
+/// ```
+/// use wdm_core::{analysis::WorkloadAnalysis, find_optimal_semilightpath};
+/// use wdm_core::{ConversionPolicy, Cost, WdmNetwork};
+/// use wdm_graph::DiGraph;
+///
+/// let g = DiGraph::from_links(3, [(0, 1), (1, 2)]);
+/// let net = WdmNetwork::builder(g, 2)
+///     .link_wavelengths(0, [(0, 1)])
+///     .link_wavelengths(1, [(1, 1)])
+///     .conversion(1, ConversionPolicy::Uniform(Cost::new(1)))
+///     .build()?;
+/// let path = find_optimal_semilightpath(&net, 0.into(), 2.into())?.expect("reachable");
+/// let analysis = WorkloadAnalysis::of(&net, [&path]);
+/// assert_eq!(analysis.conversions_at(1.into()), 1); // node 1 converted once
+/// assert_eq!(analysis.total_conversions, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadAnalysis {
+    /// Number of analysed (non-empty) paths.
+    pub path_count: usize,
+    /// Total conversions over all paths.
+    pub total_conversions: u64,
+    /// Total links traversed over all paths.
+    pub total_links: u64,
+    /// Sum of path costs.
+    pub total_cost: Cost,
+    /// Conversions performed at each node (indexed by node).
+    conversion_sites: Vec<u64>,
+    /// Traversals of each wavelength (indexed by wavelength).
+    wavelength_usage: Vec<u64>,
+    /// Traversals of each link (indexed by link).
+    link_usage: Vec<u64>,
+    /// Histogram of path lengths in links (index = length).
+    hop_histogram: Vec<u64>,
+}
+
+impl WorkloadAnalysis {
+    /// Analyses `paths` against `network`. Empty paths are skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a path references links or wavelengths outside the
+    /// network (validate paths first when in doubt).
+    pub fn of<'a, I>(network: &WdmNetwork, paths: I) -> Self
+    where
+        I: IntoIterator<Item = &'a Semilightpath>,
+    {
+        let mut a = WorkloadAnalysis {
+            path_count: 0,
+            total_conversions: 0,
+            total_links: 0,
+            total_cost: Cost::ZERO,
+            conversion_sites: vec![0; network.node_count()],
+            wavelength_usage: vec![0; network.k()],
+            link_usage: vec![0; network.link_count()],
+            hop_histogram: Vec::new(),
+        };
+        for path in paths {
+            if path.is_empty() {
+                continue;
+            }
+            a.path_count += 1;
+            a.total_cost += path.cost();
+            a.total_links += path.len() as u64;
+            if a.hop_histogram.len() <= path.len() {
+                a.hop_histogram.resize(path.len() + 1, 0);
+            }
+            a.hop_histogram[path.len()] += 1;
+            for hop in path.hops() {
+                a.wavelength_usage[hop.wavelength.index()] += 1;
+                a.link_usage[hop.link.index()] += 1;
+            }
+            for pair in path.hops().windows(2) {
+                if pair[0].wavelength != pair[1].wavelength {
+                    let junction = network.graph().link(pair[0].link).head();
+                    a.conversion_sites[junction.index()] += 1;
+                    a.total_conversions += 1;
+                }
+            }
+        }
+        a
+    }
+
+    /// Conversions performed at `node` across the workload.
+    pub fn conversions_at(&self, node: NodeId) -> u64 {
+        self.conversion_sites[node.index()]
+    }
+
+    /// Traversals of wavelength index `lambda`.
+    pub fn wavelength_traversals(&self, lambda: usize) -> u64 {
+        self.wavelength_usage[lambda]
+    }
+
+    /// Traversals of each link, indexed by link id.
+    pub fn link_usage(&self) -> &[u64] {
+        &self.link_usage
+    }
+
+    /// Histogram of path lengths (index = number of links).
+    pub fn hop_histogram(&self) -> &[u64] {
+        &self.hop_histogram
+    }
+
+    /// Mean links per path (0 for an empty workload).
+    pub fn mean_hops(&self) -> f64 {
+        if self.path_count == 0 {
+            0.0
+        } else {
+            self.total_links as f64 / self.path_count as f64
+        }
+    }
+
+    /// Nodes ranked by conversion usage, busiest first — the natural
+    /// converter-placement priority list. Nodes with zero conversions are
+    /// omitted.
+    pub fn converter_placement_ranking(&self) -> Vec<(NodeId, u64)> {
+        let mut ranked: Vec<(NodeId, u64)> = self
+            .conversion_sites
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(v, &c)| (NodeId::new(v), c))
+            .collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked
+    }
+}
+
+/// Mean *hop stretch* of a set of routed pairs: the ratio of the optimal
+/// semilightpath's link count to the plain BFS hop distance (how much the
+/// wavelength constraints lengthen routes). Pairs whose path or BFS
+/// distance is unavailable are skipped; returns `None` when nothing was
+/// comparable.
+pub fn mean_hop_stretch(
+    network: &WdmNetwork,
+    pairs: &[(NodeId, NodeId, Semilightpath)],
+) -> Option<f64> {
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    let mut hops_cache: std::collections::HashMap<NodeId, Vec<Option<usize>>> =
+        std::collections::HashMap::new();
+    for (s, t, path) in pairs {
+        if path.is_empty() {
+            continue;
+        }
+        let hops = hops_cache
+            .entry(*s)
+            .or_insert_with(|| bfs_hops(network.graph(), *s));
+        match hops[t.index()] {
+            Some(h) if h > 0 => {
+                total += path.len() as f64 / h as f64;
+                counted += 1;
+            }
+            _ => {}
+        }
+    }
+    if counted == 0 {
+        None
+    } else {
+        Some(total / counted as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{find_optimal_semilightpath, ConversionPolicy, LiangShenRouter};
+    use wdm_graph::DiGraph;
+
+    /// Chain 0→1→2→3 forcing conversions at nodes 1 and 2.
+    fn zigzag() -> WdmNetwork {
+        let g = DiGraph::from_links(4, [(0, 1), (1, 2), (2, 3)]);
+        WdmNetwork::builder(g, 3)
+            .link_wavelengths(0, [(0, 10)])
+            .link_wavelengths(1, [(1, 10)])
+            .link_wavelengths(2, [(2, 10)])
+            .uniform_conversion(ConversionPolicy::Uniform(Cost::new(1)))
+            .build()
+            .expect("valid")
+    }
+
+    #[test]
+    fn conversion_sites_are_attributed_to_junctions() {
+        let net = zigzag();
+        let p = find_optimal_semilightpath(&net, 0.into(), 3.into())
+            .expect("ok")
+            .expect("reachable");
+        let a = WorkloadAnalysis::of(&net, [&p]);
+        assert_eq!(a.total_conversions, 2);
+        assert_eq!(a.conversions_at(1.into()), 1);
+        assert_eq!(a.conversions_at(2.into()), 1);
+        assert_eq!(a.conversions_at(0.into()), 0);
+        assert_eq!(a.conversions_at(3.into()), 0);
+        let ranking = a.converter_placement_ranking();
+        assert_eq!(ranking.len(), 2);
+        assert_eq!(ranking[0].1, 1);
+    }
+
+    #[test]
+    fn usage_counters_accumulate_over_paths() {
+        let net = zigzag();
+        let router = LiangShenRouter::new();
+        let paths: Vec<_> = [(0, 3), (0, 2), (1, 3)]
+            .iter()
+            .map(|&(s, t)| {
+                router
+                    .route(&net, NodeId::new(s), NodeId::new(t))
+                    .expect("ok")
+                    .path
+                    .expect("reachable")
+            })
+            .collect();
+        let a = WorkloadAnalysis::of(&net, paths.iter());
+        assert_eq!(a.path_count, 3);
+        assert_eq!(a.total_links, 3 + 2 + 2);
+        // Link 1 (1→2) is used by all three paths.
+        assert_eq!(a.link_usage()[1], 3);
+        // Wavelength λ1 is used once per path.
+        assert_eq!(a.wavelength_traversals(1), 3);
+        assert_eq!(a.hop_histogram()[2], 2);
+        assert_eq!(a.hop_histogram()[3], 1);
+        assert!((a.mean_hops() - 7.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_paths_are_skipped() {
+        let net = zigzag();
+        let empty = Semilightpath::new(Vec::new(), Cost::ZERO);
+        let a = WorkloadAnalysis::of(&net, [&empty]);
+        assert_eq!(a.path_count, 0);
+        assert_eq!(a.total_conversions, 0);
+        assert!(a.converter_placement_ranking().is_empty());
+        assert_eq!(a.mean_hops(), 0.0);
+    }
+
+    #[test]
+    fn hop_stretch_on_constrained_network() {
+        // Direct link exists but carries no usable wavelength end-to-end;
+        // the semilightpath detours, stretch > 1.
+        let g = DiGraph::from_links(4, [(0, 3), (0, 1), (1, 2), (2, 3)]);
+        let net = WdmNetwork::builder(g, 1)
+            // Link 0 (0→3) has no wavelengths at all.
+            .link_wavelengths(1, [(0, 1)])
+            .link_wavelengths(2, [(0, 1)])
+            .link_wavelengths(3, [(0, 1)])
+            .build()
+            .expect("valid");
+        let p = find_optimal_semilightpath(&net, 0.into(), 3.into())
+            .expect("ok")
+            .expect("reachable");
+        let stretch = mean_hop_stretch(&net, &[(NodeId::new(0), NodeId::new(3), p)])
+            .expect("comparable");
+        // BFS hop distance is 1 (the dark link still exists as topology);
+        // the routed path takes 3 links.
+        assert!((stretch - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hop_stretch_none_when_nothing_comparable() {
+        let net = zigzag();
+        assert_eq!(mean_hop_stretch(&net, &[]), None);
+    }
+}

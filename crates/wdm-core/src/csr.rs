@@ -1,0 +1,230 @@
+//! Compact CSR edge storage shared by the auxiliary graphs.
+//!
+//! Both the paper's layered graph `G_{s,t}`/`G_all` and the CFZ baseline's
+//! wavelength graph `WG` are "built once, searched once" structures, so they
+//! share this compressed-sparse-row representation and a single Dijkstra
+//! implementation ([`crate::dijkstra()`]).
+
+use crate::{Cost, Wavelength};
+use wdm_graph::{LinkId, NodeId};
+
+/// What a search-graph edge means in terms of the physical network.
+///
+/// Carried as a parallel payload array so that a shortest path in the
+/// search graph can be decoded back into a [`crate::Semilightpath`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeRole {
+    /// A wavelength conversion inside a physical node.
+    Conversion {
+        /// The node performing the conversion.
+        node: NodeId,
+        /// Incoming wavelength `λp`.
+        from: Wavelength,
+        /// Outgoing wavelength `λq`.
+        to: Wavelength,
+    },
+    /// Traversal of a physical link on a specific wavelength.
+    Traversal {
+        /// The physical link.
+        link: LinkId,
+        /// The wavelength used on it.
+        wavelength: Wavelength,
+    },
+    /// A zero-cost attachment edge from/to a super-terminal
+    /// (`s' → Y_s`, `X_t → t''`, or the `v'`/`v''` taps of `G_all`).
+    Tap,
+}
+
+/// One outgoing edge as yielded by [`CsrGraph::out_edges`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeRef {
+    /// Dense index of this edge in the graph.
+    pub index: usize,
+    /// Head node of the edge.
+    pub target: usize,
+    /// Edge weight.
+    pub cost: Cost,
+    /// Physical meaning of the edge.
+    pub role: EdgeRole,
+}
+
+/// A directed graph in compressed-sparse-row form with [`Cost`] weights and
+/// [`EdgeRole`] payloads.
+#[derive(Debug, Clone)]
+pub struct CsrGraph {
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+    costs: Vec<Cost>,
+    roles: Vec<EdgeRole>,
+    sources: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Iterates the outgoing edges of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn out_edges(&self, node: usize) -> impl ExactSizeIterator<Item = EdgeRef> + '_ {
+        let range = self.offsets[node]..self.offsets[node + 1];
+        range.map(move |i| EdgeRef {
+            index: i,
+            target: self.targets[i] as usize,
+            cost: self.costs[i],
+            role: self.roles[i],
+        })
+    }
+
+    /// The edge with dense index `index`, as `(source, EdgeRef)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn edge(&self, index: usize) -> (usize, EdgeRef) {
+        (
+            self.sources[index] as usize,
+            EdgeRef {
+                index,
+                target: self.targets[index] as usize,
+                cost: self.costs[index],
+                role: self.roles[index],
+            },
+        )
+    }
+}
+
+/// Incremental builder producing a [`CsrGraph`].
+#[derive(Debug, Clone)]
+pub struct CsrBuilder {
+    n: usize,
+    edges: Vec<(u32, u32, Cost, EdgeRole)>,
+}
+
+impl CsrBuilder {
+    /// A builder for a graph with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        CsrBuilder {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Pre-allocates room for `additional` more edges.
+    pub fn reserve(&mut self, additional: usize) {
+        self.edges.reserve(additional);
+    }
+
+    /// Adds the directed edge `source → target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn add_edge(&mut self, source: usize, target: usize, cost: Cost, role: EdgeRole) {
+        assert!(source < self.n, "source {source} out of range");
+        assert!(target < self.n, "target {target} out of range");
+        self.edges
+            .push((source as u32, target as u32, cost, role));
+    }
+
+    /// Number of edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes into CSR form (counting sort by source: `O(n + m)`).
+    pub fn build(self) -> CsrGraph {
+        let mut offsets = vec![0usize; self.n + 1];
+        for &(s, _, _, _) in &self.edges {
+            offsets[s as usize + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let m = self.edges.len();
+        let mut targets = vec![0u32; m];
+        let mut costs = vec![Cost::ZERO; m];
+        let mut roles = vec![EdgeRole::Tap; m];
+        let mut sources = vec![0u32; m];
+        let mut cursor = offsets.clone();
+        for (s, t, c, r) in self.edges {
+            let at = cursor[s as usize];
+            cursor[s as usize] += 1;
+            targets[at] = t;
+            costs[at] = c;
+            roles[at] = r;
+            sources[at] = s;
+        }
+        CsrGraph {
+            offsets,
+            targets,
+            costs,
+            roles,
+            sources,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_iterates() {
+        let mut b = CsrBuilder::new(3);
+        b.add_edge(0, 1, Cost::new(5), EdgeRole::Tap);
+        b.add_edge(0, 2, Cost::new(7), EdgeRole::Tap);
+        b.add_edge(2, 1, Cost::new(1), EdgeRole::Tap);
+        assert_eq!(b.edge_count(), 3);
+        let g = b.build();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        let out0: Vec<usize> = g.out_edges(0).map(|e| e.target).collect();
+        assert_eq!(out0, vec![1, 2]);
+        assert_eq!(g.out_edges(1).len(), 0);
+        let (src, e) = g.edge(2);
+        assert_eq!(src, 2);
+        assert_eq!(e.target, 1);
+        assert_eq!(e.cost, Cost::new(1));
+    }
+
+    #[test]
+    fn insertion_order_within_source_is_preserved() {
+        let mut b = CsrBuilder::new(2);
+        for i in 0..5u64 {
+            b.add_edge(0, 1, Cost::new(i), EdgeRole::Tap);
+        }
+        let g = b.build();
+        let costs: Vec<Cost> = g.out_edges(0).map(|e| e.cost).collect();
+        assert_eq!(costs, (0..5).map(Cost::new).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_sources_are_sorted_into_rows() {
+        let mut b = CsrBuilder::new(3);
+        b.add_edge(2, 0, Cost::new(1), EdgeRole::Tap);
+        b.add_edge(0, 2, Cost::new(2), EdgeRole::Tap);
+        b.add_edge(2, 1, Cost::new(3), EdgeRole::Tap);
+        let g = b.build();
+        assert_eq!(g.out_edges(2).len(), 2);
+        assert_eq!(g.out_edges(0).len(), 1);
+        let out2: Vec<usize> = g.out_edges(2).map(|e| e.target).collect();
+        assert_eq!(out2, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_endpoint_panics() {
+        let mut b = CsrBuilder::new(1);
+        b.add_edge(0, 1, Cost::ZERO, EdgeRole::Tap);
+    }
+}

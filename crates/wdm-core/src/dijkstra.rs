@@ -1,0 +1,282 @@
+//! Dijkstra's algorithm over the CSR search graphs, generic in the heap.
+//!
+//! Theorem 1's running time rests on Dijkstra with a Fibonacci heap
+//! (`O(m' + n'·log n')` on a graph with `n'` nodes and `m'` edges); the CFZ
+//! baseline of Section III-C is charged with an array-scan Dijkstra
+//! (`O(n'² + m')`). Both are the same relaxation loop over a different
+//! [`IndexedPriorityQueue`], so this module implements it once, generically,
+//! and dispatches on [`HeapKind`] for run-time selection.
+
+use crate::csr::CsrGraph;
+use crate::Cost;
+use heaps::{
+    ArrayHeap, BinaryHeap, FibonacciHeap, HeapKind, IndexedPriorityQueue, LeftistHeap,
+    PairingHeap, SkewHeap,
+};
+
+/// Operation counters from one Dijkstra run, for the experiment tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DijkstraStats {
+    /// Nodes settled (`pop_min` count).
+    pub settled: usize,
+    /// Edges relaxed (out-edges scanned from settled nodes).
+    pub relaxed: usize,
+    /// Successful queue improvements (`push` or effective `decrease_key`).
+    pub improved: usize,
+}
+
+/// A shortest-path tree: per-node distance and parent pointers.
+#[derive(Debug, Clone)]
+pub struct ShortestPathTree {
+    /// `dist[v]` — cost of the shortest path from the source
+    /// ([`Cost::INFINITY`] when unreachable).
+    pub dist: Vec<Cost>,
+    /// `parent[v] = (u, edge_index)` — the tree edge entering `v`.
+    pub parent: Vec<Option<(usize, usize)>>,
+    /// The source node the tree is rooted at.
+    pub source: usize,
+    /// Operation counters.
+    pub stats: DijkstraStats,
+}
+
+impl ShortestPathTree {
+    /// The aux-node path from the root to `target` (inclusive), or `None`
+    /// when unreachable.
+    pub fn path_to(&self, target: usize) -> Option<Vec<usize>> {
+        if self.dist[target].is_infinite() {
+            return None;
+        }
+        let mut path = vec![target];
+        let mut at = target;
+        while let Some((prev, _)) = self.parent[at] {
+            path.push(prev);
+            at = prev;
+        }
+        path.reverse();
+        debug_assert_eq!(path[0], self.source);
+        Some(path)
+    }
+}
+
+/// Runs Dijkstra from `source` using heap `Q`.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use heaps::FibonacciHeap;
+/// use wdm_core::{AuxiliaryGraph, dijkstra, WdmNetwork};
+/// use wdm_graph::DiGraph;
+///
+/// let g = DiGraph::from_links(2, [(0, 1)]);
+/// let net = WdmNetwork::builder(g, 1).link_wavelengths(0, [(0, 4)]).build()?;
+/// let aux = AuxiliaryGraph::for_pair(&net, 0.into(), 1.into());
+/// let tree = dijkstra::<FibonacciHeap<_>>(aux.graph(), aux.super_source().unwrap());
+/// assert_eq!(tree.dist[aux.super_sink().unwrap()], wdm_core::Cost::new(4));
+/// # Ok::<(), wdm_core::WdmError>(())
+/// ```
+pub fn dijkstra<Q: IndexedPriorityQueue<Cost>>(graph: &CsrGraph, source: usize) -> ShortestPathTree {
+    let n = graph.node_count();
+    assert!(source < n, "source {source} out of range");
+    let mut dist = vec![Cost::INFINITY; n];
+    let mut parent: Vec<Option<(usize, usize)>> = vec![None; n];
+    let mut settled = vec![false; n];
+    let mut stats = DijkstraStats::default();
+
+    let mut queue = Q::with_capacity(n);
+    dist[source] = Cost::ZERO;
+    queue.push(source, Cost::ZERO);
+
+    while let Some((u, du)) = queue.pop_min() {
+        debug_assert_eq!(du, dist[u]);
+        settled[u] = true;
+        stats.settled += 1;
+        for edge in graph.out_edges(u) {
+            stats.relaxed += 1;
+            let v = edge.target;
+            if settled[v] {
+                continue;
+            }
+            let candidate = du + edge.cost;
+            if candidate < dist[v] {
+                dist[v] = candidate;
+                parent[v] = Some((u, edge.index));
+                queue.push_or_decrease(v, candidate);
+                stats.improved += 1;
+            }
+        }
+    }
+
+    ShortestPathTree {
+        dist,
+        parent,
+        source,
+        stats,
+    }
+}
+
+/// Runs Dijkstra with a run-time-selected heap.
+pub fn dijkstra_with(kind: HeapKind, graph: &CsrGraph, source: usize) -> ShortestPathTree {
+    match kind {
+        HeapKind::Fibonacci => dijkstra::<FibonacciHeap<Cost>>(graph, source),
+        HeapKind::Pairing => dijkstra::<PairingHeap<Cost>>(graph, source),
+        HeapKind::Binary => dijkstra::<BinaryHeap<Cost>>(graph, source),
+        HeapKind::Array => dijkstra::<ArrayHeap<Cost>>(graph, source),
+        HeapKind::Skew => dijkstra::<SkewHeap<Cost>>(graph, source),
+        HeapKind::Leftist => dijkstra::<LeftistHeap<Cost>>(graph, source),
+    }
+}
+
+/// Dijkstra restricted to a subgraph: nodes with `banned_nodes[v] = true`
+/// are never entered or left, and edges whose dense index is in
+/// `banned_edges` are skipped. Used by Yen's k-shortest-paths spur
+/// searches.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range or `banned_nodes.len()` differs from
+/// the node count. A banned source yields an all-infinite tree.
+pub fn dijkstra_filtered(
+    graph: &CsrGraph,
+    source: usize,
+    banned_nodes: &[bool],
+    banned_edges: &std::collections::HashSet<usize>,
+) -> ShortestPathTree {
+    let n = graph.node_count();
+    assert!(source < n, "source {source} out of range");
+    assert_eq!(banned_nodes.len(), n, "one ban flag per node");
+    let mut dist = vec![Cost::INFINITY; n];
+    let mut parent: Vec<Option<(usize, usize)>> = vec![None; n];
+    let mut settled = vec![false; n];
+    let mut stats = DijkstraStats::default();
+    let mut queue: BinaryHeap<Cost> = BinaryHeap::with_capacity(n);
+
+    if !banned_nodes[source] {
+        dist[source] = Cost::ZERO;
+        queue.push(source, Cost::ZERO);
+    }
+    while let Some((u, du)) = queue.pop_min() {
+        settled[u] = true;
+        stats.settled += 1;
+        for edge in graph.out_edges(u) {
+            stats.relaxed += 1;
+            let v = edge.target;
+            if settled[v] || banned_nodes[v] || banned_edges.contains(&edge.index) {
+                continue;
+            }
+            let candidate = du + edge.cost;
+            if candidate < dist[v] {
+                dist[v] = candidate;
+                parent[v] = Some((u, edge.index));
+                queue.push_or_decrease(v, candidate);
+                stats.improved += 1;
+            }
+        }
+    }
+    ShortestPathTree {
+        dist,
+        parent,
+        source,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::{CsrBuilder, EdgeRole};
+
+    /// Small weighted digraph with a known shortest-path structure.
+    fn diamond() -> CsrGraph {
+        //      1
+        //   /     \
+        //  0       3 — 4
+        //   \     /
+        //      2
+        let mut b = CsrBuilder::new(5);
+        let t = EdgeRole::Tap;
+        b.add_edge(0, 1, Cost::new(1), t);
+        b.add_edge(0, 2, Cost::new(4), t);
+        b.add_edge(1, 3, Cost::new(10), t);
+        b.add_edge(2, 3, Cost::new(2), t);
+        b.add_edge(3, 4, Cost::new(3), t);
+        b.add_edge(1, 2, Cost::new(1), t);
+        b.build()
+    }
+
+    fn check_diamond(tree: &ShortestPathTree) {
+        assert_eq!(tree.dist[0], Cost::ZERO);
+        assert_eq!(tree.dist[1], Cost::new(1));
+        assert_eq!(tree.dist[2], Cost::new(2)); // 0→1→2
+        assert_eq!(tree.dist[3], Cost::new(4)); // 0→1→2→3
+        assert_eq!(tree.dist[4], Cost::new(7));
+        assert_eq!(tree.path_to(4), Some(vec![0, 1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn all_heaps_agree_on_diamond() {
+        let g = diamond();
+        for kind in HeapKind::ALL {
+            let tree = dijkstra_with(kind, &g, 0);
+            check_diamond(&tree);
+        }
+    }
+
+    #[test]
+    fn unreachable_nodes_stay_infinite() {
+        let mut b = CsrBuilder::new(3);
+        b.add_edge(0, 1, Cost::new(1), EdgeRole::Tap);
+        let g = b.build();
+        let tree = dijkstra::<FibonacciHeap<Cost>>(&g, 0);
+        assert_eq!(tree.dist[2], Cost::INFINITY);
+        assert_eq!(tree.path_to(2), None);
+        assert_eq!(tree.parent[2], None);
+    }
+
+    #[test]
+    fn zero_cost_cycles_terminate() {
+        let mut b = CsrBuilder::new(3);
+        let t = EdgeRole::Tap;
+        b.add_edge(0, 1, Cost::ZERO, t);
+        b.add_edge(1, 2, Cost::ZERO, t);
+        b.add_edge(2, 0, Cost::ZERO, t);
+        let g = b.build();
+        let tree = dijkstra::<BinaryHeap<Cost>>(&g, 0);
+        assert_eq!(tree.dist, vec![Cost::ZERO; 3]);
+        assert_eq!(tree.stats.settled, 3);
+    }
+
+    #[test]
+    fn parallel_edges_pick_cheapest() {
+        let mut b = CsrBuilder::new(2);
+        let t = EdgeRole::Tap;
+        b.add_edge(0, 1, Cost::new(9), t);
+        b.add_edge(0, 1, Cost::new(2), t);
+        b.add_edge(0, 1, Cost::new(5), t);
+        let g = b.build();
+        let tree = dijkstra::<PairingHeap<Cost>>(&g, 0);
+        assert_eq!(tree.dist[1], Cost::new(2));
+        let (_, e) = g.edge(tree.parent[1].expect("has parent").1);
+        assert_eq!(e.cost, Cost::new(2));
+    }
+
+    #[test]
+    fn stats_count_work() {
+        let g = diamond();
+        let tree = dijkstra::<FibonacciHeap<Cost>>(&g, 0);
+        assert_eq!(tree.stats.settled, 5);
+        assert_eq!(tree.stats.relaxed, 6);
+        assert!(tree.stats.improved >= 5);
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let g = CsrBuilder::new(1).build();
+        let tree = dijkstra::<ArrayHeap<Cost>>(&g, 0);
+        assert_eq!(tree.dist, vec![Cost::ZERO]);
+        assert_eq!(tree.path_to(0), Some(vec![0]));
+    }
+}

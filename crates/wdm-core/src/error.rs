@@ -1,0 +1,162 @@
+//! Error types for network construction and routing.
+
+use crate::{Cost, Wavelength};
+use std::error::Error;
+use std::fmt;
+use wdm_graph::{LinkId, NodeId};
+
+/// Errors produced while building a [`crate::WdmNetwork`] or posing a
+/// routing query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WdmError {
+    /// A wavelength index was `>= k`.
+    WavelengthOutOfRange {
+        /// The offending wavelength.
+        wavelength: Wavelength,
+        /// The network's wavelength count `k`.
+        k: usize,
+    },
+    /// The same wavelength was assigned to a link twice.
+    DuplicateWavelength {
+        /// The link.
+        link: LinkId,
+        /// The duplicated wavelength.
+        wavelength: Wavelength,
+    },
+    /// A link cost was the infinite sentinel (use omission instead).
+    InfiniteLinkCost {
+        /// The link.
+        link: LinkId,
+        /// The wavelength whose cost was infinite.
+        wavelength: Wavelength,
+    },
+    /// A node id referred outside the graph.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// The graph's node count.
+        n: usize,
+    },
+    /// A link id referred outside the graph.
+    LinkOutOfRange {
+        /// The offending link.
+        link: LinkId,
+        /// The graph's link count.
+        m: usize,
+    },
+    /// The network must carry at least one wavelength (`k >= 1`).
+    NoWavelengths,
+}
+
+impl fmt::Display for WdmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WdmError::WavelengthOutOfRange { wavelength, k } => {
+                write!(f, "wavelength {wavelength} out of range for k = {k}")
+            }
+            WdmError::DuplicateWavelength { link, wavelength } => {
+                write!(f, "wavelength {wavelength} assigned twice to link {link}")
+            }
+            WdmError::InfiniteLinkCost { link, wavelength } => write!(
+                f,
+                "link {link} has infinite cost on {wavelength}; omit the wavelength instead"
+            ),
+            WdmError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range for a graph with {n} nodes")
+            }
+            WdmError::LinkOutOfRange { link, m } => {
+                write!(f, "link {link} out of range for a graph with {m} links")
+            }
+            WdmError::NoWavelengths => write!(f, "a WDM network needs at least one wavelength"),
+        }
+    }
+}
+
+impl Error for WdmError {}
+
+/// Why a [`crate::Semilightpath`] failed validation against a network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RouteError {
+    /// Two consecutive hops do not share a node
+    /// (`head(e_i) != tail(e_{i+1})`).
+    Discontiguous {
+        /// Index of the first hop of the offending pair.
+        at_hop: usize,
+    },
+    /// A hop uses a wavelength that is not available on its link.
+    WavelengthUnavailable {
+        /// Index of the offending hop.
+        at_hop: usize,
+        /// The link.
+        link: LinkId,
+        /// The unavailable wavelength.
+        wavelength: Wavelength,
+    },
+    /// A required wavelength conversion is forbidden at a junction node.
+    ConversionForbidden {
+        /// The junction node.
+        node: NodeId,
+        /// Wavelength arriving at the node.
+        from: Wavelength,
+        /// Wavelength leaving the node.
+        to: Wavelength,
+    },
+    /// The recorded path cost does not equal the Equation-(1) cost.
+    CostMismatch {
+        /// Cost recorded on the path.
+        recorded: Cost,
+        /// Cost recomputed from the network.
+        actual: Cost,
+    },
+    /// The path is empty but a non-trivial route was expected.
+    Empty,
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::Discontiguous { at_hop } => {
+                write!(f, "hops {at_hop} and {} do not share a node", at_hop + 1)
+            }
+            RouteError::WavelengthUnavailable {
+                at_hop,
+                link,
+                wavelength,
+            } => write!(
+                f,
+                "hop {at_hop} uses {wavelength} which is unavailable on link {link}"
+            ),
+            RouteError::ConversionForbidden { node, from, to } => {
+                write!(f, "conversion {from} → {to} is forbidden at node {node}")
+            }
+            RouteError::CostMismatch { recorded, actual } => {
+                write!(f, "recorded cost {recorded} but equation-(1) cost is {actual}")
+            }
+            RouteError::Empty => write!(f, "path is empty"),
+        }
+    }
+}
+
+impl Error for RouteError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages_render() {
+        let e = WdmError::WavelengthOutOfRange {
+            wavelength: Wavelength::new(9),
+            k: 4,
+        };
+        assert_eq!(e.to_string(), "wavelength λ9 out of range for k = 4");
+        let e = RouteError::ConversionForbidden {
+            node: NodeId::new(3),
+            from: Wavelength::new(1),
+            to: Wavelength::new(2),
+        };
+        assert_eq!(e.to_string(), "conversion λ1 → λ2 is forbidden at node v3");
+    }
+}

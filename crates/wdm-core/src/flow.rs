@@ -1,0 +1,263 @@
+//! Minimum-cost flow (successive shortest paths with potentials).
+//!
+//! The survivable-routing feature ([`crate::disjoint_semilightpath_pair`])
+//! needs two simultaneously-cheapest resource-disjoint paths, which is a
+//! 2-unit min-cost flow on the layered graph with unit capacities on
+//! traversal edges. This module implements the classic successive-
+//! shortest-path algorithm with Johnson potentials (Dijkstra on reduced
+//! costs), sufficient for small integral flows over non-negative costs.
+
+use crate::Cost;
+use heaps::{BinaryHeap, IndexedPriorityQueue};
+
+/// One directed edge of the flow network (forward arc; the reverse
+/// residual arc is implicit).
+#[derive(Debug, Clone)]
+struct FlowEdge {
+    to: usize,
+    /// Remaining capacity.
+    cap: u32,
+    /// Cost per unit (finite).
+    cost: u64,
+    /// Index of the paired reverse edge in `edges`.
+    rev: usize,
+}
+
+/// A min-cost-flow network over `n` nodes.
+///
+/// # Examples
+///
+/// ```
+/// use wdm_core::flow::MinCostFlow;
+///
+/// let mut f = MinCostFlow::new(4);
+/// let top = f.add_edge(0, 1, 1, 1);
+/// f.add_edge(1, 3, 1, 1);
+/// let bottom = f.add_edge(0, 2, 1, 3);
+/// f.add_edge(2, 3, 1, 3);
+/// let (flow, cost) = f.solve(0, 3, 2).expect("feasible");
+/// assert_eq!((flow, cost), (2, wdm_core::Cost::new(8))); // 1+1 and 3+3
+/// assert_eq!(f.flow_on(top), 1);
+/// assert_eq!(f.flow_on(bottom), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MinCostFlow {
+    n: usize,
+    edges: Vec<FlowEdge>,
+    /// `adj[v]` — indices into `edges` leaving `v` (forward and residual).
+    adj: Vec<Vec<usize>>,
+    /// Original capacities of forward edges, for flow read-back.
+    original_cap: Vec<Option<u32>>,
+}
+
+impl MinCostFlow {
+    /// An empty flow network over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        MinCostFlow {
+            n,
+            edges: Vec::new(),
+            adj: vec![Vec::new(); n],
+            original_cap: Vec::new(),
+        }
+    }
+
+    /// Adds a forward edge `u → v` and returns its handle for
+    /// [`MinCostFlow::flow_on`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize, cap: u32, cost: u64) -> usize {
+        assert!(u < self.n && v < self.n, "flow edge endpoint out of range");
+        let fwd = self.edges.len();
+        self.edges.push(FlowEdge {
+            to: v,
+            cap,
+            cost,
+            rev: fwd + 1,
+        });
+        self.original_cap.push(Some(cap));
+        self.edges.push(FlowEdge {
+            to: u,
+            cap: 0,
+            cost, // reverse arc costs -cost; tracked via sign at use site
+            rev: fwd,
+        });
+        self.original_cap.push(None);
+        self.adj[u].push(fwd);
+        self.adj[v].push(fwd + 1);
+        fwd
+    }
+
+    /// Signed cost of traversing edge index `e` in the residual graph.
+    fn signed_cost(&self, e: usize) -> i128 {
+        if self.original_cap[e].is_some() {
+            self.edges[e].cost as i128
+        } else {
+            -(self.edges[e].cost as i128)
+        }
+    }
+
+    /// Sends up to `target` units from `s` to `t` at minimum cost.
+    ///
+    /// Returns `(flow_sent, total_cost)`; `None` only when `s`/`t` are out
+    /// of range. `flow_sent < target` means the network saturated early.
+    pub fn solve(&mut self, s: usize, t: usize, target: u32) -> Option<(u32, Cost)> {
+        if s >= self.n || t >= self.n {
+            return None;
+        }
+        let mut potentials = vec![0i128; self.n];
+        let mut flow = 0u32;
+        let mut total: u128 = 0;
+        while flow < target {
+            // Dijkstra on reduced costs.
+            let mut dist: Vec<Option<i128>> = vec![None; self.n];
+            let mut parent_edge: Vec<Option<usize>> = vec![None; self.n];
+            let mut heap: BinaryHeap<Cost> = BinaryHeap::with_capacity(self.n);
+            dist[s] = Some(0);
+            heap.push(s, Cost::ZERO);
+            let mut settled = vec![false; self.n];
+            while let Some((u, _)) = heap.pop_min() {
+                settled[u] = true;
+                let du = dist[u].expect("popped nodes have distances");
+                for &ei in &self.adj[u] {
+                    let edge = &self.edges[ei];
+                    if edge.cap == 0 || settled[edge.to] {
+                        continue;
+                    }
+                    let reduced =
+                        self.signed_cost(ei) + potentials[u] - potentials[edge.to];
+                    debug_assert!(reduced >= 0, "potentials keep reduced costs non-negative");
+                    let cand = du + reduced;
+                    if dist[edge.to].map(|d| cand < d).unwrap_or(true) {
+                        dist[edge.to] = Some(cand);
+                        parent_edge[edge.to] = Some(ei);
+                        heap.push_or_decrease(
+                            edge.to,
+                            Cost::new(u64::try_from(cand).expect("non-negative reduced dist")),
+                        );
+                    }
+                }
+            }
+            let Some(dt) = dist[t] else {
+                break; // t unreachable: saturated
+            };
+            // Update potentials.
+            for v in 0..self.n {
+                if let Some(d) = dist[v] {
+                    potentials[v] += d;
+                } else {
+                    potentials[v] += dt; // keep unreached nodes consistent
+                }
+            }
+            // Find bottleneck along the augmenting path.
+            let mut bottleneck = target - flow;
+            let mut at = t;
+            while let Some(ei) = parent_edge[at] {
+                bottleneck = bottleneck.min(self.edges[ei].cap);
+                at = self.edges[self.edges[ei].rev].to;
+            }
+            // Augment.
+            let mut at = t;
+            let mut path_cost: i128 = 0;
+            while let Some(ei) = parent_edge[at] {
+                path_cost += self.signed_cost(ei);
+                self.edges[ei].cap -= bottleneck;
+                let rev = self.edges[ei].rev;
+                self.edges[rev].cap += bottleneck;
+                at = self.edges[rev].to;
+            }
+            debug_assert!(path_cost >= 0, "nonneg costs ⇒ nonneg augmenting paths");
+            total += path_cost as u128 * bottleneck as u128;
+            flow += bottleneck;
+        }
+        let total = u64::try_from(total).expect("total cost fits u64");
+        Some((flow, Cost::new(total)))
+    }
+
+    /// Units of flow currently on forward edge `handle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `handle` is not a forward-edge handle from
+    /// [`MinCostFlow::add_edge`].
+    pub fn flow_on(&self, handle: usize) -> u32 {
+        let original = self.original_cap[handle].expect("forward edge handle");
+        original - self.edges[handle].cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_path_flow() {
+        let mut f = MinCostFlow::new(3);
+        let a = f.add_edge(0, 1, 5, 2);
+        let b = f.add_edge(1, 2, 5, 3);
+        let (flow, cost) = f.solve(0, 2, 4).expect("valid");
+        assert_eq!(flow, 4);
+        assert_eq!(cost, Cost::new(20));
+        assert_eq!(f.flow_on(a), 4);
+        assert_eq!(f.flow_on(b), 4);
+    }
+
+    #[test]
+    fn saturates_below_target() {
+        let mut f = MinCostFlow::new(2);
+        f.add_edge(0, 1, 3, 1);
+        let (flow, cost) = f.solve(0, 1, 10).expect("valid");
+        assert_eq!(flow, 3);
+        assert_eq!(cost, Cost::new(3));
+    }
+
+    #[test]
+    fn rerouting_via_residual_arcs() {
+        // The classic example where the second unit must push flow back:
+        //   0 → 1 (cap 1, cost 1), 0 → 2 (cap 1, cost 10),
+        //   1 → 2 (cap 1, cost 1), 1 → 3 (cap 1, cost 10),
+        //   2 → 3 (cap 1, cost 1).
+        // One unit: 0-1-2-3 (cost 3). Two units optimal: 0-1-3 and 0-2-3
+        // (cost 11 + 11 = 22)? Let's compute: paths 0-1-3 = 11, 0-2-3 = 11
+        // → 22; alternative 0-1-2-3 = 3 and 0-2... 0-2 used? 0-2-3 shares
+        // 2-3 (cap 1) → infeasible; so optimum = 0-1-2-3 + 0-2→(2-3 full)…
+        // The SSP algorithm must *undo* 1→2 via the residual arc: final
+        // flow = {0-1-3, 0-2-3} costing 22.
+        let mut f = MinCostFlow::new(4);
+        f.add_edge(0, 1, 1, 1);
+        f.add_edge(0, 2, 1, 10);
+        let mid = f.add_edge(1, 2, 1, 1);
+        f.add_edge(1, 3, 1, 10);
+        f.add_edge(2, 3, 1, 1);
+        let (flow, cost) = f.solve(0, 3, 2).expect("valid");
+        assert_eq!(flow, 2);
+        assert_eq!(cost, Cost::new(22));
+        // The shortcut edge ends up unused after the rerouting.
+        assert_eq!(f.flow_on(mid), 0);
+    }
+
+    #[test]
+    fn unreachable_sink_gives_zero_flow() {
+        let mut f = MinCostFlow::new(3);
+        f.add_edge(0, 1, 1, 1);
+        let (flow, cost) = f.solve(0, 2, 1).expect("valid");
+        assert_eq!(flow, 0);
+        assert_eq!(cost, Cost::ZERO);
+    }
+
+    #[test]
+    fn out_of_range_nodes_rejected() {
+        let mut f = MinCostFlow::new(2);
+        assert!(f.solve(0, 5, 1).is_none());
+    }
+
+    #[test]
+    fn zero_cost_edges_are_fine() {
+        let mut f = MinCostFlow::new(3);
+        f.add_edge(0, 1, 2, 0);
+        f.add_edge(1, 2, 2, 0);
+        let (flow, cost) = f.solve(0, 2, 2).expect("valid");
+        assert_eq!((flow, cost), (2, Cost::ZERO));
+    }
+}

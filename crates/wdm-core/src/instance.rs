@@ -1,0 +1,354 @@
+//! Random WDM instance generators for tests and experiments.
+//!
+//! The paper states no concrete workloads (it has no experimental section),
+//! so the experiment harness sweeps the parameters its analysis is stated
+//! in: `n`, `m`, `d`, `k`, and `k0`. This module turns a topology into a
+//! full [`WdmNetwork`] instance under a configurable availability and cost
+//! model.
+
+use crate::{ConversionMatrix, ConversionPolicy, Cost, WdmError, WdmNetwork};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use wdm_graph::DiGraph;
+
+/// How per-link wavelength availability `Λ(e)` is drawn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Availability {
+    /// Every wavelength available on every link (`k0 = k`).
+    Full,
+    /// Each wavelength available independently with probability `p`; at
+    /// least one wavelength is forced per link so no link is useless.
+    Probability(f64),
+    /// Exactly `min(count, k)` distinct wavelengths per link, uniformly
+    /// chosen — the Section-IV regime with `k0 = count`.
+    PerLink(usize),
+}
+
+/// How per-node conversion policies are drawn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConversionSpec {
+    /// No node can convert.
+    NoConversion,
+    /// Every node converts for free.
+    AllFree,
+    /// Every node converts at a uniform cost drawn from `[lo, hi]`
+    /// (one draw per node).
+    Uniform {
+        /// Minimum per-node conversion cost.
+        lo: u64,
+        /// Maximum per-node conversion cost.
+        hi: u64,
+    },
+    /// Limited-range converters at every node.
+    Banded {
+        /// Spectral radius every converter can bridge.
+        radius: usize,
+        /// Fixed conversion cost.
+        base: u64,
+        /// Cost per unit of spectral distance.
+        slope: u64,
+    },
+    /// Each ordered pair `(λp, λq)` is allowed independently with
+    /// probability `density`, at a cost drawn from `[lo, hi]`.
+    RandomMatrix {
+        /// Probability that a given ordered conversion pair is allowed.
+        density: f64,
+        /// Minimum pair cost.
+        lo: u64,
+        /// Maximum pair cost.
+        hi: u64,
+    },
+}
+
+/// Full configuration of a random instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstanceConfig {
+    /// Global wavelength count `k`.
+    pub k: usize,
+    /// Availability model for `Λ(e)`.
+    pub availability: Availability,
+    /// Inclusive range link costs `w(e, λ)` are drawn from.
+    pub link_cost: (u64, u64),
+    /// Conversion model for `c_v`.
+    pub conversion: ConversionSpec,
+}
+
+impl InstanceConfig {
+    /// A convenient default: `k` wavelengths, 50% availability, link costs
+    /// in `[10, 100]`, uniform conversion cost in `[1, 5]` (satisfies
+    /// Restriction 2).
+    pub fn standard(k: usize) -> Self {
+        InstanceConfig {
+            k,
+            availability: Availability::Probability(0.5),
+            link_cost: (10, 100),
+            conversion: ConversionSpec::Uniform { lo: 1, hi: 5 },
+        }
+    }
+
+    /// The Section-IV regime: at most `k0` wavelengths per link out of a
+    /// (possibly much larger) universe of `k`.
+    pub fn bounded(k: usize, k0: usize) -> Self {
+        InstanceConfig {
+            k,
+            availability: Availability::PerLink(k0),
+            link_cost: (10, 100),
+            conversion: ConversionSpec::Uniform { lo: 1, hi: 5 },
+        }
+    }
+}
+
+/// Draws a random instance over `graph`.
+///
+/// # Errors
+///
+/// Propagates [`WdmError`] from network validation (e.g. `k == 0`).
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use wdm_core::instance::{random_network, InstanceConfig};
+/// use wdm_graph::topology;
+///
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// let net = random_network(topology::nsfnet(), &InstanceConfig::standard(8), &mut rng)?;
+/// assert_eq!(net.k(), 8);
+/// assert!(net.k0() >= 1);
+/// # Ok::<(), wdm_core::WdmError>(())
+/// ```
+pub fn random_network<R: Rng + ?Sized>(
+    graph: DiGraph,
+    config: &InstanceConfig,
+    rng: &mut R,
+) -> Result<WdmNetwork, WdmError> {
+    let k = config.k;
+    let (lo, hi) = config.link_cost;
+    assert!(lo <= hi, "link cost range must be non-empty");
+    let n = graph.node_count();
+    let m = graph.link_count();
+    let mut builder = WdmNetwork::builder(graph, k);
+
+    let mut all: Vec<usize> = (0..k).collect();
+    for e in 0..m {
+        let lambdas: Vec<usize> = match config.availability {
+            Availability::Full => (0..k).collect(),
+            Availability::Probability(p) => {
+                let mut chosen: Vec<usize> =
+                    (0..k).filter(|_| rng.gen::<f64>() < p).collect();
+                if chosen.is_empty() && k > 0 {
+                    chosen.push(rng.gen_range(0..k));
+                }
+                chosen
+            }
+            Availability::PerLink(count) => {
+                all.shuffle(rng);
+                let take = count.clamp(1, k.max(1)).min(k);
+                let mut chosen: Vec<usize> = all[..take].to_vec();
+                chosen.sort_unstable();
+                chosen
+            }
+        };
+        let entries: Vec<(usize, u64)> = lambdas
+            .into_iter()
+            .map(|l| (l, rng.gen_range(lo..=hi)))
+            .collect();
+        builder = builder.link_wavelengths(e, entries);
+    }
+
+    for v in 0..n {
+        let policy = match config.conversion {
+            ConversionSpec::NoConversion => ConversionPolicy::Forbidden,
+            ConversionSpec::AllFree => ConversionPolicy::Free,
+            ConversionSpec::Uniform { lo, hi } => {
+                ConversionPolicy::Uniform(Cost::new(rng.gen_range(lo..=hi)))
+            }
+            ConversionSpec::Banded { radius, base, slope } => ConversionPolicy::Banded {
+                radius,
+                base: Cost::new(base),
+                slope: Cost::new(slope),
+            },
+            ConversionSpec::RandomMatrix { density, lo, hi } => {
+                let mut matrix = ConversionMatrix::forbidden(k);
+                for p in 0..k {
+                    for q in 0..k {
+                        if p != q && rng.gen::<f64>() < density {
+                            matrix.set(
+                                crate::Wavelength::new(p),
+                                crate::Wavelength::new(q),
+                                Cost::new(rng.gen_range(lo..=hi)),
+                            );
+                        }
+                    }
+                }
+                ConversionPolicy::Matrix(matrix)
+            }
+        };
+        builder = builder.conversion(v, policy);
+    }
+
+    builder.build()
+}
+
+/// Draws an instance guaranteed to satisfy Restrictions 1 and 2
+/// (the Theorem-2 hypothesis): full conversion capability with costs
+/// strictly below the cheapest link.
+///
+/// # Errors
+///
+/// Propagates [`WdmError`] from network validation.
+pub fn theorem2_instance<R: Rng + ?Sized>(
+    graph: DiGraph,
+    k: usize,
+    rng: &mut R,
+) -> Result<WdmNetwork, WdmError> {
+    let config = InstanceConfig {
+        k,
+        availability: Availability::Probability(0.6),
+        link_cost: (50, 200),
+        // Conversion costs 1..=9 < 50 = min link cost → Restriction 2.
+        conversion: ConversionSpec::Uniform { lo: 1, hi: 9 },
+    };
+    random_network(graph, &config, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::restrictions;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use wdm_graph::topology;
+
+    #[test]
+    fn probability_availability_is_never_empty() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let config = InstanceConfig {
+            k: 6,
+            availability: Availability::Probability(0.01),
+            link_cost: (1, 2),
+            conversion: ConversionSpec::AllFree,
+        };
+        let net = random_network(topology::ring(8, true), &config, &mut rng).expect("valid");
+        for (e, _) in net.graph().links() {
+            assert!(!net.wavelengths_on(e).is_empty(), "link {e} has no wavelengths");
+        }
+    }
+
+    #[test]
+    fn per_link_bound_is_respected() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let net = random_network(
+            topology::nsfnet(),
+            &InstanceConfig::bounded(32, 3),
+            &mut rng,
+        )
+        .expect("valid");
+        assert_eq!(net.k(), 32);
+        assert!(net.k0() <= 3);
+        for (e, _) in net.graph().links() {
+            let len = net.wavelengths_on(e).len();
+            assert!((1..=3).contains(&len), "link {e} has {len} wavelengths");
+        }
+    }
+
+    #[test]
+    fn full_availability_means_k0_equals_k() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let config = InstanceConfig {
+            k: 4,
+            availability: Availability::Full,
+            link_cost: (5, 5),
+            conversion: ConversionSpec::NoConversion,
+        };
+        let net = random_network(topology::ring(5, false), &config, &mut rng).expect("valid");
+        assert_eq!(net.k0(), 4);
+        assert_eq!(net.multigraph_link_count(), 4 * 5);
+    }
+
+    #[test]
+    fn link_costs_stay_in_range() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let config = InstanceConfig {
+            k: 3,
+            availability: Availability::Full,
+            link_cost: (7, 9),
+            conversion: ConversionSpec::AllFree,
+        };
+        let net = random_network(topology::ring(4, true), &config, &mut rng).expect("valid");
+        for (e, _) in net.graph().links() {
+            for (_, c) in net.wavelengths_on(e).iter() {
+                let v = c.value().expect("finite");
+                assert!((7..=9).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn theorem2_instance_satisfies_restrictions() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for seed in 0..5 {
+            let mut rng2 = SmallRng::seed_from_u64(seed);
+            let net = theorem2_instance(topology::nsfnet(), 6, &mut rng2).expect("valid");
+            assert!(restrictions::theorem2_applies(&net), "seed {seed}");
+        }
+        let _ = &mut rng;
+    }
+
+    #[test]
+    fn random_matrix_conversion_builds() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let config = InstanceConfig {
+            k: 5,
+            availability: Availability::Probability(0.5),
+            link_cost: (1, 10),
+            conversion: ConversionSpec::RandomMatrix {
+                density: 0.5,
+                lo: 1,
+                hi: 3,
+            },
+        };
+        let net = random_network(topology::abilene(), &config, &mut rng).expect("valid");
+        // Some node should have at least one allowed off-diagonal pair
+        // at density 0.5 with k = 5 (probability of total failure ≈ 0).
+        let any_allowed = net.graph().nodes().any(|v| {
+            (0..5).any(|p| {
+                (0..5).any(|q| {
+                    p != q
+                        && net
+                            .conversion_cost(
+                                v,
+                                crate::Wavelength::new(p),
+                                crate::Wavelength::new(q),
+                            )
+                            .is_finite()
+                })
+            })
+        });
+        assert!(any_allowed);
+    }
+
+    #[test]
+    fn banded_spec_translates() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let config = InstanceConfig {
+            k: 8,
+            availability: Availability::Full,
+            link_cost: (1, 1),
+            conversion: ConversionSpec::Banded {
+                radius: 2,
+                base: 1,
+                slope: 1,
+            },
+        };
+        let net = random_network(topology::ring(4, false), &config, &mut rng).expect("valid");
+        let v = wdm_graph::NodeId::new(0);
+        assert_eq!(
+            net.conversion_cost(v, crate::Wavelength::new(0), crate::Wavelength::new(2)),
+            Cost::new(3)
+        );
+        assert!(net
+            .conversion_cost(v, crate::Wavelength::new(0), crate::Wavelength::new(5))
+            .is_infinite());
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests of the auxiliary-graph construction: the paper's
+//! Observations 1–5 must hold on arbitrary random instances, and the
+//! construction must be structurally sound (every edge connects the node
+//! kinds the paper prescribes).
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use wdm_core::{AuxNodeKind, AuxiliaryGraph};
+use wdm_core::csr::EdgeRole;
+use wdm_core::instance::{random_network, Availability, ConversionSpec, InstanceConfig};
+use wdm_graph::topology;
+
+fn instance(seed: u64, n: usize, k: usize, p: f64) -> wdm_core::WdmNetwork {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let graph = topology::random_sparse(n, n / 2, 4, &mut rng).expect("feasible");
+    random_network(
+        graph,
+        &InstanceConfig {
+            k,
+            availability: Availability::Probability(p),
+            link_cost: (1, 50),
+            conversion: ConversionSpec::Uniform { lo: 1, hi: 4 },
+        },
+        &mut rng,
+    )
+    .expect("valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Observations 1–3: size bounds hold on arbitrary instances.
+    #[test]
+    fn observation_bounds_hold(
+        seed in 0u64..10_000,
+        n in 4usize..24,
+        k in 1usize..8,
+        p in 0.1f64..1.0,
+    ) {
+        let net = instance(seed, n, k, p);
+        let aux = AuxiliaryGraph::core(&net);
+        let stats = aux.stats();
+        stats.check_paper_bounds().map_err(TestCaseError::fail)?;
+        // Observation 1 per node.
+        for v in net.graph().nodes() {
+            prop_assert!(aux.x_len(v) + aux.y_len(v) <= 2 * k);
+        }
+        // |E_org| equals Σ|Λ(e)| exactly, not just bounded by it.
+        prop_assert_eq!(stats.multigraph_links, net.multigraph_link_count());
+        // Corrected Observation 5: |V'| ≤ 2·Σ|Λ(e)|.
+        prop_assert!(stats.core_nodes <= 2 * net.multigraph_link_count());
+    }
+
+    /// Structural soundness: every edge runs between the node kinds the
+    /// construction prescribes.
+    #[test]
+    fn edge_endpoints_have_correct_kinds(
+        seed in 0u64..10_000,
+        k in 1usize..6,
+    ) {
+        let net = instance(seed, 10, k, 0.5);
+        let aux = AuxiliaryGraph::for_pair(&net, 0.into(), 5.into());
+        let g = aux.graph();
+        for u in 0..g.node_count() {
+            for edge in g.out_edges(u) {
+                let from = aux.kind(u);
+                let to = aux.kind(edge.target);
+                match edge.role {
+                    EdgeRole::Conversion { node, from: fw, to: tw } => {
+                        // X_v(λp) → Y_v(λq), same physical node.
+                        let from_ok = matches!(
+                            from,
+                            AuxNodeKind::In { node: nf, wavelength } if nf == node && wavelength == fw
+                        );
+                        let to_ok = matches!(
+                            to,
+                            AuxNodeKind::Out { node: nt, wavelength } if nt == node && wavelength == tw
+                        );
+                        prop_assert!(from_ok, "conversion tail kind");
+                        prop_assert!(to_ok, "conversion head kind");
+                        // Cost matches the conversion function.
+                        prop_assert_eq!(edge.cost, net.conversion_cost(node, fw, tw));
+                    }
+                    EdgeRole::Traversal { link, wavelength } => {
+                        // Y_tail(λ) → X_head(λ), cost = w(e, λ).
+                        let l = net.graph().link(link);
+                        let from_ok = matches!(
+                            from,
+                            AuxNodeKind::Out { node, wavelength: w } if node == l.tail() && w == wavelength
+                        );
+                        let to_ok = matches!(
+                            to,
+                            AuxNodeKind::In { node, wavelength: w } if node == l.head() && w == wavelength
+                        );
+                        prop_assert!(from_ok, "traversal tail kind");
+                        prop_assert!(to_ok, "traversal head kind");
+                        prop_assert_eq!(edge.cost, net.link_cost(link, wavelength));
+                    }
+                    EdgeRole::Tap => {
+                        prop_assert_eq!(edge.cost, wdm_core::Cost::ZERO);
+                        let source_tap = matches!(from, AuxNodeKind::Source { .. })
+                            && matches!(to, AuxNodeKind::Out { .. });
+                        let sink_tap = matches!(from, AuxNodeKind::In { .. })
+                            && matches!(to, AuxNodeKind::Sink { .. });
+                        prop_assert!(source_tap || sink_tap, "tap edge shape");
+                    }
+                }
+            }
+        }
+    }
+
+    /// The pair construction and the all-pairs construction agree on the
+    /// core: same `G'` sizes regardless of which terminals are attached.
+    #[test]
+    fn terminal_choice_does_not_change_the_core(seed in 0u64..10_000) {
+        let net = instance(seed, 12, 4, 0.5);
+        let core = AuxiliaryGraph::core(&net).stats();
+        let pair = AuxiliaryGraph::for_pair(&net, 0.into(), 7.into()).stats();
+        let all = AuxiliaryGraph::for_all_pairs(&net).stats();
+        for s in [pair, all] {
+            prop_assert_eq!(s.core_nodes, core.core_nodes);
+            prop_assert_eq!(s.conversion_edges, core.conversion_edges);
+            prop_assert_eq!(s.multigraph_links, core.multigraph_links);
+        }
+        prop_assert_eq!(pair.terminal_nodes, 2);
+        prop_assert_eq!(all.terminal_nodes, 2 * net.node_count());
+        prop_assert_eq!(all.tap_edges, all.core_nodes);
+    }
+}

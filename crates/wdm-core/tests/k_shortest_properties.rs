@@ -1,0 +1,131 @@
+//! Property-based validation of `k_shortest_semilightpaths` against a
+//! brute-force enumerator of state-simple semilightpaths.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use wdm_core::instance::{random_network, Availability, ConversionSpec, InstanceConfig};
+use wdm_core::{k_shortest_semilightpaths, Cost, Hop, Wavelength, WdmNetwork};
+use wdm_graph::{topology, LinkId, NodeId};
+
+/// Enumerates every semilightpath from `s` to `t` that is loopless in the
+/// layered graph — never repeating a routing state, where a state is
+/// (node, wavelength, receive side `X` / transmit side `Y`) — by DFS,
+/// returning the sorted cost multiset. This is exactly the path space
+/// `k_shortest_semilightpaths` documents.
+fn brute_force_costs(net: &WdmNetwork, s: NodeId, t: NodeId) -> Vec<Cost> {
+    let k = net.k();
+    let mut out = Vec::new();
+    // `visited_x[v*k+λ]` — arrived at v on λ; `visited_y[v*k+λ]` —
+    // transmitted from v on λ.
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        net: &WdmNetwork,
+        t: NodeId,
+        node: NodeId,
+        arrived: Option<Wavelength>,
+        visited_x: &mut Vec<bool>,
+        visited_y: &mut Vec<bool>,
+        k: usize,
+        cost: Cost,
+        out: &mut Vec<Cost>,
+    ) {
+        if node == t && arrived.is_some() {
+            out.push(cost);
+        }
+        let g = net.graph();
+        for &e in g.out_links(node) {
+            for (lambda, w) in net.wavelengths_on(e).iter() {
+                let conv = match arrived {
+                    None => Cost::ZERO,
+                    Some(from) => net.conversion_cost(node, from, lambda),
+                };
+                let next_cost = cost + conv + w;
+                if next_cost.is_infinite() {
+                    continue;
+                }
+                let y_state = node.index() * k + lambda.index();
+                if visited_y[y_state] {
+                    continue;
+                }
+                let head = g.link(e).head();
+                let x_state = head.index() * k + lambda.index();
+                if visited_x[x_state] {
+                    continue;
+                }
+                visited_y[y_state] = true;
+                visited_x[x_state] = true;
+                dfs(net, t, head, Some(lambda), visited_x, visited_y, k, next_cost, out);
+                visited_y[y_state] = false;
+                visited_x[x_state] = false;
+            }
+        }
+    }
+    let mut visited_x = vec![false; net.node_count() * k];
+    let mut visited_y = vec![false; net.node_count() * k];
+    dfs(
+        net,
+        t,
+        s,
+        None,
+        &mut visited_x,
+        &mut visited_y,
+        k,
+        Cost::ZERO,
+        &mut out,
+    );
+    out.sort();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Yen's first `j` costs equal the brute-force cheapest `j` costs.
+    #[test]
+    fn yen_prefix_matches_brute_force(seed in 0u64..5000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let graph = topology::random_sparse(6, 2, 4, &mut rng).expect("feasible");
+        let net = random_network(
+            graph,
+            &InstanceConfig {
+                k: 2,
+                availability: Availability::Probability(0.6),
+                link_cost: (1, 20),
+                conversion: ConversionSpec::Uniform { lo: 1, hi: 3 },
+            },
+            &mut rng,
+        ).expect("valid");
+        let (s, t) = (NodeId::new(0), NodeId::new(3));
+        let want = brute_force_costs(&net, s, t);
+        let got = k_shortest_semilightpaths(&net, s, t, 5).expect("ok");
+        let got_costs: Vec<Cost> = got.iter().map(|p| p.cost()).collect();
+        let j = got_costs.len().min(want.len()).min(5);
+        prop_assert_eq!(&got_costs[..j], &want[..j], "seed {}", seed);
+        // Yen found as many as exist (up to 5).
+        prop_assert_eq!(got_costs.len(), want.len().min(5));
+        for p in &got {
+            p.validate(&net).expect("valid path");
+        }
+    }
+
+    /// The returned paths are pairwise distinct and sorted.
+    #[test]
+    fn yen_paths_are_distinct_and_sorted(seed in 0u64..5000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let graph = topology::random_sparse(8, 4, 4, &mut rng).expect("feasible");
+        let net = random_network(graph, &InstanceConfig::standard(3), &mut rng).expect("valid");
+        let paths = k_shortest_semilightpaths(&net, 0.into(), 4.into(), 6).expect("ok");
+        for w in paths.windows(2) {
+            prop_assert!(w[0].cost() <= w[1].cost());
+        }
+        let mut keys: Vec<Vec<(LinkId, Wavelength)>> = paths
+            .iter()
+            .map(|p| p.hops().iter().map(|&Hop { link, wavelength }| (link, wavelength)).collect())
+            .collect();
+        let before = keys.len();
+        keys.sort();
+        keys.dedup();
+        prop_assert_eq!(keys.len(), before, "duplicate paths returned");
+    }
+}

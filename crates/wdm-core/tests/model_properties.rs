@@ -1,0 +1,234 @@
+//! Property-based tests of the model layer: cost algebra, wavelength-set
+//! semantics against a reference model, conversion-policy laws, and
+//! path-validation soundness under mutation.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use wdm_core::{
+    ConversionMatrix, ConversionPolicy, Cost, Hop, Semilightpath, Wavelength, WavelengthSet,
+    WdmNetwork,
+};
+use wdm_graph::{DiGraph, LinkId};
+
+fn cost_strategy() -> impl Strategy<Value = Cost> {
+    prop_oneof![
+        8 => (0u64..1_000_000).prop_map(Cost::new),
+        1 => Just(Cost::INFINITY),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn cost_addition_is_commutative_and_associative(
+        a in cost_strategy(),
+        b in cost_strategy(),
+        c in cost_strategy(),
+    ) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert_eq!(a + Cost::ZERO, a);
+    }
+
+    #[test]
+    fn cost_addition_is_monotone(
+        a in cost_strategy(),
+        b in cost_strategy(),
+        c in cost_strategy(),
+    ) {
+        if a <= b {
+            prop_assert!(a + c <= b + c);
+        }
+    }
+
+    #[test]
+    fn infinity_is_absorbing(a in cost_strategy()) {
+        prop_assert_eq!(a + Cost::INFINITY, Cost::INFINITY);
+        prop_assert!(a <= Cost::INFINITY);
+    }
+
+    #[test]
+    fn wavelength_set_matches_btreeset_model(
+        ops in prop::collection::vec((0usize..100, prop::bool::ANY), 0..200),
+    ) {
+        let mut set = WavelengthSet::empty(100);
+        let mut model: BTreeSet<usize> = BTreeSet::new();
+        for (idx, insert) in ops {
+            let w = Wavelength::new(idx);
+            if insert {
+                prop_assert_eq!(set.insert(w), model.insert(idx));
+            } else {
+                prop_assert_eq!(set.remove(w), model.remove(&idx));
+            }
+            prop_assert_eq!(set.len(), model.len());
+            prop_assert_eq!(set.is_empty(), model.is_empty());
+        }
+        let got: Vec<usize> = set.iter().map(|w| w.index()).collect();
+        let want: Vec<usize> = model.into_iter().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn set_algebra_laws(
+        a in prop::collection::btree_set(0usize..64, 0..40),
+        b in prop::collection::btree_set(0usize..64, 0..40),
+    ) {
+        let sa = WavelengthSet::from_indices(64, a.iter().copied());
+        let sb = WavelengthSet::from_indices(64, b.iter().copied());
+        let union = sa.union(&sb);
+        let inter = sa.intersection(&sb);
+        // |A∪B| + |A∩B| = |A| + |B|
+        prop_assert_eq!(union.len() + inter.len(), sa.len() + sb.len());
+        for i in 0..64 {
+            let w = Wavelength::new(i);
+            prop_assert_eq!(union.contains(w), a.contains(&i) || b.contains(&i));
+            prop_assert_eq!(inter.contains(w), a.contains(&i) && b.contains(&i));
+        }
+    }
+
+    #[test]
+    fn conversion_policies_have_zero_diagonal(
+        kind in 0u8..4,
+        cost in 0u64..100,
+        radius in 0usize..8,
+        p in 0usize..8,
+        q in 0usize..8,
+    ) {
+        let policy = match kind {
+            0 => ConversionPolicy::Forbidden,
+            1 => ConversionPolicy::Free,
+            2 => ConversionPolicy::Uniform(Cost::new(cost)),
+            _ => ConversionPolicy::Banded {
+                radius,
+                base: Cost::new(cost),
+                slope: Cost::new(1),
+            },
+        };
+        let (wp, wq) = (Wavelength::new(p), Wavelength::new(q));
+        prop_assert_eq!(policy.cost(wp, wp), Cost::ZERO);
+        // allows() agrees with finiteness of cost().
+        prop_assert_eq!(policy.allows(wp, wq), policy.cost(wp, wq).is_finite());
+    }
+
+    #[test]
+    fn banded_policy_is_symmetric_in_distance(
+        radius in 0usize..6,
+        base in 0u64..50,
+        slope in 0u64..10,
+        p in 0usize..12,
+        q in 0usize..12,
+    ) {
+        let policy = ConversionPolicy::Banded {
+            radius,
+            base: Cost::new(base),
+            slope: Cost::new(slope),
+        };
+        let (wp, wq) = (Wavelength::new(p), Wavelength::new(q));
+        prop_assert_eq!(policy.cost(wp, wq), policy.cost(wq, wp));
+    }
+
+    #[test]
+    fn matrix_set_then_get(
+        entries in prop::collection::vec((0usize..6, 0usize..6, 0u64..100), 0..30),
+    ) {
+        let mut m = ConversionMatrix::forbidden(6);
+        let mut model = std::collections::HashMap::new();
+        for (p, q, c) in entries {
+            if p != q {
+                m.set(Wavelength::new(p), Wavelength::new(q), Cost::new(c));
+                model.insert((p, q), Cost::new(c));
+            }
+        }
+        for p in 0..6 {
+            for q in 0..6 {
+                let want = if p == q {
+                    Cost::ZERO
+                } else {
+                    model.get(&(p, q)).copied().unwrap_or(Cost::INFINITY)
+                };
+                prop_assert_eq!(m.cost(Wavelength::new(p), Wavelength::new(q)), want);
+            }
+        }
+    }
+}
+
+/// A small fixed network for path-mutation tests.
+fn fixture() -> WdmNetwork {
+    let g = DiGraph::from_links(4, [(0, 1), (1, 2), (2, 3), (1, 3)]);
+    WdmNetwork::builder(g, 3)
+        .link_wavelengths(0, [(0, 5), (1, 6)])
+        .link_wavelengths(1, [(1, 7)])
+        .link_wavelengths(2, [(1, 8), (2, 9)])
+        .link_wavelengths(3, [(0, 20)])
+        .uniform_conversion(ConversionPolicy::Uniform(Cost::new(2)))
+        .build()
+        .expect("valid")
+}
+
+proptest! {
+    /// Any single mutation of a valid path's wavelength to an unavailable
+    /// one must be caught by validation.
+    #[test]
+    fn validation_catches_wavelength_corruption(hop_idx in 0usize..3, new_lambda in 0usize..3) {
+        let net = fixture();
+        let valid = Semilightpath::new(
+            vec![
+                Hop { link: LinkId::new(0), wavelength: Wavelength::new(1) },
+                Hop { link: LinkId::new(1), wavelength: Wavelength::new(1) },
+                Hop { link: LinkId::new(2), wavelength: Wavelength::new(1) },
+            ],
+            Cost::new(21),
+        );
+        valid.validate(&net).expect("fixture path valid");
+
+        let mut hops = valid.hops().to_vec();
+        hops[hop_idx].wavelength = Wavelength::new(new_lambda);
+        let mutated = Semilightpath::new(hops.clone(), Cost::new(21));
+        if new_lambda == 1 {
+            // Unchanged — still valid.
+            mutated.validate(&net).expect("identity mutation valid");
+        } else {
+            // Either the wavelength is unavailable on that link, the cost
+            // no longer matches, or a conversion got introduced; some
+            // check must fire.
+            prop_assert!(mutated.validate(&net).is_err());
+        }
+    }
+
+    /// Swapping two hops of a multi-hop path breaks contiguity.
+    #[test]
+    fn validation_catches_reordering(i in 0usize..3, j in 0usize..3) {
+        prop_assume!(i != j);
+        let net = fixture();
+        let mut hops = vec![
+            Hop { link: LinkId::new(0), wavelength: Wavelength::new(1) },
+            Hop { link: LinkId::new(1), wavelength: Wavelength::new(1) },
+            Hop { link: LinkId::new(2), wavelength: Wavelength::new(1) },
+        ];
+        hops.swap(i, j);
+        let mutated = Semilightpath::new(hops, Cost::new(21));
+        prop_assert!(mutated.validate(&net).is_err());
+    }
+
+    /// The recomputed Equation-(1) cost of an arbitrary hop sequence is
+    /// the sum of its parts (link costs + junction conversions).
+    #[test]
+    fn compute_cost_decomposes(lambdas in prop::collection::vec(0usize..3, 3)) {
+        let net = fixture();
+        let links = [LinkId::new(0), LinkId::new(1), LinkId::new(2)];
+        let hops: Vec<Hop> = links
+            .iter()
+            .zip(&lambdas)
+            .map(|(&link, &l)| Hop { link, wavelength: Wavelength::new(l) })
+            .collect();
+        let path = Semilightpath::new(hops.clone(), Cost::ZERO);
+        let mut expected = Cost::ZERO;
+        for (i, hop) in hops.iter().enumerate() {
+            expected += net.link_cost(hop.link, hop.wavelength);
+            if i + 1 < hops.len() {
+                let junction = net.graph().link(hop.link).head();
+                expected += net.conversion_cost(junction, hop.wavelength, hops[i + 1].wavelength);
+            }
+        }
+        prop_assert_eq!(path.compute_cost(&net), expected);
+    }
+}

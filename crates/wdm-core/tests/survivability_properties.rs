@@ -1,0 +1,103 @@
+//! Property-based tests of the protection-pair solvers.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use wdm_core::instance::{random_network, Availability, ConversionSpec, InstanceConfig};
+use wdm_core::{
+    disjoint_semilightpath_pair, find_optimal_semilightpath, Disjointness,
+};
+use wdm_graph::{topology, NodeId};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn exact_pairs_are_valid_and_disjoint(seed in 0u64..5000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let graph = topology::random_sparse(10, 6, 4, &mut rng).expect("feasible");
+        let net = random_network(
+            graph,
+            &InstanceConfig {
+                k: 3,
+                availability: Availability::Probability(0.7),
+                link_cost: (5, 40),
+                conversion: ConversionSpec::Uniform { lo: 1, hi: 3 },
+            },
+            &mut rng,
+        ).expect("valid");
+        let (s, t) = (NodeId::new(0), NodeId::new(5));
+        if let Some(pair) =
+            disjoint_semilightpath_pair(&net, s, t, Disjointness::LinkWavelength).expect("ok")
+        {
+            pair.primary.validate(&net).expect("primary valid");
+            pair.backup.validate(&net).expect("backup valid");
+            prop_assert!(pair.is_link_wavelength_disjoint());
+            prop_assert!(pair.primary.cost() <= pair.backup.cost());
+            // The pair's primary can never beat the unconstrained optimum.
+            let solo = find_optimal_semilightpath(&net, s, t)
+                .expect("ok")
+                .expect("pair exists ⇒ single path exists");
+            prop_assert!(solo.cost() <= pair.primary.cost());
+            // And the pair total is at least twice the optimum.
+            prop_assert!(pair.total_cost() >= solo.cost() + solo.cost());
+        }
+    }
+
+    /// Physical-link-disjoint pairs are a subset of (link, λ)-disjoint
+    /// pairs: whenever the heuristic finds one, the exact solver must
+    /// find one too, at no greater total cost.
+    #[test]
+    fn exact_dominates_heuristic(seed in 0u64..5000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let graph = topology::random_sparse(10, 6, 4, &mut rng).expect("feasible");
+        let net = random_network(
+            graph,
+            &InstanceConfig {
+                k: 3,
+                availability: Availability::Probability(0.7),
+                link_cost: (5, 40),
+                conversion: ConversionSpec::Uniform { lo: 1, hi: 3 },
+            },
+            &mut rng,
+        ).expect("valid");
+        let (s, t) = (NodeId::new(1), NodeId::new(7));
+        let heuristic =
+            disjoint_semilightpath_pair(&net, s, t, Disjointness::PhysicalLink).expect("ok");
+        let exact =
+            disjoint_semilightpath_pair(&net, s, t, Disjointness::LinkWavelength).expect("ok");
+        if let Some(h) = heuristic {
+            let e = exact.expect("heuristic pair is also λ-disjoint, so exact must succeed");
+            prop_assert!(e.total_cost() <= h.total_cost(),
+                "exact {} vs heuristic {}", e.total_cost(), h.total_cost());
+        }
+    }
+
+    /// On a two-wavelength full-availability network every routable pair
+    /// is protectable (the same physical route on the other wavelength
+    /// always works).
+    #[test]
+    fn full_availability_two_lambdas_always_protectable(seed in 0u64..5000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let graph = topology::random_sparse(8, 4, 4, &mut rng).expect("feasible");
+        let net = random_network(
+            graph,
+            &InstanceConfig {
+                k: 2,
+                availability: Availability::Full,
+                link_cost: (5, 20),
+                conversion: ConversionSpec::AllFree,
+            },
+            &mut rng,
+        ).expect("valid");
+        for t in 1..net.node_count() {
+            let t = NodeId::new(t);
+            if find_optimal_semilightpath(&net, NodeId::new(0), t).expect("ok").is_some() {
+                let pair = disjoint_semilightpath_pair(
+                    &net, NodeId::new(0), t, Disjointness::LinkWavelength,
+                ).expect("ok");
+                prop_assert!(pair.is_some(), "routable ⇒ protectable at k = 2, dest {}", t);
+            }
+        }
+    }
+}

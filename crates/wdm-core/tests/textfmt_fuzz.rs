@@ -1,0 +1,56 @@
+//! Robustness of the `.wdm` parser: arbitrary input must never panic —
+//! it either parses to a valid network or returns a structured error.
+
+use proptest::prelude::*;
+use wdm_core::textfmt::{from_text, to_text};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Fully random text never panics the parser.
+    #[test]
+    fn arbitrary_text_never_panics(input in ".{0,400}") {
+        let _ = from_text(&input);
+    }
+
+    /// Structured-looking but corrupted instances never panic either.
+    #[test]
+    fn corrupted_instances_never_panic(
+        n in 0usize..20,
+        k in 0usize..20,
+        lines in prop::collection::vec(
+            prop_oneof![
+                (0usize..25, 0usize..25, 0usize..40, 0u64..u64::MAX)
+                    .prop_map(|(u, v, l, c)| format!("link {u} {v} {l}:{c}")),
+                (0usize..25).prop_map(|v| format!("conv {v} free")),
+                (0usize..25, 0u64..u64::MAX).prop_map(|(v, c)| format!("conv {v} uniform {c}")),
+                (0usize..25, 0usize..40, 0usize..40, 0u64..1000)
+                    .prop_map(|(v, p, q, c)| format!("conv {v} matrix {p}>{q}:{c}")),
+                Just("link".to_string()),
+                Just("conv 0 banded".to_string()),
+                Just("garbage directive".to_string()),
+            ],
+            0..12,
+        ),
+    ) {
+        let text = format!("wdm v1\nn {n}\nk {k}\n{}", lines.join("\n"));
+        match from_text(&text) {
+            Ok(net) => {
+                // Whatever parsed must round-trip.
+                let again = from_text(&to_text(&net)).expect("round trip");
+                prop_assert_eq!(net, again);
+            }
+            Err(e) => {
+                // Errors must render without panicking.
+                let _ = e.to_string();
+            }
+        }
+    }
+
+    /// Huge size declarations are rejected, not allocated.
+    #[test]
+    fn huge_sizes_are_rejected(n in (1usize << 27)..usize::MAX / 2) {
+        let text = format!("wdm v1\nn {n}\nk 1\n");
+        prop_assert!(from_text(&text).is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! Distributed all-pairs optimal semilightpaths (Corollary 2).
+//!
+//! The paper invokes Haldar's all-pairs algorithm over the embedded
+//! `G_all` for an `O(k²n²)` message/time bound. We realize the same bound
+//! by running the Theorem-3 per-source protocol from every node: on the
+//! sparse instances the paper targets (`m ≤ kn`), `n` runs of `O(km)`
+//! messages stay within `O(k²n²)`. Messages are summed over the runs;
+//! time is reported both pipelined (max over runs — sources operate
+//! concurrently on disjoint computations) and sequential (sum).
+
+use crate::semilightpath::distributed_tree;
+use crate::sim::{SimError, SimTime};
+use wdm_core::{Cost, WdmNetwork};
+use wdm_graph::NodeId;
+
+/// Result of the distributed all-pairs computation.
+#[derive(Debug, Clone)]
+pub struct DistributedAllPairsOutcome {
+    n: usize,
+    /// Row-major `n × n` optimal costs.
+    costs: Vec<Cost>,
+    /// Total relaxation messages over all `n` runs.
+    pub data_messages: u64,
+    /// Total acknowledgements over all `n` runs.
+    pub ack_messages: u64,
+    /// Max makespan over the runs (sources run concurrently).
+    pub pipelined_makespan: SimTime,
+    /// Sum of makespans (fully sequential execution).
+    pub sequential_makespan: SimTime,
+}
+
+impl DistributedAllPairsOutcome {
+    /// Optimal semilightpath cost from `s` to `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` or `t` is out of range.
+    pub fn cost(&self, s: NodeId, t: NodeId) -> Cost {
+        assert!(
+            s.index() < self.n && t.index() < self.n,
+            "node out of range"
+        );
+        self.costs[s.index() * self.n + t.index()]
+    }
+
+    /// Total messages (data + acks).
+    pub fn total_messages(&self) -> u64 {
+        self.data_messages + self.ack_messages
+    }
+
+    /// The Corollary-2 bound `k²n²` for this instance.
+    pub fn corollary2_bound(&self, network: &WdmNetwork) -> u64 {
+        let k = network.k() as u64;
+        let n = network.node_count() as u64;
+        k * k * n * n
+    }
+}
+
+/// Runs the distributed per-source protocol from every node.
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`] from any per-source run.
+///
+/// # Examples
+///
+/// ```
+/// use wdm_core::Cost;
+/// use wdm_distributed::all_pairs::distributed_all_pairs;
+/// use wdm_graph::DiGraph;
+///
+/// let g = DiGraph::from_links(3, [(0, 1), (1, 2), (2, 0)]);
+/// let net = wdm_core::WdmNetwork::builder(g, 1)
+///     .link_wavelengths(0, [(0, 1)])
+///     .link_wavelengths(1, [(0, 1)])
+///     .link_wavelengths(2, [(0, 1)])
+///     .build()
+///     .expect("valid");
+/// let ap = distributed_all_pairs(&net).expect("terminates");
+/// assert_eq!(ap.cost(0.into(), 2.into()), Cost::new(2));
+/// assert_eq!(ap.cost(1.into(), 1.into()), Cost::ZERO);
+/// ```
+pub fn distributed_all_pairs(
+    network: &WdmNetwork,
+) -> Result<DistributedAllPairsOutcome, SimError> {
+    let n = network.node_count();
+    let mut costs = vec![Cost::INFINITY; n * n];
+    let mut data_messages = 0;
+    let mut ack_messages = 0;
+    let mut pipelined = 0;
+    let mut sequential = 0;
+    for s in 0..n {
+        let tree = distributed_tree(network, NodeId::new(s))?;
+        for t in 0..n {
+            costs[s * n + t] = tree.costs[t];
+        }
+        costs[s * n + s] = Cost::ZERO;
+        data_messages += tree.data_messages;
+        ack_messages += tree.ack_messages;
+        pipelined = pipelined.max(tree.stats.makespan);
+        sequential += tree.stats.makespan;
+    }
+    Ok(DistributedAllPairsOutcome {
+        n,
+        costs,
+        data_messages,
+        ack_messages,
+        pipelined_makespan: pipelined,
+        sequential_makespan: sequential,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use wdm_core::instance::{random_network, InstanceConfig};
+    use wdm_core::AllPairs;
+    use wdm_graph::topology;
+
+    #[test]
+    fn matches_centralized_all_pairs() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let net = random_network(
+            topology::abilene(),
+            &InstanceConfig::standard(3),
+            &mut rng,
+        )
+        .expect("valid");
+        let central = AllPairs::solve(&net);
+        let distributed = distributed_all_pairs(&net).expect("terminates");
+        for s in 0..net.node_count() {
+            for t in 0..net.node_count() {
+                let (s, t) = (NodeId::new(s), NodeId::new(t));
+                assert_eq!(central.cost(s, t), distributed.cost(s, t), "{s} → {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn message_total_tracks_corollary2_bound() {
+        // Asymptotic bounds carry a constant: data relaxations can fire
+        // more than once per (link, λ) while distances improve, and every
+        // data message is mirrored by one ack. A small constant factor of
+        // the k²n² bound is the expected regime (E5 reports the measured
+        // ratio).
+        let mut rng = SmallRng::seed_from_u64(23);
+        let net = random_network(
+            topology::nsfnet(),
+            &InstanceConfig::standard(4),
+            &mut rng,
+        )
+        .expect("valid");
+        let ap = distributed_all_pairs(&net).expect("terminates");
+        assert!(ap.total_messages() <= 8 * ap.corollary2_bound(&net));
+        assert!(ap.pipelined_makespan <= ap.sequential_makespan);
+        assert!(ap.data_messages > 0 && ap.ack_messages > 0);
+    }
+}

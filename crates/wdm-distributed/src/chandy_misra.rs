@@ -1,0 +1,323 @@
+//! Chandy–Misra distributed single-source shortest paths with
+//! Dijkstra–Scholten termination detection.
+//!
+//! This is the distributed SSSP primitive the paper builds Theorem 3 on
+//! (citing Chandy & Misra 1982): nodes hold tentative distances, improving
+//! messages propagate along links, and a diffusing-computation
+//! (Dijkstra–Scholten) layer lets the source detect global termination.
+//! Acknowledgements travel the reverse channel of each fibre — WAN fibres
+//! are deployed in pairs, so the control network is bidirectional even
+//! when data links are modelled as directed.
+
+use crate::sim::{Context, Process, ProcessId, SimError, SimStats, Simulator};
+use wdm_core::Cost;
+use wdm_graph::{DiGraph, NodeId};
+
+/// Messages of the protocol.
+#[derive(Debug, Clone)]
+enum Msg {
+    /// A candidate distance for the recipient (link weight already added).
+    Relax(Cost),
+    /// Dijkstra–Scholten acknowledgement.
+    Ack,
+}
+
+/// Per-node process state.
+#[derive(Debug)]
+struct SsspProcess {
+    id: ProcessId,
+    is_root: bool,
+    /// `(neighbour, weight)` per outgoing link.
+    out: Vec<(ProcessId, Cost)>,
+    dist: Cost,
+    parent: Option<ProcessId>,
+    // Dijkstra–Scholten bookkeeping.
+    engaged: bool,
+    ds_parent: Option<ProcessId>,
+    deficit: u64,
+    terminated: bool,
+    sent_data: u64,
+    sent_acks: u64,
+}
+
+impl SsspProcess {
+    fn relax_neighbours(&mut self, ctx: &mut Context<Msg>) {
+        let d = self.dist;
+        for &(nbr, w) in &self.out {
+            let candidate = d + w;
+            if candidate.is_finite() {
+                ctx.send(nbr, Msg::Relax(candidate));
+                self.deficit += 1;
+                self.sent_data += 1;
+            }
+        }
+    }
+
+    fn maybe_release(&mut self, ctx: &mut Context<Msg>) {
+        if self.deficit == 0 {
+            if self.is_root {
+                self.terminated = true;
+            } else if self.engaged {
+                let parent = self.ds_parent.take().expect("engaged ⇒ parent");
+                ctx.send(parent, Msg::Ack);
+                self.sent_acks += 1;
+                self.engaged = false;
+            }
+        }
+    }
+}
+
+impl Process for SsspProcess {
+    type Message = Msg;
+
+    fn on_start(&mut self, ctx: &mut Context<Msg>) {
+        if self.is_root {
+            self.dist = Cost::ZERO;
+            self.relax_neighbours(ctx);
+            self.maybe_release(ctx);
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, message: Msg, ctx: &mut Context<Msg>) {
+        match message {
+            Msg::Relax(candidate) => {
+                let engagement = !self.is_root && !self.engaged;
+                if engagement {
+                    self.engaged = true;
+                    self.ds_parent = Some(from);
+                }
+                if candidate < self.dist {
+                    self.dist = candidate;
+                    self.parent = Some(from);
+                    self.relax_neighbours(ctx);
+                }
+                if engagement {
+                    // The engagement message is acknowledged when the
+                    // whole subtree quiesces.
+                    self.maybe_release(ctx);
+                } else {
+                    ctx.send(from, Msg::Ack);
+                    self.sent_acks += 1;
+                }
+            }
+            Msg::Ack => {
+                self.deficit -= 1;
+                self.maybe_release(ctx);
+            }
+        }
+    }
+}
+
+/// Result of a distributed SSSP run.
+#[derive(Debug, Clone)]
+pub struct DistributedSsspOutcome {
+    /// Per-node distances from the source.
+    pub dist: Vec<Cost>,
+    /// Per-node predecessor in the shortest-path tree.
+    pub parent: Vec<Option<NodeId>>,
+    /// Relaxation messages sent.
+    pub data_messages: u64,
+    /// Dijkstra–Scholten acknowledgements sent.
+    pub ack_messages: u64,
+    /// Simulator counters (total messages, makespan, deliveries).
+    pub stats: SimStats,
+    /// Whether the source observed termination (Dijkstra–Scholten).
+    pub root_detected_termination: bool,
+}
+
+/// Runs Chandy–Misra SSSP from `source` on `graph` with per-link
+/// `weights` (indexed by link id; infinite weights are skipped).
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the simulator (event budget, illegal
+/// sends).
+///
+/// # Panics
+///
+/// Panics if `weights.len() != graph.link_count()` or the source is out of
+/// range.
+///
+/// # Examples
+///
+/// ```
+/// use wdm_core::Cost;
+/// use wdm_distributed::chandy_misra::chandy_misra_sssp;
+/// use wdm_graph::DiGraph;
+///
+/// let g = DiGraph::from_links(3, [(0, 1), (1, 2), (0, 2)]);
+/// let w = vec![Cost::new(1), Cost::new(1), Cost::new(5)];
+/// let out = chandy_misra_sssp(&g, &w, 0.into())?;
+/// assert_eq!(out.dist[2], Cost::new(2));
+/// assert!(out.root_detected_termination);
+/// # Ok::<(), wdm_distributed::sim::SimError>(())
+/// ```
+pub fn chandy_misra_sssp(
+    graph: &DiGraph,
+    weights: &[Cost],
+    source: NodeId,
+) -> Result<DistributedSsspOutcome, SimError> {
+    assert_eq!(
+        weights.len(),
+        graph.link_count(),
+        "one weight per link required"
+    );
+    assert!(source.index() < graph.node_count(), "source out of range");
+    let n = graph.node_count();
+
+    let mut processes = Vec::with_capacity(n);
+    let mut topology: Vec<Vec<ProcessId>> = vec![Vec::new(); n];
+    for v in graph.nodes() {
+        let out: Vec<(ProcessId, Cost)> = graph
+            .out_links(v)
+            .iter()
+            .map(|&e| (graph.link(e).head().index(), weights[e.index()]))
+            .collect();
+        // Control channels: forward for data, reverse for acks.
+        let mut adj: Vec<ProcessId> = out.iter().map(|&(nbr, _)| nbr).collect();
+        adj.extend(
+            graph
+                .in_links(v)
+                .iter()
+                .map(|&e| graph.link(e).tail().index()),
+        );
+        adj.sort_unstable();
+        adj.dedup();
+        topology[v.index()] = adj;
+        processes.push(SsspProcess {
+            id: v.index(),
+            is_root: v == source,
+            out,
+            dist: Cost::INFINITY,
+            parent: None,
+            engaged: false,
+            ds_parent: None,
+            deficit: 0,
+            terminated: false,
+            sent_data: 0,
+            sent_acks: 0,
+        });
+    }
+
+    let mut sim = Simulator::new(processes, topology);
+    let stats = sim.run()?;
+
+    let mut dist = Vec::with_capacity(n);
+    let mut parent = Vec::with_capacity(n);
+    let mut data_messages = 0;
+    let mut ack_messages = 0;
+    let mut root_detected_termination = false;
+    for id in 0..n {
+        let p = sim.process(id);
+        dist.push(p.dist);
+        parent.push(p.parent.map(NodeId::new));
+        data_messages += p.sent_data;
+        ack_messages += p.sent_acks;
+        if p.is_root {
+            root_detected_termination = p.terminated;
+        }
+        debug_assert_eq!(p.deficit, 0, "node {} has unacked messages", p.id);
+        debug_assert!(!p.engaged, "node {} still engaged", p.id);
+    }
+    Ok(DistributedSsspOutcome {
+        dist,
+        parent,
+        data_messages,
+        ack_messages,
+        stats,
+        root_detected_termination,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdm_graph::topology;
+
+    fn centralized_sssp(graph: &DiGraph, weights: &[Cost], source: NodeId) -> Vec<Cost> {
+        // Simple Bellman–Ford oracle.
+        let n = graph.node_count();
+        let mut dist = vec![Cost::INFINITY; n];
+        dist[source.index()] = Cost::ZERO;
+        for _ in 0..n {
+            let mut changed = false;
+            for (e, l) in graph.links() {
+                let cand = dist[l.tail().index()] + weights[e.index()];
+                if cand < dist[l.head().index()] {
+                    dist[l.head().index()] = cand;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        dist
+    }
+
+    #[test]
+    fn matches_centralized_on_ring() {
+        let g = topology::ring(7, true);
+        let w: Vec<Cost> = (0..g.link_count())
+            .map(|i| Cost::new(1 + (i as u64 * 3) % 7))
+            .collect();
+        let out = chandy_misra_sssp(&g, &w, 0.into()).expect("terminates");
+        assert_eq!(out.dist, centralized_sssp(&g, &w, 0.into()));
+        assert!(out.root_detected_termination);
+        assert_eq!(
+            out.stats.messages,
+            out.data_messages + out.ack_messages
+        );
+    }
+
+    #[test]
+    fn matches_centralized_on_nsfnet() {
+        let g = topology::nsfnet();
+        let w: Vec<Cost> = (0..g.link_count())
+            .map(|i| Cost::new(5 + (i as u64 * 13) % 23))
+            .collect();
+        for s in [0, 5, 13] {
+            let out = chandy_misra_sssp(&g, &w, NodeId::new(s)).expect("terminates");
+            assert_eq!(out.dist, centralized_sssp(&g, &w, NodeId::new(s)), "source {s}");
+        }
+    }
+
+    #[test]
+    fn parents_form_a_tree_with_consistent_distances() {
+        let g = topology::grid(3, 3);
+        let w: Vec<Cost> = (0..g.link_count()).map(|i| Cost::new(1 + i as u64 % 4)).collect();
+        let out = chandy_misra_sssp(&g, &w, 0.into()).expect("terminates");
+        for v in g.nodes() {
+            if v.index() == 0 {
+                assert_eq!(out.dist[0], Cost::ZERO);
+                continue;
+            }
+            let p = out.parent[v.index()].expect("reachable grid node has parent");
+            // dist[v] = dist[p] + w(p→v) for some link p→v.
+            let ok = g.links_between(p, v).iter().any(|&e| {
+                out.dist[p.index()] + w[e.index()] == out.dist[v.index()]
+            });
+            assert!(ok, "parent edge consistent at {v}");
+        }
+    }
+
+    #[test]
+    fn unreachable_nodes_stay_infinite() {
+        let g = DiGraph::from_links(3, [(0, 1)]);
+        let w = vec![Cost::new(2)];
+        let out = chandy_misra_sssp(&g, &w, 0.into()).expect("terminates");
+        assert_eq!(out.dist[1], Cost::new(2));
+        assert_eq!(out.dist[2], Cost::INFINITY);
+        assert!(out.root_detected_termination);
+    }
+
+    #[test]
+    fn isolated_root_terminates_immediately() {
+        let g = DiGraph::new(2);
+        let out = chandy_misra_sssp(&g, &[], 0.into()).expect("terminates");
+        assert!(out.root_detected_termination);
+        assert_eq!(out.stats.messages, 0);
+    }
+
+    use wdm_graph::DiGraph;
+}

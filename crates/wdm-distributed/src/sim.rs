@@ -1,0 +1,471 @@
+//! Deterministic event-driven message-passing simulator.
+//!
+//! Implements the distributed computational model of the paper's
+//! Section III-B: processes sit on the physical nodes of the control
+//! network, may exchange messages only along physical links, local
+//! computation is free, and each message takes one latency unit to cross a
+//! link. Complexity is measured exactly as in Theorem 3 — total messages
+//! sent ([`SimStats::messages`]) and the makespan of the computation
+//! ([`SimStats::makespan`]).
+//!
+//! The simulator is single-threaded and deterministic: events are ordered
+//! by `(delivery time, sequence number)`, so measured message counts are
+//! exactly reproducible.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::error::Error;
+use std::fmt;
+
+/// Index of a process (= physical node index).
+pub type ProcessId = usize;
+
+/// Simulated clock time (latency units).
+pub type SimTime = u64;
+
+/// A message-driven process living on one physical node.
+pub trait Process {
+    /// The message type exchanged by this protocol.
+    type Message: Clone;
+
+    /// Invoked once before any message flows (e.g. the source floods its
+    /// initial relaxations here).
+    fn on_start(&mut self, ctx: &mut Context<Self::Message>);
+
+    /// Invoked per delivered message.
+    fn on_message(&mut self, from: ProcessId, message: Self::Message, ctx: &mut Context<Self::Message>);
+}
+
+/// Per-delivery handle through which a process sends messages.
+#[derive(Debug)]
+pub struct Context<M> {
+    now: SimTime,
+    outbox: Vec<(ProcessId, M)>,
+}
+
+impl<M> Context<M> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Queues `message` for delivery to `to` (must be a physical
+    /// out-neighbour; enforced by the simulator at dispatch).
+    pub fn send(&mut self, to: ProcessId, message: M) {
+        self.outbox.push((to, message));
+    }
+}
+
+/// Aggregate complexity counters, matching the paper's distributed model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimStats {
+    /// Total messages sent (the paper's communication complexity).
+    pub messages: u64,
+    /// Time of the last delivery (the paper's time complexity).
+    pub makespan: SimTime,
+    /// Number of `on_message` invocations.
+    pub deliveries: u64,
+}
+
+/// Errors from a simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A process tried to message a node that is not a physical
+    /// out-neighbour.
+    IllegalSend {
+        /// Sending process.
+        from: ProcessId,
+        /// Intended recipient.
+        to: ProcessId,
+    },
+    /// The event budget was exhausted (non-terminating protocol?).
+    BudgetExhausted {
+        /// The budget that was exceeded.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::IllegalSend { from, to } => {
+                write!(f, "process {from} sent to {to} which is not a physical neighbour")
+            }
+            SimError::BudgetExhausted { budget } => {
+                write!(f, "simulation exceeded the event budget of {budget}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[derive(Debug, PartialEq, Eq)]
+struct Event {
+    at: SimTime,
+    seq: u64,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The simulator: a set of processes plus the physical communication
+/// topology.
+///
+/// # Examples
+///
+/// ```
+/// use wdm_distributed::sim::{Context, Process, ProcessId, Simulator};
+///
+/// /// Each process forwards a token once, then stops.
+/// struct Relay { id: ProcessId, n: usize, seen: bool }
+/// impl Process for Relay {
+///     type Message = u32;
+///     fn on_start(&mut self, ctx: &mut Context<u32>) {
+///         if self.id == 0 { ctx.send(1, 7); self.seen = true; }
+///     }
+///     fn on_message(&mut self, _from: ProcessId, m: u32, ctx: &mut Context<u32>) {
+///         if !self.seen {
+///             self.seen = true;
+///             let next = (self.id + 1) % self.n;
+///             ctx.send(next, m);
+///         }
+///     }
+/// }
+///
+/// let n = 4;
+/// let procs: Vec<Relay> = (0..n).map(|id| Relay { id, n, seen: false }).collect();
+/// // Ring topology: i → i+1 (mod n).
+/// let topo: Vec<Vec<ProcessId>> = (0..n).map(|i| vec![(i + 1) % n]).collect();
+/// let mut sim = Simulator::new(procs, topo);
+/// let stats = sim.run().expect("terminates");
+/// assert_eq!(stats.messages, 4);       // token crosses 4 links
+/// assert_eq!(stats.makespan, 4);       // one latency unit per hop
+/// ```
+#[derive(Debug)]
+pub struct Simulator<P: Process> {
+    processes: Vec<P>,
+    /// `out_neighbours[p]` — processes `p` may message.
+    out_neighbours: Vec<Vec<ProcessId>>,
+    latency: SimTime,
+    /// Optional per-channel latency overrides: `latencies[p]` lists
+    /// `(neighbour, latency)`; unlisted channels use the default.
+    latencies: Vec<Vec<(ProcessId, SimTime)>>,
+    queue: BinaryHeap<Reverse<Event>>,
+    payloads: Vec<Option<(ProcessId, ProcessId, P::Message)>>,
+    stats: SimStats,
+    event_budget: u64,
+}
+
+impl<P: Process> Simulator<P> {
+    /// Creates a simulator with unit link latency.
+    ///
+    /// `out_neighbours[p]` lists the processes `p` may send to (the
+    /// physical out-adjacency of the control network).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology size differs from the process count.
+    pub fn new(processes: Vec<P>, out_neighbours: Vec<Vec<ProcessId>>) -> Self {
+        assert_eq!(
+            processes.len(),
+            out_neighbours.len(),
+            "topology size must match process count"
+        );
+        let n = processes.len();
+        Simulator {
+            processes,
+            out_neighbours,
+            latency: 1,
+            latencies: vec![Vec::new(); n],
+            queue: BinaryHeap::new(),
+            payloads: Vec::new(),
+            stats: SimStats::default(),
+            event_budget: 500_000_000,
+        }
+    }
+
+    /// Sets the per-link latency (default 1).
+    pub fn with_latency(mut self, latency: SimTime) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Sets per-channel latency overrides: `latencies[p]` lists
+    /// `(neighbour, latency)` pairs for channels leaving `p`; channels not
+    /// listed keep the default latency. Latencies must be ≥ 1 so causality
+    /// is preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the override table size differs from the process count or
+    /// any latency is zero.
+    pub fn with_latencies(mut self, latencies: Vec<Vec<(ProcessId, SimTime)>>) -> Self {
+        assert_eq!(
+            latencies.len(),
+            self.processes.len(),
+            "one override list per process"
+        );
+        assert!(
+            latencies.iter().flatten().all(|&(_, l)| l >= 1),
+            "latencies must be at least 1"
+        );
+        self.latencies = latencies;
+        self
+    }
+
+    fn latency_of(&self, from: ProcessId, to: ProcessId) -> SimTime {
+        self.latencies[from]
+            .iter()
+            .find(|&&(nbr, _)| nbr == to)
+            .map(|&(_, l)| l)
+            .unwrap_or(self.latency)
+    }
+
+    /// Sets the safety budget on delivered events (default 5·10⁸).
+    pub fn with_event_budget(mut self, budget: u64) -> Self {
+        self.event_budget = budget;
+        self
+    }
+
+    /// Runs to quiescence (no in-flight messages).
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::IllegalSend`] if a process messages a non-neighbour;
+    /// * [`SimError::BudgetExhausted`] if the protocol does not quiesce
+    ///   within the event budget.
+    pub fn run(&mut self) -> Result<SimStats, SimError> {
+        // Start phase at time 0.
+        for id in 0..self.processes.len() {
+            let mut ctx = Context {
+                now: 0,
+                outbox: Vec::new(),
+            };
+            self.processes[id].on_start(&mut ctx);
+            self.dispatch(id, 0, ctx.outbox)?;
+        }
+
+        while let Some(Reverse(event)) = self.queue.pop() {
+            if self.stats.deliveries >= self.event_budget {
+                return Err(SimError::BudgetExhausted {
+                    budget: self.event_budget,
+                });
+            }
+            let (from, to, message) = self.payloads[event.seq as usize]
+                .take()
+                .expect("payload present for scheduled event");
+            self.stats.deliveries += 1;
+            self.stats.makespan = self.stats.makespan.max(event.at);
+            let mut ctx = Context {
+                now: event.at,
+                outbox: Vec::new(),
+            };
+            self.processes[to].on_message(from, message, &mut ctx);
+            self.dispatch(to, event.at, ctx.outbox)?;
+        }
+        Ok(self.stats)
+    }
+
+    fn dispatch(
+        &mut self,
+        from: ProcessId,
+        now: SimTime,
+        outbox: Vec<(ProcessId, P::Message)>,
+    ) -> Result<(), SimError> {
+        for (to, message) in outbox {
+            if !self.out_neighbours[from].contains(&to) {
+                return Err(SimError::IllegalSend { from, to });
+            }
+            let latency = self.latency_of(from, to);
+            let seq = self.payloads.len() as u64;
+            self.payloads.push(Some((from, to, message)));
+            self.queue.push(Reverse(Event {
+                at: now + latency,
+                seq,
+            }));
+            self.stats.messages += 1;
+        }
+        Ok(())
+    }
+
+    /// Read access to a process after the run (for result extraction).
+    pub fn process(&self, id: ProcessId) -> &P {
+        &self.processes[id]
+    }
+
+    /// The counters accumulated so far.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Floods a wave from node 0; each node forwards once.
+    struct Flood {
+        id: ProcessId,
+        neighbours: Vec<ProcessId>,
+        level: Option<u64>,
+    }
+
+    impl Process for Flood {
+        type Message = u64;
+
+        fn on_start(&mut self, ctx: &mut Context<u64>) {
+            if self.id == 0 {
+                self.level = Some(0);
+                for &n in &self.neighbours {
+                    ctx.send(n, 1);
+                }
+            }
+        }
+
+        fn on_message(&mut self, _from: ProcessId, level: u64, ctx: &mut Context<u64>) {
+            if self.level.is_none() {
+                self.level = Some(level);
+                for &n in &self.neighbours {
+                    ctx.send(n, level + 1);
+                }
+            }
+        }
+    }
+
+    fn line_topology(n: usize) -> Vec<Vec<ProcessId>> {
+        (0..n)
+            .map(|i| {
+                let mut adj = Vec::new();
+                if i > 0 {
+                    adj.push(i - 1);
+                }
+                if i + 1 < n {
+                    adj.push(i + 1);
+                }
+                adj
+            })
+            .collect()
+    }
+
+    #[test]
+    fn flood_levels_equal_bfs_depth() {
+        let topo = line_topology(5);
+        let procs: Vec<Flood> = (0..5)
+            .map(|id| Flood {
+                id,
+                neighbours: topo[id].clone(),
+                level: None,
+            })
+            .collect();
+        let mut sim = Simulator::new(procs, topo);
+        let stats = sim.run().expect("terminates");
+        for i in 0..5 {
+            assert_eq!(sim.process(i).level, Some(i as u64));
+        }
+        // Wave reaches node 4 after 4 latency units; node 4's redundant
+        // echo back to node 3 lands at t = 5 and is the last delivery.
+        assert_eq!(stats.makespan, 5);
+        assert!(stats.messages >= 4);
+    }
+
+    #[test]
+    fn latency_scales_makespan() {
+        let topo = line_topology(4);
+        let procs: Vec<Flood> = (0..4)
+            .map(|id| Flood {
+                id,
+                neighbours: topo[id].clone(),
+                level: None,
+            })
+            .collect();
+        let mut sim = Simulator::new(procs, topo).with_latency(10);
+        let stats = sim.run().expect("terminates");
+        // Wave front at t = 30 plus the end node's echo at t = 40.
+        assert_eq!(stats.makespan, 40);
+    }
+
+    #[test]
+    fn illegal_send_is_reported() {
+        struct Bad;
+        impl Process for Bad {
+            type Message = ();
+            fn on_start(&mut self, ctx: &mut Context<()>) {
+                ctx.send(1, ());
+            }
+            fn on_message(&mut self, _: ProcessId, _: (), _: &mut Context<()>) {}
+        }
+        let mut sim = Simulator::new(vec![Bad, Bad], vec![vec![], vec![0]]);
+        assert_eq!(
+            sim.run(),
+            Err(SimError::IllegalSend { from: 0, to: 1 })
+        );
+    }
+
+    #[test]
+    fn budget_stops_infinite_protocols() {
+        struct PingPong {
+            id: ProcessId,
+        }
+        impl Process for PingPong {
+            type Message = ();
+            fn on_start(&mut self, ctx: &mut Context<()>) {
+                if self.id == 0 {
+                    ctx.send(1, ());
+                }
+            }
+            fn on_message(&mut self, from: ProcessId, _: (), ctx: &mut Context<()>) {
+                ctx.send(from, ());
+            }
+        }
+        let mut sim = Simulator::new(
+            vec![PingPong { id: 0 }, PingPong { id: 1 }],
+            vec![vec![1], vec![0]],
+        )
+        .with_event_budget(100);
+        assert_eq!(
+            sim.run(),
+            Err(SimError::BudgetExhausted { budget: 100 })
+        );
+    }
+
+    #[test]
+    fn quiescent_network_terminates_immediately() {
+        struct Idle;
+        impl Process for Idle {
+            type Message = ();
+            fn on_start(&mut self, _: &mut Context<()>) {}
+            fn on_message(&mut self, _: ProcessId, _: (), _: &mut Context<()>) {}
+        }
+        let mut sim = Simulator::new(vec![Idle, Idle], vec![vec![1], vec![0]]);
+        let stats = sim.run().expect("terminates");
+        assert_eq!(stats, SimStats::default());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let topo = line_topology(6);
+            let procs: Vec<Flood> = (0..6)
+                .map(|id| Flood {
+                    id,
+                    neighbours: topo[id].clone(),
+                    level: None,
+                })
+                .collect();
+            let mut sim = Simulator::new(procs, topo);
+            sim.run().expect("terminates")
+        };
+        assert_eq!(run(), run());
+    }
+}

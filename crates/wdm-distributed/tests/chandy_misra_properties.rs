@@ -1,0 +1,76 @@
+//! Property-based tests of the Chandy–Misra distributed SSSP against a
+//! centralized Bellman–Ford oracle on random weighted WANs.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use wdm_core::Cost;
+use wdm_distributed::chandy_misra::chandy_misra_sssp;
+use wdm_graph::{topology, DiGraph, NodeId};
+
+fn bellman_ford(graph: &DiGraph, weights: &[Cost], source: NodeId) -> Vec<Cost> {
+    let n = graph.node_count();
+    let mut dist = vec![Cost::INFINITY; n];
+    dist[source.index()] = Cost::ZERO;
+    for _ in 0..n {
+        let mut changed = false;
+        for (e, l) in graph.links() {
+            let cand = dist[l.tail().index()] + weights[e.index()];
+            if cand < dist[l.head().index()] {
+                dist[l.head().index()] = cand;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn matches_bellman_ford_on_random_wans(
+        seed in 0u64..10_000,
+        n in 4usize..40,
+        source in 0usize..40,
+        max_w in 1u64..100,
+    ) {
+        let source = source % n;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let graph = topology::random_sparse(n, n / 3, 4, &mut rng).expect("feasible");
+        let weights: Vec<Cost> = (0..graph.link_count())
+            .map(|i| Cost::new(1 + (seed.wrapping_mul(31).wrapping_add(i as u64 * 7)) % max_w))
+            .collect();
+        let out = chandy_misra_sssp(&graph, &weights, NodeId::new(source)).expect("terminates");
+        let oracle = bellman_ford(&graph, &weights, NodeId::new(source));
+        prop_assert_eq!(&out.dist, &oracle);
+        prop_assert!(out.root_detected_termination);
+        // Acks mirror data messages one-to-one under Dijkstra–Scholten.
+        prop_assert_eq!(out.data_messages, out.ack_messages);
+        // Parent pointers are consistent witnesses of the distances.
+        for v in graph.nodes() {
+            if let Some(p) = out.parent[v.index()] {
+                let ok = graph.links_between(p, v).iter().any(|&e| {
+                    out.dist[p.index()] + weights[e.index()] == out.dist[v.index()]
+                });
+                prop_assert!(ok, "inconsistent parent at {}", v);
+            }
+        }
+    }
+
+    /// Zero-weight links are legal and handled (no infinite loops, exact
+    /// distances).
+    #[test]
+    fn zero_weights_are_handled(seed in 0u64..10_000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let graph = topology::random_sparse(12, 4, 4, &mut rng).expect("feasible");
+        let weights: Vec<Cost> = (0..graph.link_count())
+            .map(|i| Cost::new((i as u64) % 2)) // half the links are free
+            .collect();
+        let out = chandy_misra_sssp(&graph, &weights, NodeId::new(0)).expect("terminates");
+        prop_assert_eq!(out.dist, bellman_ford(&graph, &weights, NodeId::new(0)));
+    }
+}

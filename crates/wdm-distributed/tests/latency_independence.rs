@@ -1,0 +1,80 @@
+//! Timing-insensitivity of the Theorem-3 protocol: the computed costs and
+//! extracted paths must be identical under *any* assignment of channel
+//! latencies — only message counts and makespan may change. This is the
+//! distributed-systems property that separates a correct asynchronous
+//! protocol from one that merely works under synchronous delivery.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use wdm_core::instance::{random_network, InstanceConfig};
+use wdm_distributed::{distributed_tree, distributed_tree_with_latencies};
+use wdm_graph::{topology, NodeId};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn costs_are_latency_invariant(
+        net_seed in 0u64..1000,
+        lat_seed in 0u64..1000,
+        source in 0usize..11,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(net_seed);
+        let net = random_network(
+            topology::abilene(),
+            &InstanceConfig::standard(3),
+            &mut rng,
+        ).expect("valid");
+
+        let unit = distributed_tree(&net, NodeId::new(source)).expect("terminates");
+
+        // Adversarial latencies: deterministic pseudo-random in 1..=17.
+        let jitter = distributed_tree_with_latencies(&net, NodeId::new(source), |from, to| {
+            let h = lat_seed
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add((from as u64) << 32)
+                .wrapping_add(to as u64)
+                .wrapping_mul(0xBF58476D1CE4E5B9);
+            1 + (h >> 33) % 17
+        }).expect("terminates");
+
+        prop_assert_eq!(&unit.costs, &jitter.costs, "costs depend on latencies");
+        prop_assert!(jitter.root_detected_termination);
+        for t in 0..net.node_count() {
+            let a = unit.path_to(NodeId::new(t));
+            let b = jitter.path_to(NodeId::new(t));
+            // Paths may differ among equal-cost optima; their costs and
+            // validity may not.
+            match (a, b) {
+                (None, None) => {}
+                (Some(pa), Some(pb)) => {
+                    prop_assert_eq!(pa.cost(), pb.cost());
+                    pb.validate(&net).expect("valid under jitter");
+                }
+                (a, b) => {
+                    return Err(TestCaseError::fail(format!(
+                        "reachability changed under latency jitter at t = {t}: {a:?} vs {b:?}"
+                    )));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_asymmetric_latencies_still_terminate(net_seed in 0u64..1000) {
+        let mut rng = SmallRng::seed_from_u64(net_seed);
+        let net = random_network(
+            topology::ring(7, true),
+            &InstanceConfig::standard(2),
+            &mut rng,
+        ).expect("valid");
+        // Clockwise channels are 1000× slower than counter-clockwise.
+        let out = distributed_tree_with_latencies(&net, NodeId::new(0), |from, to| {
+            if to == (from + 1) % 7 { 1000 } else { 1 }
+        }).expect("terminates");
+        let reference = distributed_tree(&net, NodeId::new(0)).expect("terminates");
+        prop_assert_eq!(out.costs, reference.costs);
+        prop_assert!(out.root_detected_termination);
+    }
+}

@@ -1,0 +1,52 @@
+//! Theorem 5: in the k0-bounded regime the distributed protocol's
+//! communication is governed by `mk0`, independent of the global `k`.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use wdm_core::instance::{random_network, InstanceConfig};
+use wdm_distributed::distributed_tree;
+use wdm_graph::{topology, NodeId};
+
+#[test]
+fn messages_are_independent_of_global_k() {
+    // Same topology, same seed recipe, k0 = 2 per link; sweep k 64×.
+    let mut baseline: Option<f64> = None;
+    for k in [2usize, 16, 128] {
+        let mut rng = SmallRng::seed_from_u64(314);
+        let graph = topology::random_sparse(64, 32, 6, &mut rng).expect("feasible");
+        let net = random_network(graph, &InstanceConfig::bounded(k, 2), &mut rng)
+            .expect("valid");
+        assert!(net.k0() <= 2);
+        let tree = distributed_tree(&net, NodeId::new(0)).expect("terminates");
+        assert!(tree.root_detected_termination);
+        let mk0 = (net.link_count() * 2) as f64;
+        let ratio = tree.data_messages as f64 / mk0;
+        // Each k draws different availability, so allow instance noise —
+        // but the ratio must stay within a narrow band rather than grow
+        // with k (it would grow ~k/k0-fold if the protocol depended on k).
+        match baseline {
+            None => baseline = Some(ratio),
+            Some(b) => assert!(
+                ratio < 3.0 * b + 3.0,
+                "k = {k}: ratio {ratio:.2} drifted from baseline {b:.2}"
+            ),
+        }
+    }
+}
+
+#[test]
+fn time_tracks_nk0_not_nk() {
+    for k in [4usize, 64] {
+        let mut rng = SmallRng::seed_from_u64(271);
+        let graph = topology::random_sparse(96, 48, 6, &mut rng).expect("feasible");
+        let net = random_network(graph, &InstanceConfig::bounded(k, 2), &mut rng)
+            .expect("valid");
+        let tree = distributed_tree(&net, NodeId::new(0)).expect("terminates");
+        let nk0 = (net.node_count() * 2) as u64;
+        assert!(
+            tree.stats.makespan <= nk0,
+            "k = {k}: makespan {} exceeds nk0 = {nk0}",
+            tree.stats.makespan
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! Graphviz DOT export for visual inspection of topologies.
+
+use crate::DiGraph;
+use std::fmt::Write as _;
+
+/// Options for DOT rendering.
+#[derive(Debug, Clone)]
+pub struct DotOptions {
+    /// Graph name in the output.
+    pub name: String,
+    /// Optional per-node labels (defaults to `v<i>`).
+    pub node_labels: Vec<String>,
+    /// Optional per-link labels (e.g. wavelength sets), indexed by link.
+    pub link_labels: Vec<String>,
+    /// Collapse antiparallel link pairs into one undirected-looking edge
+    /// (`dir=both`) — matches how WAN fibre maps are usually drawn.
+    pub merge_fibre_pairs: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            name: "wdm".to_string(),
+            node_labels: Vec::new(),
+            link_labels: Vec::new(),
+            merge_fibre_pairs: true,
+        }
+    }
+}
+
+/// Renders `graph` as Graphviz DOT.
+///
+/// # Examples
+///
+/// ```
+/// use wdm_graph::{dot, DiGraph};
+///
+/// let g = DiGraph::from_undirected_edges(2, [(0, 1)]);
+/// let text = dot::to_dot(&g, &dot::DotOptions::default());
+/// assert!(text.starts_with("digraph wdm {"));
+/// assert!(text.contains("v0 -> v1 [dir=both]"));
+/// ```
+pub fn to_dot(graph: &DiGraph, options: &DotOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", options.name);
+    let _ = writeln!(out, "  node [shape=circle fontsize=10];");
+    for v in graph.nodes() {
+        match options.node_labels.get(v.index()) {
+            Some(label) => {
+                let _ = writeln!(out, "  v{} [label=\"{}\"];", v.index(), label);
+            }
+            None => {
+                let _ = writeln!(out, "  v{};", v.index());
+            }
+        }
+    }
+    let mut skip = vec![false; graph.link_count()];
+    for (e, l) in graph.links() {
+        if skip[e.index()] {
+            continue;
+        }
+        let (u, v) = (l.tail().index(), l.head().index());
+        let mut attrs: Vec<String> = Vec::new();
+        if let Some(label) = options.link_labels.get(e.index()) {
+            if !label.is_empty() {
+                attrs.push(format!("label=\"{label}\""));
+            }
+        }
+        if options.merge_fibre_pairs {
+            // Find the first unused reverse link to pair with.
+            let reverse = graph
+                .links_between(l.head(), l.tail())
+                .into_iter()
+                .find(|r| !skip[r.index()] && r.index() > e.index());
+            if let Some(r) = reverse {
+                skip[r.index()] = true;
+                attrs.push("dir=both".to_string());
+            }
+        }
+        if attrs.is_empty() {
+            let _ = writeln!(out, "  v{u} -> v{v};");
+        } else {
+            let _ = writeln!(out, "  v{u} -> v{v} [{}];", attrs.join(" "));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology;
+
+    #[test]
+    fn merges_fibre_pairs() {
+        let g = DiGraph::from_undirected_edges(3, [(0, 1), (1, 2)]);
+        let text = to_dot(&g, &DotOptions::default());
+        assert_eq!(text.matches("dir=both").count(), 2);
+        assert_eq!(text.matches("->").count(), 2);
+    }
+
+    #[test]
+    fn directed_mode_keeps_all_links() {
+        let g = DiGraph::from_undirected_edges(3, [(0, 1), (1, 2)]);
+        let opts = DotOptions {
+            merge_fibre_pairs: false,
+            ..DotOptions::default()
+        };
+        let text = to_dot(&g, &opts);
+        assert_eq!(text.matches("->").count(), 4);
+        assert!(!text.contains("dir=both"));
+    }
+
+    #[test]
+    fn labels_are_applied() {
+        let g = DiGraph::from_links(2, [(0, 1)]);
+        let opts = DotOptions {
+            name: "demo".to_string(),
+            node_labels: vec!["Seattle".to_string(), "Denver".to_string()],
+            link_labels: vec!["λ0,λ2".to_string()],
+            merge_fibre_pairs: false,
+        };
+        let text = to_dot(&g, &opts);
+        assert!(text.contains("digraph demo {"));
+        assert!(text.contains("label=\"Seattle\""));
+        assert!(text.contains("label=\"λ0,λ2\""));
+    }
+
+    #[test]
+    fn nsfnet_renders_21_fibres() {
+        let text = to_dot(&topology::nsfnet(), &DotOptions::default());
+        assert_eq!(text.matches("dir=both").count(), 21);
+    }
+
+    #[test]
+    fn unidirectional_ring_has_no_merges() {
+        let text = to_dot(&topology::ring(5, false), &DotOptions::default());
+        assert!(!text.contains("dir=both"));
+        assert_eq!(text.matches("->").count(), 5);
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type for graph construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or validating graphs and topologies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A generator was asked for fewer nodes than it supports.
+    TooFewNodes {
+        /// Requested node count.
+        requested: usize,
+        /// Minimum node count the generator supports.
+        minimum: usize,
+    },
+    /// A generator was asked for an infeasible link budget.
+    InfeasibleLinkCount {
+        /// Requested number of directed links.
+        requested: usize,
+        /// Maximum the generator can produce under its constraints.
+        maximum: usize,
+    },
+    /// A degree bound too small to connect the requested graph.
+    DegreeBoundTooSmall {
+        /// Requested maximum degree.
+        bound: usize,
+    },
+    /// A parameter was outside its valid range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint.
+        constraint: &'static str,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::TooFewNodes { requested, minimum } => {
+                write!(f, "generator needs at least {minimum} nodes, got {requested}")
+            }
+            GraphError::InfeasibleLinkCount { requested, maximum } => {
+                write!(f, "requested {requested} links but at most {maximum} are possible")
+            }
+            GraphError::DegreeBoundTooSmall { bound } => {
+                write!(f, "degree bound {bound} is too small to keep the graph connected")
+            }
+            GraphError::InvalidParameter { name, constraint } => {
+                write!(f, "parameter `{name}` violates constraint: {constraint}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = GraphError::TooFewNodes {
+            requested: 1,
+            minimum: 3,
+        };
+        assert_eq!(e.to_string(), "generator needs at least 3 nodes, got 1");
+        let e = GraphError::InfeasibleLinkCount {
+            requested: 100,
+            maximum: 12,
+        };
+        assert!(e.to_string().contains("at most 12"));
+        let e = GraphError::DegreeBoundTooSmall { bound: 1 };
+        assert!(e.to_string().contains("degree bound 1"));
+        let e = GraphError::InvalidParameter {
+            name: "alpha",
+            constraint: "must be in (0, 1]",
+        };
+        assert!(e.to_string().contains("alpha"));
+    }
+}

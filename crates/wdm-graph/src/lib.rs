@@ -1,0 +1,46 @@
+//! Directed-graph substrate for WDM lightpath routing.
+//!
+//! The paper models an optical wide-area network as a directed graph
+//! `G = (V, E)` with `n` nodes and `m` links (an undirected fibre is two
+//! opposite directed links). Its analysis leans on WANs being *sparse*
+//! (`m = O(n)`) with bounded maximum degree `d`, so this crate provides:
+//!
+//! * [`DiGraph`] — a compact adjacency-list directed multigraph with stable
+//!   [`NodeId`]/[`LinkId`] handles;
+//! * [`topology`] — generators for the network classes the paper reasons
+//!   about (rings, grids/tori, bounded-degree sparse random WANs, Waxman and
+//!   random-geometric graphs) plus real reference WAN topologies (NSFNET,
+//!   ARPANET, EON, Abilene, GÉANT);
+//! * [`metrics`] — degree statistics, reachability/connectivity checks and
+//!   BFS utilities used by tests and experiment harnesses.
+//!
+//! # Examples
+//!
+//! ```
+//! use wdm_graph::{DiGraph, topology};
+//!
+//! // The 14-node NSFNET backbone, as two directed links per fibre.
+//! let g = topology::nsfnet();
+//! assert_eq!(g.node_count(), 14);
+//! assert!(wdm_graph::metrics::is_strongly_connected(&g));
+//!
+//! // Hand-built triangle.
+//! let mut g = DiGraph::new(3);
+//! let ab = g.add_link(0, 1);
+//! g.add_link(1, 2);
+//! g.add_link(2, 0);
+//! assert_eq!(g.link(ab).source().index(), 0);
+//! assert_eq!(g.max_degree(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dot;
+mod error;
+mod graph;
+pub mod metrics;
+pub mod topology;
+
+pub use error::GraphError;
+pub use graph::{DiGraph, Link, LinkId, NodeId};

@@ -1,0 +1,259 @@
+//! Graph statistics and reachability utilities.
+//!
+//! The paper's complexity claims are parameterized on `n`, `m`, and the
+//! maximum degree `d`; the experiment harness uses these helpers to report
+//! those parameters and to check that generated WANs are strongly connected
+//! (so that every `s → t` routing query is feasible given enough
+//! wavelengths).
+
+use crate::{DiGraph, NodeId};
+use std::collections::VecDeque;
+
+/// Summary statistics of a graph, as the experiment tables report them.
+///
+/// # Examples
+///
+/// ```
+/// use wdm_graph::{topology, metrics::DegreeStats};
+/// let stats = DegreeStats::of(&topology::ring(8, true));
+/// assert_eq!(stats.n, 8);
+/// assert_eq!(stats.m, 16);
+/// assert_eq!(stats.max_degree, 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Node count `n`.
+    pub n: usize,
+    /// Directed link count `m`.
+    pub m: usize,
+    /// Maximum in-degree `d_in`.
+    pub max_in_degree: usize,
+    /// Maximum out-degree `d_out`.
+    pub max_out_degree: usize,
+    /// The paper's `d = max{d_in, d_out}`.
+    pub max_degree: usize,
+    /// Mean total (in + out) degree.
+    pub mean_degree: f64,
+}
+
+impl DegreeStats {
+    /// Computes statistics for `g`.
+    pub fn of(g: &DiGraph) -> Self {
+        let n = g.node_count();
+        let m = g.link_count();
+        DegreeStats {
+            n,
+            m,
+            max_in_degree: g.max_in_degree(),
+            max_out_degree: g.max_out_degree(),
+            max_degree: g.max_degree(),
+            mean_degree: if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 },
+        }
+    }
+}
+
+/// Nodes reachable from `source` following link directions, as a boolean
+/// mask indexed by node.
+///
+/// Runs BFS in `O(n + m)`.
+pub fn reachable_from(g: &DiGraph, source: NodeId) -> Vec<bool> {
+    let mut seen = vec![false; g.node_count()];
+    if source.index() >= g.node_count() {
+        return seen;
+    }
+    let mut queue = VecDeque::new();
+    seen[source.index()] = true;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        for &e in g.out_links(u) {
+            let v = g.link(e).target();
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    seen
+}
+
+/// Nodes that can reach `target` following link directions.
+pub fn reaching(g: &DiGraph, target: NodeId) -> Vec<bool> {
+    let mut seen = vec![false; g.node_count()];
+    if target.index() >= g.node_count() {
+        return seen;
+    }
+    let mut queue = VecDeque::new();
+    seen[target.index()] = true;
+    queue.push_back(target);
+    while let Some(u) = queue.pop_front() {
+        for &e in g.in_links(u) {
+            let v = g.link(e).source();
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    seen
+}
+
+/// Returns `true` if every node can reach every other node.
+///
+/// A graph with zero or one node is strongly connected by convention.
+pub fn is_strongly_connected(g: &DiGraph) -> bool {
+    let n = g.node_count();
+    if n <= 1 {
+        return true;
+    }
+    let root = NodeId::new(0);
+    reachable_from(g, root).iter().all(|&r| r) && reaching(g, root).iter().all(|&r| r)
+}
+
+/// BFS hop distances from `source` (`None` for unreachable nodes).
+///
+/// # Examples
+///
+/// ```
+/// use wdm_graph::{DiGraph, metrics::bfs_hops};
+/// let g = DiGraph::from_links(3, [(0, 1), (1, 2)]);
+/// let d = bfs_hops(&g, 0.into());
+/// assert_eq!(d, vec![Some(0), Some(1), Some(2)]);
+/// ```
+pub fn bfs_hops(g: &DiGraph, source: NodeId) -> Vec<Option<usize>> {
+    let mut dist = vec![None; g.node_count()];
+    if source.index() >= g.node_count() {
+        return dist;
+    }
+    let mut queue = VecDeque::new();
+    dist[source.index()] = Some(0);
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()].expect("queued nodes have distances");
+        for &e in g.out_links(u) {
+            let v = g.link(e).target();
+            if dist[v.index()].is_none() {
+                dist[v.index()] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// The directed diameter (longest finite BFS distance over all pairs), or
+/// `None` if the graph is not strongly connected.
+///
+/// `O(n·(n + m))`; intended for the small reference topologies.
+pub fn diameter(g: &DiGraph) -> Option<usize> {
+    if g.node_count() == 0 {
+        return Some(0);
+    }
+    let mut best = 0;
+    for s in g.nodes() {
+        for d in bfs_hops(g, s) {
+            best = best.max(d?);
+        }
+    }
+    Some(best)
+}
+
+/// Weakly-connected component labels (ignoring link direction), as a dense
+/// `Vec<usize>` of component ids in `0..component_count`.
+pub fn weak_components(g: &DiGraph) -> Vec<usize> {
+    let n = g.node_count();
+    let mut label = vec![usize::MAX; n];
+    let mut next = 0;
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if label[start] != usize::MAX {
+            continue;
+        }
+        label[start] = next;
+        queue.push_back(NodeId::new(start));
+        while let Some(u) = queue.pop_front() {
+            let neighbours = g
+                .out_links(u)
+                .iter()
+                .map(|&e| g.link(e).target())
+                .chain(g.in_links(u).iter().map(|&e| g.link(e).source()));
+            for v in neighbours {
+                if label[v.index()] == usize::MAX {
+                    label[v.index()] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    label
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph() -> DiGraph {
+        DiGraph::from_links(4, [(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn reachability_on_path() {
+        let g = path_graph();
+        assert_eq!(reachable_from(&g, 0.into()), vec![true; 4]);
+        assert_eq!(
+            reachable_from(&g, 2.into()),
+            vec![false, false, true, true]
+        );
+        assert_eq!(reaching(&g, 0.into()), vec![true, false, false, false]);
+    }
+
+    #[test]
+    fn path_is_not_strongly_connected_but_cycle_is() {
+        assert!(!is_strongly_connected(&path_graph()));
+        let cycle = DiGraph::from_links(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert!(is_strongly_connected(&cycle));
+    }
+
+    #[test]
+    fn trivial_graphs_are_strongly_connected() {
+        assert!(is_strongly_connected(&DiGraph::new(0)));
+        assert!(is_strongly_connected(&DiGraph::new(1)));
+        assert!(!is_strongly_connected(&DiGraph::new(2)));
+    }
+
+    #[test]
+    fn bfs_hops_handles_unreachable() {
+        let g = DiGraph::from_links(3, [(0, 1)]);
+        assert_eq!(bfs_hops(&g, 0.into()), vec![Some(0), Some(1), None]);
+    }
+
+    #[test]
+    fn diameter_of_cycle() {
+        let cycle = DiGraph::from_links(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert_eq!(diameter(&cycle), Some(4));
+        assert_eq!(diameter(&path_graph()), None);
+    }
+
+    #[test]
+    fn weak_components_count() {
+        let mut g = DiGraph::new(5);
+        g.add_link(0, 1);
+        g.add_link(2, 3);
+        let labels = weak_components(&g);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+        assert_ne!(labels[4], labels[0]);
+        assert_ne!(labels[4], labels[2]);
+    }
+
+    #[test]
+    fn degree_stats_mean() {
+        let g = path_graph();
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.n, 4);
+        assert_eq!(s.m, 3);
+        assert!((s.mean_degree - 1.5).abs() < 1e-12);
+        assert_eq!(s.max_degree, 1);
+    }
+}

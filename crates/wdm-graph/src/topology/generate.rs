@@ -1,0 +1,491 @@
+//! Parametric topology generators for the paper's sparse-WAN regime.
+
+use crate::{DiGraph, GraphError};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A bidirectional path `0 — 1 — … — n-1` (`2(n-1)` directed links).
+///
+/// # Examples
+///
+/// ```
+/// let g = wdm_graph::topology::line(4);
+/// assert_eq!(g.node_count(), 4);
+/// assert_eq!(g.link_count(), 6);
+/// ```
+pub fn line(n: usize) -> DiGraph {
+    DiGraph::from_undirected_edges(n, (1..n).map(|i| (i - 1, i)))
+}
+
+/// A ring over `n` nodes.
+///
+/// With `bidirectional = true` every fibre carries both directions
+/// (`2n` directed links, `d = 2`); otherwise a unidirectional ring
+/// (`n` links, `d = 1`). Rings are the classic SONET/WDM metro topology and
+/// the sparsest strongly-connected graph.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn ring(n: usize, bidirectional: bool) -> DiGraph {
+    assert!(n >= 3, "a ring needs at least 3 nodes");
+    let edges = (0..n).map(|i| (i, (i + 1) % n));
+    if bidirectional {
+        DiGraph::from_undirected_edges(n, edges)
+    } else {
+        DiGraph::from_links(n, edges)
+    }
+}
+
+/// A `rows × cols` bidirectional mesh (grid) — planar, `d ≤ 4`.
+///
+/// # Panics
+///
+/// Panics if `rows == 0` or `cols == 0`.
+pub fn grid(rows: usize, cols: usize) -> DiGraph {
+    assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+    let idx = |r: usize, c: usize| r * cols + c;
+    let mut edges = Vec::with_capacity(2 * rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((idx(r, c), idx(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((idx(r, c), idx(r + 1, c)));
+            }
+        }
+    }
+    DiGraph::from_undirected_edges(rows * cols, edges)
+}
+
+/// A `rows × cols` bidirectional torus (grid with wraparound), `d = 4`.
+///
+/// # Panics
+///
+/// Panics if `rows < 3` or `cols < 3` (smaller tori create parallel fibres).
+pub fn torus(rows: usize, cols: usize) -> DiGraph {
+    assert!(rows >= 3 && cols >= 3, "torus dimensions must be at least 3");
+    let idx = |r: usize, c: usize| r * cols + c;
+    let mut edges = Vec::with_capacity(2 * rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            edges.push((idx(r, c), idx(r, (c + 1) % cols)));
+            edges.push((idx(r, c), idx((r + 1) % rows, c)));
+        }
+    }
+    DiGraph::from_undirected_edges(rows * cols, edges)
+}
+
+/// A random strongly-connected sparse WAN with `m = 2(n + extra_chords)`
+/// directed links and total degree (in+out of the underlying undirected
+/// graph) at most `2·max_degree` per node.
+///
+/// Construction: a random Hamiltonian cycle (guaranteeing strong
+/// connectivity) plus `extra_chords` random chords that respect the degree
+/// bound — this is the `m = O(n)`, `d = O(1)` family the paper's analysis
+/// targets.
+///
+/// # Errors
+///
+/// * [`GraphError::TooFewNodes`] if `n < 3`;
+/// * [`GraphError::DegreeBoundTooSmall`] if `max_degree < 2` (the cycle
+///   alone needs undirected degree 2);
+/// * [`GraphError::InfeasibleLinkCount`] if the chords cannot be placed
+///   under the degree bound.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+/// let g = wdm_graph::topology::random_sparse(50, 25, 4, &mut rng)?;
+/// assert_eq!(g.node_count(), 50);
+/// assert_eq!(g.link_count(), 2 * (50 + 25));
+/// assert!(wdm_graph::metrics::is_strongly_connected(&g));
+/// # Ok::<(), wdm_graph::GraphError>(())
+/// ```
+pub fn random_sparse<R: Rng + ?Sized>(
+    n: usize,
+    extra_chords: usize,
+    max_degree: usize,
+    rng: &mut R,
+) -> Result<DiGraph, GraphError> {
+    if n < 3 {
+        return Err(GraphError::TooFewNodes {
+            requested: n,
+            minimum: 3,
+        });
+    }
+    if max_degree < 2 {
+        return Err(GraphError::DegreeBoundTooSmall { bound: max_degree });
+    }
+    // Degree budget left after the Hamiltonian cycle uses 2 at every node.
+    let spare: usize = n * (max_degree - 2);
+    let max_chords = (spare / 2).min(n * (n - 1) / 2 - n);
+    if extra_chords > max_chords {
+        return Err(GraphError::InfeasibleLinkCount {
+            requested: 2 * (n + extra_chords),
+            maximum: 2 * (n + max_chords),
+        });
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+
+    let mut undirected_degree = vec![2usize; n];
+    let mut present = std::collections::HashSet::with_capacity(n + extra_chords);
+    let mut edges = Vec::with_capacity(n + extra_chords);
+    for i in 0..n {
+        let (u, v) = (order[i], order[(i + 1) % n]);
+        present.insert((u.min(v), u.max(v)));
+        edges.push((u, v));
+    }
+
+    let mut placed = 0;
+    let mut attempts = 0usize;
+    // Rejection sampling with a deterministic fallback sweep when the
+    // remaining feasible chords are rare.
+    let attempt_budget = 50 * (extra_chords + 1);
+    while placed < extra_chords && attempts < attempt_budget {
+        attempts += 1;
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if present.contains(&key)
+            || undirected_degree[u] >= max_degree
+            || undirected_degree[v] >= max_degree
+        {
+            continue;
+        }
+        present.insert(key);
+        undirected_degree[u] += 1;
+        undirected_degree[v] += 1;
+        edges.push((u, v));
+        placed += 1;
+    }
+    if placed < extra_chords {
+        // Deterministic sweep over all pairs in random order.
+        let mut candidates: Vec<(usize, usize)> = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if !present.contains(&(u, v)) {
+                    candidates.push((u, v));
+                }
+            }
+        }
+        candidates.shuffle(rng);
+        for (u, v) in candidates {
+            if placed == extra_chords {
+                break;
+            }
+            if undirected_degree[u] < max_degree && undirected_degree[v] < max_degree {
+                present.insert((u, v));
+                undirected_degree[u] += 1;
+                undirected_degree[v] += 1;
+                edges.push((u, v));
+                placed += 1;
+            }
+        }
+    }
+    if placed < extra_chords {
+        return Err(GraphError::InfeasibleLinkCount {
+            requested: 2 * (n + extra_chords),
+            maximum: 2 * (n + placed),
+        });
+    }
+    Ok(DiGraph::from_undirected_edges(n, edges))
+}
+
+/// Parameters of the Waxman random-WAN model.
+///
+/// Nodes are placed uniformly in the unit square; an undirected fibre
+/// `(u, v)` exists with probability `alpha · exp(-dist(u, v) / (beta · √2))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaxmanParams {
+    /// Overall link density, in `(0, 1]`.
+    pub alpha: f64,
+    /// Distance decay, in `(0, 1]`; larger values favour long links.
+    pub beta: f64,
+}
+
+impl Default for WaxmanParams {
+    fn default() -> Self {
+        WaxmanParams {
+            alpha: 0.4,
+            beta: 0.2,
+        }
+    }
+}
+
+/// A Waxman random WAN over `n` nodes, made strongly connected.
+///
+/// The classic Waxman graph may be disconnected; as is standard practice in
+/// WDM simulation, components are afterwards stitched together with the
+/// shortest inter-component fibres, so the result is always strongly
+/// connected (each fibre is a directed link pair).
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameter`] if `alpha` or `beta` is outside
+/// `(0, 1]`, [`GraphError::TooFewNodes`] if `n < 2`.
+pub fn waxman<R: Rng + ?Sized>(
+    n: usize,
+    params: WaxmanParams,
+    rng: &mut R,
+) -> Result<DiGraph, GraphError> {
+    if n < 2 {
+        return Err(GraphError::TooFewNodes {
+            requested: n,
+            minimum: 2,
+        });
+    }
+    if !(params.alpha > 0.0 && params.alpha <= 1.0) {
+        return Err(GraphError::InvalidParameter {
+            name: "alpha",
+            constraint: "must be in (0, 1]",
+        });
+    }
+    if !(params.beta > 0.0 && params.beta <= 1.0) {
+        return Err(GraphError::InvalidParameter {
+            name: "beta",
+            constraint: "must be in (0, 1]",
+        });
+    }
+    let points: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
+    let scale = params.beta * std::f64::consts::SQRT_2;
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let d = dist(points[u], points[v]);
+            if rng.gen::<f64>() < params.alpha * (-d / scale).exp() {
+                edges.push((u, v));
+            }
+        }
+    }
+    connect_components(n, &mut edges, &points);
+    Ok(DiGraph::from_undirected_edges(n, edges))
+}
+
+/// A random geometric WAN: nodes uniform in the unit square, fibres between
+/// all pairs closer than `radius`, stitched to strong connectivity like
+/// [`waxman`].
+///
+/// # Errors
+///
+/// [`GraphError::TooFewNodes`] if `n < 2`; [`GraphError::InvalidParameter`]
+/// if `radius` is not positive.
+pub fn random_geometric<R: Rng + ?Sized>(
+    n: usize,
+    radius: f64,
+    rng: &mut R,
+) -> Result<DiGraph, GraphError> {
+    if n < 2 {
+        return Err(GraphError::TooFewNodes {
+            requested: n,
+            minimum: 2,
+        });
+    }
+    if radius <= 0.0 {
+        return Err(GraphError::InvalidParameter {
+            name: "radius",
+            constraint: "must be positive",
+        });
+    }
+    let points: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if dist(points[u], points[v]) <= radius {
+                edges.push((u, v));
+            }
+        }
+    }
+    connect_components(n, &mut edges, &points);
+    Ok(DiGraph::from_undirected_edges(n, edges))
+}
+
+fn dist(a: (f64, f64), b: (f64, f64)) -> f64 {
+    ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
+}
+
+/// Stitches undirected components together using the geometrically shortest
+/// inter-component edge until one component remains.
+fn connect_components(n: usize, edges: &mut Vec<(usize, usize)>, points: &[(f64, f64)]) {
+    let mut dsu: Vec<usize> = (0..n).collect();
+    fn find(dsu: &mut Vec<usize>, x: usize) -> usize {
+        if dsu[x] != x {
+            let root = find(dsu, dsu[x]);
+            dsu[x] = root;
+        }
+        dsu[x]
+    }
+    for &(u, v) in edges.iter() {
+        let (ru, rv) = (find(&mut dsu, u), find(&mut dsu, v));
+        if ru != rv {
+            dsu[ru] = rv;
+        }
+    }
+    loop {
+        // Find the shortest edge between two different components.
+        let mut best: Option<(f64, usize, usize)> = None;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if find(&mut dsu, u) != find(&mut dsu, v) {
+                    let d = dist(points[u], points[v]);
+                    if best.map(|(bd, _, _)| d < bd).unwrap_or(true) {
+                        best = Some((d, u, v));
+                    }
+                }
+            }
+        }
+        match best {
+            Some((_, u, v)) => {
+                edges.push((u, v));
+                let (ru, rv) = (find(&mut dsu, u), find(&mut dsu, v));
+                dsu[ru] = rv;
+            }
+            None => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::is_strongly_connected;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn line_shape() {
+        let g = line(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.link_count(), 8);
+        assert!(!is_strongly_connected(&DiGraph::from_links(
+            5,
+            (1..5).map(|i| (i - 1, i))
+        )));
+        assert!(is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn unidirectional_ring() {
+        let g = ring(6, false);
+        assert_eq!(g.link_count(), 6);
+        assert_eq!(g.max_degree(), 1);
+        assert!(is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn bidirectional_ring() {
+        let g = ring(6, true);
+        assert_eq!(g.link_count(), 12);
+        assert_eq!(g.max_degree(), 2);
+        assert!(is_strongly_connected(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_ring_panics() {
+        ring(2, true);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.node_count(), 12);
+        // 3*3 horizontal + 2*4 vertical undirected edges = 17 → 34 directed.
+        assert_eq!(g.link_count(), 34);
+        assert_eq!(g.max_degree(), 4);
+        assert!(is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn torus_is_4_regular() {
+        let g = torus(3, 3);
+        assert_eq!(g.node_count(), 9);
+        assert_eq!(g.link_count(), 36);
+        for v in g.nodes() {
+            assert_eq!(g.out_degree(v), 4);
+            assert_eq!(g.in_degree(v), 4);
+        }
+        assert!(is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn random_sparse_respects_budget_and_connectivity() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for n in [10, 40, 100] {
+            let g = random_sparse(n, n / 2, 4, &mut rng).expect("feasible");
+            assert_eq!(g.node_count(), n);
+            assert_eq!(g.link_count(), 2 * (n + n / 2));
+            assert!(g.max_degree() <= 4);
+            assert!(is_strongly_connected(&g));
+        }
+    }
+
+    #[test]
+    fn random_sparse_rejects_bad_parameters() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert!(matches!(
+            random_sparse(2, 0, 4, &mut rng),
+            Err(GraphError::TooFewNodes { .. })
+        ));
+        assert!(matches!(
+            random_sparse(10, 0, 1, &mut rng),
+            Err(GraphError::DegreeBoundTooSmall { .. })
+        ));
+        assert!(matches!(
+            random_sparse(10, 1000, 3, &mut rng),
+            Err(GraphError::InfeasibleLinkCount { .. })
+        ));
+    }
+
+    #[test]
+    fn random_sparse_exact_degree_bound_fills() {
+        // max_degree 3 on 10 nodes leaves 10 spare half-slots → 5 chords.
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = random_sparse(10, 5, 3, &mut rng).expect("exactly feasible");
+        assert_eq!(g.link_count(), 30);
+        assert!(g.max_degree() <= 3);
+    }
+
+    #[test]
+    fn waxman_is_connected_and_validates() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let g = waxman(30, WaxmanParams::default(), &mut rng).expect("valid");
+        assert_eq!(g.node_count(), 30);
+        assert!(is_strongly_connected(&g));
+        assert!(matches!(
+            waxman(30, WaxmanParams { alpha: 0.0, beta: 0.2 }, &mut rng),
+            Err(GraphError::InvalidParameter { name: "alpha", .. })
+        ));
+        assert!(matches!(
+            waxman(30, WaxmanParams { alpha: 0.4, beta: 1.5 }, &mut rng),
+            Err(GraphError::InvalidParameter { name: "beta", .. })
+        ));
+        assert!(matches!(
+            waxman(1, WaxmanParams::default(), &mut rng),
+            Err(GraphError::TooFewNodes { .. })
+        ));
+    }
+
+    #[test]
+    fn geometric_is_connected() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let g = random_geometric(25, 0.2, &mut rng).expect("valid");
+        assert!(is_strongly_connected(&g));
+        assert!(matches!(
+            random_geometric(25, 0.0, &mut rng),
+            Err(GraphError::InvalidParameter { .. })
+        ));
+    }
+}

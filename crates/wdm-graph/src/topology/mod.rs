@@ -1,0 +1,19 @@
+//! WAN topology generators and reference networks.
+//!
+//! The paper's comparison (Section III-C) hinges on large wide-area networks
+//! being sparse — `m = O(n)`, bounded or slowly-growing maximum degree `d`,
+//! planar or near-planar. The generators here produce exactly those families,
+//! and the [`mod@self`] re-exports ([`nsfnet`], [`arpanet`], [`eon`], [`abilene`],
+//! [`geant`]) provide the fixed real-world backbone topologies that
+//! WDM papers traditionally evaluate on.
+//!
+//! All generators emit *directed* graphs following the paper's convention:
+//! an undirected fibre becomes two oppositely-directed links.
+
+mod generate;
+mod reference;
+
+pub use generate::{
+    grid, line, random_geometric, random_sparse, ring, torus, waxman, WaxmanParams,
+};
+pub use reference::{abilene, arpanet, eon, geant, nsfnet, ReferenceTopology};

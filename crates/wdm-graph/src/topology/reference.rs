@@ -1,0 +1,336 @@
+//! Fixed reference WAN topologies.
+//!
+//! These are the backbone networks that the WDM routing literature of the
+//! paper's era evaluates on. Node counts, link counts, and degree profiles
+//! match the commonly used versions; where the literature has minor variants
+//! we pick one and state its statistics in the constructor docs. Each fibre
+//! is encoded as a pair of oppositely directed links, per the paper's
+//! convention.
+
+use crate::DiGraph;
+
+/// A named reference topology, for sweeps over all of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReferenceTopology {
+    /// 14-node NSFNET T1 backbone.
+    Nsfnet,
+    /// 20-node ARPANET.
+    Arpanet,
+    /// 19-node European Optical Network.
+    Eon,
+    /// 11-node Abilene (Internet2).
+    Abilene,
+    /// 22-node GÉANT core.
+    Geant,
+}
+
+impl ReferenceTopology {
+    /// All reference topologies, for experiment sweeps.
+    pub const ALL: [ReferenceTopology; 5] = [
+        ReferenceTopology::Nsfnet,
+        ReferenceTopology::Arpanet,
+        ReferenceTopology::Eon,
+        ReferenceTopology::Abilene,
+        ReferenceTopology::Geant,
+    ];
+
+    /// Builds the topology graph.
+    pub fn build(self) -> DiGraph {
+        match self {
+            ReferenceTopology::Nsfnet => nsfnet(),
+            ReferenceTopology::Arpanet => arpanet(),
+            ReferenceTopology::Eon => eon(),
+            ReferenceTopology::Abilene => abilene(),
+            ReferenceTopology::Geant => geant(),
+        }
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReferenceTopology::Nsfnet => "NSFNET-14",
+            ReferenceTopology::Arpanet => "ARPANET-20",
+            ReferenceTopology::Eon => "EON-19",
+            ReferenceTopology::Abilene => "Abilene-11",
+            ReferenceTopology::Geant => "GEANT-22",
+        }
+    }
+}
+
+impl std::fmt::Display for ReferenceTopology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The 14-node, 21-fibre NSFNET T1 backbone (42 directed links, `d = 4`).
+///
+/// Node order: WA, CA1, CA2, UT, CO, TX, NE, IL, PA, GA, MI, NY, NJ, DC.
+///
+/// # Examples
+///
+/// ```
+/// let g = wdm_graph::topology::nsfnet();
+/// assert_eq!((g.node_count(), g.link_count()), (14, 42));
+/// ```
+pub fn nsfnet() -> DiGraph {
+    DiGraph::from_undirected_edges(
+        14,
+        [
+            (0, 1),   // WA  - CA1
+            (0, 2),   // WA  - CA2
+            (0, 7),   // WA  - IL
+            (1, 2),   // CA1 - CA2
+            (1, 3),   // CA1 - UT
+            (2, 5),   // CA2 - TX
+            (3, 4),   // UT  - CO
+            (3, 10),  // UT  - MI
+            (4, 5),   // CO  - TX
+            (4, 6),   // CO  - NE
+            (5, 9),   // TX  - GA
+            (5, 12),  // TX  - NJ
+            (6, 7),   // NE  - IL
+            (7, 8),   // IL  - PA
+            (8, 9),   // PA  - GA
+            (8, 11),  // PA  - NY
+            (9, 13),  // GA  - DC
+            (10, 11), // MI  - NY
+            (10, 13), // MI  - DC
+            (11, 12), // NY  - NJ
+            (12, 13), // NJ  - DC
+        ],
+    )
+}
+
+/// A 20-node, 31-fibre ARPANET topology (62 directed links, `d = 4`).
+pub fn arpanet() -> DiGraph {
+    DiGraph::from_undirected_edges(
+        20,
+        [
+            (0, 1),
+            (0, 2),
+            (0, 19),
+            (1, 2),
+            (1, 3),
+            (2, 4),
+            (3, 5),
+            (3, 6),
+            (4, 5),
+            (4, 7),
+            (5, 8),
+            (6, 9),
+            (6, 10),
+            (7, 8),
+            (7, 11),
+            (8, 12),
+            (9, 10),
+            (9, 13),
+            (10, 14),
+            (11, 12),
+            (11, 15),
+            (12, 16),
+            (13, 14),
+            (13, 17),
+            (14, 18),
+            (15, 16),
+            (15, 19),
+            (16, 17),
+            (17, 18),
+            (18, 19),
+            (2, 6),
+        ],
+    )
+}
+
+/// A 19-node, 37-fibre European Optical Network (EON) topology
+/// (74 directed links, `d = 7` at the London/Paris hubs).
+pub fn eon() -> DiGraph {
+    DiGraph::from_undirected_edges(
+        19,
+        [
+            (0, 1),   // London    - Amsterdam
+            (0, 2),   // London    - Paris
+            (0, 3),   // London    - Brussels
+            (0, 18),  // London    - Dublin
+            (1, 3),   // Amsterdam - Brussels
+            (1, 4),   // Amsterdam - Berlin
+            (1, 5),   // Amsterdam - Copenhagen
+            (2, 3),   // Paris     - Brussels
+            (2, 6),   // Paris     - Zurich
+            (2, 7),   // Paris     - Madrid
+            (2, 8),   // Paris     - Milan
+            (3, 9),   // Brussels  - Luxembourg
+            (4, 5),   // Berlin    - Copenhagen
+            (4, 10),  // Berlin    - Prague
+            (4, 11),  // Berlin    - Vienna
+            (5, 12),  // Copenhagen- Stockholm
+            (6, 8),   // Zurich    - Milan
+            (6, 9),   // Zurich    - Luxembourg
+            (6, 11),  // Zurich    - Vienna
+            (7, 8),   // Madrid    - Milan (via Marseille trunk)
+            (7, 13),  // Madrid    - Lisbon
+            (8, 14),  // Milan     - Rome
+            (9, 2),   // Luxembourg- Paris
+            (10, 11), // Prague    - Vienna
+            (10, 15), // Prague    - Warsaw
+            (11, 16), // Vienna    - Budapest
+            (12, 15), // Stockholm - Warsaw
+            (12, 17), // Stockholm - Oslo
+            (13, 0),  // Lisbon    - London
+            (14, 16), // Rome      - Budapest
+            (14, 6),  // Rome      - Zurich
+            (15, 16), // Warsaw    - Budapest
+            (17, 5),  // Oslo      - Copenhagen
+            (18, 2),  // Dublin    - Paris
+            (3, 6),   // Brussels  - Zurich
+            (8, 11),  // Milan     - Vienna
+            (0, 5),   // London    - Copenhagen
+        ],
+    )
+}
+
+/// The 11-node, 14-fibre Abilene (Internet2) backbone
+/// (28 directed links, `d = 3`).
+///
+/// Node order: Seattle, Sunnyvale, LA, Denver, Kansas City, Houston,
+/// Indianapolis, Chicago, Atlanta, New York, Washington DC.
+pub fn abilene() -> DiGraph {
+    DiGraph::from_undirected_edges(
+        11,
+        [
+            (0, 1),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 5),
+            (3, 4),
+            (4, 5),
+            (4, 6),
+            (5, 8),
+            (6, 7),
+            (6, 8),
+            (7, 9),
+            (8, 10),
+            (9, 10),
+        ],
+    )
+}
+
+/// A 22-node, 36-fibre GÉANT core topology (72 directed links).
+pub fn geant() -> DiGraph {
+    DiGraph::from_undirected_edges(
+        22,
+        [
+            (0, 1),
+            (0, 2),
+            (0, 21),
+            (1, 2),
+            (1, 3),
+            (1, 6),
+            (2, 4),
+            (2, 7),
+            (3, 5),
+            (3, 6),
+            (4, 7),
+            (4, 8),
+            (5, 9),
+            (5, 10),
+            (6, 10),
+            (6, 11),
+            (7, 12),
+            (8, 12),
+            (8, 13),
+            (9, 10),
+            (9, 14),
+            (10, 15),
+            (11, 15),
+            (11, 16),
+            (12, 17),
+            (13, 17),
+            (13, 18),
+            (14, 15),
+            (14, 19),
+            (15, 20),
+            (16, 20),
+            (17, 21),
+            (18, 19),
+            (18, 21),
+            (19, 20),
+            (20, 21),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{is_strongly_connected, DegreeStats};
+
+    #[test]
+    fn all_reference_topologies_are_strongly_connected() {
+        for t in ReferenceTopology::ALL {
+            let g = t.build();
+            assert!(is_strongly_connected(&g), "{t} must be strongly connected");
+        }
+    }
+
+    #[test]
+    fn stated_sizes_match() {
+        let cases = [
+            (ReferenceTopology::Nsfnet, 14, 42),
+            (ReferenceTopology::Arpanet, 20, 62),
+            (ReferenceTopology::Eon, 19, 74),
+            (ReferenceTopology::Abilene, 11, 28),
+            (ReferenceTopology::Geant, 22, 72),
+        ];
+        for (t, n, m) in cases {
+            let g = t.build();
+            assert_eq!((g.node_count(), g.link_count()), (n, m), "{t}");
+        }
+    }
+
+    #[test]
+    fn reference_wans_are_sparse_with_small_degree() {
+        // The paper's regime: m = O(n) and d ≪ n.
+        for t in ReferenceTopology::ALL {
+            let s = DegreeStats::of(&t.build());
+            assert!(s.m <= 4 * s.n, "{t} is sparse");
+            assert!(s.max_degree <= 7, "{t} has bounded degree");
+            assert!(s.max_degree >= 2);
+        }
+    }
+
+    #[test]
+    fn in_and_out_degrees_are_symmetric() {
+        // Undirected construction ⟹ d_in(v) = d_out(v) for every node.
+        for t in ReferenceTopology::ALL {
+            let g = t.build();
+            for v in g.nodes() {
+                assert_eq!(g.in_degree(v), g.out_degree(v), "{t} node {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_display() {
+        let names: std::collections::HashSet<_> =
+            ReferenceTopology::ALL.iter().map(|t| t.name()).collect();
+        assert_eq!(names.len(), ReferenceTopology::ALL.len());
+        assert_eq!(ReferenceTopology::Nsfnet.to_string(), "NSFNET-14");
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicate_fibres() {
+        for t in ReferenceTopology::ALL {
+            let g = t.build();
+            let mut seen = std::collections::HashSet::new();
+            for (_, l) in g.links() {
+                assert_ne!(l.source(), l.target(), "{t} has a self-loop");
+                assert!(
+                    seen.insert((l.source(), l.target())),
+                    "{t} has duplicate link {l}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests of the graph substrate and topology generators.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use wdm_graph::metrics::{bfs_hops, is_strongly_connected, weak_components, DegreeStats};
+use wdm_graph::topology::{self, WaxmanParams};
+use wdm_graph::{DiGraph, NodeId};
+
+proptest! {
+    #[test]
+    fn degree_sums_equal_link_count(
+        n in 1usize..30,
+        edges in prop::collection::vec((0usize..30, 0usize..30), 0..100),
+    ) {
+        let edges: Vec<(usize, usize)> =
+            edges.into_iter().map(|(u, v)| (u % n, v % n)).collect();
+        let g = DiGraph::from_links(n, edges);
+        let m = g.link_count();
+        prop_assert_eq!(g.nodes().map(|v| g.in_degree(v)).sum::<usize>(), m);
+        prop_assert_eq!(g.nodes().map(|v| g.out_degree(v)).sum::<usize>(), m);
+        let stats = DegreeStats::of(&g);
+        prop_assert!(stats.max_degree <= m);
+        prop_assert!(m <= stats.max_degree.max(1) * n);
+    }
+
+    #[test]
+    fn adjacency_round_trips(
+        n in 2usize..20,
+        edges in prop::collection::vec((0usize..20, 0usize..20), 1..60),
+    ) {
+        let edges: Vec<(usize, usize)> =
+            edges.into_iter().map(|(u, v)| (u % n, v % n)).collect();
+        let g = DiGraph::from_links(n, edges.clone());
+        // Every inserted edge is reachable via its id and its endpoints'
+        // adjacency lists.
+        for (i, &(u, v)) in edges.iter().enumerate() {
+            let l = g.link(wdm_graph::LinkId::new(i));
+            prop_assert_eq!(l.tail().index(), u);
+            prop_assert_eq!(l.head().index(), v);
+            prop_assert!(g.out_links(NodeId::new(u)).contains(&wdm_graph::LinkId::new(i)));
+            prop_assert!(g.in_links(NodeId::new(v)).contains(&wdm_graph::LinkId::new(i)));
+        }
+    }
+
+    #[test]
+    fn random_sparse_generator_invariants(
+        n in 3usize..60,
+        extra_frac in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let extra = (n * extra_frac) / 4;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        match topology::random_sparse(n, extra, 4, &mut rng) {
+            Ok(g) => {
+                prop_assert_eq!(g.node_count(), n);
+                prop_assert_eq!(g.link_count(), 2 * (n + extra));
+                prop_assert!(g.max_degree() <= 4);
+                prop_assert!(is_strongly_connected(&g));
+                // Undirected construction: symmetric degrees.
+                for v in g.nodes() {
+                    prop_assert_eq!(g.in_degree(v), g.out_degree(v));
+                }
+            }
+            Err(_) => {
+                // Only acceptable when the chord budget is infeasible.
+                prop_assert!(extra > n * (4 - 2) / 2 || extra > n * (n - 1) / 2 - n);
+            }
+        }
+    }
+
+    #[test]
+    fn waxman_always_strongly_connected(
+        n in 2usize..40,
+        seed in 0u64..1000,
+        alpha in 0.05f64..1.0,
+        beta in 0.05f64..1.0,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = topology::waxman(n, WaxmanParams { alpha, beta }, &mut rng).expect("valid");
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert!(is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn geometric_always_strongly_connected(
+        n in 2usize..40,
+        seed in 0u64..1000,
+        radius in 0.01f64..0.8,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = topology::random_geometric(n, radius, &mut rng).expect("valid");
+        prop_assert!(is_strongly_connected(&g));
+        prop_assert_eq!(weak_components(&g).iter().max().copied().unwrap_or(0), 0);
+    }
+
+    #[test]
+    fn bfs_hops_are_consistent(
+        rows in 1usize..5,
+        cols in 1usize..5,
+    ) {
+        let g = topology::grid(rows, cols);
+        let d = bfs_hops(&g, NodeId::new(0));
+        // On a grid, hop distance from corner (0,0) to (r,c) is r + c.
+        for r in 0..rows {
+            for c in 0..cols {
+                prop_assert_eq!(d[r * cols + c], Some(r + c));
+            }
+        }
+    }
+
+    #[test]
+    fn ring_hop_distances(n in 3usize..40, uni in prop::bool::ANY) {
+        let g = topology::ring(n, !uni);
+        let d = bfs_hops(&g, NodeId::new(0));
+        for (v, &got) in d.iter().enumerate() {
+            let expect = if uni { v } else { v.min(n - v) };
+            prop_assert_eq!(got, Some(expect), "node {} of {}", v, n);
+        }
+    }
+}

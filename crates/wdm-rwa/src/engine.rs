@@ -1,0 +1,418 @@
+//! The provisioning engine: mutable (link, wavelength) resource state.
+
+use crate::policy::Policy;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use wdm_core::{Semilightpath, WdmNetwork};
+use wdm_graph::NodeId;
+
+/// Handle of an active connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnectionId(u64);
+
+impl fmt::Display for ConnectionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "conn{}", self.0)
+    }
+}
+
+/// Errors from provisioning operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RwaError {
+    /// No route exists with the remaining free resources.
+    Blocked {
+        /// Requested source.
+        s: NodeId,
+        /// Requested destination.
+        t: NodeId,
+    },
+    /// The connection id is not active.
+    UnknownConnection(ConnectionId),
+    /// A query endpoint is not a node of the network.
+    NodeOutOfRange(NodeId),
+}
+
+impl fmt::Display for RwaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RwaError::Blocked { s, t } => write!(f, "request {s} → {t} blocked"),
+            RwaError::UnknownConnection(id) => write!(f, "connection {id} is not active"),
+            RwaError::NodeOutOfRange(v) => write!(f, "node {v} out of range"),
+        }
+    }
+}
+
+impl Error for RwaError {}
+
+/// An accepted connection's bookkeeping.
+#[derive(Debug, Clone)]
+struct Connection {
+    path: Semilightpath,
+}
+
+/// Mutable RWA state over a base network.
+///
+/// The base network defines topology, the full availability sets `Λ(e)`,
+/// per-wavelength link costs, and conversion policies; the engine tracks
+/// which (link, wavelength) pairs are currently occupied by active
+/// connections and routes each request on the *residual* network.
+#[derive(Debug, Clone)]
+pub struct ProvisioningEngine {
+    base: WdmNetwork,
+    /// `busy[link][λ]` — occupied by some active connection.
+    busy: Vec<Vec<bool>>,
+    active: HashMap<ConnectionId, Connection>,
+    next_id: u64,
+    /// Totals for statistics.
+    accepted: u64,
+    blocked: u64,
+    released: u64,
+}
+
+impl ProvisioningEngine {
+    /// Creates an engine with every base resource free.
+    pub fn new(base: &WdmNetwork) -> Self {
+        let m = base.link_count();
+        let k = base.k();
+        ProvisioningEngine {
+            base: base.clone(),
+            busy: vec![vec![false; k]; m],
+            active: HashMap::new(),
+            next_id: 0,
+            accepted: 0,
+            blocked: 0,
+            released: 0,
+        }
+    }
+
+    /// The base network the engine was created from.
+    pub fn base(&self) -> &WdmNetwork {
+        &self.base
+    }
+
+    /// Number of currently active connections.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Totals so far: `(accepted, blocked, released)`.
+    pub fn totals(&self) -> (u64, u64, u64) {
+        (self.accepted, self.blocked, self.released)
+    }
+
+    /// Fraction of base (link, wavelength) resources currently occupied.
+    pub fn utilization(&self) -> f64 {
+        let mut total = 0usize;
+        let mut used = 0usize;
+        for (e, _) in self.base.graph().links() {
+            for (w, _) in self.base.wavelengths_on(e).iter() {
+                total += 1;
+                if self.busy[e.index()][w.index()] {
+                    used += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            used as f64 / total as f64
+        }
+    }
+
+    /// The residual network: base availability minus busy resources.
+    pub fn residual_network(&self) -> WdmNetwork {
+        self.base
+            .restrict(|link, w| !self.busy[link.index()][w.index()])
+    }
+
+    /// Routes and, on success, locks the request `s → t` under `policy`.
+    ///
+    /// # Errors
+    ///
+    /// * [`RwaError::NodeOutOfRange`] for invalid endpoints;
+    /// * [`RwaError::Blocked`] when no route exists on the residual
+    ///   network (also counted in [`ProvisioningEngine::totals`]).
+    pub fn provision(
+        &mut self,
+        s: NodeId,
+        t: NodeId,
+        policy: Policy,
+    ) -> Result<ConnectionId, RwaError> {
+        for v in [s, t] {
+            if v.index() >= self.base.node_count() {
+                return Err(RwaError::NodeOutOfRange(v));
+            }
+        }
+        let residual = self.residual_network();
+        let path = match policy.route(&residual, s, t) {
+            Some(p) if !p.is_empty() => p,
+            _ => {
+                self.blocked += 1;
+                return Err(RwaError::Blocked { s, t });
+            }
+        };
+        debug_assert!(path.validate(&residual).is_ok(), "policy returned invalid path");
+        for hop in path.hops() {
+            debug_assert!(!self.busy[hop.link.index()][hop.wavelength.index()]);
+            self.busy[hop.link.index()][hop.wavelength.index()] = true;
+        }
+        let id = ConnectionId(self.next_id);
+        self.next_id += 1;
+        self.active.insert(id, Connection { path });
+        self.accepted += 1;
+        Ok(id)
+    }
+
+    /// Releases an active connection, freeing its resources.
+    ///
+    /// # Errors
+    ///
+    /// [`RwaError::UnknownConnection`] if `id` is not active.
+    pub fn release(&mut self, id: ConnectionId) -> Result<(), RwaError> {
+        let conn = self
+            .active
+            .remove(&id)
+            .ok_or(RwaError::UnknownConnection(id))?;
+        for hop in conn.path.hops() {
+            self.busy[hop.link.index()][hop.wavelength.index()] = false;
+        }
+        self.released += 1;
+        Ok(())
+    }
+
+    /// The path of an active connection.
+    pub fn path_of(&self, id: ConnectionId) -> Option<&Semilightpath> {
+        self.active.get(&id).map(|c| &c.path)
+    }
+
+    /// Iterates active connection ids (unspecified order).
+    pub fn active_connections(&self) -> impl Iterator<Item = ConnectionId> + '_ {
+        self.active.keys().copied()
+    }
+
+    /// Simulates a fibre cut: every active connection crossing `link` is
+    /// torn down and immediately re-routed under `policy` on the residual
+    /// network (restoration). The failed link itself is excluded from the
+    /// restoration routes but is *not* removed from the base network —
+    /// call again after repair semantics are up to the caller.
+    ///
+    /// Returns the affected connection ids paired with their restoration
+    /// outcome (`Some(new_id)` when restored, `None` when the connection
+    /// is lost). Restoration order is by connection id (deterministic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn fail_link(
+        &mut self,
+        link: wdm_graph::LinkId,
+        policy: Policy,
+    ) -> Vec<(ConnectionId, Option<ConnectionId>)> {
+        assert!(
+            link.index() < self.base.link_count(),
+            "link {link} out of range"
+        );
+        let mut affected: Vec<ConnectionId> = self
+            .active
+            .iter()
+            .filter(|(_, c)| c.path.hops().iter().any(|h| h.link == link))
+            .map(|(&id, _)| id)
+            .collect();
+        affected.sort();
+        // Tear down first so restoration can reuse the freed resources.
+        let mut endpoints = Vec::with_capacity(affected.len());
+        for &id in &affected {
+            let conn = self.active.get(&id).expect("affected is active");
+            let s = conn
+                .path
+                .source(&self.base)
+                .expect("non-empty active path");
+            let t = conn
+                .path
+                .target(&self.base)
+                .expect("non-empty active path");
+            endpoints.push((s, t));
+            self.release(id).expect("active");
+        }
+        // Mark the failed link busy on every wavelength so restoration
+        // avoids it.
+        for slot in &mut self.busy[link.index()] {
+            *slot = true;
+        }
+        let mut outcome = Vec::with_capacity(affected.len());
+        for (&id, &(s, t)) in affected.iter().zip(&endpoints) {
+            outcome.push((id, self.provision(s, t, policy).ok()));
+        }
+        // No active connection crosses the cut fibre any more (the
+        // affected ones were torn down and restorations excluded it), so
+        // its true resource state is all-free; clear the block markers.
+        for slot in &mut self.busy[link.index()] {
+            *slot = false;
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdm_core::{ConversionPolicy, Cost};
+    use wdm_graph::DiGraph;
+
+    fn base() -> WdmNetwork {
+        let g = DiGraph::from_links(4, [(0, 1), (1, 2), (2, 3)]);
+        WdmNetwork::builder(g, 2)
+            .link_wavelengths(0, [(0, 10), (1, 12)])
+            .link_wavelengths(1, [(0, 10), (1, 12)])
+            .link_wavelengths(2, [(0, 10), (1, 12)])
+            .uniform_conversion(ConversionPolicy::Uniform(Cost::new(1)))
+            .build()
+            .expect("valid")
+    }
+
+    #[test]
+    fn provision_release_cycle() {
+        let mut engine = ProvisioningEngine::new(&base());
+        assert_eq!(engine.utilization(), 0.0);
+        let id = engine
+            .provision(0.into(), 3.into(), Policy::Optimal)
+            .expect("free network routes");
+        assert_eq!(engine.active_count(), 1);
+        assert!(engine.utilization() > 0.0);
+        let path = engine.path_of(id).expect("active").clone();
+        assert_eq!(path.len(), 3);
+        engine.release(id).expect("active");
+        assert_eq!(engine.active_count(), 0);
+        assert_eq!(engine.utilization(), 0.0);
+        assert_eq!(engine.totals(), (1, 0, 1));
+    }
+
+    #[test]
+    fn resources_are_exclusive() {
+        let mut engine = ProvisioningEngine::new(&base());
+        let first = engine
+            .provision(0.into(), 3.into(), Policy::Optimal)
+            .expect("routes");
+        let second = engine
+            .provision(0.into(), 3.into(), Policy::Optimal)
+            .expect("second wavelength available");
+        // Paths must not share any (link, wavelength).
+        let p1 = engine.path_of(first).expect("active");
+        let p2 = engine.path_of(second).expect("active");
+        for h1 in p1.hops() {
+            for h2 in p2.hops() {
+                assert!(!(h1.link == h2.link && h1.wavelength == h2.wavelength));
+            }
+        }
+        // Both wavelengths busy on the chain → blocked.
+        assert_eq!(
+            engine.provision(0.into(), 3.into(), Policy::Optimal),
+            Err(RwaError::Blocked {
+                s: 0.into(),
+                t: 3.into()
+            })
+        );
+        assert_eq!(engine.totals(), (2, 1, 0));
+    }
+
+    #[test]
+    fn release_unknown_connection_errors() {
+        let mut engine = ProvisioningEngine::new(&base());
+        let id = engine
+            .provision(0.into(), 1.into(), Policy::Optimal)
+            .expect("routes");
+        engine.release(id).expect("active");
+        assert_eq!(engine.release(id), Err(RwaError::UnknownConnection(id)));
+    }
+
+    #[test]
+    fn out_of_range_endpoint_errors() {
+        let mut engine = ProvisioningEngine::new(&base());
+        assert!(matches!(
+            engine.provision(0.into(), 9.into(), Policy::Optimal),
+            Err(RwaError::NodeOutOfRange(_))
+        ));
+    }
+
+    #[test]
+    fn residual_network_reflects_busy_resources() {
+        let mut engine = ProvisioningEngine::new(&base());
+        let id = engine
+            .provision(0.into(), 3.into(), Policy::Optimal)
+            .expect("routes");
+        let path = engine.path_of(id).expect("active").clone();
+        let residual = engine.residual_network();
+        for hop in path.hops() {
+            assert!(!residual.wavelengths_on(hop.link).contains(hop.wavelength));
+        }
+    }
+
+    #[test]
+    fn fail_link_restores_on_alternate_route() {
+        // Two disjoint 2-hop routes 0 → 3; cut the active one and the
+        // connection must restore over the other.
+        let g = DiGraph::from_links(4, [(0, 1), (1, 3), (0, 2), (2, 3)]);
+        let net = WdmNetwork::builder(g, 1)
+            .link_wavelengths(0, [(0, 1)])
+            .link_wavelengths(1, [(0, 1)])
+            .link_wavelengths(2, [(0, 2)])
+            .link_wavelengths(3, [(0, 2)])
+            .build()
+            .expect("valid");
+        let mut engine = ProvisioningEngine::new(&net);
+        let id = engine
+            .provision(0.into(), 3.into(), Policy::Optimal)
+            .expect("routes");
+        let first_link = engine.path_of(id).expect("active").hops()[0].link;
+        let outcome = engine.fail_link(first_link, Policy::Optimal);
+        assert_eq!(outcome.len(), 1);
+        let (old, new) = outcome[0];
+        assert_eq!(old, id);
+        let new = new.expect("alternate route restores");
+        let restored = engine.path_of(new).expect("active");
+        assert!(restored.hops().iter().all(|h| h.link != first_link));
+        assert_eq!(engine.active_count(), 1);
+    }
+
+    #[test]
+    fn fail_link_loses_unrestorable_connections() {
+        // Single chain: cutting the middle link strands the connection.
+        let mut engine = ProvisioningEngine::new(&base());
+        let id = engine
+            .provision(0.into(), 3.into(), Policy::Optimal)
+            .expect("routes");
+        let mid = engine.path_of(id).expect("active").hops()[1].link;
+        let outcome = engine.fail_link(mid, Policy::Optimal);
+        assert_eq!(outcome, vec![(id, None)]);
+        assert_eq!(engine.active_count(), 0);
+        // The cut fibre's resources are accounted free afterwards.
+        assert_eq!(engine.utilization(), 0.0);
+        // Unaffected traffic keeps flowing: a fresh request not crossing
+        // the cut still provisions.
+        assert!(engine.provision(0.into(), 1.into(), Policy::Optimal).is_ok());
+    }
+
+    #[test]
+    fn fail_link_ignores_unrelated_connections() {
+        let mut engine = ProvisioningEngine::new(&base());
+        let id = engine
+            .provision(2.into(), 3.into(), Policy::Optimal)
+            .expect("routes");
+        // Cut a link the connection does not use.
+        let outcome = engine.fail_link(wdm_graph::LinkId::new(0), Policy::Optimal);
+        assert!(outcome.is_empty());
+        assert!(engine.path_of(id).is_some());
+    }
+
+    #[test]
+    fn blocked_request_changes_nothing() {
+        let mut engine = ProvisioningEngine::new(&base());
+        // 3 has no outgoing links: 3 → 0 always blocks.
+        let before = engine.utilization();
+        assert!(engine.provision(3.into(), 0.into(), Policy::Optimal).is_err());
+        assert_eq!(engine.utilization(), before);
+        assert_eq!(engine.active_count(), 0);
+    }
+}

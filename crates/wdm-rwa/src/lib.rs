@@ -1,0 +1,56 @@
+//! Dynamic routing and wavelength assignment (RWA) on top of the optimal
+//! semilightpath router.
+//!
+//! The paper's introduction motivates semilightpaths with the online
+//! circuit-switching problem: connection requests arrive over time, each
+//! accepted connection occupies one wavelength on every link of its path
+//! until released, and requests that cannot be routed with the remaining
+//! resources are *blocked*. This crate turns that scenario into a library:
+//!
+//! * [`ProvisioningEngine`] — mutable (link, wavelength) resource state
+//!   over a base [`wdm_core::WdmNetwork`], with provision/release and
+//!   utilization accounting;
+//! * [`Policy`] — how a request is routed: the paper's optimal
+//!   semilightpath, pure lightpath routing (no conversion), or the classic
+//!   first-fit wavelength assignment baseline;
+//! * [`workload`] — static and Poisson arrival/holding workload
+//!   generators;
+//! * [`simulate`] — an event-driven arrival/departure loop producing
+//!   [`BlockingStats`].
+//!
+//! # Examples
+//!
+//! ```
+//! use wdm_rwa::{Policy, ProvisioningEngine};
+//! use wdm_core::{ConversionPolicy, WdmNetwork};
+//! use wdm_graph::DiGraph;
+//!
+//! let g = DiGraph::from_links(3, [(0, 1), (1, 2)]);
+//! let base = WdmNetwork::builder(g, 2)
+//!     .link_wavelengths(0, [(0, 10), (1, 10)])
+//!     .link_wavelengths(1, [(0, 10), (1, 10)])
+//!     .uniform_conversion(ConversionPolicy::Free)
+//!     .build()?;
+//! let mut engine = ProvisioningEngine::new(&base);
+//!
+//! let c1 = engine.provision(0.into(), 2.into(), Policy::Optimal)?;
+//! let c2 = engine.provision(0.into(), 2.into(), Policy::Optimal)?;
+//! // Both wavelengths now busy end-to-end: the third request blocks.
+//! assert!(engine.provision(0.into(), 2.into(), Policy::Optimal).is_err());
+//! engine.release(c1)?;
+//! assert!(engine.provision(0.into(), 2.into(), Policy::Optimal).is_ok());
+//! # drop(c2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod policy;
+mod stats;
+pub mod workload;
+
+pub use engine::{ConnectionId, ProvisioningEngine, RwaError};
+pub use policy::Policy;
+pub use stats::{simulate, BlockingStats};

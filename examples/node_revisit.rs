@@ -1,0 +1,73 @@
+//! The Fig. 5/6 phenomenon: without the paper's restrictions, the optimal
+//! semilightpath may pass through a node twice — and Theorem 2's
+//! restrictions rule it out.
+//!
+//! Run with: `cargo run -p wdm --example node_revisit`
+
+use wdm::prelude::*;
+use wdm::{ConversionMatrix, Wavelength};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // s = 0, w = 1, detour = 2, t = 3. The only conversions available at
+    // w are λ0 → λ1 and λ2 → λ3; converting λ0 straight to λ3 is
+    // impossible, so the optimal (indeed only) route loops through the
+    // detour node to change wavelength in two stages — entering w twice.
+    let g = DiGraph::from_links(4, [(0, 1), (1, 2), (2, 1), (1, 3)]);
+    let mut at_w = ConversionMatrix::forbidden(4);
+    at_w.set(Wavelength::new(0), Wavelength::new(1), Cost::new(1));
+    at_w.set(Wavelength::new(2), Wavelength::new(3), Cost::new(1));
+    let mut at_detour = ConversionMatrix::forbidden(4);
+    at_detour.set(Wavelength::new(1), Wavelength::new(2), Cost::new(1));
+    let net = WdmNetwork::builder(g.clone(), 4)
+        .link_wavelengths(0, [(0, 10)])
+        .link_wavelengths(1, [(1, 10)])
+        .link_wavelengths(2, [(2, 10)])
+        .link_wavelengths(3, [(3, 10)])
+        .conversion(1, ConversionPolicy::Matrix(at_w))
+        .conversion(2, ConversionPolicy::Matrix(at_detour))
+        .build()?;
+
+    println!(
+        "Restriction 1 holds: {}",
+        restrictions::satisfies_restriction1(&net)
+    );
+    println!(
+        "Restriction 2 holds: {}",
+        restrictions::satisfies_restriction2(&net)
+    );
+
+    let path = find_optimal_semilightpath(&net, 0.into(), 3.into())?.expect("reachable");
+    path.validate(&net)?;
+    let seq: Vec<String> = path
+        .node_sequence(&net)
+        .iter()
+        .map(|v| v.to_string())
+        .collect();
+    println!("\noptimal path (restrictions violated): {path}");
+    println!("  node sequence : {}", seq.join(" → "));
+    println!("  node-simple?  : {}", path.is_node_simple(&net));
+    println!(
+        "  node v1 is entered {} times — the Fig. 5 situation",
+        path.node_visit_counts(&net)[1]
+    );
+    println!(
+        "  {} lightpath segments chained by {} conversions (Fig. 6)",
+        path.lightpath_segments().len(),
+        path.conversion_count()
+    );
+
+    // Now repair the instance per Theorem 2: full cheap conversion.
+    let repaired = WdmNetwork::builder(g, 4)
+        .link_wavelengths(0, [(0, 10)])
+        .link_wavelengths(1, [(1, 10)])
+        .link_wavelengths(2, [(2, 10)])
+        .link_wavelengths(3, [(3, 10)])
+        .uniform_conversion(ConversionPolicy::Uniform(Cost::new(1)))
+        .build()?;
+    assert!(restrictions::theorem2_applies(&repaired));
+    let simple = find_optimal_semilightpath(&repaired, 0.into(), 3.into())?.expect("reachable");
+    println!("\nwith Restrictions 1+2 satisfied: {simple}");
+    println!("  node-simple? : {} (Theorem 2)", simple.is_node_simple(&repaired));
+    assert!(simple.is_node_simple(&repaired));
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Quickstart: build a small WDM network, find an optimal semilightpath,
+//! and inspect its wavelength assignment.
+//!
+//! Run with: `cargo run -p wdm --example quickstart`
+
+use wdm::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 5-node network with two candidate routes from 0 to 4:
+    //
+    //        λ0:8        λ0:8
+    //   0 ─────────▶ 1 ─────────▶ 4
+    //   │                         ▲
+    //   │ λ1:12        λ1:12      │
+    //   └─────────▶ 2 ────────────┘
+    //
+    // Node 2 converts wavelengths at cost 3; node 1 cannot convert.
+    let g = DiGraph::from_links(5, [(0, 1), (1, 4), (0, 2), (2, 4)]);
+    let net = WdmNetwork::builder(g, 2)
+        .link_wavelengths(0, [(0, 8)])
+        .link_wavelengths(1, [(0, 8)])
+        .link_wavelengths(2, [(1, 12)])
+        .link_wavelengths(3, [(1, 12)])
+        .conversion(2, ConversionPolicy::Uniform(Cost::new(3)))
+        .build()?;
+
+    println!(
+        "network: n = {}, m = {}, k = {}",
+        net.node_count(),
+        net.link_count(),
+        net.k()
+    );
+
+    // Route 0 → 4 with the paper's algorithm (Fibonacci-heap Dijkstra on
+    // the layered auxiliary graph).
+    let result = LiangShenRouter::new().route(&net, 0.into(), 4.into())?;
+    let path = result.path.expect("0 can reach 4");
+    path.validate(&net)?;
+
+    println!("optimal semilightpath: {path}");
+    println!("  cost            : {}", path.cost());
+    println!("  links           : {}", path.len());
+    println!("  conversions     : {}", path.conversion_count());
+    println!("  pure lightpath? : {}", path.is_lightpath());
+    for (lambda, hops) in path.lightpath_segments() {
+        println!("  segment on {lambda}: {} hop(s)", hops.len());
+    }
+
+    // The solver also reports what it built (Theorem 1's accounting).
+    let stats = result.aux_stats.expect("layered construction");
+    println!(
+        "auxiliary graph: {} nodes, {} edges (paper bound: ≤ {} nodes)",
+        stats.total_nodes(),
+        stats.total_edges(),
+        2 * net.k() * net.node_count() + 2,
+    );
+
+    // The λ0 route wins: 8 + 8 = 16 beats 12 + 3 + 12 = 27.
+    assert_eq!(path.cost(), Cost::new(16));
+    assert!(path.is_lightpath());
+    Ok(())
+}

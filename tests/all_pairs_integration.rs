@@ -1,0 +1,102 @@
+//! E5 — all-pairs optimal semilightpaths: Corollary 1 (centralized over
+//! `G_all`) and Corollary 2 (distributed), cross-validated pairwise.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use wdm::core::instance::{random_network, InstanceConfig};
+use wdm::distributed::all_pairs::distributed_all_pairs;
+use wdm::prelude::*;
+
+fn nsf_instance(seed: u64, k: usize) -> WdmNetwork {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    random_network(
+        wdm::graph::topology::nsfnet(),
+        &InstanceConfig::standard(k),
+        &mut rng,
+    )
+    .expect("valid")
+}
+
+#[test]
+fn corollary1_matrix_matches_pairwise_routing() {
+    let net = nsf_instance(1, 3);
+    let ap = AllPairs::solve(&net);
+    let router = LiangShenRouter::new();
+    for s in 0..net.node_count() {
+        for t in 0..net.node_count() {
+            let (sn, tn) = (NodeId::new(s), NodeId::new(t));
+            assert_eq!(
+                ap.cost(sn, tn),
+                router.route(&net, sn, tn).expect("ok").cost(),
+                "{s} → {t}"
+            );
+        }
+    }
+}
+
+#[test]
+fn corollary2_distributed_matches_corollary1() {
+    let net = nsf_instance(2, 3);
+    let central = AllPairs::solve(&net);
+    let distributed = distributed_all_pairs(&net).expect("terminates");
+    for s in 0..net.node_count() {
+        for t in 0..net.node_count() {
+            let (sn, tn) = (NodeId::new(s), NodeId::new(t));
+            assert_eq!(central.cost(sn, tn), distributed.cost(sn, tn), "{s} → {t}");
+        }
+    }
+}
+
+#[test]
+fn g_all_is_built_once_and_respects_bounds() {
+    let net = nsf_instance(3, 5);
+    let ap = AllPairs::solve(&net);
+    let stats = ap.aux_stats();
+    stats.check_paper_bounds().expect("Observations hold");
+    // G_all adds 2n terminals and Σ(|X_v| + |Y_v|) tap edges.
+    assert_eq!(stats.terminal_nodes, 2 * net.node_count());
+    assert_eq!(stats.tap_edges, stats.core_nodes);
+    // n Dijkstra runs each settle at most |V_all| nodes.
+    assert!(ap.total_settled() <= net.node_count() * stats.total_nodes());
+}
+
+#[test]
+fn all_pairs_triangle_inequality() {
+    // Optimal costs must satisfy d(s,t) ≤ d(s,v) + d(v,t): concatenating
+    // two optimal semilightpaths is a valid semilightpath when the
+    // junction conversion is free... which it is not in general. But with
+    // AllFree conversion the inequality is exact.
+    let mut rng = SmallRng::seed_from_u64(4);
+    let config = InstanceConfig {
+        k: 3,
+        availability: wdm::prelude::Availability::Probability(0.7),
+        link_cost: (5, 40),
+        conversion: wdm::prelude::ConversionSpec::AllFree,
+    };
+    let net = random_network(wdm::graph::topology::abilene(), &config, &mut rng)
+        .expect("valid");
+    let ap = AllPairs::solve(&net);
+    let n = net.node_count();
+    for s in 0..n {
+        for v in 0..n {
+            for t in 0..n {
+                let (sn, vn, tn) = (NodeId::new(s), NodeId::new(v), NodeId::new(t));
+                assert!(
+                    ap.cost(sn, tn) <= ap.cost(sn, vn) + ap.cost(vn, tn),
+                    "triangle violated: {s} → {v} → {t}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn distributed_all_pairs_reports_complexity() {
+    let net = nsf_instance(5, 2);
+    let ap = distributed_all_pairs(&net).expect("terminates");
+    assert!(ap.total_messages() > 0);
+    assert!(ap.pipelined_makespan > 0);
+    assert!(ap.pipelined_makespan <= ap.sequential_makespan);
+    // Measured messages within a small constant of the k²n² bound.
+    assert!(ap.total_messages() <= 8 * ap.corollary2_bound(&net));
+}

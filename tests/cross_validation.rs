@@ -1,0 +1,173 @@
+//! Property-based cross-validation of the four independent solvers:
+//! Liang–Shen (layered graph), CFZ (wavelength graph), the state-space
+//! reference oracle, and the distributed Theorem-3 protocol.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use wdm::core::instance::{random_network, Availability, ConversionSpec, InstanceConfig};
+use wdm::core::reference::reference_route;
+use wdm::prelude::*;
+
+/// Instance families with triangle-consistent conversion costs (where all
+/// four solvers must agree exactly — see the CFZ chain caveat).
+fn triangle_consistent_config(k: usize, which: u8) -> InstanceConfig {
+    let conversion = match which % 3 {
+        0 => ConversionSpec::NoConversion,
+        1 => ConversionSpec::AllFree,
+        _ => ConversionSpec::Uniform { lo: 1, hi: 4 },
+    };
+    InstanceConfig {
+        k,
+        availability: Availability::Probability(0.6),
+        link_cost: (5, 60),
+        conversion,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn four_solvers_agree_on_triangle_consistent_instances(
+        seed in 0u64..10_000,
+        k in 1usize..5,
+        conv in 0u8..3,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let graph = wdm::graph::topology::random_sparse(9, 4, 4, &mut rng).expect("feasible");
+        let net = random_network(graph, &triangle_consistent_config(k, conv), &mut rng)
+            .expect("valid");
+        let ls = LiangShenRouter::new();
+        let cfz = CfzRouter::new();
+        for s in 0..net.node_count() {
+            let tree = wdm::distributed_tree(&net, NodeId::new(s)).expect("terminates");
+            for t in 0..net.node_count() {
+                let (sn, tn) = (NodeId::new(s), NodeId::new(t));
+                let a = ls.route(&net, sn, tn).expect("ok").cost();
+                let b = cfz.route(&net, sn, tn).expect("ok").cost();
+                let c = reference_route(&net, sn, tn)
+                    .expect("ok")
+                    .map(|p| p.cost())
+                    .unwrap_or(Cost::INFINITY);
+                let d = if s == t { Cost::ZERO } else { tree.costs[t] };
+                prop_assert_eq!(a, b, "LS vs CFZ at {} → {}", s, t);
+                prop_assert_eq!(a, c, "LS vs reference at {} → {}", s, t);
+                prop_assert_eq!(a, d, "LS vs distributed at {} → {}", s, t);
+            }
+        }
+    }
+
+    /// On arbitrary (possibly chain-inconsistent) instances, LS, the
+    /// reference oracle, and the distributed protocol still agree —
+    /// they all implement Equation (1) exactly.
+    #[test]
+    fn equation1_solvers_agree_on_arbitrary_instances(
+        seed in 0u64..10_000,
+        density in 0.1f64..0.9,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let graph = wdm::graph::topology::random_sparse(8, 4, 4, &mut rng).expect("feasible");
+        let config = InstanceConfig {
+            k: 4,
+            availability: Availability::Probability(0.5),
+            link_cost: (1, 30),
+            conversion: ConversionSpec::RandomMatrix { density, lo: 1, hi: 10 },
+        };
+        let net = random_network(graph, &config, &mut rng).expect("valid");
+        let ls = LiangShenRouter::new();
+        for s in 0..net.node_count() {
+            let tree = wdm::distributed_tree(&net, NodeId::new(s)).expect("terminates");
+            for t in 0..net.node_count() {
+                let (sn, tn) = (NodeId::new(s), NodeId::new(t));
+                let a = ls.route(&net, sn, tn).expect("ok").cost();
+                let c = reference_route(&net, sn, tn)
+                    .expect("ok")
+                    .map(|p| p.cost())
+                    .unwrap_or(Cost::INFINITY);
+                let d = if s == t { Cost::ZERO } else { tree.costs[t] };
+                prop_assert_eq!(a, c, "LS vs reference at {} → {}", s, t);
+                prop_assert_eq!(a, d, "LS vs distributed at {} → {}", s, t);
+            }
+        }
+    }
+
+    /// Every path any solver returns validates against the network and
+    /// has a recomputed cost equal to its recorded cost.
+    #[test]
+    fn returned_paths_always_validate(
+        seed in 0u64..10_000,
+        k in 1usize..6,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let graph = wdm::graph::topology::random_sparse(10, 5, 4, &mut rng).expect("feasible");
+        let net = random_network(graph, &InstanceConfig::standard(k), &mut rng).expect("valid");
+        let ls = LiangShenRouter::new();
+        for s in 0..net.node_count() {
+            for t in 0..net.node_count() {
+                let (sn, tn) = (NodeId::new(s), NodeId::new(t));
+                if let Some(p) = ls.route(&net, sn, tn).expect("ok").path {
+                    p.validate(&net).expect("LS path valid");
+                    if s != t {
+                        assert_eq!(p.source(&net), Some(sn));
+                        assert_eq!(p.target(&net), Some(tn));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Heap choice never changes the computed optimum (E9 sanity).
+    #[test]
+    fn heap_ablation_is_cost_invariant(seed in 0u64..10_000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let graph = wdm::graph::topology::random_sparse(10, 5, 4, &mut rng).expect("feasible");
+        let net = random_network(graph, &InstanceConfig::standard(4), &mut rng).expect("valid");
+        let costs: Vec<Cost> = HeapKind::ALL
+            .iter()
+            .map(|&h| {
+                LiangShenRouter::with_heap(h)
+                    .route(&net, 0.into(), 5.into())
+                    .expect("ok")
+                    .cost()
+            })
+            .collect();
+        prop_assert!(costs.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    /// Optimality is monotone in resources: removing a wavelength from
+    /// the universe can never make routes cheaper.
+    #[test]
+    fn cost_is_monotone_in_wavelength_availability(seed in 0u64..10_000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let graph = wdm::graph::topology::random_sparse(8, 4, 4, &mut rng).expect("feasible");
+        let rich = random_network(
+            graph.clone(),
+            &InstanceConfig {
+                k: 4,
+                availability: Availability::Full,
+                link_cost: (5, 50),
+                conversion: ConversionSpec::AllFree,
+            },
+            &mut rng,
+        ).expect("valid");
+        // Restrict: drop wavelength 3 from every link (keep same costs).
+        let mut builder = WdmNetwork::builder(graph, 4)
+            .uniform_conversion(ConversionPolicy::Free);
+        for (e, _) in rich.graph().links() {
+            let entries: Vec<(wdm::Wavelength, Cost)> = rich
+                .wavelengths_on(e)
+                .iter()
+                .filter(|(w, _)| w.index() != 3)
+                .collect();
+            builder = builder.link_wavelengths_typed(e, entries);
+        }
+        let poor = builder.build().expect("valid");
+        let ls = LiangShenRouter::new();
+        for t in 1..poor.node_count() {
+            let rich_cost = ls.route(&rich, 0.into(), NodeId::new(t)).expect("ok").cost();
+            let poor_cost = ls.route(&poor, 0.into(), NodeId::new(t)).expect("ok").cost();
+            prop_assert!(rich_cost <= poor_cost, "dest {}", t);
+        }
+    }
+}

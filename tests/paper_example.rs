@@ -1,0 +1,107 @@
+//! E1 — end-to-end reproduction of the paper's worked example
+//! (Figs. 1–4) through the public `wdm` API.
+
+use wdm::core::paper_example;
+use wdm::prelude::*;
+use wdm::AuxiliaryGraph;
+
+#[test]
+fn figure_1_network_shape() {
+    let net = paper_example::network();
+    assert_eq!(net.node_count(), 7);
+    assert_eq!(net.link_count(), 11);
+    assert_eq!(net.k(), 4);
+    // Σ_e |Λ(e)| = 2+3+2+3+2+2+1+2+2+2+3 = 24 multigraph links (Fig. 2).
+    assert_eq!(net.multigraph_link_count(), 24);
+    assert_eq!(net.k0(), 3);
+}
+
+#[test]
+fn figure_2_lambda_tables() {
+    let net = paper_example::network();
+    for v in 0..7 {
+        let node = NodeId::new(v);
+        let lin: Vec<usize> = net.lambda_in(node).iter().map(|w| w.index()).collect();
+        let lout: Vec<usize> = net.lambda_out(node).iter().map(|w| w.index()).collect();
+        assert_eq!(lin, paper_example::LAMBDA_IN[v], "Λ_in at paper node {}", v + 1);
+        assert_eq!(lout, paper_example::LAMBDA_OUT[v], "Λ_out at paper node {}", v + 1);
+    }
+}
+
+#[test]
+fn figures_3_and_4_construction_sizes() {
+    let net = paper_example::network();
+    let aux = AuxiliaryGraph::core(&net);
+    let stats = aux.stats();
+    // |V'| = Σ (|X_v| + |Y_v|); from the Λ tables:
+    // (2+4) + (2+4) + (3+3) + (4+1) + (1+4) + (2+3) + (4+0) = 37.
+    assert_eq!(stats.core_nodes, 37);
+    // |E_org| = Σ_e |Λ(e)| = 24.
+    assert_eq!(stats.multigraph_links, 24);
+    stats.check_paper_bounds().expect("Observations 1–3 hold");
+    // Observation 2 upper bounds: |V'| ≤ 2kn = 56, Σ|E_v| ≤ k²n = 112.
+    assert!(stats.core_nodes <= 2 * 4 * 7);
+    assert!(stats.conversion_edges <= 4 * 4 * 7);
+}
+
+#[test]
+fn g_st_from_node_1_to_node_7() {
+    let net = paper_example::network();
+    let aux = AuxiliaryGraph::for_pair(&net, NodeId::new(0), NodeId::new(6));
+    let stats = aux.stats();
+    // s' taps |Y_1| = 4 states; t'' taps |X_7| = 4 states.
+    assert_eq!(stats.terminal_nodes, 2);
+    assert_eq!(stats.tap_edges, 8);
+    // The paper's bound: nodes ≤ 2kn + 2 and links ≤ k²n + 2k + km.
+    assert!(stats.total_nodes() <= 2 * 4 * 7 + 2);
+    assert!(stats.total_edges() <= 4 * 4 * 7 + 2 * 4 + 4 * 11);
+}
+
+#[test]
+fn optimal_routes_from_every_source_to_node_7() {
+    let net = paper_example::network();
+    let router = LiangShenRouter::new();
+    for s in 0..6 {
+        let result = router
+            .route(&net, NodeId::new(s), NodeId::new(6))
+            .expect("in range");
+        let path = result
+            .path
+            .unwrap_or_else(|| panic!("paper node {} reaches node 7", s + 1));
+        path.validate(&net).expect("valid semilightpath");
+        // Independent oracle agreement.
+        let oracle = wdm::core::reference::reference_route(&net, NodeId::new(s), NodeId::new(6))
+            .expect("in range")
+            .expect("reachable");
+        assert_eq!(path.cost(), oracle.cost(), "paper source {}", s + 1);
+    }
+}
+
+#[test]
+fn distributed_protocol_agrees_on_the_example() {
+    let net = paper_example::network();
+    let router = LiangShenRouter::new();
+    for s in 0..6 {
+        let tree = wdm::distributed_tree(&net, NodeId::new(s)).expect("terminates");
+        assert!(tree.root_detected_termination);
+        for t in 0..7 {
+            let central = router
+                .route(&net, NodeId::new(s), NodeId::new(t))
+                .expect("in range")
+                .cost();
+            let dist = if s == t { Cost::ZERO } else { tree.costs[t] };
+            assert_eq!(central, dist, "paper pair {} → {}", s + 1, t + 1);
+        }
+    }
+}
+
+#[test]
+fn all_pairs_matrix_on_the_example() {
+    let net = paper_example::network();
+    let ap = AllPairs::solve(&net);
+    // Node 7 (index 6) is a pure sink: column reachable, row unreachable.
+    for v in 0..6 {
+        assert!(ap.cost(NodeId::new(v), NodeId::new(6)).is_finite());
+        assert!(ap.cost(NodeId::new(6), NodeId::new(v)).is_infinite());
+    }
+}

@@ -1,0 +1,124 @@
+//! E7 — Theorem 2 and the Fig. 5/6 node-revisit phenomenon.
+//!
+//! Without the restrictions, an optimal semilightpath may enter a node
+//! twice on different wavelengths (the paper's Fig. 5). Under
+//! Restrictions 1 + 2, Theorem 2 guarantees node-simplicity; the property
+//! test checks the implication over random instances.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use wdm::core::instance::theorem2_instance;
+use wdm::core::restrictions;
+use wdm::prelude::*;
+use wdm::{ConversionMatrix, Wavelength};
+
+/// Builds the Fig. 5 gadget: the only s → t route enters node `w` twice.
+///
+/// Nodes: s = 0, w = 1, detour = 2, t = 3.
+/// The direct conversion λ0 → λ3 at `w` is forbidden, so the path must
+/// leave `w`, convert at the detour node, and come back.
+fn revisit_gadget() -> WdmNetwork {
+    let g = DiGraph::from_links(4, [(0, 1), (1, 2), (2, 1), (1, 3)]);
+    // Conversions at w (node 1): λ0→λ1 and λ2→λ3 only.
+    let mut at_w = ConversionMatrix::forbidden(4);
+    at_w.set(Wavelength::new(0), Wavelength::new(1), Cost::new(1));
+    at_w.set(Wavelength::new(2), Wavelength::new(3), Cost::new(1));
+    // Conversion at the detour node: λ1→λ2.
+    let mut at_detour = ConversionMatrix::forbidden(4);
+    at_detour.set(Wavelength::new(1), Wavelength::new(2), Cost::new(1));
+    WdmNetwork::builder(g, 4)
+        .link_wavelengths(0, [(0, 10)]) // s → w on λ0
+        .link_wavelengths(1, [(1, 10)]) // w → detour on λ1
+        .link_wavelengths(2, [(2, 10)]) // detour → w on λ2
+        .link_wavelengths(3, [(3, 10)]) // w → t on λ3
+        .conversion(1, ConversionPolicy::Matrix(at_w))
+        .conversion(2, ConversionPolicy::Matrix(at_detour))
+        .build()
+        .expect("valid gadget")
+}
+
+#[test]
+fn figure_5_optimal_path_revisits_a_node() {
+    let net = revisit_gadget();
+    // The gadget violates Restriction 1 at node w (λ0 ∈ Λ_in, λ3 ∈ Λ_out,
+    // but λ0 → λ3 is forbidden).
+    assert!(!restrictions::satisfies_restriction1(&net));
+    assert!(!restrictions::theorem2_applies(&net));
+
+    let path = find_optimal_semilightpath(&net, 0.into(), 3.into())
+        .expect("in range")
+        .expect("reachable via the revisit");
+    path.validate(&net).expect("valid");
+    // 4 links × 10 + 3 conversions × 1 = 43.
+    assert_eq!(path.cost(), Cost::new(43));
+    assert_eq!(path.len(), 4);
+    assert!(!path.is_node_simple(&net), "the path enters w twice");
+    assert_eq!(path.node_visit_counts(&net)[1], 2);
+    // Fig. 6: four lightpath segments chained by three conversions.
+    assert_eq!(path.conversion_count(), 3);
+    assert_eq!(path.lightpath_segments().len(), 4);
+}
+
+#[test]
+fn figure_5_distributed_agrees() {
+    let net = revisit_gadget();
+    let out = wdm::route_distributed(&net, 0.into(), 3.into()).expect("terminates");
+    assert_eq!(out.cost, Cost::new(43));
+    let p = out.path.expect("reachable");
+    p.validate(&net).expect("valid");
+    assert!(!p.is_node_simple(&net));
+}
+
+#[test]
+fn restriction2_repairs_the_gadget_shape() {
+    // Same topology but full cheap conversion everywhere: Theorem 2
+    // applies and the optimal path is the 2-hop simple route s → w → t.
+    let g = DiGraph::from_links(4, [(0, 1), (1, 2), (2, 1), (1, 3)]);
+    let net = WdmNetwork::builder(g, 4)
+        .link_wavelengths(0, [(0, 10)])
+        .link_wavelengths(1, [(1, 10)])
+        .link_wavelengths(2, [(2, 10)])
+        .link_wavelengths(3, [(3, 10)])
+        .uniform_conversion(ConversionPolicy::Uniform(Cost::new(1)))
+        .build()
+        .expect("valid");
+    assert!(restrictions::theorem2_applies(&net));
+    let path = find_optimal_semilightpath(&net, 0.into(), 3.into())
+        .expect("in range")
+        .expect("reachable");
+    assert!(path.is_node_simple(&net));
+    assert_eq!(path.cost(), Cost::new(21)); // 10 + 1 + 10
+    assert_eq!(path.len(), 2);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Theorem 2: on restriction-satisfying instances every optimal
+    /// semilightpath is node-simple.
+    #[test]
+    fn theorem2_holds_on_random_instances(seed in 0u64..500) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let graph = wdm::graph::topology::random_sparse(12, 6, 4, &mut rng)
+            .expect("feasible");
+        let net = theorem2_instance(graph, 4, &mut rng).expect("valid");
+        prop_assume!(restrictions::theorem2_applies(&net));
+        let router = LiangShenRouter::new();
+        for s in 0..net.node_count() {
+            for t in 0..net.node_count() {
+                if s == t { continue; }
+                let r = router
+                    .route(&net, NodeId::new(s), NodeId::new(t))
+                    .expect("in range");
+                if let Some(path) = r.path {
+                    path.validate(&net).expect("valid");
+                    prop_assert!(
+                        path.is_node_simple(&net),
+                        "Theorem 2 violated: seed {seed}, pair {s} → {t}, path {path}"
+                    );
+                }
+            }
+        }
+    }
+}

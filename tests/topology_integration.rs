@@ -1,0 +1,153 @@
+//! Routing across every topology family the library ships: reference
+//! WANs, rings, grids, tori, and the random generators — end-to-end
+//! through the public API.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use wdm::core::instance::{random_network, Availability, ConversionSpec, InstanceConfig};
+use wdm::graph::metrics;
+use wdm::graph::topology::{self, ReferenceTopology, WaxmanParams};
+use wdm::prelude::*;
+
+fn full_availability_config(k: usize) -> InstanceConfig {
+    InstanceConfig {
+        k,
+        availability: Availability::Full,
+        link_cost: (10, 10),
+        conversion: ConversionSpec::AllFree,
+    }
+}
+
+#[test]
+fn full_availability_routing_equals_hop_distance() {
+    // With every wavelength on every link at cost 10 and free conversion,
+    // the optimal semilightpath cost is 10 × BFS hop distance — an exact
+    // oracle on any topology.
+    let mut rng = SmallRng::seed_from_u64(1);
+    let graphs = vec![
+        topology::ring(9, true),
+        topology::grid(3, 4),
+        topology::torus(3, 3),
+        topology::nsfnet(),
+        topology::random_sparse(15, 8, 4, &mut rng).expect("feasible"),
+    ];
+    for g in graphs {
+        let hops = metrics::bfs_hops(&g, 0.into());
+        let net = random_network(g, &full_availability_config(3), &mut rng).expect("valid");
+        let router = LiangShenRouter::new();
+        for (t, hop) in hops.iter().enumerate() {
+            let cost = router.route(&net, 0.into(), NodeId::new(t)).expect("ok").cost();
+            match hop {
+                Some(h) => assert_eq!(cost, Cost::new(10 * *h as u64), "dest {t}"),
+                None => assert!(cost.is_infinite(), "dest {t}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn every_reference_topology_routes_all_pairs_with_enough_wavelengths() {
+    for topo in ReferenceTopology::ALL {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let net = random_network(
+            topo.build(),
+            &InstanceConfig {
+                k: 4,
+                availability: Availability::Full,
+                link_cost: (1, 100),
+                conversion: ConversionSpec::Uniform { lo: 1, hi: 1 },
+            },
+            &mut rng,
+        )
+        .expect("valid");
+        let ap = AllPairs::solve(&net);
+        // Strongly connected + full availability + full conversion ⇒
+        // every pair reachable.
+        for s in 0..net.node_count() {
+            for t in 0..net.node_count() {
+                assert!(
+                    ap.cost(NodeId::new(s), NodeId::new(t)).is_finite(),
+                    "{topo}: {s} → {t} unreachable"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn waxman_and_geometric_instances_route() {
+    let mut rng = SmallRng::seed_from_u64(21);
+    let wax = topology::waxman(20, WaxmanParams::default(), &mut rng).expect("valid");
+    let geo = topology::random_geometric(20, 0.25, &mut rng).expect("valid");
+    for g in [wax, geo] {
+        assert!(metrics::is_strongly_connected(&g));
+        let net = random_network(g, &InstanceConfig::standard(4), &mut rng).expect("valid");
+        let router = LiangShenRouter::new();
+        let mut reached = 0;
+        for t in 1..net.node_count() {
+            if router
+                .route(&net, 0.into(), NodeId::new(t))
+                .expect("ok")
+                .path
+                .is_some()
+            {
+                reached += 1;
+            }
+        }
+        // Sparse availability can block some pairs, but most must route.
+        assert!(reached >= net.node_count() / 2, "only {reached} reachable");
+    }
+}
+
+#[test]
+fn single_wavelength_network_is_pure_lightpath_routing() {
+    // k = 1 degenerates to ordinary shortest paths; every route is a
+    // lightpath (no conversion possible or needed).
+    let mut rng = SmallRng::seed_from_u64(31);
+    let net = random_network(
+        topology::geant(),
+        &full_availability_config(1),
+        &mut rng,
+    )
+    .expect("valid");
+    let router = LiangShenRouter::new();
+    for t in 1..net.node_count() {
+        if let Some(p) = router.route(&net, 0.into(), NodeId::new(t)).expect("ok").path {
+            assert!(p.is_lightpath());
+            p.validate(&net).expect("valid");
+        }
+    }
+}
+
+#[test]
+fn k0_bounded_instances_behave_like_section_iv() {
+    // Large universe k = 64, but k0 = 2 per link: the auxiliary graph
+    // must stay small (Observation 4/5), independent of k.
+    let mut rng = SmallRng::seed_from_u64(47);
+    let net = random_network(
+        topology::nsfnet(),
+        &InstanceConfig::bounded(64, 2),
+        &mut rng,
+    )
+    .expect("valid");
+    assert_eq!(net.k(), 64);
+    assert!(net.k0() <= 2);
+    let r = LiangShenRouter::new()
+        .route(&net, 0.into(), 13.into())
+        .expect("ok");
+    let stats = r.aux_stats.expect("layered construction");
+    let (n, m, d, k0) = (
+        net.node_count(),
+        net.link_count(),
+        net.graph().max_degree(),
+        net.k0(),
+    );
+    // Observation 5 (with the factor 2 the paper's statement drops:
+    // each link's wavelengths enter both the head's X set and the tail's
+    // Y set, so |V'| ≤ 2·Σ|Λ(e)| ≤ 2·m·k0): nodes O(mk0), edges
+    // O(d²nk0² + mk0).
+    assert!(stats.core_nodes <= 2 * m * k0);
+    assert!(stats.conversion_edges + stats.multigraph_links <= d * d * n * k0 * k0 + m * k0);
+    // Crucially: far smaller than the unrestricted 2kn bound.
+    assert!(stats.core_nodes < 2 * net.k() * n / 4);
+}
