@@ -1,0 +1,38 @@
+//! E11 (bench) — parallel all-pairs: the Corollary-1 matrix computed by
+//! `AllPairs::solve_parallel`, fanning the n independent source trees
+//! across worker threads, against the serial `solve_with` baseline on
+//! the same e5-scale instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wdm_bench::sparse_instance;
+use wdm_core::{AllPairs, HeapKind};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_parallel_all_pairs");
+    group.sample_size(10);
+    for n in [8usize, 16, 32, 64] {
+        let net = sparse_instance(n, 4, n as u64);
+        group.bench_with_input(BenchmarkId::new("serial", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(AllPairs::solve_with(&net, HeapKind::Fibonacci)));
+        });
+        for threads in [2usize, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("threads{threads}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        std::hint::black_box(AllPairs::solve_parallel(
+                            &net,
+                            HeapKind::Fibonacci,
+                            threads,
+                        ))
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -60,7 +60,9 @@ USAGE:
                   ring:<n> | grid:<r>x<c> | sparse:<n>
   wdm info <file.wdm>
   wdm route <file.wdm> <src> <dst> [--alternates <k>] [--distributed] [--baseline]
-  wdm all-pairs <file.wdm>
+  wdm all-pairs <file.wdm> [--parallel] [--threads <n>]
+      --parallel uses all cores; --threads <n> pins the worker count
+      (the matrix is identical either way — see AllPairs::solve_parallel)
   wdm protect <file.wdm> <src> <dst> [--physical]
   wdm export <file.wdm>           (Graphviz DOT with wavelength labels)
   wdm help";
@@ -368,8 +370,28 @@ fn cmd_protect(args: &[String], out: &mut String) -> i32 {
 }
 
 fn cmd_all_pairs(args: &[String], out: &mut String) -> i32 {
-    let [path] = args else {
-        return usage_error(out, "all-pairs takes exactly one file");
+    let mut path: Option<&String> = None;
+    let mut parallel = false;
+    let mut threads: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--parallel" => parallel = true,
+            "--threads" => {
+                threads = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(0) | None => return usage_error(out, "bad --threads (want n >= 1)"),
+                    some => some,
+                }
+            }
+            flag if flag.starts_with("--") => {
+                return usage_error(out, &format!("unknown flag `{flag}`"))
+            }
+            _ if path.is_none() => path = Some(a),
+            extra => return usage_error(out, &format!("unexpected argument `{extra}`")),
+        }
+    }
+    let Some(path) = path else {
+        return usage_error(out, "all-pairs takes one file");
     };
     let net = match load(path, out) {
         Ok(n) => n,
@@ -380,7 +402,12 @@ fn cmd_all_pairs(args: &[String], out: &mut String) -> i32 {
         let _ = writeln!(out, "error: all-pairs table limited to 64 nodes (have {n})");
         return 1;
     }
-    let ap = AllPairs::solve(&net);
+    // `--threads n` implies parallel; bare `--parallel` auto-sizes (0).
+    let ap = match (parallel, threads) {
+        (_, Some(t)) => AllPairs::solve_parallel(&net, wdm_core::HeapKind::Fibonacci, t),
+        (true, None) => AllPairs::solve_parallel(&net, wdm_core::HeapKind::Fibonacci, 0),
+        (false, None) => AllPairs::solve(&net),
+    };
     let _ = write!(out, "{:>5}", "");
     for t in 0..n {
         let _ = write!(out, "{t:>7}");
@@ -564,6 +591,45 @@ mod tests {
         assert!(out.contains("primary") || out.contains("no disjoint pair"));
         let (code, _) = run_args(&["protect", &file_s, "0", "13", "--physical"]);
         assert_eq!(code, 0);
+        std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn all_pairs_parallel_flags() {
+        let dir = std::env::temp_dir().join("wdm-cli-test-parallel");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let file = dir.join("ap.wdm");
+        let file_s = file.to_str().expect("utf8").to_string();
+        let (code, _) = run_args(&[
+            "gen", "--topology", "nsfnet", "--k", "4", "--seed", "9", "-o", &file_s,
+        ]);
+        assert_eq!(code, 0);
+
+        let (code, serial) = run_args(&["all-pairs", &file_s]);
+        assert_eq!(code, 0, "{serial}");
+        // Determinism contract: the printed matrix is byte-identical
+        // however the computation is spread across threads.
+        for extra in [
+            vec!["--parallel"],
+            vec!["--threads", "1"],
+            vec!["--threads", "3"],
+            vec!["--parallel", "--threads", "2"],
+        ] {
+            let mut args = vec!["all-pairs", file_s.as_str()];
+            args.extend(extra.iter().copied());
+            let (code, out) = run_args(&args);
+            assert_eq!(code, 0, "{extra:?}: {out}");
+            assert_eq!(out, serial, "{extra:?}");
+        }
+
+        let (code, _) = run_args(&["all-pairs", &file_s, "--threads", "0"]);
+        assert_eq!(code, 2, "--threads 0 is a usage error");
+        let (code, _) = run_args(&["all-pairs", &file_s, "--threads", "x"]);
+        assert_eq!(code, 2);
+        let (code, _) = run_args(&["all-pairs", &file_s, "--bogus"]);
+        assert_eq!(code, 2);
+        let (code, _) = run_args(&["all-pairs", "--parallel"]);
+        assert_eq!(code, 2, "file is still required");
         std::fs::remove_file(&file).ok();
     }
 

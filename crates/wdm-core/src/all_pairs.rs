@@ -6,10 +6,28 @@
 //! `O(k²n² + kmn + kn²·log(kn))` in total.
 
 use crate::auxiliary::{AuxStats, AuxiliaryGraph};
-use crate::dijkstra::dijkstra_with;
+use crate::csr::CsrGraph;
+use crate::dijkstra::{dijkstra_with, DijkstraWorkspace};
 use crate::{Cost, Semilightpath, WdmNetwork};
-use heaps::HeapKind;
+use heaps::{
+    ArrayHeap, BinaryHeap, FibonacciHeap, HeapKind, IndexedPriorityQueue, LeftistHeap,
+    PairingHeap, SkewHeap,
+};
 use wdm_graph::NodeId;
+
+// The parallel solver shares one auxiliary graph across worker threads,
+// so the read-only structures must be `Send + Sync`. They are composed
+// exclusively of `Vec`s of `Copy` data, which makes the auto-traits
+// hold; these assertions turn any future regression (say, an `Rc` or
+// `Cell` slipping into `CsrGraph`) into a compile error here rather
+// than a cryptic one at the `thread::scope` call site.
+fn _assert_shared_state_is_send_sync() {
+    fn ok<T: Send + Sync>() {}
+    ok::<CsrGraph>();
+    ok::<AuxiliaryGraph>();
+    ok::<WdmNetwork>();
+    ok::<AllPairs>();
+}
 
 /// The all-pairs cost matrix plus the machinery to re-derive paths.
 ///
@@ -78,6 +96,88 @@ impl AllPairs {
         }
     }
 
+    /// Solves all pairs across `threads` worker threads.
+    ///
+    /// Corollary 1 computes the all-pairs matrix as `n` *independent*
+    /// shortest-path trees over one shared terminal-equipped auxiliary
+    /// graph `G_all`; nothing couples one source's tree to another's.
+    /// This method exploits that structure directly: the row-major cost
+    /// matrix is split into contiguous, disjoint row chunks
+    /// (`chunks_mut`), each worker thread owns one chunk, and every
+    /// worker reuses a single [`DijkstraWorkspace`] and heap across its
+    /// sources so the steady state is allocation-free.
+    ///
+    /// `threads == 0` uses [`std::thread::available_parallelism`];
+    /// `threads == 1` runs inline on the calling thread. Thread counts
+    /// above `n` are clamped to `n`.
+    ///
+    /// # Determinism
+    ///
+    /// The result is **bit-identical** to [`AllPairs::solve_with`] with
+    /// the same heap, for every thread count: each matrix row is a pure
+    /// function of (`G_all`, source, heap kind), the partition into
+    /// chunks never changes what any single row computes, and the
+    /// settled-count total is a sum of per-row counts, which is
+    /// independent of summation order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use heaps::HeapKind;
+    /// use wdm_core::AllPairs;
+    /// use wdm_graph::DiGraph;
+    ///
+    /// let g = DiGraph::from_links(3, [(0, 1), (1, 2), (2, 0)]);
+    /// let net = wdm_core::WdmNetwork::builder(g, 1)
+    ///     .link_wavelengths(0, [(0, 1)])
+    ///     .link_wavelengths(1, [(0, 1)])
+    ///     .link_wavelengths(2, [(0, 1)])
+    ///     .build()?;
+    /// let serial = AllPairs::solve_with(&net, HeapKind::Binary);
+    /// let parallel = AllPairs::solve_parallel(&net, HeapKind::Binary, 2);
+    /// for s in 0..3 {
+    ///     for t in 0..3 {
+    ///         assert_eq!(parallel.cost(s.into(), t.into()), serial.cost(s.into(), t.into()));
+    ///     }
+    /// }
+    /// assert_eq!(parallel.total_settled(), serial.total_settled());
+    /// # Ok::<(), wdm_core::WdmError>(())
+    /// ```
+    pub fn solve_parallel(network: &WdmNetwork, heap: HeapKind, threads: usize) -> Self {
+        let n = network.node_count();
+        let aux = AuxiliaryGraph::for_all_pairs(network);
+        let threads = resolve_thread_count(threads, n);
+        let mut costs = vec![Cost::INFINITY; n * n];
+        let total_settled = if threads <= 1 {
+            solve_rows_with(heap, &aux, 0, &mut costs, n)
+        } else {
+            // ceil-divide so every thread gets work and the remainder
+            // lands on the last (possibly shorter) chunk.
+            let chunk_rows = n.div_ceil(threads);
+            let mut settled_per_chunk = vec![0usize; n.div_ceil(chunk_rows.max(1)).max(1)];
+            std::thread::scope(|scope| {
+                for (chunk_index, (chunk, settled_slot)) in costs
+                    .chunks_mut(chunk_rows * n)
+                    .zip(settled_per_chunk.iter_mut())
+                    .enumerate()
+                {
+                    let aux = &aux;
+                    scope.spawn(move || {
+                        *settled_slot =
+                            solve_rows_with(heap, aux, chunk_index * chunk_rows, chunk, n);
+                    });
+                }
+            });
+            settled_per_chunk.iter().sum()
+        };
+        AllPairs {
+            n,
+            costs,
+            aux_stats: aux.stats(),
+            total_settled,
+        }
+    }
+
     /// Number of nodes in the underlying network.
     pub fn node_count(&self) -> usize {
         self.n
@@ -117,6 +217,73 @@ impl AllPairs {
             return None;
         }
         crate::find_optimal_semilightpath(network, s, t).ok().flatten()
+    }
+}
+
+/// Resolves a user-facing thread count (`0` = auto) to an effective
+/// worker count in `1..=n`.
+fn resolve_thread_count(threads: usize, n: usize) -> usize {
+    let requested = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+    requested.clamp(1, n.max(1))
+}
+
+/// Fills a chunk of matrix rows `[first_row, first_row + rows)` — one
+/// Dijkstra tree per row over the shared `G_all` — and returns the
+/// settled-node total. Monomorphized per heap so the heap kind is
+/// dispatched once per worker, not once per source.
+fn solve_rows<Q: IndexedPriorityQueue<Cost>>(
+    aux: &AuxiliaryGraph,
+    first_row: usize,
+    rows: &mut [Cost],
+    n: usize,
+) -> usize {
+    debug_assert_eq!(rows.len() % n.max(1), 0);
+    let aux_nodes = aux.graph().node_count();
+    let mut workspace = DijkstraWorkspace::with_capacity(aux_nodes);
+    let mut queue = Q::with_capacity(aux_nodes);
+    let mut total_settled = 0;
+    for (i, row) in rows.chunks_mut(n).enumerate() {
+        let s = first_row + i;
+        let source = aux
+            .source_terminal(NodeId::new(s))
+            .expect("all-pairs graph has terminals");
+        workspace.run(aux.graph(), source, &mut queue);
+        total_settled += workspace.stats().settled;
+        for (t, cell) in row.iter_mut().enumerate() {
+            *cell = if s == t {
+                Cost::ZERO
+            } else {
+                let sink = aux
+                    .sink_terminal(NodeId::new(t))
+                    .expect("all-pairs graph has terminals");
+                workspace.dist()[sink]
+            };
+        }
+    }
+    total_settled
+}
+
+/// Run-time heap dispatch for [`solve_rows`].
+fn solve_rows_with(
+    kind: HeapKind,
+    aux: &AuxiliaryGraph,
+    first_row: usize,
+    rows: &mut [Cost],
+    n: usize,
+) -> usize {
+    match kind {
+        HeapKind::Fibonacci => solve_rows::<FibonacciHeap<Cost>>(aux, first_row, rows, n),
+        HeapKind::Pairing => solve_rows::<PairingHeap<Cost>>(aux, first_row, rows, n),
+        HeapKind::Binary => solve_rows::<BinaryHeap<Cost>>(aux, first_row, rows, n),
+        HeapKind::Array => solve_rows::<ArrayHeap<Cost>>(aux, first_row, rows, n),
+        HeapKind::Skew => solve_rows::<SkewHeap<Cost>>(aux, first_row, rows, n),
+        HeapKind::Leftist => solve_rows::<LeftistHeap<Cost>>(aux, first_row, rows, n),
     }
 }
 
@@ -297,6 +464,42 @@ mod tests {
             }
         }
         assert_eq!(full.node_count(), 5);
+    }
+
+    #[test]
+    fn parallel_matches_serial_for_every_thread_count() {
+        let net = ring_network();
+        for heap in [HeapKind::Fibonacci, HeapKind::Array] {
+            let serial = AllPairs::solve_with(&net, heap);
+            for threads in [0, 1, 2, 3, 5, 8, 64] {
+                let parallel = AllPairs::solve_parallel(&net, heap, threads);
+                assert_eq!(parallel.costs, serial.costs, "{heap} × {threads} threads");
+                assert_eq!(
+                    parallel.total_settled(),
+                    serial.total_settled(),
+                    "{heap} × {threads} threads"
+                );
+                assert_eq!(parallel.aux_stats(), serial.aux_stats());
+                assert_eq!(parallel.node_count(), serial.node_count());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_handles_degenerate_networks() {
+        // Single node: a 1×1 matrix, nothing to search.
+        let net = WdmNetwork::builder(DiGraph::from_links(1, []), 1)
+            .build()
+            .expect("valid");
+        let ap = AllPairs::solve_parallel(&net, HeapKind::Binary, 4);
+        assert_eq!(ap.cost(0.into(), 0.into()), Cost::ZERO);
+
+        // Disconnected pair: infinities must survive the parallel path.
+        let g = DiGraph::from_links(2, []);
+        let net = WdmNetwork::builder(g, 1).build().expect("valid");
+        let ap = AllPairs::solve_parallel(&net, HeapKind::Fibonacci, 2);
+        assert_eq!(ap.cost(0.into(), 1.into()), Cost::INFINITY);
+        assert_eq!(ap.cost(1.into(), 0.into()), Cost::INFINITY);
     }
 
     #[test]

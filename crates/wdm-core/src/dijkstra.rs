@@ -58,6 +58,169 @@ impl ShortestPathTree {
     }
 }
 
+/// Reusable arenas for repeated Dijkstra runs over one graph.
+///
+/// Running `n` searches over the shared all-pairs auxiliary graph
+/// (Corollary 1) allocates three `O(kn)` vectors per search when done
+/// naively. A workspace keeps those arenas — distance, parent, and
+/// settled flags — alive across runs so each subsequent search only
+/// pays an `O(kn)` refill (a memset-speed fill, no allocator traffic).
+/// Combined with a reused heap (see [`IndexedPriorityQueue::clear`]),
+/// one source tree runs allocation-free after the first.
+///
+/// The computed tree is read in place via [`dist`](Self::dist) /
+/// [`parent`](Self::parent), or materialized with
+/// [`to_tree`](Self::to_tree) / [`into_tree`](Self::into_tree).
+///
+/// # Examples
+///
+/// ```
+/// use heaps::{FibonacciHeap, IndexedPriorityQueue};
+/// use wdm_core::{dijkstra::DijkstraWorkspace, AuxiliaryGraph, WdmNetwork};
+/// use wdm_graph::DiGraph;
+///
+/// let g = DiGraph::from_links(2, [(0, 1)]);
+/// let net = WdmNetwork::builder(g, 1).link_wavelengths(0, [(0, 4)]).build()?;
+/// let aux = AuxiliaryGraph::for_pair(&net, 0.into(), 1.into());
+/// let mut ws = DijkstraWorkspace::new();
+/// let mut queue = FibonacciHeap::with_capacity(aux.graph().node_count());
+/// ws.run(aux.graph(), aux.super_source().unwrap(), &mut queue);
+/// assert_eq!(ws.dist()[aux.super_sink().unwrap()], wdm_core::Cost::new(4));
+/// # Ok::<(), wdm_core::WdmError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DijkstraWorkspace {
+    dist: Vec<Cost>,
+    parent: Vec<Option<(usize, usize)>>,
+    settled: Vec<bool>,
+    stats: DijkstraStats,
+    source: usize,
+}
+
+impl DijkstraWorkspace {
+    /// An empty workspace; arenas grow on first [`run`](Self::run).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A workspace with arenas pre-sized for an `n`-node graph.
+    pub fn with_capacity(n: usize) -> Self {
+        DijkstraWorkspace {
+            dist: Vec::with_capacity(n),
+            parent: Vec::with_capacity(n),
+            settled: Vec::with_capacity(n),
+            stats: DijkstraStats::default(),
+            source: 0,
+        }
+    }
+
+    /// Resets the arenas for a graph of `n` nodes.
+    fn reset(&mut self, n: usize) {
+        self.dist.clear();
+        self.dist.resize(n, Cost::INFINITY);
+        self.parent.clear();
+        self.parent.resize(n, None);
+        self.settled.clear();
+        self.settled.resize(n, false);
+        self.stats = DijkstraStats::default();
+    }
+
+    /// Runs Dijkstra from `source`, reusing this workspace's arenas and
+    /// the caller's `queue` (cleared here before use).
+    ///
+    /// The result is identical to [`dijkstra`] with the same heap type:
+    /// arena reuse changes where the vectors live, never the sequence of
+    /// queue operations, so distances, parents, and stats are
+    /// bit-for-bit the same.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range or `queue` was created with a
+    /// capacity below the graph's node count (the indexed heaps address
+    /// items `0..capacity` and do not grow).
+    pub fn run<Q: IndexedPriorityQueue<Cost>>(
+        &mut self,
+        graph: &CsrGraph,
+        source: usize,
+        queue: &mut Q,
+    ) {
+        let n = graph.node_count();
+        assert!(source < n, "source {source} out of range");
+        assert!(
+            queue.capacity() >= n,
+            "queue capacity {} below node count {n}",
+            queue.capacity()
+        );
+        self.reset(n);
+        self.source = source;
+        queue.clear();
+
+        self.dist[source] = Cost::ZERO;
+        queue.push(source, Cost::ZERO);
+
+        while let Some((u, du)) = queue.pop_min() {
+            debug_assert_eq!(du, self.dist[u]);
+            self.settled[u] = true;
+            self.stats.settled += 1;
+            for edge in graph.out_edges(u) {
+                self.stats.relaxed += 1;
+                let v = edge.target;
+                if self.settled[v] {
+                    continue;
+                }
+                let candidate = du + edge.cost;
+                if candidate < self.dist[v] {
+                    self.dist[v] = candidate;
+                    self.parent[v] = Some((u, edge.index));
+                    queue.push_or_decrease(v, candidate);
+                    self.stats.improved += 1;
+                }
+            }
+        }
+    }
+
+    /// Distances from the last run's source.
+    pub fn dist(&self) -> &[Cost] {
+        &self.dist
+    }
+
+    /// Parent pointers from the last run.
+    pub fn parent(&self) -> &[Option<(usize, usize)>] {
+        &self.parent
+    }
+
+    /// Operation counters from the last run.
+    pub fn stats(&self) -> DijkstraStats {
+        self.stats
+    }
+
+    /// The source of the last run.
+    pub fn source(&self) -> usize {
+        self.source
+    }
+
+    /// Clones the last run's result into an owned tree (the workspace
+    /// stays usable).
+    pub fn to_tree(&self) -> ShortestPathTree {
+        ShortestPathTree {
+            dist: self.dist.clone(),
+            parent: self.parent.clone(),
+            source: self.source,
+            stats: self.stats,
+        }
+    }
+
+    /// Moves the last run's result into an owned tree without copying.
+    pub fn into_tree(self) -> ShortestPathTree {
+        ShortestPathTree {
+            dist: self.dist,
+            parent: self.parent,
+            source: self.source,
+            stats: self.stats,
+        }
+    }
+}
+
 /// Runs Dijkstra from `source` using heap `Q`.
 ///
 /// # Panics
@@ -79,43 +242,10 @@ impl ShortestPathTree {
 /// # Ok::<(), wdm_core::WdmError>(())
 /// ```
 pub fn dijkstra<Q: IndexedPriorityQueue<Cost>>(graph: &CsrGraph, source: usize) -> ShortestPathTree {
-    let n = graph.node_count();
-    assert!(source < n, "source {source} out of range");
-    let mut dist = vec![Cost::INFINITY; n];
-    let mut parent: Vec<Option<(usize, usize)>> = vec![None; n];
-    let mut settled = vec![false; n];
-    let mut stats = DijkstraStats::default();
-
-    let mut queue = Q::with_capacity(n);
-    dist[source] = Cost::ZERO;
-    queue.push(source, Cost::ZERO);
-
-    while let Some((u, du)) = queue.pop_min() {
-        debug_assert_eq!(du, dist[u]);
-        settled[u] = true;
-        stats.settled += 1;
-        for edge in graph.out_edges(u) {
-            stats.relaxed += 1;
-            let v = edge.target;
-            if settled[v] {
-                continue;
-            }
-            let candidate = du + edge.cost;
-            if candidate < dist[v] {
-                dist[v] = candidate;
-                parent[v] = Some((u, edge.index));
-                queue.push_or_decrease(v, candidate);
-                stats.improved += 1;
-            }
-        }
-    }
-
-    ShortestPathTree {
-        dist,
-        parent,
-        source,
-        stats,
-    }
+    let mut ws = DijkstraWorkspace::with_capacity(graph.node_count());
+    let mut queue = Q::with_capacity(graph.node_count());
+    ws.run(graph, source, &mut queue);
+    ws.into_tree()
 }
 
 /// Runs Dijkstra with a run-time-selected heap.
@@ -278,5 +408,39 @@ mod tests {
         let tree = dijkstra::<ArrayHeap<Cost>>(&g, 0);
         assert_eq!(tree.dist, vec![Cost::ZERO]);
         assert_eq!(tree.path_to(0), Some(vec![0]));
+    }
+
+    #[test]
+    fn workspace_reuse_matches_one_shot() {
+        let g = diamond();
+        let mut ws = DijkstraWorkspace::new();
+        let mut queue: FibonacciHeap<Cost> = FibonacciHeap::with_capacity(g.node_count());
+        // Several consecutive runs through the same arenas and heap must
+        // reproduce the one-shot entry point exactly.
+        for source in [0, 3, 0, 2, 4, 0] {
+            ws.run(&g, source, &mut queue);
+            let fresh = dijkstra::<FibonacciHeap<Cost>>(&g, source);
+            assert_eq!(ws.dist(), &fresh.dist[..], "dist from {source}");
+            assert_eq!(ws.parent(), &fresh.parent[..], "parent from {source}");
+            assert_eq!(ws.stats(), fresh.stats, "stats from {source}");
+            assert_eq!(ws.source(), source);
+            let tree = ws.to_tree();
+            assert_eq!(tree.dist, fresh.dist);
+            assert_eq!(tree.path_to(4), fresh.path_to(4));
+        }
+    }
+
+    #[test]
+    fn workspace_adapts_to_graph_size() {
+        let small = CsrBuilder::new(1).build();
+        let big = diamond();
+        let mut ws = DijkstraWorkspace::with_capacity(2);
+        let mut queue: BinaryHeap<Cost> = BinaryHeap::with_capacity(big.node_count());
+        ws.run(&big, 0, &mut queue);
+        assert_eq!(ws.dist().len(), big.node_count());
+        ws.run(&small, 0, &mut queue);
+        assert_eq!(ws.dist(), &[Cost::ZERO]);
+        let tree = ws.into_tree();
+        assert_eq!(tree.dist, vec![Cost::ZERO]);
     }
 }

@@ -1,0 +1,158 @@
+//! Serial-equivalence conformance suite for the parallel all-pairs
+//! solver.
+//!
+//! Corollary 1 makes the all-pairs matrix `n` independent shortest-path
+//! trees over one shared auxiliary graph, so `AllPairs::solve_parallel`
+//! promises **bit-identical** output to `AllPairs::solve_with` for every
+//! heap kind and every thread count. These properties pin that contract
+//! on random instances: identical cost matrices, zero diagonals,
+//! identical settled totals and aux stats, and agreement with the
+//! tree-retaining `AllPairsPaths` solver's per-pair path costs.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use wdm_core::instance::{random_network, Availability, ConversionSpec, InstanceConfig};
+use wdm_core::{AllPairs, AllPairsPaths, Cost, HeapKind, WdmNetwork};
+use wdm_graph::{topology, NodeId};
+
+/// Thread counts the contract is exercised at: inline, split, and more
+/// workers than most generated instances have rows.
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn instance(seed: u64, n: usize, k: usize, p: f64) -> WdmNetwork {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let graph = topology::random_sparse(n, n / 2, 4, &mut rng).expect("feasible");
+    random_network(
+        graph,
+        &InstanceConfig {
+            k,
+            availability: Availability::Probability(p),
+            link_cost: (1, 50),
+            conversion: ConversionSpec::Uniform { lo: 1, hi: 4 },
+        },
+        &mut rng,
+    )
+    .expect("valid")
+}
+
+fn assert_equivalent(
+    serial: &AllPairs,
+    parallel: &AllPairs,
+    n: usize,
+    label: &str,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(parallel.node_count(), serial.node_count(), "{}", label);
+    prop_assert_eq!(parallel.total_settled(), serial.total_settled(), "{}", label);
+    prop_assert_eq!(parallel.aux_stats(), serial.aux_stats(), "{}", label);
+    for s in 0..n {
+        for t in 0..n {
+            prop_assert_eq!(
+                parallel.cost(NodeId::new(s), NodeId::new(t)),
+                serial.cost(NodeId::new(s), NodeId::new(t)),
+                "{}: pair {} → {}",
+                label,
+                s,
+                t
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The core contract: for every heap kind and thread count, the
+    /// parallel matrix is identical to the serial one.
+    #[test]
+    fn parallel_is_bit_identical_to_serial(
+        seed in 0u64..10_000,
+        n in 4usize..20,
+        k in 1usize..6,
+        p in 0.1f64..1.0,
+    ) {
+        let net = instance(seed, n, k, p);
+        for heap in HeapKind::ALL {
+            let serial = AllPairs::solve_with(&net, heap);
+            for threads in THREAD_COUNTS {
+                let parallel = AllPairs::solve_parallel(&net, heap, threads);
+                assert_equivalent(&serial, &parallel, n, &format!("{heap} × {threads}T"))?;
+            }
+        }
+    }
+
+    /// Diagonal entries are exactly zero however the matrix is computed.
+    #[test]
+    fn diagonal_is_zero_for_every_thread_count(
+        seed in 0u64..10_000,
+        n in 4usize..24,
+        k in 1usize..6,
+    ) {
+        let net = instance(seed, n, k, 0.5);
+        for threads in THREAD_COUNTS {
+            let ap = AllPairs::solve_parallel(&net, HeapKind::Fibonacci, threads);
+            for v in 0..n {
+                prop_assert_eq!(ap.cost(NodeId::new(v), NodeId::new(v)), Cost::ZERO);
+            }
+        }
+    }
+
+    /// Per-pair path costs: the tree-retaining solver's decoded paths
+    /// must price exactly what the parallel matrix claims, and each
+    /// decoded path must validate against the network.
+    #[test]
+    fn parallel_matrix_matches_decoded_path_costs(
+        seed in 0u64..10_000,
+        n in 4usize..14,
+        k in 1usize..5,
+    ) {
+        let net = instance(seed, n, k, 0.6);
+        let paths = AllPairsPaths::solve(&net);
+        let parallel = AllPairs::solve_parallel(&net, HeapKind::Fibonacci, 2);
+        for s in 0..n {
+            for t in 0..n {
+                let (sn, tn) = (NodeId::new(s), NodeId::new(t));
+                let cost = parallel.cost(sn, tn);
+                prop_assert_eq!(cost, paths.cost(sn, tn), "pair {} → {}", s, t);
+                match paths.path(sn, tn) {
+                    Some(p) => {
+                        prop_assert_eq!(p.cost(), cost, "decoded path cost {} → {}", s, t);
+                        p.validate(&net).map_err(TestCaseError::fail)?;
+                    }
+                    None => prop_assert!(cost.is_infinite(), "no path yet finite {} → {}", s, t),
+                }
+            }
+        }
+    }
+
+    /// Thread-count invariance holds on structured topologies too
+    /// (rings exercise the wrap-around rows; grids the sparse middle).
+    #[test]
+    fn structured_topologies_are_thread_invariant(
+        ring_n in 3usize..12,
+        k in 1usize..4,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for graph in [topology::ring(ring_n, true), topology::grid(2, ring_n.div_ceil(2))] {
+            let net = random_network(
+                graph,
+                &InstanceConfig {
+                    k,
+                    availability: Availability::Probability(0.7),
+                    link_cost: (1, 20),
+                    conversion: ConversionSpec::Uniform { lo: 1, hi: 3 },
+                },
+                &mut rng,
+            )
+            .expect("valid");
+            let n = net.node_count();
+            let serial = AllPairs::solve_with(&net, HeapKind::Binary);
+            for threads in THREAD_COUNTS {
+                let parallel = AllPairs::solve_parallel(&net, HeapKind::Binary, threads);
+                assert_equivalent(&serial, &parallel, n, &format!("{threads}T"))?;
+            }
+        }
+    }
+}

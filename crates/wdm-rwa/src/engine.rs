@@ -165,6 +165,54 @@ impl ProvisioningEngine {
         Ok(id)
     }
 
+    /// Provisions a batch of requests, using the parallel all-pairs
+    /// solver to pre-screen them.
+    ///
+    /// One [`wdm_core::AllPairs::solve_parallel`] run over the batch's
+    /// *initial* residual network (fanned across `threads` workers;
+    /// `0` = all cores) yields every pair's reachability at once.
+    /// Requests whose matrix cost is infinite are blocked immediately
+    /// without running the router: resources only shrink while the batch
+    /// provisions — nothing is released mid-batch — so a pair that is
+    /// unreachable on the initial residual network stays unreachable for
+    /// the rest of the batch. The remaining requests are provisioned
+    /// serially, in order, exactly as repeated [`provision`] calls
+    /// would (and may still block individually as earlier requests
+    /// consume wavelengths).
+    ///
+    /// Returns one outcome per request, in request order. Totals in
+    /// [`ProvisioningEngine::totals`] are updated identically to the
+    /// equivalent `provision` loop.
+    ///
+    /// [`provision`]: ProvisioningEngine::provision
+    pub fn provision_batch(
+        &mut self,
+        requests: &[(NodeId, NodeId)],
+        policy: Policy,
+        threads: usize,
+    ) -> Vec<Result<ConnectionId, RwaError>> {
+        let reachable = wdm_core::AllPairs::solve_parallel(
+            &self.residual_network(),
+            wdm_core::HeapKind::Fibonacci,
+            threads,
+        );
+        requests
+            .iter()
+            .map(|&(s, t)| {
+                for v in [s, t] {
+                    if v.index() >= self.base.node_count() {
+                        return Err(RwaError::NodeOutOfRange(v));
+                    }
+                }
+                if reachable.cost(s, t).is_infinite() {
+                    self.blocked += 1;
+                    return Err(RwaError::Blocked { s, t });
+                }
+                self.provision(s, t, policy)
+            })
+            .collect()
+    }
+
     /// Releases an active connection, freeing its resources.
     ///
     /// # Errors
@@ -404,6 +452,68 @@ mod tests {
         let outcome = engine.fail_link(wdm_graph::LinkId::new(0), Policy::Optimal);
         assert!(outcome.is_empty());
         assert!(engine.path_of(id).is_some());
+    }
+
+    #[test]
+    fn batch_matches_serial_provisioning() {
+        let requests: Vec<(NodeId, NodeId)> = vec![
+            (0.into(), 3.into()),
+            (3.into(), 0.into()), // unreachable: 3 has no outgoing links
+            (0.into(), 2.into()),
+            (1.into(), 3.into()),
+            (0.into(), 3.into()), // by now both wavelengths on the chain are gone
+        ];
+        let mut serial = ProvisioningEngine::new(&base());
+        let serial_outcomes: Vec<_> = requests
+            .iter()
+            .map(|&(s, t)| serial.provision(s, t, Policy::Optimal))
+            .collect();
+        for threads in [0, 1, 2, 4] {
+            let mut batch = ProvisioningEngine::new(&base());
+            let outcomes = batch.provision_batch(&requests, Policy::Optimal, threads);
+            assert_eq!(outcomes.len(), requests.len());
+            for (i, (got, want)) in outcomes.iter().zip(&serial_outcomes).enumerate() {
+                match (got, want) {
+                    (Ok(_), Ok(_)) => {}
+                    (e1, e2) => assert_eq!(e1, e2, "request #{i} with {threads} threads"),
+                }
+            }
+            assert_eq!(batch.totals(), serial.totals(), "{threads} threads");
+            assert_eq!(batch.active_count(), serial.active_count());
+            assert!((batch.utilization() - serial.utilization()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn batch_screens_unreachable_and_flags_bad_nodes() {
+        let mut engine = ProvisioningEngine::new(&base());
+        let outcomes = engine.provision_batch(
+            &[
+                (3.into(), 0.into()),
+                (9.into(), 0.into()),
+                (0.into(), 1.into()),
+            ],
+            Policy::Optimal,
+            2,
+        );
+        assert_eq!(
+            outcomes[0],
+            Err(RwaError::Blocked {
+                s: 3.into(),
+                t: 0.into()
+            })
+        );
+        assert_eq!(outcomes[1], Err(RwaError::NodeOutOfRange(9.into())));
+        assert!(outcomes[2].is_ok());
+        let (accepted, blocked, _) = engine.totals();
+        assert_eq!((accepted, blocked), (1, 1));
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let mut engine = ProvisioningEngine::new(&base());
+        assert!(engine.provision_batch(&[], Policy::Optimal, 4).is_empty());
+        assert_eq!(engine.totals(), (0, 0, 0));
     }
 
     #[test]

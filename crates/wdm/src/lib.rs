@@ -50,7 +50,7 @@ pub mod heaps {
 }
 
 pub use wdm_core::{
-    disjoint_semilightpath_pair, find_optimal_semilightpath, k_shortest_semilightpaths, AllPairs, AuxiliaryGraph, CfzRouter, ConversionMatrix,
+    disjoint_semilightpath_pair, find_optimal_semilightpath, k_shortest_semilightpaths, AllPairs, AllPairsPaths, AuxiliaryGraph, CfzRouter, ConversionMatrix,
     ConversionPolicy, Cost, DisjointPair, Disjointness, HeapKind, Hop, LiangShenRouter, RouteResult, Semilightpath,
     SemilightpathTree, Wavelength, WavelengthSet, WdmError, WdmNetwork,
 };

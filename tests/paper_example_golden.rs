@@ -1,0 +1,98 @@
+//! Golden-file test: the paper's worked example (Figs. 1–4), pinned.
+//!
+//! The fixture `tests/fixtures/paper_example_all_pairs.golden` freezes
+//! the full 7×7 all-pairs optimal-cost matrix of the worked example plus
+//! the wavelength assignment of every optimal semilightpath (hop list
+//! `link/λ`). Any change to the auxiliary-graph construction, the
+//! Dijkstra solvers, or the parallel row partition that alters a single
+//! cost or assignment shows up as a readable diff here.
+//!
+//! To regenerate after an *intentional* change, run with
+//! `UPDATE_GOLDEN=1` and commit the new fixture (record why in
+//! CHANGES.md).
+
+use wdm::core::paper_example;
+use wdm::prelude::*;
+use wdm::{AllPairs, AllPairsPaths};
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/fixtures/paper_example_all_pairs.golden"
+);
+
+/// Renders the worked example's all-pairs solution as the fixture text.
+///
+/// Computed with the *parallel* solver (2 workers) and cross-checked
+/// against the serial one inline, so the golden file also pins the
+/// serial-equivalence contract on the paper instance.
+fn render() -> String {
+    let net = paper_example::network();
+    let n = net.node_count();
+    let serial = AllPairs::solve_with(&net, HeapKind::Fibonacci);
+    let parallel = AllPairs::solve_parallel(&net, HeapKind::Fibonacci, 2);
+    let paths = AllPairsPaths::solve(&net);
+
+    let mut out = String::new();
+    out.push_str("# Worked example (Figs. 1-4): all-pairs optimal semilightpath costs\n");
+    out.push_str("# rows = source, columns = destination, paper nodes 1..7; inf = unreachable\n");
+    for s in 0..n {
+        let row: Vec<String> = (0..n)
+            .map(|t| {
+                let sp = parallel.cost(NodeId::new(s), NodeId::new(t));
+                assert_eq!(
+                    sp,
+                    serial.cost(NodeId::new(s), NodeId::new(t)),
+                    "parallel/serial divergence at ({s}, {t})"
+                );
+                assert_eq!(sp, paths.cost(NodeId::new(s), NodeId::new(t)));
+                if sp.is_infinite() {
+                    "inf".to_string()
+                } else {
+                    sp.to_string()
+                }
+            })
+            .collect();
+        out.push_str(&row.join(" "));
+        out.push('\n');
+    }
+
+    out.push_str("# optimal wavelength assignments: s->t cost hops(link/lambda)\n");
+    for s in 0..n {
+        for t in 0..n {
+            if s == t {
+                continue;
+            }
+            let (sn, tn) = (NodeId::new(s), NodeId::new(t));
+            match paths.path(sn, tn) {
+                Some(p) => {
+                    p.validate(&net).expect("golden path validates");
+                    let hops: Vec<String> = p
+                        .hops()
+                        .iter()
+                        .map(|h| format!("{}/{}", h.link.index(), h.wavelength.index()))
+                        .collect();
+                    out.push_str(&format!("{s}->{t} {} {}\n", p.cost(), hops.join(",")));
+                }
+                None => out.push_str(&format!("{s}->{t} inf -\n")),
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn paper_example_all_pairs_matches_golden_fixture() {
+    let rendered = render();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &rendered).expect("write golden fixture");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden fixture exists (regenerate with UPDATE_GOLDEN=1)");
+    assert_eq!(
+        rendered, golden,
+        "worked-example all-pairs output diverged from the pinned fixture; \
+         if the change is intentional, regenerate with UPDATE_GOLDEN=1 and \
+         note it in CHANGES.md"
+    );
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names (trait + derive macro,
+//! like the real crate's `derive` feature) so `use serde::{Serialize,
+//! Deserialize}` and `#[derive(Serialize, Deserialize)]` compile without
+//! network access. The derives expand to nothing and the traits carry no
+//! methods; nothing in this workspace performs actual serialization (the
+//! `.wdm` text format is hand-rolled in `wdm_core::textfmt`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the shim).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the shim).
+pub trait Deserialize<'de>: Sized {}
