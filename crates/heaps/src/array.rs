@@ -76,9 +76,7 @@ impl<P: Ord + Clone> IndexedPriorityQueue<P> for ArrayHeap<P> {
             if let Some(p) = slot {
                 match best {
                     None => best = Some(item),
-                    Some(b) if *p < *self.slots[b].as_ref().expect("occupied") => {
-                        best = Some(item)
-                    }
+                    Some(b) if *p < *self.slots[b].as_ref().expect("occupied") => best = Some(item),
                     Some(_) => {}
                 }
             }

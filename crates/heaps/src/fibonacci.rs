@@ -39,8 +39,10 @@ impl<P> Node<P> {
 /// The Fredman–Tarjan Fibonacci heap over dense `usize` items.
 ///
 /// Amortized complexities: `push` and `decrease_key` `O(1)`, `pop_min`
-/// `O(log n)`. Items occupy dedicated arena slots, so after construction the
-/// only allocation is the small consolidation table.
+/// `O(log n)`. Items occupy dedicated arena slots and the consolidation
+/// table and ring-walk scratch are reused across operations, so
+/// steady-state use is allocation-free (hot loops like the provisioning
+/// engine's masked Dijkstra rely on this).
 ///
 /// # Examples
 ///
@@ -63,6 +65,9 @@ pub struct FibonacciHeap<P> {
     len: usize,
     /// Consolidation table, reused across `pop_min` calls.
     degree_table: Vec<usize>,
+    /// Scratch for walking sibling rings (roots in `consolidate`, children
+    /// in `pop_min` — never both at once), reused across calls.
+    ring_scratch: Vec<usize>,
 }
 
 impl<P: Ord + Clone> FibonacciHeap<P> {
@@ -153,7 +158,8 @@ impl<P: Ord + Clone> FibonacciHeap<P> {
         self.degree_table.resize(cap.max(4), NIL);
 
         // Collect current roots (the ring is mutated while linking).
-        let mut roots = Vec::with_capacity(16);
+        let mut roots = std::mem::take(&mut self.ring_scratch);
+        roots.clear();
         if self.min != NIL {
             let start = self.min;
             let mut r = start;
@@ -166,7 +172,8 @@ impl<P: Ord + Clone> FibonacciHeap<P> {
             }
         }
 
-        for mut x in roots {
+        for &root in &roots {
+            let mut x = root;
             let mut d = self.nodes[x].degree as usize;
             while d >= self.degree_table.len() {
                 self.degree_table.resize(self.degree_table.len() * 2, NIL);
@@ -210,6 +217,7 @@ impl<P: Ord + Clone> FibonacciHeap<P> {
             }
         }
         self.degree_table = table;
+        self.ring_scratch = roots;
     }
 }
 
@@ -220,6 +228,7 @@ impl<P: Ord + Clone> IndexedPriorityQueue<P> for FibonacciHeap<P> {
             min: NIL,
             len: 0,
             degree_table: Vec::new(),
+            ring_scratch: Vec::new(),
         }
     }
 
@@ -279,8 +288,10 @@ impl<P: Ord + Clone> IndexedPriorityQueue<P> for FibonacciHeap<P> {
         // Move each child of `min` to the root list.
         let mut child = self.nodes[min].child;
         if child != NIL {
-            // Collect the child ring first.
-            let mut children = Vec::with_capacity(self.nodes[min].degree as usize);
+            // Collect the child ring first (into the reused scratch — the
+            // ring is rewired while splicing).
+            let mut children = std::mem::take(&mut self.ring_scratch);
+            children.clear();
             let start = child;
             loop {
                 children.push(child);
@@ -289,7 +300,7 @@ impl<P: Ord + Clone> IndexedPriorityQueue<P> for FibonacciHeap<P> {
                     break;
                 }
             }
-            for c in children {
+            for &c in &children {
                 self.nodes[c].parent = NIL;
                 self.nodes[c].mark = false;
                 // Splice c next to min in the root ring.
@@ -301,6 +312,7 @@ impl<P: Ord + Clone> IndexedPriorityQueue<P> for FibonacciHeap<P> {
             }
             self.nodes[min].child = NIL;
             self.nodes[min].degree = 0;
+            self.ring_scratch = children;
         }
 
         // Remove min from the root ring.

@@ -239,8 +239,7 @@ mod trait_tests {
 
     #[test]
     fn heap_kind_names_are_distinct() {
-        let names: std::collections::HashSet<_> =
-            HeapKind::ALL.iter().map(|k| k.name()).collect();
+        let names: std::collections::HashSet<_> = HeapKind::ALL.iter().map(|k| k.name()).collect();
         assert_eq!(names.len(), HeapKind::ALL.len());
         assert_eq!(HeapKind::default(), HeapKind::Fibonacci);
         assert_eq!(HeapKind::Fibonacci.to_string(), "fibonacci");

@@ -43,7 +43,11 @@ impl Model {
     /// Removes a specific (priority, item) pair; used to mirror the heap's
     /// tie-breaking choice.
     fn remove(&mut self, item: usize, p: u64) {
-        assert_eq!(self.prio[item], Some(p), "heap popped a pair the model lacks");
+        assert_eq!(
+            self.prio[item],
+            Some(p),
+            "heap popped a pair the model lacks"
+        );
         assert!(
             self.set.iter().next().map(|&(mp, _)| mp) == Some(p),
             "heap popped non-minimal priority {p}"

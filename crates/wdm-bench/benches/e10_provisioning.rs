@@ -12,8 +12,8 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e10_provisioning");
     group.sample_size(10);
     let mut rng = SmallRng::seed_from_u64(1);
-    let base = random_network(topology::nsfnet(), &InstanceConfig::standard(8), &mut rng)
-        .expect("valid");
+    let base =
+        random_network(topology::nsfnet(), &InstanceConfig::standard(8), &mut rng).expect("valid");
     let requests = workload::poisson_requests(base.node_count(), 200, 20.0, 1.0, &mut rng);
     for policy in [Policy::Optimal, Policy::LightpathOnly, Policy::FirstFit] {
         group.bench_with_input(

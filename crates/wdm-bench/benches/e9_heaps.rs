@@ -17,13 +17,9 @@ fn bench(c: &mut Criterion) {
         let (s, t) = (NodeId::new(0), NodeId::new(n / 2));
         for kind in HeapKind::ALL {
             let router = LiangShenRouter::with_heap(kind);
-            group.bench_with_input(
-                BenchmarkId::new(kind.name(), n),
-                &n,
-                |b, _| {
-                    b.iter(|| std::hint::black_box(router.route(&net, s, t).expect("ok")));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.name(), n), &n, |b, _| {
+                b.iter(|| std::hint::black_box(router.route(&net, s, t).expect("ok")));
+            });
         }
     }
     group.finish();

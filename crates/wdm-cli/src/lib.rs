@@ -11,6 +11,7 @@
 //! wdm route nsf.wdm 0 13 --distributed                  # Theorem-3 protocol
 //! wdm route nsf.wdm 0 13 --baseline                     # CFZ comparison
 //! wdm all-pairs nsf.wdm                                 # Corollary-1 matrix
+//! wdm serve-workload nsf.wdm --requests 500             # dynamic provisioning trace
 //! ```
 //!
 //! Argument parsing is hand-rolled (the workspace carries no CLI
@@ -29,6 +30,7 @@ use wdm_core::{
 };
 use wdm_distributed::route_distributed;
 use wdm_graph::{topology, NodeId};
+use wdm_rwa::{workload, ConnectionId, Policy, ProvisioningEngine, RoutingMode};
 
 /// Runs the CLI with `args` (excluding the program name), writing output
 /// to `out`. Returns the exit code (0 success, 2 usage error, 1 runtime
@@ -40,6 +42,7 @@ pub fn run(args: &[String], out: &mut String) -> i32 {
         Some("route") => cmd_route(&args[1..], out),
         Some("all-pairs") => cmd_all_pairs(&args[1..], out),
         Some("protect") => cmd_protect(&args[1..], out),
+        Some("serve-workload") => cmd_serve_workload(&args[1..], out),
         Some("export") => cmd_export(&args[1..], out),
         Some("--help") | Some("-h") | Some("help") | None => {
             let _ = writeln!(out, "{USAGE}");
@@ -64,6 +67,12 @@ USAGE:
       --parallel uses all cores; --threads <n> pins the worker count
       (the matrix is identical either way — see AllPairs::solve_parallel)
   wdm protect <file.wdm> <src> <dst> [--physical]
+  wdm serve-workload <file.wdm> [--requests <n>] [--load <erlang>]
+      [--holding <mean>] [--seed <s>] [--policy optimal|lightpath|first-fit]
+      [--mode masked|rebuild] [--fail-link <id>]
+      drives a Poisson request/release trace through the provisioning
+      engine; --mode rebuild reconstructs the auxiliary graph per request
+      (reference), --fail-link cuts a fibre halfway through the trace
   wdm export <file.wdm>           (Graphviz DOT with wavelength labels)
   wdm help";
 
@@ -137,10 +146,7 @@ fn cmd_gen(args: &[String], out: &mut String) -> i32 {
     0
 }
 
-fn build_topology(
-    spec: &str,
-    rng: &mut SmallRng,
-) -> Result<wdm_graph::DiGraph, String> {
+fn build_topology(spec: &str, rng: &mut SmallRng) -> Result<wdm_graph::DiGraph, String> {
     match spec {
         "nsfnet" => Ok(topology::nsfnet()),
         "arpanet" => Ok(topology::arpanet()),
@@ -369,6 +375,181 @@ fn cmd_protect(args: &[String], out: &mut String) -> i32 {
     }
 }
 
+fn cmd_serve_workload(args: &[String], out: &mut String) -> i32 {
+    let mut path: Option<&String> = None;
+    let mut requests = 200usize;
+    let mut load = 6.0f64;
+    let mut holding = 1.0f64;
+    let mut seed = 0u64;
+    let mut policy = Policy::Optimal;
+    let mut mode = RoutingMode::Masked;
+    let mut fail_link: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--requests" => {
+                requests = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(0) | None => return usage_error(out, "bad --requests (want n >= 1)"),
+                    Some(n) => n,
+                }
+            }
+            "--load" => {
+                load = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(l) if l > 0.0 => l,
+                    _ => return usage_error(out, "bad --load (want erlang > 0)"),
+                }
+            }
+            "--holding" => {
+                holding = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(h) if h > 0.0 => h,
+                    _ => return usage_error(out, "bad --holding (want mean > 0)"),
+                }
+            }
+            "--seed" => {
+                seed = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(s) => s,
+                    None => return usage_error(out, "bad --seed"),
+                }
+            }
+            "--policy" => {
+                policy = match it.next().map(String::as_str) {
+                    Some("optimal") => Policy::Optimal,
+                    Some("lightpath") => Policy::LightpathOnly,
+                    Some("first-fit") => Policy::FirstFit,
+                    _ => return usage_error(out, "bad --policy (optimal|lightpath|first-fit)"),
+                }
+            }
+            "--mode" => {
+                mode = match it.next().map(String::as_str) {
+                    Some("masked") => RoutingMode::Masked,
+                    Some("rebuild") => RoutingMode::RebuildPerRequest,
+                    _ => return usage_error(out, "bad --mode (masked|rebuild)"),
+                }
+            }
+            "--fail-link" => {
+                fail_link = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(e) => Some(e),
+                    None => return usage_error(out, "bad --fail-link (want link index)"),
+                }
+            }
+            flag if flag.starts_with("--") => {
+                return usage_error(out, &format!("unknown flag `{flag}`"))
+            }
+            _ if path.is_none() => path = Some(a),
+            extra => return usage_error(out, &format!("unexpected argument `{extra}`")),
+        }
+    }
+    let Some(path) = path else {
+        return usage_error(out, "serve-workload takes one file");
+    };
+    // `self::` because the `--load` flag variable shadows the loader fn.
+    let net = match self::load(path, out) {
+        Ok(n) => n,
+        Err(code) => return code,
+    };
+    if net.node_count() < 2 {
+        let _ = writeln!(out, "error: workload needs at least two nodes");
+        return 1;
+    }
+    if let Some(e) = fail_link {
+        if e >= net.link_count() {
+            let _ = writeln!(
+                out,
+                "error: --fail-link {e} out of range (instance has {} links)",
+                net.link_count()
+            );
+            return 1;
+        }
+    }
+
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let trace = workload::poisson_requests(net.node_count(), requests, load, holding, &mut rng);
+    let mut engine = ProvisioningEngine::with_mode(&net, mode);
+
+    // Event loop as in `wdm_rwa::simulate`, run inline so the trace can
+    // inject a fibre cut halfway and so routing time can be measured.
+    let mut departures: std::collections::BinaryHeap<std::cmp::Reverse<(u64, ConnectionId)>> =
+        std::collections::BinaryHeap::new();
+    let (mut accepted, mut blocked) = (0u64, 0u64);
+    let (mut lost, mut restored) = (0u64, 0u64);
+    let mut peak_active = 0usize;
+    let cut_at = fail_link.map(|_| requests / 2);
+    let started = std::time::Instant::now();
+    for (i, req) in trace.iter().enumerate() {
+        if cut_at == Some(i) {
+            let link = wdm_graph::LinkId::new(fail_link.expect("cut_at set"));
+            for (_, outcome) in engine.fail_link(link, policy) {
+                match outcome {
+                    Some(_) => restored += 1,
+                    None => lost += 1,
+                }
+            }
+        }
+        // f64 arrival times are strictly increasing, so the bit pattern
+        // preserves their order and gives the heap a total Ord key.
+        while let Some(&std::cmp::Reverse((at, id))) = departures.peek() {
+            if f64::from_bits(at) <= req.arrival {
+                departures.pop();
+                // A restoration under --fail-link may have reassigned the
+                // id; skip departures of connections no longer active.
+                let _ = engine.release(id);
+            } else {
+                break;
+            }
+        }
+        match engine.provision(req.s, req.t, policy) {
+            Ok(id) => {
+                accepted += 1;
+                if req.holding.is_finite() {
+                    departures.push(std::cmp::Reverse((
+                        (req.arrival + req.holding).to_bits(),
+                        id,
+                    )));
+                }
+                peak_active = peak_active.max(engine.active_count());
+            }
+            Err(_) => blocked += 1,
+        }
+    }
+    let elapsed = started.elapsed();
+
+    let (_, _, released) = engine.totals();
+    let _ = writeln!(out, "instance   : {path}");
+    let _ = writeln!(
+        out,
+        "trace      : {requests} requests, load {load} erlang, mean holding {holding}, seed {seed}"
+    );
+    let _ = writeln!(out, "policy     : {policy}");
+    let _ = writeln!(
+        out,
+        "mode       : {}",
+        match mode {
+            RoutingMode::Masked => "masked (persistent auxiliary graph)",
+            RoutingMode::RebuildPerRequest => "rebuild-per-request (reference)",
+        }
+    );
+    if let Some(e) = fail_link {
+        let _ = writeln!(
+            out,
+            "fibre cut  : link {e} after request {} ({restored} restored, {lost} lost)",
+            cut_at.expect("fail_link set")
+        );
+    }
+    let _ = writeln!(out, "accepted   : {accepted}");
+    let _ = writeln!(out, "blocked    : {blocked}");
+    let _ = writeln!(out, "released   : {released}");
+    let _ = writeln!(out, "blocking   : {:.4}", blocked as f64 / requests as f64);
+    let _ = writeln!(out, "peak active: {peak_active}");
+    let _ = writeln!(out, "utilization: {:.4}", engine.utilization());
+    let _ = writeln!(
+        out,
+        "elapsed    : {:.3} ms ({:.0} requests/s)",
+        elapsed.as_secs_f64() * 1e3,
+        requests as f64 / elapsed.as_secs_f64().max(1e-9)
+    );
+    0
+}
+
 fn cmd_all_pairs(args: &[String], out: &mut String) -> i32 {
     let mut path: Option<&String> = None;
     let mut parallel = false;
@@ -524,7 +705,15 @@ mod tests {
         let file_s = file.to_str().expect("utf8").to_string();
 
         let (code, out) = run_args(&[
-            "gen", "--topology", "nsfnet", "--k", "4", "--seed", "7", "-o", &file_s,
+            "gen",
+            "--topology",
+            "nsfnet",
+            "--k",
+            "4",
+            "--seed",
+            "7",
+            "-o",
+            &file_s,
         ]);
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("wrote"));
@@ -534,7 +723,15 @@ mod tests {
         assert!(out.contains("nodes     : 14"));
         assert!(out.contains("strongly connected: true"));
 
-        let (code, out) = run_args(&["route", &file_s, "0", "13", "--alternates", "3", "--baseline"]);
+        let (code, out) = run_args(&[
+            "route",
+            &file_s,
+            "0",
+            "13",
+            "--alternates",
+            "3",
+            "--baseline",
+        ]);
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("optimal semilightpath") || out.contains("cannot reach"));
         if out.contains("optimal semilightpath") {
@@ -584,7 +781,17 @@ mod tests {
         std::fs::create_dir_all(&dir).expect("mkdir");
         let file = dir.join("p.wdm");
         let file_s = file.to_str().expect("utf8").to_string();
-        let (code, _) = run_args(&["gen", "--topology", "nsfnet", "--k", "6", "--seed", "2", "-o", &file_s]);
+        let (code, _) = run_args(&[
+            "gen",
+            "--topology",
+            "nsfnet",
+            "--k",
+            "6",
+            "--seed",
+            "2",
+            "-o",
+            &file_s,
+        ]);
         assert_eq!(code, 0);
         let (code, out) = run_args(&["protect", &file_s, "0", "13"]);
         assert_eq!(code, 0, "{out}");
@@ -601,7 +808,15 @@ mod tests {
         let file = dir.join("ap.wdm");
         let file_s = file.to_str().expect("utf8").to_string();
         let (code, _) = run_args(&[
-            "gen", "--topology", "nsfnet", "--k", "4", "--seed", "9", "-o", &file_s,
+            "gen",
+            "--topology",
+            "nsfnet",
+            "--k",
+            "4",
+            "--seed",
+            "9",
+            "-o",
+            &file_s,
         ]);
         assert_eq!(code, 0);
 
@@ -630,6 +845,106 @@ mod tests {
         assert_eq!(code, 2);
         let (code, _) = run_args(&["all-pairs", "--parallel"]);
         assert_eq!(code, 2, "file is still required");
+        std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn serve_workload_masked_matches_rebuild() {
+        let dir = std::env::temp_dir().join("wdm-cli-test-serve");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let file = dir.join("sw.wdm");
+        let file_s = file.to_str().expect("utf8").to_string();
+        let (code, _) = run_args(&[
+            "gen",
+            "--topology",
+            "nsfnet",
+            "--k",
+            "4",
+            "--seed",
+            "3",
+            "-o",
+            &file_s,
+        ]);
+        assert_eq!(code, 0);
+
+        // The masked hot path and the rebuild-per-request reference must
+        // report byte-identical statistics (only the timing line may
+        // differ).
+        let strip_timing = |s: &str| -> String {
+            s.lines()
+                .filter(|l| !l.starts_with("elapsed") && !l.starts_with("mode"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let common = [
+            "serve-workload",
+            file_s.as_str(),
+            "--requests",
+            "60",
+            "--load",
+            "5",
+            "--seed",
+            "11",
+        ];
+        for policy in ["optimal", "lightpath", "first-fit"] {
+            let mut masked = common.to_vec();
+            masked.extend(["--policy", policy]);
+            let mut rebuild = masked.clone();
+            rebuild.extend(["--mode", "rebuild"]);
+            let (code, out_m) = run_args(&masked);
+            assert_eq!(code, 0, "{out_m}");
+            assert!(out_m.contains("masked (persistent auxiliary graph)"));
+            let (code, out_r) = run_args(&rebuild);
+            assert_eq!(code, 0, "{out_r}");
+            assert!(out_r.contains("rebuild-per-request"));
+            assert_eq!(strip_timing(&out_m), strip_timing(&out_r), "{policy}");
+        }
+
+        // Fibre cut halfway through the trace, still mode-agnostic.
+        let mut cut = common.to_vec();
+        cut.extend(["--fail-link", "0"]);
+        let (code, out_m) = run_args(&cut);
+        assert_eq!(code, 0, "{out_m}");
+        assert!(out_m.contains("fibre cut  : link 0 after request 30"));
+        cut.extend(["--mode", "rebuild"]);
+        let (code, out_r) = run_args(&cut);
+        assert_eq!(code, 0, "{out_r}");
+        assert_eq!(strip_timing(&out_m), strip_timing(&out_r));
+        std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn serve_workload_usage_errors() {
+        let (code, _) = run_args(&["serve-workload"]);
+        assert_eq!(code, 2, "file required");
+        for bad in [
+            vec!["serve-workload", "x.wdm", "--requests", "0"],
+            vec!["serve-workload", "x.wdm", "--load", "-1"],
+            vec!["serve-workload", "x.wdm", "--holding", "0"],
+            vec!["serve-workload", "x.wdm", "--policy", "magic"],
+            vec!["serve-workload", "x.wdm", "--mode", "psychic"],
+            vec!["serve-workload", "x.wdm", "--fail-link", "x"],
+            vec!["serve-workload", "x.wdm", "--bogus"],
+        ] {
+            let (code, _) = run_args(&bad);
+            assert_eq!(code, 2, "{bad:?}");
+        }
+        let (code, out) = run_args(&["serve-workload", "/nonexistent.wdm"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("cannot read"));
+    }
+
+    #[test]
+    fn serve_workload_rejects_out_of_range_fail_link() {
+        let dir = std::env::temp_dir().join("wdm-cli-test-serve-range");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let file = dir.join("r.wdm");
+        let file_s = file.to_str().expect("utf8").to_string();
+        let (code, _) = run_args(&["gen", "--topology", "ring:4", "--k", "2", "-o", &file_s]);
+        assert_eq!(code, 0);
+        let (code, out) = run_args(&["serve-workload", &file_s, "--fail-link", "999"]);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("out of range"));
         std::fs::remove_file(&file).ok();
     }
 

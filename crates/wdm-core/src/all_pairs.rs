@@ -10,8 +10,8 @@ use crate::csr::CsrGraph;
 use crate::dijkstra::{dijkstra_with, DijkstraWorkspace};
 use crate::{Cost, Semilightpath, WdmNetwork};
 use heaps::{
-    ArrayHeap, BinaryHeap, FibonacciHeap, HeapKind, IndexedPriorityQueue, LeftistHeap,
-    PairingHeap, SkewHeap,
+    ArrayHeap, BinaryHeap, FibonacciHeap, HeapKind, IndexedPriorityQueue, LeftistHeap, PairingHeap,
+    SkewHeap,
 };
 use wdm_graph::NodeId;
 
@@ -190,7 +190,10 @@ impl AllPairs {
     ///
     /// Panics if `s` or `t` is out of range.
     pub fn cost(&self, s: NodeId, t: NodeId) -> Cost {
-        assert!(s.index() < self.n && t.index() < self.n, "node out of range");
+        assert!(
+            s.index() < self.n && t.index() < self.n,
+            "node out of range"
+        );
         self.costs[s.index() * self.n + t.index()]
     }
 
@@ -207,16 +210,13 @@ impl AllPairs {
     /// Re-derives the actual optimal path for one pair (runs one more
     /// Dijkstra; costs are already available via [`AllPairs::cost`]).
     /// Answers unreachable pairs from the stored matrix without searching.
-    pub fn path(
-        &self,
-        network: &WdmNetwork,
-        s: NodeId,
-        t: NodeId,
-    ) -> Option<Semilightpath> {
+    pub fn path(&self, network: &WdmNetwork, s: NodeId, t: NodeId) -> Option<Semilightpath> {
         if self.cost(s, t).is_infinite() {
             return None;
         }
-        crate::find_optimal_semilightpath(network, s, t).ok().flatten()
+        crate::find_optimal_semilightpath(network, s, t)
+            .ok()
+            .flatten()
     }
 }
 
@@ -372,8 +372,7 @@ impl AllPairsPaths {
             .aux
             .sink_terminal(t)
             .expect("all-pairs graph has terminals");
-        self.aux
-            .extract_semilightpath(&self.trees[s.index()], sink)
+        self.aux.extract_semilightpath(&self.trees[s.index()], sink)
     }
 }
 

@@ -265,8 +265,8 @@ mod tests {
         let p = find_optimal_semilightpath(&net, 0.into(), 3.into())
             .expect("ok")
             .expect("reachable");
-        let stretch = mean_hop_stretch(&net, &[(NodeId::new(0), NodeId::new(3), p)])
-            .expect("comparable");
+        let stretch =
+            mean_hop_stretch(&net, &[(NodeId::new(0), NodeId::new(3), p)]).expect("comparable");
         // BFS hop distance is 1 (the dark link still exists as topology);
         // the routed path takes 3 links.
         assert!((stretch - 3.0).abs() < 1e-12);

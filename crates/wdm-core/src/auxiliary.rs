@@ -277,7 +277,10 @@ impl AuxiliaryGraph {
                     y_offset[u] + yi,
                     x_offset[v] + xi,
                     cost,
-                    EdgeRole::Traversal { link, wavelength: w },
+                    EdgeRole::Traversal {
+                        link,
+                        wavelength: w,
+                    },
                 );
                 multigraph_links += 1;
             }
@@ -435,13 +438,26 @@ impl AuxiliaryGraph {
         tree: &ShortestPathTree,
         sink: usize,
     ) -> Option<Semilightpath> {
-        let total = tree.dist[sink];
+        self.extract_semilightpath_from(&tree.dist, &tree.parent, sink)
+    }
+
+    /// [`extract_semilightpath`](Self::extract_semilightpath) over raw
+    /// `dist`/`parent` slices, so a
+    /// [`DijkstraWorkspace`](crate::dijkstra::DijkstraWorkspace) result can
+    /// be decoded in place without materializing a tree.
+    pub fn extract_semilightpath_from(
+        &self,
+        dist: &[Cost],
+        parent: &[Option<(usize, usize)>],
+        sink: usize,
+    ) -> Option<Semilightpath> {
+        let total = dist[sink];
         if total.is_infinite() {
             return None;
         }
         let mut hops = Vec::new();
         let mut at = sink;
-        while let Some((prev, edge_idx)) = tree.parent[at] {
+        while let Some((prev, edge_idx)) = parent[at] {
             let (_, edge) = self.graph.edge(edge_idx);
             if let EdgeRole::Traversal { link, wavelength } = edge.role {
                 hops.push(Hop { link, wavelength });

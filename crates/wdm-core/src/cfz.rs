@@ -137,7 +137,10 @@ impl CfzRouter {
                     wg_node(l.tail().index(), w.index()),
                     wg_node(l.head().index(), w.index()),
                     cost,
-                    EdgeRole::Traversal { link, wavelength: w },
+                    EdgeRole::Traversal {
+                        link,
+                        wavelength: w,
+                    },
                 );
             }
         }
@@ -168,7 +171,12 @@ impl CfzRouter {
 
         // Terminal taps: s* → (s, λ) and (t, λ) → t* for all λ ∈ Λ.
         for lambda in 0..k {
-            builder.add_edge(source, wg_node(s.index(), lambda), Cost::ZERO, EdgeRole::Tap);
+            builder.add_edge(
+                source,
+                wg_node(s.index(), lambda),
+                Cost::ZERO,
+                EdgeRole::Tap,
+            );
             builder.add_edge(wg_node(t.index(), lambda), sink, Cost::ZERO, EdgeRole::Tap);
         }
 
@@ -223,7 +231,9 @@ mod tests {
     #[test]
     fn wavelength_graph_size_is_kn_plus_terminals() {
         let net = network();
-        let r = CfzRouter::new().route(&net, 0.into(), 2.into()).expect("ok");
+        let r = CfzRouter::new()
+            .route(&net, 0.into(), 2.into())
+            .expect("ok");
         assert_eq!(r.search_nodes, 3 * 4 + 2);
         let p = r.path.expect("reachable");
         p.validate(&net).expect("valid");
@@ -293,10 +303,14 @@ mod tests {
             .conversion(1, ConversionPolicy::Matrix(m))
             .build()
             .expect("valid");
-        let cfz = CfzRouter::new().route(&net, 0.into(), 2.into()).expect("ok");
+        let cfz = CfzRouter::new()
+            .route(&net, 0.into(), 2.into())
+            .expect("ok");
         assert_eq!(cfz.cost(), Cost::new(22), "WG chains the conversions");
         // The Equation-(1) solvers agree the route is infeasible.
-        let ls = LiangShenRouter::new().route(&net, 0.into(), 2.into()).expect("ok");
+        let ls = LiangShenRouter::new()
+            .route(&net, 0.into(), 2.into())
+            .expect("ok");
         assert!(ls.path.is_none());
         let refr = crate::reference::reference_route(&net, 0.into(), 2.into()).expect("ok");
         assert!(refr.is_none());
@@ -315,14 +329,18 @@ mod tests {
             .link_wavelengths(0, [(0, 1)])
             .build()
             .expect("valid");
-        let r = CfzRouter::new().route(&net, 0.into(), 1.into()).expect("ok");
+        let r = CfzRouter::new()
+            .route(&net, 0.into(), 1.into())
+            .expect("ok");
         assert!(r.path.is_none());
     }
 
     #[test]
     fn trivial_and_error_cases() {
         let net = network();
-        let r = CfzRouter::new().route(&net, 1.into(), 1.into()).expect("ok");
+        let r = CfzRouter::new()
+            .route(&net, 1.into(), 1.into())
+            .expect("ok");
         assert_eq!(r.cost(), Cost::ZERO);
         assert!(matches!(
             CfzRouter::new().route(&net, 0.into(), 99.into()),

@@ -70,7 +70,11 @@ impl ConversionPolicy {
             ConversionPolicy::Forbidden => Cost::INFINITY,
             ConversionPolicy::Free => Cost::ZERO,
             ConversionPolicy::Uniform(c) => *c,
-            ConversionPolicy::Banded { radius, base, slope } => {
+            ConversionPolicy::Banded {
+                radius,
+                base,
+                slope,
+            } => {
                 let d = from.distance(to);
                 if d <= *radius {
                     *base + slope.saturating_mul(d as u64)
@@ -146,9 +150,16 @@ impl ConversionMatrix {
     /// `from == to` with a non-zero cost (the model fixes the diagonal at
     /// zero).
     pub fn set(&mut self, from: Wavelength, to: Wavelength, cost: Cost) {
-        assert!(from.index() < self.k && to.index() < self.k, "wavelength outside universe");
+        assert!(
+            from.index() < self.k && to.index() < self.k,
+            "wavelength outside universe"
+        );
         if from == to {
-            assert_eq!(cost, Cost::ZERO, "diagonal conversion cost is fixed at zero");
+            assert_eq!(
+                cost,
+                Cost::ZERO,
+                "diagonal conversion cost is fixed at zero"
+            );
             return;
         }
         self.costs[from.index() * self.k + to.index()] = cost;
@@ -160,7 +171,10 @@ impl ConversionMatrix {
     ///
     /// Panics if either wavelength is outside the universe.
     pub fn cost(&self, from: Wavelength, to: Wavelength) -> Cost {
-        assert!(from.index() < self.k && to.index() < self.k, "wavelength outside universe");
+        assert!(
+            from.index() < self.k && to.index() < self.k,
+            "wavelength outside universe"
+        );
         if from == to {
             Cost::ZERO
         } else {
@@ -202,8 +216,14 @@ mod tests {
     #[test]
     fn free_and_uniform() {
         assert_eq!(ConversionPolicy::Free.cost(A(), B()), Cost::ZERO);
-        assert_eq!(ConversionPolicy::Uniform(Cost::new(9)).cost(A(), B()), Cost::new(9));
-        assert_eq!(ConversionPolicy::Uniform(Cost::new(9)).cost(B(), B()), Cost::ZERO);
+        assert_eq!(
+            ConversionPolicy::Uniform(Cost::new(9)).cost(A(), B()),
+            Cost::new(9)
+        );
+        assert_eq!(
+            ConversionPolicy::Uniform(Cost::new(9)).cost(B(), B()),
+            Cost::ZERO
+        );
     }
 
     #[test]

@@ -141,7 +141,10 @@ mod tests {
     fn ordering_places_infinity_last() {
         let mut v = vec![Cost::INFINITY, Cost::new(3), Cost::ZERO, Cost::new(10)];
         v.sort();
-        assert_eq!(v, vec![Cost::ZERO, Cost::new(3), Cost::new(10), Cost::INFINITY]);
+        assert_eq!(
+            v,
+            vec![Cost::ZERO, Cost::new(3), Cost::new(10), Cost::INFINITY]
+        );
     }
 
     #[test]

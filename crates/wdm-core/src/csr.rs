@@ -101,6 +101,139 @@ impl CsrGraph {
             },
         )
     }
+
+    /// Iterates the outgoing edges of `node`, skipping edges whose dense
+    /// index is set in `mask`.
+    ///
+    /// This is the residual-capacity view of the graph: the structure is
+    /// shared and immutable, only the mask changes between searches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn out_edges_masked<'a>(
+        &'a self,
+        node: usize,
+        mask: &'a EdgeMask,
+    ) -> impl Iterator<Item = EdgeRef> + 'a {
+        self.out_edges(node).filter(move |e| !mask.is_set(e.index))
+    }
+}
+
+/// A bitmask over the dense edge indices of a [`CsrGraph`].
+///
+/// Set bits mark edges that are *excluded* from traversal (busy
+/// wavelength-links in the residual view). Flipping a bit is `O(1)` and
+/// allocation-free, which is what lets the provisioning engine keep one
+/// persistent search graph instead of rebuilding it per request.
+///
+/// # Examples
+///
+/// ```
+/// use wdm_core::csr::EdgeMask;
+///
+/// let mut mask = EdgeMask::all_clear(70);
+/// assert!(mask.set(3));
+/// assert!(!mask.set(3)); // already set
+/// assert!(mask.is_set(3) && !mask.is_set(4));
+/// assert_eq!(mask.set_count(), 1);
+/// assert!(mask.clear(3));
+/// assert_eq!(mask.set_count(), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeMask {
+    bits: Vec<u64>,
+    len: usize,
+    set_count: usize,
+}
+
+impl EdgeMask {
+    /// A mask over `len` edges with every bit clear.
+    pub fn all_clear(len: usize) -> Self {
+        EdgeMask {
+            bits: vec![0; len.div_ceil(64)],
+            len,
+            set_count: 0,
+        }
+    }
+
+    /// Number of edges the mask covers.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the mask covers zero edges.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of set (masked-out) bits.
+    pub fn set_count(&self) -> usize {
+        self.set_count
+    }
+
+    /// Whether bit `index` is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn is_set(&self, index: usize) -> bool {
+        assert!(index < self.len, "mask index {index} out of range");
+        self.bits[index / 64] & (1 << (index % 64)) != 0
+    }
+
+    /// Sets bit `index`; returns `true` when the bit changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn set(&mut self, index: usize) -> bool {
+        assert!(index < self.len, "mask index {index} out of range");
+        let word = &mut self.bits[index / 64];
+        let bit = 1 << (index % 64);
+        if *word & bit != 0 {
+            return false;
+        }
+        *word |= bit;
+        self.set_count += 1;
+        true
+    }
+
+    /// Clears bit `index`; returns `true` when the bit changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn clear(&mut self, index: usize) -> bool {
+        assert!(index < self.len, "mask index {index} out of range");
+        let word = &mut self.bits[index / 64];
+        let bit = 1 << (index % 64);
+        if *word & bit == 0 {
+            return false;
+        }
+        *word &= !bit;
+        self.set_count -= 1;
+        true
+    }
+
+    /// Sets bit `index` to `value`; returns `true` when the bit changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn set_to(&mut self, index: usize, value: bool) -> bool {
+        if value {
+            self.set(index)
+        } else {
+            self.clear(index)
+        }
+    }
+
+    /// Clears every bit.
+    pub fn clear_all(&mut self) {
+        self.bits.fill(0);
+        self.set_count = 0;
+    }
 }
 
 /// Incremental builder producing a [`CsrGraph`].
@@ -132,8 +265,7 @@ impl CsrBuilder {
     pub fn add_edge(&mut self, source: usize, target: usize, cost: Cost, role: EdgeRole) {
         assert!(source < self.n, "source {source} out of range");
         assert!(target < self.n, "target {target} out of range");
-        self.edges
-            .push((source as u32, target as u32, cost, role));
+        self.edges.push((source as u32, target as u32, cost, role));
     }
 
     /// Number of edges added so far.
@@ -226,5 +358,52 @@ mod tests {
     fn bad_endpoint_panics() {
         let mut b = CsrBuilder::new(1);
         b.add_edge(0, 1, Cost::ZERO, EdgeRole::Tap);
+    }
+
+    #[test]
+    fn mask_set_clear_roundtrip() {
+        let mut mask = EdgeMask::all_clear(130);
+        assert_eq!(mask.len(), 130);
+        assert!(!mask.is_empty());
+        assert_eq!(mask.set_count(), 0);
+        for i in [0, 63, 64, 129] {
+            assert!(mask.set(i));
+            assert!(mask.is_set(i));
+            assert!(!mask.set(i), "second set of {i} is a no-op");
+        }
+        assert_eq!(mask.set_count(), 4);
+        assert!(!mask.is_set(65));
+        assert!(mask.clear(64));
+        assert!(!mask.clear(64), "second clear is a no-op");
+        assert_eq!(mask.set_count(), 3);
+        assert!(mask.set_to(64, true));
+        assert!(!mask.set_to(0, true));
+        mask.clear_all();
+        assert_eq!(mask.set_count(), 0);
+        assert!((0..130).all(|i| !mask.is_set(i)));
+    }
+
+    #[test]
+    #[should_panic(expected = "mask index")]
+    fn mask_out_of_range_panics() {
+        let mask = EdgeMask::all_clear(3);
+        mask.is_set(3);
+    }
+
+    #[test]
+    fn masked_adjacency_skips_set_edges() {
+        let mut b = CsrBuilder::new(3);
+        b.add_edge(0, 1, Cost::new(5), EdgeRole::Tap);
+        b.add_edge(0, 2, Cost::new(7), EdgeRole::Tap);
+        b.add_edge(2, 1, Cost::new(1), EdgeRole::Tap);
+        let g = b.build();
+        let mut mask = EdgeMask::all_clear(g.edge_count());
+        mask.set(0);
+        let out0: Vec<usize> = g.out_edges_masked(0, &mask).map(|e| e.target).collect();
+        assert_eq!(out0, vec![2]);
+        let out2: Vec<usize> = g.out_edges_masked(2, &mask).map(|e| e.target).collect();
+        assert_eq!(out2, vec![1]);
+        mask.clear(0);
+        assert_eq!(g.out_edges_masked(0, &mask).count(), 2);
     }
 }

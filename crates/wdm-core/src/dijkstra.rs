@@ -7,11 +7,11 @@
 //! [`IndexedPriorityQueue`], so this module implements it once, generically,
 //! and dispatches on [`HeapKind`] for run-time selection.
 
-use crate::csr::CsrGraph;
+use crate::csr::{CsrGraph, EdgeMask};
 use crate::Cost;
 use heaps::{
-    ArrayHeap, BinaryHeap, FibonacciHeap, HeapKind, IndexedPriorityQueue, LeftistHeap,
-    PairingHeap, SkewHeap,
+    ArrayHeap, BinaryHeap, FibonacciHeap, HeapKind, IndexedPriorityQueue, LeftistHeap, PairingHeap,
+    SkewHeap,
 };
 
 /// Operation counters from one Dijkstra run, for the experiment tables.
@@ -144,6 +144,59 @@ impl DijkstraWorkspace {
         source: usize,
         queue: &mut Q,
     ) {
+        self.run_inner(graph, source, queue, None, None);
+    }
+
+    /// Runs Dijkstra from `source`, skipping edges whose dense index is
+    /// set in `mask`.
+    ///
+    /// Equivalent to deleting the masked edges and running
+    /// [`run`](Self::run): the relaxation visits the surviving edges in
+    /// the same order either way, so distances and parents match a
+    /// physically rebuilt subgraph with identical edge layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`run`](Self::run) does, and additionally if
+    /// `mask.len()` differs from the graph's edge count.
+    pub fn run_masked<Q: IndexedPriorityQueue<Cost>>(
+        &mut self,
+        graph: &CsrGraph,
+        source: usize,
+        queue: &mut Q,
+        mask: &EdgeMask,
+    ) {
+        self.run_inner(graph, source, queue, Some(mask), None);
+    }
+
+    /// Like [`run_masked`](Self::run_masked) but stops as soon as
+    /// `target` is settled.
+    ///
+    /// `dist[target]`, and every parent pointer on the tree path from
+    /// `source` to `target`, are final and identical to a full run —
+    /// Dijkstra settles nodes in nondecreasing distance order, so the
+    /// chain of parents behind a settled node never changes afterwards.
+    /// Distances of nodes not yet settled at cut-off are unspecified;
+    /// read only the target's path after a truncated run.
+    pub fn run_masked_to<Q: IndexedPriorityQueue<Cost>>(
+        &mut self,
+        graph: &CsrGraph,
+        source: usize,
+        queue: &mut Q,
+        mask: &EdgeMask,
+        target: usize,
+    ) {
+        self.run_inner(graph, source, queue, Some(mask), Some(target));
+    }
+
+    fn run_inner<Q: IndexedPriorityQueue<Cost>>(
+        &mut self,
+        graph: &CsrGraph,
+        source: usize,
+        queue: &mut Q,
+        mask: Option<&EdgeMask>,
+        until: Option<usize>,
+    ) {
         let n = graph.node_count();
         assert!(source < n, "source {source} out of range");
         assert!(
@@ -151,6 +204,9 @@ impl DijkstraWorkspace {
             "queue capacity {} below node count {n}",
             queue.capacity()
         );
+        if let Some(mask) = mask {
+            assert_eq!(mask.len(), graph.edge_count(), "one mask bit per edge");
+        }
         self.reset(n);
         self.source = source;
         queue.clear();
@@ -162,7 +218,13 @@ impl DijkstraWorkspace {
             debug_assert_eq!(du, self.dist[u]);
             self.settled[u] = true;
             self.stats.settled += 1;
+            if until == Some(u) {
+                break;
+            }
             for edge in graph.out_edges(u) {
+                if mask.is_some_and(|m| m.is_set(edge.index)) {
+                    continue;
+                }
                 self.stats.relaxed += 1;
                 let v = edge.target;
                 if self.settled[v] {
@@ -241,10 +303,35 @@ impl DijkstraWorkspace {
 /// assert_eq!(tree.dist[aux.super_sink().unwrap()], wdm_core::Cost::new(4));
 /// # Ok::<(), wdm_core::WdmError>(())
 /// ```
-pub fn dijkstra<Q: IndexedPriorityQueue<Cost>>(graph: &CsrGraph, source: usize) -> ShortestPathTree {
+pub fn dijkstra<Q: IndexedPriorityQueue<Cost>>(
+    graph: &CsrGraph,
+    source: usize,
+) -> ShortestPathTree {
     let mut ws = DijkstraWorkspace::with_capacity(graph.node_count());
     let mut queue = Q::with_capacity(graph.node_count());
     ws.run(graph, source, &mut queue);
+    ws.into_tree()
+}
+
+/// Runs Dijkstra from `source` on the subgraph that excludes every edge
+/// whose dense index is set in `mask`.
+///
+/// One-shot convenience over [`DijkstraWorkspace::run_masked`]; repeated
+/// searches should hold a workspace and heap instead so the arenas are
+/// reused.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range or `mask.len()` differs from the
+/// graph's edge count.
+pub fn dijkstra_masked<Q: IndexedPriorityQueue<Cost>>(
+    graph: &CsrGraph,
+    source: usize,
+    mask: &EdgeMask,
+) -> ShortestPathTree {
+    let mut ws = DijkstraWorkspace::with_capacity(graph.node_count());
+    let mut queue = Q::with_capacity(graph.node_count());
+    ws.run_masked(graph, source, &mut queue, mask);
     ws.into_tree()
 }
 
@@ -427,6 +514,55 @@ mod tests {
             let tree = ws.to_tree();
             assert_eq!(tree.dist, fresh.dist);
             assert_eq!(tree.path_to(4), fresh.path_to(4));
+        }
+    }
+
+    #[test]
+    fn masked_run_matches_rebuilt_subgraph() {
+        let g = diamond();
+        // Mask the 0→1 edge (index 0): shortest route to 4 becomes 0→2→3→4.
+        let mut mask = EdgeMask::all_clear(g.edge_count());
+        mask.set(0);
+        let masked = dijkstra_masked::<FibonacciHeap<Cost>>(&g, 0, &mask);
+        // Rebuild the same subgraph physically and compare dist values.
+        let mut b = CsrBuilder::new(5);
+        for i in 1..g.edge_count() {
+            let (s, e) = g.edge(i);
+            b.add_edge(s, e.target, e.cost, e.role);
+        }
+        let rebuilt = dijkstra::<FibonacciHeap<Cost>>(&b.build(), 0);
+        assert_eq!(masked.dist, rebuilt.dist);
+        assert_eq!(masked.dist[4], Cost::new(9));
+        assert_eq!(masked.path_to(4), Some(vec![0, 2, 3, 4]));
+        // An all-clear mask reproduces the unmasked run exactly.
+        let clear = EdgeMask::all_clear(g.edge_count());
+        let unmasked = dijkstra::<FibonacciHeap<Cost>>(&g, 0);
+        let via_clear = dijkstra_masked::<FibonacciHeap<Cost>>(&g, 0, &clear);
+        assert_eq!(via_clear.dist, unmasked.dist);
+        assert_eq!(via_clear.parent, unmasked.parent);
+        assert_eq!(via_clear.stats, unmasked.stats);
+    }
+
+    #[test]
+    fn truncated_run_finalizes_target_path() {
+        let g = diamond();
+        let mask = EdgeMask::all_clear(g.edge_count());
+        let full = dijkstra_masked::<FibonacciHeap<Cost>>(&g, 0, &mask);
+        let mut ws = DijkstraWorkspace::new();
+        let mut queue: FibonacciHeap<Cost> = FibonacciHeap::with_capacity(g.node_count());
+        for target in 0..g.node_count() {
+            ws.run_masked_to(&g, 0, &mut queue, &mask, target);
+            assert_eq!(ws.dist()[target], full.dist[target], "dist to {target}");
+            // Walk the parent chain: it must reproduce the full run's path.
+            let mut path = vec![target];
+            let mut at = target;
+            while let Some((prev, _)) = ws.parent()[at] {
+                path.push(prev);
+                at = prev;
+            }
+            path.reverse();
+            assert_eq!(Some(path), full.path_to(target), "path to {target}");
+            assert!(ws.stats().settled <= full.stats.settled);
         }
     }
 

@@ -132,7 +132,10 @@ impl fmt::Display for RouteError {
                 write!(f, "conversion {from} → {to} is forbidden at node {node}")
             }
             RouteError::CostMismatch { recorded, actual } => {
-                write!(f, "recorded cost {recorded} but equation-(1) cost is {actual}")
+                write!(
+                    f,
+                    "recorded cost {recorded} but equation-(1) cost is {actual}"
+                )
             }
             RouteError::Empty => write!(f, "path is empty"),
         }

@@ -125,8 +125,7 @@ impl MinCostFlow {
                     if edge.cap == 0 || settled[edge.to] {
                         continue;
                     }
-                    let reduced =
-                        self.signed_cost(ei) + potentials[u] - potentials[edge.to];
+                    let reduced = self.signed_cost(ei) + potentials[u] - potentials[edge.to];
                     debug_assert!(reduced >= 0, "potentials keep reduced costs non-negative");
                     let cand = du + reduced;
                     if dist[edge.to].map(|d| cand < d).unwrap_or(true) {

@@ -134,8 +134,7 @@ pub fn random_network<R: Rng + ?Sized>(
         let lambdas: Vec<usize> = match config.availability {
             Availability::Full => (0..k).collect(),
             Availability::Probability(p) => {
-                let mut chosen: Vec<usize> =
-                    (0..k).filter(|_| rng.gen::<f64>() < p).collect();
+                let mut chosen: Vec<usize> = (0..k).filter(|_| rng.gen::<f64>() < p).collect();
                 if chosen.is_empty() && k > 0 {
                     chosen.push(rng.gen_range(0..k));
                 }
@@ -163,7 +162,11 @@ pub fn random_network<R: Rng + ?Sized>(
             ConversionSpec::Uniform { lo, hi } => {
                 ConversionPolicy::Uniform(Cost::new(rng.gen_range(lo..=hi)))
             }
-            ConversionSpec::Banded { radius, base, slope } => ConversionPolicy::Banded {
+            ConversionSpec::Banded {
+                radius,
+                base,
+                slope,
+            } => ConversionPolicy::Banded {
                 radius,
                 base: Cost::new(base),
                 slope: Cost::new(slope),
@@ -231,7 +234,10 @@ mod tests {
         };
         let net = random_network(topology::ring(8, true), &config, &mut rng).expect("valid");
         for (e, _) in net.graph().links() {
-            assert!(!net.wavelengths_on(e).is_empty(), "link {e} has no wavelengths");
+            assert!(
+                !net.wavelengths_on(e).is_empty(),
+                "link {e} has no wavelengths"
+            );
         }
     }
 

@@ -30,7 +30,7 @@ struct AuxPath {
 }
 
 impl AuxPath {
-    fn from_tree(aux: &AuxiliaryGraph, tree: &ShortestPathTree, sink: usize) -> Option<AuxPath> {
+    fn from_tree(tree: &ShortestPathTree, sink: usize) -> Option<AuxPath> {
         let cost = tree.dist[sink];
         if cost.is_infinite() {
             return None;
@@ -45,7 +45,6 @@ impl AuxPath {
         }
         nodes.reverse();
         edges.reverse();
-        let _ = aux;
         Some(AuxPath { nodes, edges, cost })
     }
 
@@ -63,17 +62,22 @@ impl AuxPath {
 }
 
 /// Candidate ordering for the Yen frontier (min-heap by cost, then by the
-/// node sequence for determinism).
+/// edge sequence for determinism).
+///
+/// The tie-break must use the *edge* sequence: parallel fibres produce
+/// distinct paths with identical node sequences, and an `Ord` that cannot
+/// tell them apart would disagree with the derived `PartialEq`.
 #[derive(Debug, PartialEq, Eq)]
 struct Candidate(AuxPath);
 
 impl Ord for Candidate {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reverse for a min-heap on cost; tie-break on the sequence.
+        // Reverse for a min-heap on cost; tie-break on the sequences.
         other
             .0
             .cost
             .cmp(&self.0.cost)
+            .then_with(|| other.0.edges.cmp(&self.0.edges))
             .then_with(|| other.0.nodes.cmp(&self.0.nodes))
     }
 }
@@ -140,14 +144,16 @@ pub fn k_shortest_semilightpaths(
     let no_bans_edges = HashSet::new();
 
     let first_tree = dijkstra_filtered(graph, source, &no_bans_nodes, &no_bans_edges);
-    let Some(first) = AuxPath::from_tree(&aux, &first_tree, sink) else {
+    let Some(first) = AuxPath::from_tree(&first_tree, sink) else {
         return Ok(Vec::new());
     };
 
     let mut accepted: Vec<AuxPath> = vec![first];
     let mut frontier: BinaryHeap<Candidate> = BinaryHeap::new();
+    // Dedup on the *edge* sequence: parallel fibres yield distinct paths
+    // whose node sequences coincide.
     let mut seen: HashSet<Vec<usize>> = HashSet::new();
-    seen.insert(accepted[0].nodes.clone());
+    seen.insert(accepted[0].edges.clone());
 
     while accepted.len() < count {
         let last = accepted.last().expect("non-empty").clone();
@@ -173,21 +179,18 @@ pub fn k_shortest_semilightpaths(
             }
 
             let tree = dijkstra_filtered(graph, spur_node, &banned_nodes, &banned_edges);
-            if let Some(spur) = AuxPath::from_tree(&aux, &tree, sink) {
+            if let Some(spur) = AuxPath::from_tree(&tree, sink) {
                 let mut nodes = root_nodes.to_vec();
                 nodes.extend_from_slice(&spur.nodes[1..]);
                 let mut edges = root_edges.to_vec();
                 edges.extend_from_slice(&spur.edges);
-                let root_cost: Cost = root_edges
-                    .iter()
-                    .map(|&e| graph.edge(e).1.cost)
-                    .sum();
+                let root_cost: Cost = root_edges.iter().map(|&e| graph.edge(e).1.cost).sum();
                 let candidate = AuxPath {
                     nodes,
                     edges,
                     cost: root_cost + spur.cost,
                 };
-                if seen.insert(candidate.nodes.clone()) {
+                if seen.insert(candidate.edges.clone()) {
                     frontier.push(Candidate(candidate));
                 }
             }
@@ -311,6 +314,49 @@ mod tests {
         let paths = k_shortest_semilightpaths(&net, 0.into(), 3.into(), 4).expect("ok");
         let got: Vec<Cost> = paths.iter().map(|p| p.cost()).collect();
         assert_eq!(got, all);
+    }
+
+    #[test]
+    fn parallel_fibres_yield_distinct_alternatives() {
+        // Two parallel 0→1 fibres on the same wavelength: the aux node
+        // sequence s' → y_0(λ0) → x_1(λ0) → t'' is identical for both, so
+        // node-sequence dedup would collapse them. The edge sequences
+        // differ, and both alternatives must be enumerated.
+        let g = DiGraph::from_links(2, [(0, 1), (0, 1)]);
+        let net = WdmNetwork::builder(g, 1)
+            .link_wavelengths(0, [(0, 5)])
+            .link_wavelengths(1, [(0, 7)])
+            .build()
+            .expect("valid");
+        let paths = k_shortest_semilightpaths(&net, 0.into(), 1.into(), 4).expect("ok");
+        assert_eq!(paths.len(), 2, "both parallel fibres enumerated");
+        assert_eq!(paths[0].cost(), Cost::new(5));
+        assert_eq!(paths[1].cost(), Cost::new(7));
+        assert_ne!(
+            paths[0].hops()[0].link,
+            paths[1].hops()[0].link,
+            "alternatives use distinct physical fibres"
+        );
+        for p in &paths {
+            p.validate(&net).expect("valid");
+        }
+    }
+
+    #[test]
+    fn equal_cost_parallel_fibres_are_both_kept() {
+        // Same topology with *equal* costs: the frontier tie-break must
+        // still distinguish the candidates (Ord consistent with PartialEq).
+        let g = DiGraph::from_links(2, [(0, 1), (0, 1)]);
+        let net = WdmNetwork::builder(g, 1)
+            .link_wavelengths(0, [(0, 5)])
+            .link_wavelengths(1, [(0, 5)])
+            .build()
+            .expect("valid");
+        let paths = k_shortest_semilightpaths(&net, 0.into(), 1.into(), 4).expect("ok");
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0].cost(), Cost::new(5));
+        assert_eq!(paths[1].cost(), Cost::new(5));
+        assert_ne!(paths[0].hops()[0].link, paths[1].hops()[0].link);
     }
 
     #[test]

@@ -71,6 +71,7 @@ mod liang_shen;
 mod network;
 pub mod paper_example;
 pub mod reference;
+mod residual;
 pub mod restrictions;
 mod route;
 mod survivability;
@@ -82,13 +83,12 @@ pub use auxiliary::{AuxNodeKind, AuxStats, AuxiliaryGraph};
 pub use cfz::CfzRouter;
 pub use conversion::{ConversionMatrix, ConversionPolicy};
 pub use cost::Cost;
-pub use dijkstra::{dijkstra, dijkstra_with, DijkstraStats, ShortestPathTree};
+pub use dijkstra::{dijkstra, dijkstra_masked, dijkstra_with, DijkstraStats, ShortestPathTree};
 pub use error::{RouteError, WdmError};
 pub use k_shortest::k_shortest_semilightpaths;
-pub use liang_shen::{
-    find_optimal_semilightpath, LiangShenRouter, RouteResult, SemilightpathTree,
-};
+pub use liang_shen::{find_optimal_semilightpath, LiangShenRouter, RouteResult, SemilightpathTree};
 pub use network::{LinkWavelengths, WdmNetwork, WdmNetworkBuilder};
+pub use residual::PersistentAuxGraph;
 pub use route::{Hop, Semilightpath};
 pub use survivability::{disjoint_semilightpath_pair, DisjointPair, Disjointness};
 pub use wavelength::{Wavelength, WavelengthSet};

@@ -111,7 +111,11 @@ impl WdmNetwork {
     /// The paper's `k0`: the maximum `|Λ(e)|` over all links
     /// (0 for a linkless network).
     pub fn k0(&self) -> usize {
-        self.links.iter().map(LinkWavelengths::len).max().unwrap_or(0)
+        self.links
+            .iter()
+            .map(LinkWavelengths::len)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total number of (link, wavelength) pairs
@@ -216,10 +220,7 @@ impl WdmNetwork {
             .map(|(i, lw)| {
                 let link = LinkId::new(i);
                 LinkWavelengths {
-                    entries: lw
-                        .iter()
-                        .filter(|&(w, _)| keep(link, w))
-                        .collect(),
+                    entries: lw.iter().filter(|&(w, _)| keep(link, w)).collect(),
                 }
             })
             .collect();
@@ -387,8 +388,14 @@ mod tests {
         assert_eq!(net.k(), 3);
         assert_eq!(net.k0(), 2);
         assert_eq!(net.multigraph_link_count(), 3);
-        assert_eq!(net.link_cost(LinkId::new(0), Wavelength::new(0)), Cost::new(10));
-        assert_eq!(net.link_cost(LinkId::new(0), Wavelength::new(1)), Cost::INFINITY);
+        assert_eq!(
+            net.link_cost(LinkId::new(0), Wavelength::new(0)),
+            Cost::new(10)
+        );
+        assert_eq!(
+            net.link_cost(LinkId::new(0), Wavelength::new(1)),
+            Cost::INFINITY
+        );
         assert_eq!(net.min_link_cost(), Some(Cost::new(5)));
     }
 
@@ -476,10 +483,7 @@ mod tests {
             .build()
             .expect("valid");
         for v in 0..3 {
-            assert_eq!(
-                *net.conversion_at(NodeId::new(v)),
-                ConversionPolicy::Free
-            );
+            assert_eq!(*net.conversion_at(NodeId::new(v)), ConversionPolicy::Free);
         }
     }
 
@@ -496,7 +500,10 @@ mod tests {
         assert_eq!(r.k(), 3);
         assert_eq!(r.wavelengths_on(LinkId::new(0)).len(), 2);
         assert!(r.wavelengths_on(LinkId::new(1)).is_empty());
-        assert_eq!(r.link_cost(LinkId::new(0), Wavelength::new(2)), Cost::new(12));
+        assert_eq!(
+            r.link_cost(LinkId::new(0), Wavelength::new(2)),
+            Cost::new(12)
+        );
         assert_eq!(*r.conversion_at(NodeId::new(1)), ConversionPolicy::Free);
         assert_eq!(r.graph().link_count(), net.graph().link_count());
         // Keep-everything restriction is the identity.
@@ -505,7 +512,9 @@ mod tests {
 
     #[test]
     fn empty_links_allowed() {
-        let net = WdmNetwork::builder(simple_graph(), 2).build().expect("valid");
+        let net = WdmNetwork::builder(simple_graph(), 2)
+            .build()
+            .expect("valid");
         assert_eq!(net.k0(), 0);
         assert_eq!(net.multigraph_link_count(), 0);
         assert_eq!(net.min_link_cost(), None);

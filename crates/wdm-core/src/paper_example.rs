@@ -64,10 +64,7 @@ pub fn network() -> WdmNetwork {
     let g = DiGraph::from_links(7, LINKS.iter().map(|&(u, v, _)| (u, v)));
     let mut builder = WdmNetwork::builder(g, K);
     for (i, &(_, _, lambdas)) in LINKS.iter().enumerate() {
-        let entries: Vec<(usize, u64)> = lambdas
-            .iter()
-            .map(|&l| (l, link_cost(i, l)))
-            .collect();
+        let entries: Vec<(usize, u64)> = lambdas.iter().map(|&l| (l, link_cost(i, l))).collect();
         builder = builder.link_wavelengths(i, entries);
     }
     // All nodes convert at cost 1...
@@ -79,7 +76,9 @@ pub fn network() -> WdmNetwork {
     let mut m = ConversionMatrix::uniform(K, Cost::new(1));
     m.set(Wavelength::new(1), Wavelength::new(2), Cost::INFINITY);
     builder = builder.conversion(2, ConversionPolicy::Matrix(m));
-    builder.build().expect("the paper example is a valid instance")
+    builder
+        .build()
+        .expect("the paper example is a valid instance")
 }
 
 /// The paper's `Λ_in(G_M, v)` table (0-indexed wavelengths), in node
@@ -158,7 +157,9 @@ mod tests {
             .out_node(node3, Wavelength::new(2))
             .expect("λ3 ∈ Λ_out(3)");
         assert!(
-            aux.graph().out_edges(x).all(|e| e.target != forbidden_target),
+            aux.graph()
+                .out_edges(x)
+                .all(|e| e.target != forbidden_target),
             "λ2 → λ3 must be absent at node 3"
         );
         // But λ2 → λ2 pass-through exists... λ2 ∈ Λ_out(3)? Yes ({λ2,λ3,λ4}).

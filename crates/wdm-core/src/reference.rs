@@ -145,9 +145,7 @@ mod tests {
         for s in 0..4 {
             for t in 0..4 {
                 let (s, t) = (NodeId::new(s), NodeId::new(t));
-                let a = reference_route(&net, s, t)
-                    .expect("ok")
-                    .map(|p| p.cost());
+                let a = reference_route(&net, s, t).expect("ok").map(|p| p.cost());
                 let b = router.route(&net, s, t).expect("ok").path.map(|p| p.cost());
                 assert_eq!(a, b, "pair {s} → {t}");
             }

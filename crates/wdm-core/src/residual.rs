@@ -1,0 +1,430 @@
+//! Persistent residual routing: the auxiliary graph built once, searched
+//! many times through an in-place edge mask.
+//!
+//! The provisioning hot loop of a dynamic-traffic RWA system answers one
+//! question per request — "cheapest semilightpath on the *residual*
+//! network" — while the residual network differs from the base only in
+//! which (link, wavelength) pairs are currently occupied. Rebuilding
+//! `G_{s,t}` per request costs the full Theorem-1 construction,
+//! `O(k²n + km)`, plus the allocator traffic of a network clone. This
+//! module instead builds the terminal-equipped all-pairs graph `G_all`
+//! (Corollary 1) **once** and represents occupancy as an [`EdgeMask`] over
+//! its traversal edges: acquiring or releasing a resource flips one bit,
+//! and a request is answered by a single masked Dijkstra over the
+//! persistent structure, allocation-free after warm-up.
+//!
+//! # Why masking a traversal edge is exactly residual routing
+//!
+//! Occupying `(e, λ)` removes exactly one edge from the paper's
+//! wavelength-expanded multigraph `G_M`, which corresponds one-to-one to
+//! the traversal edge `y_u(λ) → x_v(λ)` of `G'`. Conversion gadgets and
+//! terminal taps never depend on availability, so the residual `G'` is the
+//! persistent `G'` minus masked traversal edges. The masked graph retains
+//! aux nodes whose wavelengths vanished from the residual Λ-sets, but such
+//! nodes are dead ends (every edge that made them useful is masked) and
+//! can never lie on a cheapest path, hence distances and blocked verdicts
+//! match a from-scratch rebuild. A full rebuild is still required when the
+//! *base* network changes — topology edits, added wavelengths, or altered
+//! conversion policies — because those change the node set itself.
+
+use crate::auxiliary::AuxiliaryGraph;
+use crate::csr::{CsrBuilder, CsrGraph, EdgeMask, EdgeRole};
+use crate::dijkstra::DijkstraWorkspace;
+use crate::{Cost, Hop, Semilightpath, Wavelength, WdmNetwork};
+use heaps::{BinaryHeap, IndexedPriorityQueue};
+use wdm_graph::{LinkId, NodeId};
+
+/// One per-wavelength view of the physical topology: the subgraph of links
+/// carrying `λ`, with its own busy mask. Lets single-wavelength (lightpath)
+/// policies go rebuild-free too.
+#[derive(Debug, Clone)]
+struct LambdaGraph {
+    graph: CsrGraph,
+    mask: EdgeMask,
+    /// Dense edge index per link (`u32::MAX` when the link lacks this λ).
+    edge_of_link: Vec<u32>,
+}
+
+const NO_EDGE: u32 = u32::MAX;
+
+/// The persistent, maskable residual-routing structure for one base
+/// network.
+///
+/// Holds `G_all` ([`AuxiliaryGraph::for_all_pairs`]), one per-wavelength
+/// link graph, busy masks for both, and a reusable
+/// [`DijkstraWorkspace`]+heap pair, so that after construction a request
+/// costs one heap-driven Dijkstra and zero structural work.
+///
+/// # Examples
+///
+/// ```
+/// use wdm_core::{Cost, PersistentAuxGraph, WdmNetwork, Wavelength};
+/// use wdm_graph::{DiGraph, LinkId};
+///
+/// let g = DiGraph::from_links(2, [(0, 1)]);
+/// let net = WdmNetwork::builder(g, 1).link_wavelengths(0, [(0, 4)]).build()?;
+/// let mut residual = PersistentAuxGraph::new(&net);
+/// let p = residual.route_optimal(0.into(), 1.into()).expect("free");
+/// assert_eq!(p.cost(), Cost::new(4));
+/// residual.set_busy(LinkId::new(0), Wavelength::new(0), true);
+/// assert!(residual.route_optimal(0.into(), 1.into()).is_none());
+/// residual.set_busy(LinkId::new(0), Wavelength::new(0), false);
+/// assert!(residual.route_optimal(0.into(), 1.into()).is_some());
+/// # Ok::<(), wdm_core::WdmError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PersistentAuxGraph {
+    aux: AuxiliaryGraph,
+    /// Busy mask over the aux graph's edges (only traversal bits are set).
+    mask: EdgeMask,
+    /// Per link, sorted by wavelength: the aux traversal edge for
+    /// `(link, λ)`.
+    aux_edge: Vec<Vec<(Wavelength, u32)>>,
+    lambda: Vec<LambdaGraph>,
+    ws: DijkstraWorkspace,
+    /// Heap reused by every search. The indexed binary heap wins over the
+    /// Theorem-1 Fibonacci heap here: per-request graphs are mid-sized, so
+    /// the flat sift beats pointer chasing, and it matches the legacy
+    /// lightpath routine's heap for the per-wavelength searches.
+    heap: BinaryHeap<Cost>,
+}
+
+impl PersistentAuxGraph {
+    /// Builds the persistent structure for `base` with every resource
+    /// free. This is the once-per-engine `O(k²n + km)` cost the per-request
+    /// path no longer pays.
+    pub fn new(base: &WdmNetwork) -> Self {
+        let aux = AuxiliaryGraph::for_all_pairs(base);
+        let g = aux.graph();
+        let m = base.link_count();
+        let n = base.node_count();
+
+        // Index the traversal edges by (link, λ) for O(log k0) flips.
+        let mut aux_edge: Vec<Vec<(Wavelength, u32)>> = vec![Vec::new(); m];
+        for i in 0..g.edge_count() {
+            let (_, e) = g.edge(i);
+            if let EdgeRole::Traversal { link, wavelength } = e.role {
+                aux_edge[link.index()].push((wavelength, i as u32));
+            }
+        }
+        for per_link in &mut aux_edge {
+            per_link.sort_by_key(|&(w, _)| w);
+        }
+
+        // One physical-topology subgraph per wavelength, mirroring the
+        // legacy per-λ rebuild's edge order (link order).
+        let mut lambda = Vec::with_capacity(base.k());
+        for li in 0..base.k() {
+            let lam = Wavelength::new(li);
+            let mut b = CsrBuilder::new(n);
+            for (e, l) in base.graph().links() {
+                let w = base.link_cost(e, lam);
+                if w.is_finite() {
+                    b.add_edge(
+                        l.tail().index(),
+                        l.head().index(),
+                        w,
+                        EdgeRole::Traversal {
+                            link: e,
+                            wavelength: lam,
+                        },
+                    );
+                }
+            }
+            let graph = b.build();
+            let mut edge_of_link = vec![NO_EDGE; m];
+            for i in 0..graph.edge_count() {
+                let (_, e) = graph.edge(i);
+                if let EdgeRole::Traversal { link, .. } = e.role {
+                    edge_of_link[link.index()] = i as u32;
+                }
+            }
+            let mask = EdgeMask::all_clear(graph.edge_count());
+            lambda.push(LambdaGraph {
+                graph,
+                mask,
+                edge_of_link,
+            });
+        }
+
+        let cap = g.node_count().max(n).max(1);
+        PersistentAuxGraph {
+            mask: EdgeMask::all_clear(g.edge_count()),
+            aux_edge,
+            lambda,
+            ws: DijkstraWorkspace::with_capacity(cap),
+            heap: BinaryHeap::with_capacity(cap),
+            aux,
+        }
+    }
+
+    /// The persistent `G_all` structure.
+    pub fn aux(&self) -> &AuxiliaryGraph {
+        &self.aux
+    }
+
+    /// The base network's global wavelength count `k`.
+    pub fn k(&self) -> usize {
+        self.lambda.len()
+    }
+
+    /// Marks `(link, λ)` busy (`true`) or free (`false`) in place.
+    ///
+    /// Returns `false` — and changes nothing — when the base network does
+    /// not carry `λ` on `link` (there is no corresponding traversal edge;
+    /// an engine may still *account* such a pair as blocked, e.g. during a
+    /// fibre cut, without consulting this structure). Setting a bit to its
+    /// current value is a no-op. Either way the operation is `O(log k0)`
+    /// and allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn set_busy(&mut self, link: LinkId, wavelength: Wavelength, busy: bool) -> bool {
+        let per_link = &self.aux_edge[link.index()];
+        let Ok(pos) = per_link.binary_search_by_key(&wavelength, |&(w, _)| w) else {
+            return false;
+        };
+        let aux_idx = per_link[pos].1 as usize;
+        self.mask.set_to(aux_idx, busy);
+        let lg = &mut self.lambda[wavelength.index()];
+        let e = lg.edge_of_link[link.index()];
+        debug_assert_ne!(e, NO_EDGE, "λ-graph edge exists whenever the aux edge does");
+        lg.mask.set_to(e as usize, busy);
+        true
+    }
+
+    /// Whether `(link, λ)` is currently masked busy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn is_busy(&self, link: LinkId, wavelength: Wavelength) -> bool {
+        let per_link = &self.aux_edge[link.index()];
+        match per_link.binary_search_by_key(&wavelength, |&(w, _)| w) {
+            Ok(pos) => self.mask.is_set(per_link[pos].1 as usize),
+            Err(_) => false,
+        }
+    }
+
+    /// Number of (link, λ) resources currently masked busy.
+    pub fn busy_count(&self) -> usize {
+        self.mask.set_count()
+    }
+
+    /// Frees every resource (e.g. after a full teardown).
+    pub fn clear_busy(&mut self) {
+        self.mask.clear_all();
+        for lg in &mut self.lambda {
+            lg.mask.clear_all();
+        }
+    }
+
+    /// Cheapest semilightpath `s → t` on the residual network — the
+    /// Theorem-1 query answered by one masked Dijkstra over the persistent
+    /// `G_all`, with no construction and no allocation beyond the returned
+    /// path. `s == t` yields the empty path; `None` means blocked.
+    ///
+    /// Costs (and blocked verdicts) are identical to routing on a freshly
+    /// rebuilt residual `G_{s,t}`; see the module docs for the argument.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn route_optimal(&mut self, s: NodeId, t: NodeId) -> Option<Semilightpath> {
+        if s == t {
+            return Some(Semilightpath::new(Vec::new(), Cost::ZERO));
+        }
+        let source = self.aux.source_terminal(s).expect("all-pairs terminals");
+        let sink = self.aux.sink_terminal(t).expect("all-pairs terminals");
+        self.ws
+            .run_masked_to(self.aux.graph(), source, &mut self.heap, &self.mask, sink);
+        self.aux
+            .extract_semilightpath_from(self.ws.dist(), self.ws.parent(), sink)
+    }
+
+    /// Cheapest single-wavelength path `s → t` on wavelength `lambda` of
+    /// the residual network (the lightpath-only building block). Mirrors
+    /// the legacy per-λ rebuild exactly, including returning `None` for
+    /// `s == t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint or `lambda` is out of range.
+    pub fn route_single_wavelength(
+        &mut self,
+        s: NodeId,
+        t: NodeId,
+        lambda: Wavelength,
+    ) -> Option<Semilightpath> {
+        if s == t {
+            return None;
+        }
+        let lg = &self.lambda[lambda.index()];
+        self.ws
+            .run_masked_to(&lg.graph, s.index(), &mut self.heap, &lg.mask, t.index());
+        let total = self.ws.dist()[t.index()];
+        if total.is_infinite() {
+            return None;
+        }
+        let mut hops = Vec::new();
+        let mut at = t.index();
+        while let Some((prev, edge_idx)) = self.ws.parent()[at] {
+            let (_, edge) = lg.graph.edge(edge_idx);
+            if let EdgeRole::Traversal { link, wavelength } = edge.role {
+                hops.push(Hop { link, wavelength });
+            }
+            at = prev;
+        }
+        hops.reverse();
+        Some(Semilightpath::new(hops, total))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ConversionPolicy, LiangShenRouter};
+    use wdm_graph::DiGraph;
+
+    /// 0 → 1 → 2 chain, two wavelengths everywhere, cheap conversion.
+    fn chain() -> WdmNetwork {
+        let g = DiGraph::from_links(3, [(0, 1), (1, 2)]);
+        WdmNetwork::builder(g, 2)
+            .link_wavelengths(0, [(0, 10), (1, 12)])
+            .link_wavelengths(1, [(0, 10), (1, 12)])
+            .uniform_conversion(ConversionPolicy::Uniform(Cost::new(1)))
+            .build()
+            .expect("valid")
+    }
+
+    /// Routes on a freshly restricted clone — the legacy rebuild path.
+    fn legacy_route(
+        net: &WdmNetwork,
+        busy: &[(usize, usize)],
+        s: NodeId,
+        t: NodeId,
+    ) -> Option<Semilightpath> {
+        let residual = net.restrict(|link, w| {
+            !busy
+                .iter()
+                .any(|&(l, lam)| link.index() == l && w.index() == lam)
+        });
+        LiangShenRouter::new().route(&residual, s, t).ok()?.path
+    }
+
+    #[test]
+    fn masked_route_matches_legacy_rebuild_costs() {
+        let net = chain();
+        let mut residual = PersistentAuxGraph::new(&net);
+        let busy_sets: [&[(usize, usize)]; 4] = [
+            &[],
+            &[(0, 0)],
+            &[(0, 0), (1, 1)],
+            &[(0, 0), (0, 1)], // link 0 fully busy → blocked
+        ];
+        for busy in busy_sets {
+            residual.clear_busy();
+            for &(l, lam) in busy {
+                assert!(residual.set_busy(LinkId::new(l), Wavelength::new(lam), true));
+            }
+            for (s, t) in [(0, 2), (0, 1), (1, 2), (2, 0)] {
+                let masked = residual.route_optimal(NodeId::new(s), NodeId::new(t));
+                let legacy = legacy_route(&net, busy, NodeId::new(s), NodeId::new(t));
+                match (&masked, &legacy) {
+                    (Some(a), Some(b)) => {
+                        assert_eq!(a.cost(), b.cost(), "{busy:?} {s}->{t}");
+                        a.validate(&net.restrict(|link, w| {
+                            !busy
+                                .iter()
+                                .any(|&(l, lam)| link.index() == l && w.index() == lam)
+                        }))
+                        .expect("valid on residual");
+                    }
+                    (None, None) => {}
+                    other => panic!("blocked-verdict mismatch for {busy:?} {s}->{t}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flips_are_idempotent_and_reversible() {
+        let net = chain();
+        let mut residual = PersistentAuxGraph::new(&net);
+        let link = LinkId::new(0);
+        let lam = Wavelength::new(0);
+        assert!(!residual.is_busy(link, lam));
+        assert!(residual.set_busy(link, lam, true));
+        assert!(residual.set_busy(link, lam, true), "idempotent set is ok");
+        assert!(residual.is_busy(link, lam));
+        assert_eq!(residual.busy_count(), 1);
+        assert!(residual.set_busy(link, lam, false));
+        assert_eq!(residual.busy_count(), 0);
+        let before = residual.route_optimal(0.into(), 2.into()).expect("free");
+        assert_eq!(before.cost(), Cost::new(20));
+    }
+
+    #[test]
+    fn absent_wavelength_flip_is_a_reported_no_op() {
+        let g = DiGraph::from_links(2, [(0, 1)]);
+        let net = WdmNetwork::builder(g, 3)
+            .link_wavelengths(0, [(1, 5)])
+            .build()
+            .expect("valid");
+        let mut residual = PersistentAuxGraph::new(&net);
+        // λ0 and λ2 are not carried by link 0: flips report false and
+        // leave routing untouched (a fibre-cut engine may mark all k).
+        assert!(!residual.set_busy(LinkId::new(0), Wavelength::new(0), true));
+        assert!(!residual.set_busy(LinkId::new(0), Wavelength::new(2), true));
+        assert_eq!(residual.busy_count(), 0);
+        assert!(residual.route_optimal(0.into(), 1.into()).is_some());
+    }
+
+    #[test]
+    fn single_wavelength_routes_respect_masks() {
+        let net = chain();
+        let mut residual = PersistentAuxGraph::new(&net);
+        let p = residual
+            .route_single_wavelength(0.into(), 2.into(), Wavelength::new(0))
+            .expect("λ0 free");
+        assert_eq!(p.cost(), Cost::new(20));
+        assert!(p.is_lightpath());
+        residual.set_busy(LinkId::new(1), Wavelength::new(0), true);
+        assert!(residual
+            .route_single_wavelength(0.into(), 2.into(), Wavelength::new(0))
+            .is_none());
+        let alt = residual
+            .route_single_wavelength(0.into(), 2.into(), Wavelength::new(1))
+            .expect("λ1 free");
+        assert_eq!(alt.cost(), Cost::new(24));
+        // s == t mirrors the legacy routine's None.
+        assert!(residual
+            .route_single_wavelength(1.into(), 1.into(), Wavelength::new(0))
+            .is_none());
+    }
+
+    #[test]
+    fn trivial_and_blocked_queries() {
+        let net = chain();
+        let mut residual = PersistentAuxGraph::new(&net);
+        let empty = residual.route_optimal(1.into(), 1.into()).expect("s == t");
+        assert!(empty.is_empty());
+        assert_eq!(empty.cost(), Cost::ZERO);
+        // 2 has no outgoing links.
+        assert!(residual.route_optimal(2.into(), 0.into()).is_none());
+    }
+
+    #[test]
+    fn clone_preserves_mask_state() {
+        let net = chain();
+        let mut residual = PersistentAuxGraph::new(&net);
+        residual.set_busy(LinkId::new(0), Wavelength::new(0), true);
+        let mut copy = residual.clone();
+        assert!(copy.is_busy(LinkId::new(0), Wavelength::new(0)));
+        assert_eq!(
+            copy.route_optimal(0.into(), 2.into()).map(|p| p.cost()),
+            residual.route_optimal(0.into(), 2.into()).map(|p| p.cost())
+        );
+    }
+}

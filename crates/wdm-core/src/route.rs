@@ -126,11 +126,8 @@ impl Semilightpath {
             total += network.link_cost(hop.link, hop.wavelength);
             if i + 1 < self.hops.len() {
                 let junction = network.graph().link(hop.link).head();
-                total += network.conversion_cost(
-                    junction,
-                    hop.wavelength,
-                    self.hops[i + 1].wavelength,
-                );
+                total +=
+                    network.conversion_cost(junction, hop.wavelength, self.hops[i + 1].wavelength);
             }
         }
         total

@@ -131,11 +131,7 @@ pub fn disjoint_semilightpath_pair(
 }
 
 /// Exact (link, λ)-disjoint pair via 2-unit min-cost flow on `G_{s,t}`.
-fn exact_link_wavelength_pair(
-    network: &WdmNetwork,
-    s: NodeId,
-    t: NodeId,
-) -> Option<DisjointPair> {
+fn exact_link_wavelength_pair(network: &WdmNetwork, s: NodeId, t: NodeId) -> Option<DisjointPair> {
     let aux = AuxiliaryGraph::for_pair(network, s, t);
     let g = aux.graph();
     let source = aux.super_source().expect("pair graph");
@@ -222,8 +218,7 @@ fn exact_link_wavelength_pair(
 fn heuristic_physical_pair(network: &WdmNetwork, s: NodeId, t: NodeId) -> Option<DisjointPair> {
     let router = LiangShenRouter::new();
     let primary = router.route(network, s, t).ok()?.path?;
-    let used: std::collections::HashSet<LinkId> =
-        primary.hops().iter().map(|h| h.link).collect();
+    let used: std::collections::HashSet<LinkId> = primary.hops().iter().map(|h| h.link).collect();
     // Residual network: strip every wavelength from the primary's links.
     let residual = network.restrict(|link, _| !used.contains(&link));
     let backup = router.route(&residual, s, t).ok()?.path?;
@@ -272,15 +267,15 @@ mod tests {
             .link_wavelengths(0, [(0, 5), (1, 7)])
             .build()
             .expect("valid");
-        let lw = disjoint_semilightpath_pair(&net, 0.into(), 1.into(), Disjointness::LinkWavelength)
-            .expect("ok")
-            .expect("pair exists");
+        let lw =
+            disjoint_semilightpath_pair(&net, 0.into(), 1.into(), Disjointness::LinkWavelength)
+                .expect("ok")
+                .expect("pair exists");
         assert!(lw.is_link_wavelength_disjoint());
         assert!(!lw.is_physical_link_disjoint());
         assert_eq!(lw.total_cost(), Cost::new(12));
-        let pl =
-            disjoint_semilightpath_pair(&net, 0.into(), 1.into(), Disjointness::PhysicalLink)
-                .expect("ok");
+        let pl = disjoint_semilightpath_pair(&net, 0.into(), 1.into(), Disjointness::PhysicalLink)
+            .expect("ok");
         assert!(pl.is_none());
     }
 
@@ -338,14 +333,10 @@ mod tests {
     #[test]
     fn trivial_and_error_cases() {
         let net = two_route_net();
-        let pair = disjoint_semilightpath_pair(
-            &net,
-            1.into(),
-            1.into(),
-            Disjointness::LinkWavelength,
-        )
-        .expect("ok")
-        .expect("trivial");
+        let pair =
+            disjoint_semilightpath_pair(&net, 1.into(), 1.into(), Disjointness::LinkWavelength)
+                .expect("ok")
+                .expect("trivial");
         assert!(pair.primary.is_empty() && pair.backup.is_empty());
         assert!(matches!(
             disjoint_semilightpath_pair(&net, 0.into(), 9.into(), Disjointness::PhysicalLink),
@@ -360,14 +351,10 @@ mod tests {
         // only feasible answer. Cross-check with k-shortest on the easy
         // case.
         let net = two_route_net();
-        let pair = disjoint_semilightpath_pair(
-            &net,
-            0.into(),
-            3.into(),
-            Disjointness::LinkWavelength,
-        )
-        .expect("ok")
-        .expect("pair");
+        let pair =
+            disjoint_semilightpath_pair(&net, 0.into(), 3.into(), Disjointness::LinkWavelength)
+                .expect("ok")
+                .expect("pair");
         let alts = crate::k_shortest_semilightpaths(&net, 0.into(), 3.into(), 2).expect("ok");
         let greedy_total = alts[0].cost() + alts[1].cost();
         assert!(pair.total_cost() <= greedy_total);

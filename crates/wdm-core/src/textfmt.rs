@@ -112,7 +112,11 @@ pub fn to_text(network: &WdmNetwork) -> String {
                     c.value().expect("finite uniform cost")
                 );
             }
-            ConversionPolicy::Banded { radius, base, slope } => {
+            ConversionPolicy::Banded {
+                radius,
+                base,
+                slope,
+            } => {
                 let _ = writeln!(
                     out,
                     "conv {} banded {} {} {}",
@@ -135,7 +139,11 @@ pub fn to_text(network: &WdmNetwork) -> String {
                         }
                     }
                 }
-                let body = if pairs.is_empty() { "-".to_string() } else { pairs.join(",") };
+                let body = if pairs.is_empty() {
+                    "-".to_string()
+                } else {
+                    pairs.join(",")
+                };
                 let _ = writeln!(out, "conv {} matrix {}", v.index(), body);
             }
         }
@@ -184,15 +192,16 @@ pub fn from_text(text: &str) -> Result<WdmNetwork, ParseError> {
             Some("link") => {
                 let tail: usize = parse_num(parts.next(), line_no, "link tail")?;
                 let head: usize = parse_num(parts.next(), line_no, "link head")?;
-                let spec = parts.next().ok_or_else(|| err("missing availability list"))?;
+                let spec = parts
+                    .next()
+                    .ok_or_else(|| err("missing availability list"))?;
                 let mut entries = Vec::new();
                 if spec != "-" {
                     for item in spec.split(',') {
                         let (l, c) = item
                             .split_once(':')
                             .ok_or_else(|| err("availability entry must be λ:cost"))?;
-                        let l: usize =
-                            l.parse().map_err(|_| err("bad wavelength index"))?;
+                        let l: usize = l.parse().map_err(|_| err("bad wavelength index"))?;
                         let c: u64 = c.parse().map_err(|_| err("bad cost"))?;
                         if l > u32::MAX as usize {
                             return Err(err("wavelength index too large"));
@@ -349,11 +358,14 @@ mod tests {
             .link_wavelengths(3, [(0, 1), (1, 2), (2, 3)])
             .conversion(0, ConversionPolicy::Free)
             .conversion(1, ConversionPolicy::Uniform(Cost::new(4)))
-            .conversion(2, ConversionPolicy::Banded {
-                radius: 1,
-                base: Cost::new(2),
-                slope: Cost::new(3),
-            })
+            .conversion(
+                2,
+                ConversionPolicy::Banded {
+                    radius: 1,
+                    base: Cost::new(2),
+                    slope: Cost::new(3),
+                },
+            )
             .conversion(3, ConversionPolicy::Matrix(m))
             .build()
             .expect("valid");
@@ -372,7 +384,11 @@ mod tests {
                     k: 5,
                     availability: Availability::Probability(0.5),
                     link_cost: (1, 50),
-                    conversion: ConversionSpec::RandomMatrix { density: 0.4, lo: 1, hi: 9 },
+                    conversion: ConversionSpec::RandomMatrix {
+                        density: 0.4,
+                        lo: 1,
+                        hi: 9,
+                    },
                 },
                 &mut rng,
             )

@@ -120,7 +120,11 @@ impl WavelengthSet {
     ///
     /// Panics if `w.index() >= k`.
     pub fn insert(&mut self, w: Wavelength) -> bool {
-        assert!(w.index() < self.k, "{w} outside universe of size {}", self.k);
+        assert!(
+            w.index() < self.k,
+            "{w} outside universe of size {}",
+            self.k
+        );
         let (blk, bit) = (w.index() / 64, w.index() % 64);
         let was = self.blocks[blk] & (1 << bit) != 0;
         self.blocks[blk] |= 1 << bit;
@@ -288,7 +292,9 @@ mod tests {
 
     #[test]
     fn from_iterator_sizes_universe() {
-        let s: WavelengthSet = [Wavelength::new(2), Wavelength::new(7)].into_iter().collect();
+        let s: WavelengthSet = [Wavelength::new(2), Wavelength::new(7)]
+            .into_iter()
+            .collect();
         assert_eq!(s.universe(), 8);
         assert_eq!(s.len(), 2);
         let empty: WavelengthSet = std::iter::empty().collect();

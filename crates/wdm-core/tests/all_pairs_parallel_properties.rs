@@ -43,7 +43,12 @@ fn assert_equivalent(
     label: &str,
 ) -> Result<(), TestCaseError> {
     prop_assert_eq!(parallel.node_count(), serial.node_count(), "{}", label);
-    prop_assert_eq!(parallel.total_settled(), serial.total_settled(), "{}", label);
+    prop_assert_eq!(
+        parallel.total_settled(),
+        serial.total_settled(),
+        "{}",
+        label
+    );
     prop_assert_eq!(parallel.aux_stats(), serial.aux_stats(), "{}", label);
     for s in 0..n {
         for t in 0..n {

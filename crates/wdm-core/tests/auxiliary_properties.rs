@@ -6,9 +6,9 @@
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use wdm_core::{AuxNodeKind, AuxiliaryGraph};
 use wdm_core::csr::EdgeRole;
 use wdm_core::instance::{random_network, Availability, ConversionSpec, InstanceConfig};
+use wdm_core::{AuxNodeKind, AuxiliaryGraph};
 use wdm_graph::topology;
 
 fn instance(seed: u64, n: usize, k: usize, p: f64) -> wdm_core::WdmNetwork {

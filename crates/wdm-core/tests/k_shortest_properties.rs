@@ -55,7 +55,17 @@ fn brute_force_costs(net: &WdmNetwork, s: NodeId, t: NodeId) -> Vec<Cost> {
                 }
                 visited_y[y_state] = true;
                 visited_x[x_state] = true;
-                dfs(net, t, head, Some(lambda), visited_x, visited_y, k, next_cost, out);
+                dfs(
+                    net,
+                    t,
+                    head,
+                    Some(lambda),
+                    visited_x,
+                    visited_y,
+                    k,
+                    next_cost,
+                    out,
+                );
                 visited_y[y_state] = false;
                 visited_x[x_state] = false;
             }

@@ -4,9 +4,7 @@ use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use wdm_core::instance::{random_network, Availability, ConversionSpec, InstanceConfig};
-use wdm_core::{
-    disjoint_semilightpath_pair, find_optimal_semilightpath, Disjointness,
-};
+use wdm_core::{disjoint_semilightpath_pair, find_optimal_semilightpath, Disjointness};
 use wdm_graph::{topology, NodeId};
 
 proptest! {

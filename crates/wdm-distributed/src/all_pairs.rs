@@ -80,9 +80,7 @@ impl DistributedAllPairsOutcome {
 /// assert_eq!(ap.cost(0.into(), 2.into()), Cost::new(2));
 /// assert_eq!(ap.cost(1.into(), 1.into()), Cost::ZERO);
 /// ```
-pub fn distributed_all_pairs(
-    network: &WdmNetwork,
-) -> Result<DistributedAllPairsOutcome, SimError> {
+pub fn distributed_all_pairs(network: &WdmNetwork) -> Result<DistributedAllPairsOutcome, SimError> {
     let n = network.node_count();
     let mut costs = vec![Cost::INFINITY; n * n];
     let mut data_messages = 0;
@@ -122,12 +120,8 @@ mod tests {
     #[test]
     fn matches_centralized_all_pairs() {
         let mut rng = SmallRng::seed_from_u64(17);
-        let net = random_network(
-            topology::abilene(),
-            &InstanceConfig::standard(3),
-            &mut rng,
-        )
-        .expect("valid");
+        let net = random_network(topology::abilene(), &InstanceConfig::standard(3), &mut rng)
+            .expect("valid");
         let central = AllPairs::solve(&net);
         let distributed = distributed_all_pairs(&net).expect("terminates");
         for s in 0..net.node_count() {
@@ -146,12 +140,8 @@ mod tests {
         // the k²n² bound is the expected regime (E5 reports the measured
         // ratio).
         let mut rng = SmallRng::seed_from_u64(23);
-        let net = random_network(
-            topology::nsfnet(),
-            &InstanceConfig::standard(4),
-            &mut rng,
-        )
-        .expect("valid");
+        let net = random_network(topology::nsfnet(), &InstanceConfig::standard(4), &mut rng)
+            .expect("valid");
         let ap = distributed_all_pairs(&net).expect("terminates");
         assert!(ap.total_messages() <= 8 * ap.corollary2_bound(&net));
         assert!(ap.pipelined_makespan <= ap.sequential_makespan);

@@ -264,10 +264,7 @@ mod tests {
         let out = chandy_misra_sssp(&g, &w, 0.into()).expect("terminates");
         assert_eq!(out.dist, centralized_sssp(&g, &w, 0.into()));
         assert!(out.root_detected_termination);
-        assert_eq!(
-            out.stats.messages,
-            out.data_messages + out.ack_messages
-        );
+        assert_eq!(out.stats.messages, out.data_messages + out.ack_messages);
     }
 
     #[test]
@@ -278,14 +275,20 @@ mod tests {
             .collect();
         for s in [0, 5, 13] {
             let out = chandy_misra_sssp(&g, &w, NodeId::new(s)).expect("terminates");
-            assert_eq!(out.dist, centralized_sssp(&g, &w, NodeId::new(s)), "source {s}");
+            assert_eq!(
+                out.dist,
+                centralized_sssp(&g, &w, NodeId::new(s)),
+                "source {s}"
+            );
         }
     }
 
     #[test]
     fn parents_form_a_tree_with_consistent_distances() {
         let g = topology::grid(3, 3);
-        let w: Vec<Cost> = (0..g.link_count()).map(|i| Cost::new(1 + i as u64 % 4)).collect();
+        let w: Vec<Cost> = (0..g.link_count())
+            .map(|i| Cost::new(1 + i as u64 % 4))
+            .collect();
         let out = chandy_misra_sssp(&g, &w, 0.into()).expect("terminates");
         for v in g.nodes() {
             if v.index() == 0 {
@@ -294,9 +297,10 @@ mod tests {
             }
             let p = out.parent[v.index()].expect("reachable grid node has parent");
             // dist[v] = dist[p] + w(p→v) for some link p→v.
-            let ok = g.links_between(p, v).iter().any(|&e| {
-                out.dist[p.index()] + w[e.index()] == out.dist[v.index()]
-            });
+            let ok = g
+                .links_between(p, v)
+                .iter()
+                .any(|&e| out.dist[p.index()] + w[e.index()] == out.dist[v.index()]);
             assert!(ok, "parent edge consistent at {v}");
         }
     }

@@ -47,7 +47,7 @@ pub mod sim;
 pub use all_pairs::{distributed_all_pairs, DistributedAllPairsOutcome};
 pub use chandy_misra::{chandy_misra_sssp, DistributedSsspOutcome};
 pub use semilightpath::{
-    distributed_tree, distributed_tree_with_latencies, route_distributed,
-    DistributedRouteOutcome, DistributedTraceOutcome, DistributedTreeOutcome, RouteSimError,
+    distributed_tree, distributed_tree_with_latencies, route_distributed, DistributedRouteOutcome,
+    DistributedTraceOutcome, DistributedTreeOutcome, RouteSimError,
 };
 pub use sim::{SimError, SimStats, SimTime, Simulator};

@@ -224,8 +224,7 @@ impl DistributedTreeOutcome {
         let mut node = v;
         let mut hops = Vec::new();
         loop {
-            let (pred, link) =
-                table.x_parent[node][lambda.index()].expect("finite dist ⇒ parent");
+            let (pred, link) = table.x_parent[node][lambda.index()].expect("finite dist ⇒ parent");
             hops.push(Hop {
                 link,
                 wavelength: lambda,
@@ -385,8 +384,7 @@ impl Process for TraceProcess {
     fn on_start(&mut self, ctx: &mut Context<TraceMsg>) {
         if self.is_target {
             if let Some(lambda) = self.start_wavelength {
-                let (pred, link) =
-                    self.x_parent[lambda.index()].expect("finite dist ⇒ parent");
+                let (pred, link) = self.x_parent[lambda.index()].expect("finite dist ⇒ parent");
                 let hops = vec![Hop {
                     link,
                     wavelength: lambda,
@@ -476,10 +474,7 @@ pub fn distributed_tree_with_latencies(
     source: NodeId,
     latency_of: impl Fn(ProcessId, ProcessId) -> crate::sim::SimTime,
 ) -> Result<DistributedTreeOutcome, SimError> {
-    assert!(
-        source.index() < network.node_count(),
-        "source out of range"
-    );
+    assert!(source.index() < network.node_count(), "source out of range");
     let n = network.node_count();
     let k = network.k();
     let shared = Rc::new(network.clone());
@@ -677,12 +672,8 @@ mod tests {
     fn agrees_with_centralized_on_random_instances() {
         for seed in 0..6 {
             let mut rng = SmallRng::seed_from_u64(seed);
-            let net = random_network(
-                topology::nsfnet(),
-                &InstanceConfig::standard(4),
-                &mut rng,
-            )
-            .expect("valid");
+            let net = random_network(topology::nsfnet(), &InstanceConfig::standard(4), &mut rng)
+                .expect("valid");
             let router = LiangShenRouter::new();
             let tree = distributed_tree(&net, 0.into()).expect("terminates");
             assert!(tree.root_detected_termination, "seed {seed}");
@@ -702,12 +693,8 @@ mod tests {
     #[test]
     fn extracted_paths_validate_and_match_cost() {
         let mut rng = SmallRng::seed_from_u64(11);
-        let net = random_network(
-            topology::abilene(),
-            &InstanceConfig::standard(3),
-            &mut rng,
-        )
-        .expect("valid");
+        let net = random_network(topology::abilene(), &InstanceConfig::standard(3), &mut rng)
+            .expect("valid");
         let tree = distributed_tree(&net, 2.into()).expect("terminates");
         for t in 0..net.node_count() {
             let t = NodeId::new(t);
@@ -727,12 +714,8 @@ mod tests {
         // Data messages are at most (improvements per X state) × fan-out;
         // sanity-check against the paper's km bound times a small factor.
         let mut rng = SmallRng::seed_from_u64(5);
-        let net = random_network(
-            topology::nsfnet(),
-            &InstanceConfig::standard(6),
-            &mut rng,
-        )
-        .expect("valid");
+        let net = random_network(topology::nsfnet(), &InstanceConfig::standard(6), &mut rng)
+            .expect("valid");
         let tree = distributed_tree(&net, 0.into()).expect("terminates");
         let km = (net.k() * net.link_count()) as u64;
         assert!(
@@ -765,12 +748,8 @@ mod tests {
     #[test]
     fn distributed_trace_matches_table_walk_and_costs_path_length() {
         let mut rng = SmallRng::seed_from_u64(13);
-        let net = random_network(
-            topology::nsfnet(),
-            &InstanceConfig::standard(4),
-            &mut rng,
-        )
-        .expect("valid");
+        let net = random_network(topology::nsfnet(), &InstanceConfig::standard(4), &mut rng)
+            .expect("valid");
         let tree = distributed_tree(&net, 0.into()).expect("terminates");
         for t in 0..net.node_count() {
             let t = NodeId::new(t);

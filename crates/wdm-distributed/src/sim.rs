@@ -33,7 +33,12 @@ pub trait Process {
     fn on_start(&mut self, ctx: &mut Context<Self::Message>);
 
     /// Invoked per delivered message.
-    fn on_message(&mut self, from: ProcessId, message: Self::Message, ctx: &mut Context<Self::Message>);
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        message: Self::Message,
+        ctx: &mut Context<Self::Message>,
+    );
 }
 
 /// Per-delivery handle through which a process sends messages.
@@ -90,7 +95,10 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::IllegalSend { from, to } => {
-                write!(f, "process {from} sent to {to} which is not a physical neighbour")
+                write!(
+                    f,
+                    "process {from} sent to {to} which is not a physical neighbour"
+                )
             }
             SimError::BudgetExhausted { budget } => {
                 write!(f, "simulation exceeded the event budget of {budget}")
@@ -406,10 +414,7 @@ mod tests {
             fn on_message(&mut self, _: ProcessId, _: (), _: &mut Context<()>) {}
         }
         let mut sim = Simulator::new(vec![Bad, Bad], vec![vec![], vec![0]]);
-        assert_eq!(
-            sim.run(),
-            Err(SimError::IllegalSend { from: 0, to: 1 })
-        );
+        assert_eq!(sim.run(), Err(SimError::IllegalSend { from: 0, to: 1 }));
     }
 
     #[test]
@@ -433,10 +438,7 @@ mod tests {
             vec![vec![1], vec![0]],
         )
         .with_event_budget(100);
-        assert_eq!(
-            sim.run(),
-            Err(SimError::BudgetExhausted { budget: 100 })
-        );
+        assert_eq!(sim.run(), Err(SimError::BudgetExhausted { budget: 100 }));
     }
 
     #[test]

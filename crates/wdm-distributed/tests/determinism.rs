@@ -13,8 +13,7 @@ use wdm_graph::topology;
 
 fn fixture() -> WdmNetwork {
     let mut rng = SmallRng::seed_from_u64(12345);
-    random_network(topology::nsfnet(), &InstanceConfig::standard(4), &mut rng)
-        .expect("valid")
+    random_network(topology::nsfnet(), &InstanceConfig::standard(4), &mut rng).expect("valid")
 }
 
 #[test]

@@ -14,8 +14,7 @@ fn messages_are_independent_of_global_k() {
     for k in [2usize, 16, 128] {
         let mut rng = SmallRng::seed_from_u64(314);
         let graph = topology::random_sparse(64, 32, 6, &mut rng).expect("feasible");
-        let net = random_network(graph, &InstanceConfig::bounded(k, 2), &mut rng)
-            .expect("valid");
+        let net = random_network(graph, &InstanceConfig::bounded(k, 2), &mut rng).expect("valid");
         assert!(net.k0() <= 2);
         let tree = distributed_tree(&net, NodeId::new(0)).expect("terminates");
         assert!(tree.root_detected_termination);
@@ -39,8 +38,7 @@ fn time_tracks_nk0_not_nk() {
     for k in [4usize, 64] {
         let mut rng = SmallRng::seed_from_u64(271);
         let graph = topology::random_sparse(96, 48, 6, &mut rng).expect("feasible");
-        let net = random_network(graph, &InstanceConfig::bounded(k, 2), &mut rng)
-            .expect("valid");
+        let net = random_network(graph, &InstanceConfig::bounded(k, 2), &mut rng).expect("valid");
         let tree = distributed_tree(&net, NodeId::new(0)).expect("terminates");
         let nk0 = (net.node_count() * 2) as u64;
         assert!(

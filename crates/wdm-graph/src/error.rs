@@ -39,13 +39,22 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::TooFewNodes { requested, minimum } => {
-                write!(f, "generator needs at least {minimum} nodes, got {requested}")
+                write!(
+                    f,
+                    "generator needs at least {minimum} nodes, got {requested}"
+                )
             }
             GraphError::InfeasibleLinkCount { requested, maximum } => {
-                write!(f, "requested {requested} links but at most {maximum} are possible")
+                write!(
+                    f,
+                    "requested {requested} links but at most {maximum} are possible"
+                )
             }
             GraphError::DegreeBoundTooSmall { bound } => {
-                write!(f, "degree bound {bound} is too small to keep the graph connected")
+                write!(
+                    f,
+                    "degree bound {bound} is too small to keep the graph connected"
+                )
             }
             GraphError::InvalidParameter { name, constraint } => {
                 write!(f, "parameter `{name}` violates constraint: {constraint}")

@@ -47,7 +47,11 @@ impl DegreeStats {
             max_in_degree: g.max_in_degree(),
             max_out_degree: g.max_out_degree(),
             max_degree: g.max_degree(),
-            mean_degree: if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 },
+            mean_degree: if n == 0 {
+                0.0
+            } else {
+                2.0 * m as f64 / n as f64
+            },
         }
     }
 }
@@ -200,10 +204,7 @@ mod tests {
     fn reachability_on_path() {
         let g = path_graph();
         assert_eq!(reachable_from(&g, 0.into()), vec![true; 4]);
-        assert_eq!(
-            reachable_from(&g, 2.into()),
-            vec![false, false, true, true]
-        );
+        assert_eq!(reachable_from(&g, 2.into()), vec![false, false, true, true]);
         assert_eq!(reaching(&g, 0.into()), vec![true, false, false, false]);
     }
 

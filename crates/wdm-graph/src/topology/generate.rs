@@ -65,7 +65,10 @@ pub fn grid(rows: usize, cols: usize) -> DiGraph {
 ///
 /// Panics if `rows < 3` or `cols < 3` (smaller tori create parallel fibres).
 pub fn torus(rows: usize, cols: usize) -> DiGraph {
-    assert!(rows >= 3 && cols >= 3, "torus dimensions must be at least 3");
+    assert!(
+        rows >= 3 && cols >= 3,
+        "torus dimensions must be at least 3"
+    );
     let idx = |r: usize, c: usize| r * cols + c;
     let mut edges = Vec::with_capacity(2 * rows * cols);
     for r in 0..rows {
@@ -465,11 +468,25 @@ mod tests {
         assert_eq!(g.node_count(), 30);
         assert!(is_strongly_connected(&g));
         assert!(matches!(
-            waxman(30, WaxmanParams { alpha: 0.0, beta: 0.2 }, &mut rng),
+            waxman(
+                30,
+                WaxmanParams {
+                    alpha: 0.0,
+                    beta: 0.2
+                },
+                &mut rng
+            ),
             Err(GraphError::InvalidParameter { name: "alpha", .. })
         ));
         assert!(matches!(
-            waxman(30, WaxmanParams { alpha: 0.4, beta: 1.5 }, &mut rng),
+            waxman(
+                30,
+                WaxmanParams {
+                    alpha: 0.4,
+                    beta: 1.5
+                },
+                &mut rng
+            ),
             Err(GraphError::InvalidParameter { name: "beta", .. })
         ));
         assert!(matches!(

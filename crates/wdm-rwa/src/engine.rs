@@ -4,8 +4,8 @@ use crate::policy::Policy;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
-use wdm_core::{Semilightpath, WdmNetwork};
-use wdm_graph::NodeId;
+use wdm_core::{PersistentAuxGraph, Semilightpath, Wavelength, WdmNetwork};
+use wdm_graph::{LinkId, NodeId};
 
 /// Handle of an active connection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -52,6 +52,23 @@ struct Connection {
     path: Semilightpath,
 }
 
+/// How the engine answers each request's routing query.
+///
+/// Both modes run the identical masked search over a
+/// [`PersistentAuxGraph`] and therefore make bit-identical routing
+/// decisions; they differ only in whether the structure persists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingMode {
+    /// The hot path: one persistent structure per engine, busy bits
+    /// flipped in place. Per-request work is a single masked Dijkstra.
+    #[default]
+    Masked,
+    /// The reference path: reconstruct the structure and replay the busy
+    /// state from scratch on every request. Exists for conformance
+    /// testing and benchmarking against the masked mode.
+    RebuildPerRequest,
+}
+
 /// Mutable RWA state over a base network.
 ///
 /// The base network defines topology, the full availability sets `Λ(e)`,
@@ -63,6 +80,12 @@ pub struct ProvisioningEngine {
     base: WdmNetwork,
     /// `busy[link][λ]` — occupied by some active connection.
     busy: Vec<Vec<bool>>,
+    /// The persistent masked search structure, kept bit-for-bit in sync
+    /// with `busy` for every `(e, λ ∈ Λ(e))` by [`Self::set_resource`].
+    /// Valid as long as `base` is immutable; replacing the base network
+    /// requires a new engine (and thus a full rebuild).
+    residual: PersistentAuxGraph,
+    mode: RoutingMode,
     active: HashMap<ConnectionId, Connection>,
     next_id: u64,
     /// Totals for statistics.
@@ -72,13 +95,21 @@ pub struct ProvisioningEngine {
 }
 
 impl ProvisioningEngine {
-    /// Creates an engine with every base resource free.
+    /// Creates an engine with every base resource free, routing on the
+    /// persistent masked structure ([`RoutingMode::Masked`]).
     pub fn new(base: &WdmNetwork) -> Self {
+        Self::with_mode(base, RoutingMode::Masked)
+    }
+
+    /// Creates an engine with an explicit [`RoutingMode`].
+    pub fn with_mode(base: &WdmNetwork, mode: RoutingMode) -> Self {
         let m = base.link_count();
         let k = base.k();
         ProvisioningEngine {
             base: base.clone(),
             busy: vec![vec![false; k]; m],
+            residual: PersistentAuxGraph::new(base),
+            mode,
             active: HashMap::new(),
             next_id: 0,
             accepted: 0,
@@ -90,6 +121,11 @@ impl ProvisioningEngine {
     /// The base network the engine was created from.
     pub fn base(&self) -> &WdmNetwork {
         &self.base
+    }
+
+    /// The engine's routing mode.
+    pub fn mode(&self) -> RoutingMode {
+        self.mode
     }
 
     /// Number of currently active connections.
@@ -122,12 +158,88 @@ impl ProvisioningEngine {
     }
 
     /// The residual network: base availability minus busy resources.
+    ///
+    /// This materializes a fresh [`WdmNetwork`] clone — the cost the
+    /// masked hot path avoids. It remains the right tool for batch
+    /// pre-screening and external snapshots.
     pub fn residual_network(&self) -> WdmNetwork {
         self.base
             .restrict(|link, w| !self.busy[link.index()][w.index()])
     }
 
+    /// Marks `(link, λ)` in both resource views: the `busy` matrix and the
+    /// persistent masked structure. Keeping every flip behind this method
+    /// is what maintains the mask-sync invariant.
+    fn set_resource(&mut self, link: LinkId, wavelength: Wavelength, busy: bool) {
+        self.busy[link.index()][wavelength.index()] = busy;
+        self.residual.set_busy(link, wavelength, busy);
+    }
+
+    /// A from-scratch [`PersistentAuxGraph`] with the current busy state
+    /// replayed — the [`RoutingMode::RebuildPerRequest`] reference.
+    fn rebuild_residual(&self) -> PersistentAuxGraph {
+        let mut fresh = PersistentAuxGraph::new(&self.base);
+        for (e, _) in self.base.graph().links() {
+            for (w, _) in self.base.wavelengths_on(e).iter() {
+                if self.busy[e.index()][w.index()] {
+                    fresh.set_busy(e, w, true);
+                }
+            }
+        }
+        fresh
+    }
+
+    /// Answers one routing query according to [`Self::mode`].
+    fn route_request(&mut self, s: NodeId, t: NodeId, policy: Policy) -> Option<Semilightpath> {
+        let path = match self.mode {
+            RoutingMode::Masked => policy.route_masked(&mut self.residual, s, t),
+            RoutingMode::RebuildPerRequest => {
+                policy.route_masked(&mut self.rebuild_residual(), s, t)
+            }
+        };
+        #[cfg(debug_assertions)]
+        self.cross_check_route(s, t, policy, &path);
+        path
+    }
+
+    /// Debug-build cross-check of the masked answer against the legacy
+    /// rebuild path (`residual_network()` + [`Policy::route`]): the busy
+    /// mask must match the busy matrix exactly, and both routers must
+    /// agree on the blocked verdict and the optimal cost. (Under cost
+    /// ties the two may pick different equal-cost paths, so hop sequences
+    /// are not compared here; mode-vs-mode hop identity is covered by the
+    /// conformance suite.)
+    #[cfg(debug_assertions)]
+    fn cross_check_route(&self, s: NodeId, t: NodeId, policy: Policy, got: &Option<Semilightpath>) {
+        for (e, _) in self.base.graph().links() {
+            for (w, _) in self.base.wavelengths_on(e).iter() {
+                debug_assert_eq!(
+                    self.residual.is_busy(e, w),
+                    self.busy[e.index()][w.index()],
+                    "mask drift at ({e}, {w})"
+                );
+            }
+        }
+        let legacy = policy.route(&self.residual_network(), s, t);
+        match (got, &legacy) {
+            (Some(a), Some(b)) => {
+                debug_assert_eq!(
+                    a.cost(),
+                    b.cost(),
+                    "masked vs rebuild cost mismatch for {s} -> {t} under {policy}"
+                );
+                debug_assert_eq!(a.is_empty(), b.is_empty());
+            }
+            (None, None) => {}
+            _ => panic!("masked vs rebuild blocked-verdict mismatch for {s} -> {t} under {policy}"),
+        }
+    }
+
     /// Routes and, on success, locks the request `s → t` under `policy`.
+    ///
+    /// In [`RoutingMode::Masked`] this is the zero-rebuild hot path: no
+    /// network clone, no graph construction — one masked Dijkstra over
+    /// the persistent structure, then `O(hops)` bit flips.
     ///
     /// # Errors
     ///
@@ -145,18 +257,20 @@ impl ProvisioningEngine {
                 return Err(RwaError::NodeOutOfRange(v));
             }
         }
-        let residual = self.residual_network();
-        let path = match policy.route(&residual, s, t) {
+        let path = match self.route_request(s, t, policy) {
             Some(p) if !p.is_empty() => p,
             _ => {
                 self.blocked += 1;
                 return Err(RwaError::Blocked { s, t });
             }
         };
-        debug_assert!(path.validate(&residual).is_ok(), "policy returned invalid path");
+        debug_assert!(
+            path.validate(&self.residual_network()).is_ok(),
+            "policy returned invalid path"
+        );
         for hop in path.hops() {
             debug_assert!(!self.busy[hop.link.index()][hop.wavelength.index()]);
-            self.busy[hop.link.index()][hop.wavelength.index()] = true;
+            self.set_resource(hop.link, hop.wavelength, true);
         }
         let id = ConnectionId(self.next_id);
         self.next_id += 1;
@@ -224,7 +338,7 @@ impl ProvisioningEngine {
             .remove(&id)
             .ok_or(RwaError::UnknownConnection(id))?;
         for hop in conn.path.hops() {
-            self.busy[hop.link.index()][hop.wavelength.index()] = false;
+            self.set_resource(hop.link, hop.wavelength, false);
         }
         self.released += 1;
         Ok(())
@@ -273,21 +387,17 @@ impl ProvisioningEngine {
         let mut endpoints = Vec::with_capacity(affected.len());
         for &id in &affected {
             let conn = self.active.get(&id).expect("affected is active");
-            let s = conn
-                .path
-                .source(&self.base)
-                .expect("non-empty active path");
-            let t = conn
-                .path
-                .target(&self.base)
-                .expect("non-empty active path");
+            let s = conn.path.source(&self.base).expect("non-empty active path");
+            let t = conn.path.target(&self.base).expect("non-empty active path");
             endpoints.push((s, t));
             self.release(id).expect("active");
         }
         // Mark the failed link busy on every wavelength so restoration
-        // avoids it.
-        for slot in &mut self.busy[link.index()] {
-            *slot = true;
+        // avoids it. (Wavelengths the link does not carry have no mask
+        // bit; flagging them in the busy matrix alone is harmless because
+        // no route can use them either way.)
+        for lambda in 0..self.base.k() {
+            self.set_resource(link, Wavelength::new(lambda), true);
         }
         let mut outcome = Vec::with_capacity(affected.len());
         for (&id, &(s, t)) in affected.iter().zip(&endpoints) {
@@ -296,8 +406,8 @@ impl ProvisioningEngine {
         // No active connection crosses the cut fibre any more (the
         // affected ones were torn down and restorations excluded it), so
         // its true resource state is all-free; clear the block markers.
-        for slot in &mut self.busy[link.index()] {
-            *slot = false;
+        for lambda in 0..self.base.k() {
+            self.set_resource(link, Wavelength::new(lambda), false);
         }
         outcome
     }
@@ -439,7 +549,9 @@ mod tests {
         assert_eq!(engine.utilization(), 0.0);
         // Unaffected traffic keeps flowing: a fresh request not crossing
         // the cut still provisions.
-        assert!(engine.provision(0.into(), 1.into(), Policy::Optimal).is_ok());
+        assert!(engine
+            .provision(0.into(), 1.into(), Policy::Optimal)
+            .is_ok());
     }
 
     #[test]
@@ -474,7 +586,17 @@ mod tests {
             assert_eq!(outcomes.len(), requests.len());
             for (i, (got, want)) in outcomes.iter().zip(&serial_outcomes).enumerate() {
                 match (got, want) {
-                    (Ok(_), Ok(_)) => {}
+                    (Ok(b_id), Ok(s_id)) => {
+                        // Same request, same engine state → identical
+                        // route: hop-for-hop links, wavelengths, and cost.
+                        let b_path = batch.path_of(*b_id).expect("batch conn active");
+                        let s_path = serial.path_of(*s_id).expect("serial conn active");
+                        assert_eq!(
+                            b_path, s_path,
+                            "request #{i} path diverged with {threads} threads"
+                        );
+                        assert_eq!(b_path.cost(), s_path.cost(), "request #{i} cost");
+                    }
                     (e1, e2) => assert_eq!(e1, e2, "request #{i} with {threads} threads"),
                 }
             }
@@ -517,11 +639,46 @@ mod tests {
     }
 
     #[test]
+    fn masked_and_rebuild_modes_are_bit_identical() {
+        // Drive both modes through the same provision/release/fail_link
+        // script and require identical ids, hop-for-hop paths, totals,
+        // and utilization at every step.
+        let mut masked = ProvisioningEngine::new(&base());
+        let mut rebuild = ProvisioningEngine::with_mode(&base(), RoutingMode::RebuildPerRequest);
+        assert_eq!(masked.mode(), RoutingMode::Masked);
+        let mut ids = Vec::new();
+        for (s, t) in [(0, 3), (0, 2), (1, 3), (0, 3), (3, 0)] {
+            let a = masked.provision(NodeId::new(s), NodeId::new(t), Policy::Optimal);
+            let b = rebuild.provision(NodeId::new(s), NodeId::new(t), Policy::Optimal);
+            assert_eq!(a, b, "{s}->{t}");
+            if let Ok(id) = a {
+                assert_eq!(masked.path_of(id), rebuild.path_of(id), "{s}->{t}");
+                ids.push(id);
+            }
+        }
+        assert_eq!(masked.release(ids[0]), rebuild.release(ids[0]));
+        let cut = wdm_graph::LinkId::new(1);
+        let oa = masked.fail_link(cut, Policy::Optimal);
+        let ob = rebuild.fail_link(cut, Policy::Optimal);
+        assert_eq!(oa, ob);
+        for (_, restored) in &oa {
+            if let Some(id) = restored {
+                assert_eq!(masked.path_of(*id), rebuild.path_of(*id));
+            }
+        }
+        assert_eq!(masked.totals(), rebuild.totals());
+        assert_eq!(masked.active_count(), rebuild.active_count());
+        assert_eq!(masked.utilization(), rebuild.utilization());
+    }
+
+    #[test]
     fn blocked_request_changes_nothing() {
         let mut engine = ProvisioningEngine::new(&base());
         // 3 has no outgoing links: 3 → 0 always blocks.
         let before = engine.utilization();
-        assert!(engine.provision(3.into(), 0.into(), Policy::Optimal).is_err());
+        assert!(engine
+            .provision(3.into(), 0.into(), Policy::Optimal)
+            .is_err());
         assert_eq!(engine.utilization(), before);
         assert_eq!(engine.active_count(), 0);
     }

@@ -9,7 +9,10 @@
 //!
 //! * [`ProvisioningEngine`] — mutable (link, wavelength) resource state
 //!   over a base [`wdm_core::WdmNetwork`], with provision/release and
-//!   utilization accounting;
+//!   utilization accounting. The hot path routes on a persistent
+//!   [`wdm_core::PersistentAuxGraph`] through an in-place busy mask
+//!   (see [`RoutingMode`]) instead of rebuilding the auxiliary graph per
+//!   request;
 //! * [`Policy`] — how a request is routed: the paper's optimal
 //!   semilightpath, pure lightpath routing (no conversion), or the classic
 //!   first-fit wavelength assignment baseline;
@@ -51,6 +54,6 @@ mod policy;
 mod stats;
 pub mod workload;
 
-pub use engine::{ConnectionId, ProvisioningEngine, RwaError};
+pub use engine::{ConnectionId, ProvisioningEngine, RoutingMode, RwaError};
 pub use policy::Policy;
 pub use stats::{simulate, BlockingStats};

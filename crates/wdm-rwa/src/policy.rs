@@ -1,7 +1,10 @@
 //! Routing policies for provisioning.
 
 use wdm_core::csr::{CsrBuilder, EdgeRole};
-use wdm_core::{dijkstra_with, Cost, HeapKind, Hop, LiangShenRouter, Semilightpath, Wavelength, WdmNetwork};
+use wdm_core::{
+    dijkstra_with, Cost, HeapKind, Hop, LiangShenRouter, PersistentAuxGraph, Semilightpath,
+    Wavelength, WdmNetwork,
+};
 use wdm_graph::NodeId;
 
 /// How a connection request is routed on the residual network.
@@ -22,13 +25,16 @@ pub enum Policy {
 }
 
 impl Policy {
-    /// Routes `s → t` on `network`, returning `None` when blocked.
-    pub(crate) fn route(
-        self,
-        network: &WdmNetwork,
-        s: NodeId,
-        t: NodeId,
-    ) -> Option<Semilightpath> {
+    /// Routes `s → t` on an explicit `network` snapshot, returning `None`
+    /// when blocked.
+    ///
+    /// This is the rebuild-per-request path: every call reconstructs the
+    /// search structures from scratch. The provisioning engine's hot loop
+    /// uses [`route_masked`](Self::route_masked) on a persistent graph
+    /// instead and cross-checks against this routine under
+    /// `debug_assertions`; call this directly when routing on a one-off
+    /// network (or residual snapshot) outside an engine.
+    pub fn route(self, network: &WdmNetwork, s: NodeId, t: NodeId) -> Option<Semilightpath> {
         match self {
             Policy::Optimal => LiangShenRouter::new().route(network, s, t).ok()?.path,
             Policy::LightpathOnly => {
@@ -47,6 +53,45 @@ impl Policy {
             Policy::FirstFit => {
                 for lambda in 0..network.k() {
                     if let Some(p) = single_wavelength_path(network, s, t, Wavelength::new(lambda))
+                    {
+                        return Some(p);
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Routes `s → t` on the persistent residual structure, returning
+    /// `None` when blocked.
+    ///
+    /// Mirrors [`route`](Self::route) policy-for-policy — same wavelength
+    /// scan order, same strict-improvement best-path selection — but pays
+    /// zero construction: each candidate is one masked Dijkstra over
+    /// `residual`'s persistent graphs.
+    pub(crate) fn route_masked(
+        self,
+        residual: &mut PersistentAuxGraph,
+        s: NodeId,
+        t: NodeId,
+    ) -> Option<Semilightpath> {
+        match self {
+            Policy::Optimal => residual.route_optimal(s, t),
+            Policy::LightpathOnly => {
+                let mut best: Option<Semilightpath> = None;
+                for lambda in 0..residual.k() {
+                    if let Some(p) = residual.route_single_wavelength(s, t, Wavelength::new(lambda))
+                    {
+                        if best.as_ref().map(|b| p.cost() < b.cost()).unwrap_or(true) {
+                            best = Some(p);
+                        }
+                    }
+                }
+                best
+            }
+            Policy::FirstFit => {
+                for lambda in 0..residual.k() {
+                    if let Some(p) = residual.route_single_wavelength(s, t, Wavelength::new(lambda))
                     {
                         return Some(p);
                     }
@@ -138,9 +183,13 @@ mod tests {
     #[test]
     fn optimal_uses_conversion_where_lightpath_blocks() {
         let net = conversion_needed();
-        let p = Policy::Optimal.route(&net, 0.into(), 2.into()).expect("routes");
+        let p = Policy::Optimal
+            .route(&net, 0.into(), 2.into())
+            .expect("routes");
         assert_eq!(p.conversion_count(), 1);
-        assert!(Policy::LightpathOnly.route(&net, 0.into(), 2.into()).is_none());
+        assert!(Policy::LightpathOnly
+            .route(&net, 0.into(), 2.into())
+            .is_none());
         assert!(Policy::FirstFit.route(&net, 0.into(), 2.into()).is_none());
     }
 
@@ -152,7 +201,9 @@ mod tests {
             .build()
             .expect("valid");
         // λ2 is cheaper, but first-fit takes λ1 (lowest available index).
-        let ff = Policy::FirstFit.route(&net, 0.into(), 1.into()).expect("routes");
+        let ff = Policy::FirstFit
+            .route(&net, 0.into(), 1.into())
+            .expect("routes");
         assert_eq!(ff.hops()[0].wavelength, Wavelength::new(1));
         // LightpathOnly picks the cheapest wavelength.
         let lp = Policy::LightpathOnly
@@ -171,7 +222,9 @@ mod tests {
             .uniform_conversion(ConversionPolicy::Uniform(Cost::new(100)))
             .build()
             .expect("valid");
-        let opt = Policy::Optimal.route(&net, 0.into(), 2.into()).expect("routes");
+        let opt = Policy::Optimal
+            .route(&net, 0.into(), 2.into())
+            .expect("routes");
         let lp = Policy::LightpathOnly
             .route(&net, 0.into(), 2.into())
             .expect("routes");
@@ -193,5 +246,28 @@ mod tests {
     fn display_names() {
         assert_eq!(Policy::Optimal.to_string(), "optimal-semilightpath");
         assert_eq!(Policy::default(), Policy::Optimal);
+    }
+
+    #[test]
+    fn masked_routes_agree_with_rebuild_routes() {
+        use wdm_core::PersistentAuxGraph;
+        let net = conversion_needed();
+        let mut residual = PersistentAuxGraph::new(&net);
+        for policy in [Policy::Optimal, Policy::LightpathOnly, Policy::FirstFit] {
+            for s in 0..3usize {
+                for t in 0..3usize {
+                    let masked = policy.route_masked(&mut residual, s.into(), t.into());
+                    let rebuilt = policy.route(&net, s.into(), t.into());
+                    match (&masked, &rebuilt) {
+                        (Some(a), Some(b)) => {
+                            assert_eq!(a.cost(), b.cost(), "{policy} {s}->{t}");
+                            assert_eq!(a.is_empty(), b.is_empty(), "{policy} {s}->{t}");
+                        }
+                        (None, None) => {}
+                        other => panic!("verdict mismatch {policy} {s}->{t}: {other:?}"),
+                    }
+                }
+            }
+        }
     }
 }

@@ -170,7 +170,10 @@ mod tests {
         let reqs = static_requests(net.node_count(), 100, &mut rng);
         let stats = simulate(&net, &reqs, Policy::Optimal);
         assert_eq!(stats.offered, 100);
-        assert!(stats.blocked > 0, "2 wavelengths cannot carry 100 static circuits");
+        assert!(
+            stats.blocked > 0,
+            "2 wavelengths cannot carry 100 static circuits"
+        );
         assert_eq!(stats.accepted + stats.blocked, stats.offered);
         assert!(stats.peak_active as u64 <= stats.accepted);
     }

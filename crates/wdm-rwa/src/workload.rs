@@ -20,11 +20,7 @@ pub struct Request {
 /// (static/offline provisioning).
 ///
 /// Endpoints are uniform over distinct node pairs.
-pub fn static_requests<R: Rng + ?Sized>(
-    n_nodes: usize,
-    count: usize,
-    rng: &mut R,
-) -> Vec<Request> {
+pub fn static_requests<R: Rng + ?Sized>(n_nodes: usize, count: usize, rng: &mut R) -> Vec<Request> {
     assert!(n_nodes >= 2, "need at least two nodes for requests");
     (0..count)
         .map(|_| {
@@ -91,7 +87,10 @@ pub fn gravity_requests<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Vec<Request> {
     assert!(weights.len() >= 2, "need at least two nodes for requests");
-    assert!(weights.iter().all(|&w| w >= 0.0), "weights must be non-negative");
+    assert!(
+        weights.iter().all(|&w| w >= 0.0),
+        "weights must be non-negative"
+    );
     let total: f64 = weights.iter().sum();
     assert!(total > 0.0, "at least one weight must be positive");
     assert!(load > 0.0 && mean_holding > 0.0, "rates must be positive");

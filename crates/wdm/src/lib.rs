@@ -50,8 +50,9 @@ pub mod heaps {
 }
 
 pub use wdm_core::{
-    disjoint_semilightpath_pair, find_optimal_semilightpath, k_shortest_semilightpaths, AllPairs, AllPairsPaths, AuxiliaryGraph, CfzRouter, ConversionMatrix,
-    ConversionPolicy, Cost, DisjointPair, Disjointness, HeapKind, Hop, LiangShenRouter, RouteResult, Semilightpath,
+    disjoint_semilightpath_pair, find_optimal_semilightpath, k_shortest_semilightpaths, AllPairs,
+    AllPairsPaths, AuxiliaryGraph, CfzRouter, ConversionMatrix, ConversionPolicy, Cost,
+    DisjointPair, Disjointness, HeapKind, Hop, LiangShenRouter, RouteResult, Semilightpath,
     SemilightpathTree, Wavelength, WavelengthSet, WdmError, WdmNetwork,
 };
 pub use wdm_distributed::{distributed_all_pairs, distributed_tree, route_distributed};
@@ -61,10 +62,10 @@ pub use wdm_graph::{DiGraph, LinkId, NodeId};
 pub mod prelude {
     pub use crate::core::instance::{Availability, ConversionSpec, InstanceConfig};
     pub use crate::core::restrictions;
+    pub use crate::graph::{metrics, topology};
     pub use crate::{
         disjoint_semilightpath_pair, find_optimal_semilightpath, k_shortest_semilightpaths,
-        route_distributed, Disjointness, AllPairs, CfzRouter, ConversionPolicy,
-        Cost, DiGraph, HeapKind, LiangShenRouter, NodeId, Semilightpath, Wavelength, WdmNetwork,
+        route_distributed, AllPairs, CfzRouter, ConversionPolicy, Cost, DiGraph, Disjointness,
+        HeapKind, LiangShenRouter, NodeId, Semilightpath, Wavelength, WdmNetwork,
     };
-    pub use crate::graph::{metrics, topology};
 }

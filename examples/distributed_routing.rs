@@ -29,10 +29,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         None => println!("  unreachable under current availability"),
     }
     println!("  cost                 : {}", out.cost);
-    println!("  relaxation messages  : {} (paper bound O(km), km = {})", out.data_messages, k * m);
+    println!(
+        "  relaxation messages  : {} (paper bound O(km), km = {})",
+        out.data_messages,
+        k * m
+    );
     println!("  termination acks     : {}", out.ack_messages);
-    println!("  route-trace messages : {} (one per physical hop)", out.trace_messages);
-    println!("  makespan             : {} latency units (paper bound O(kn), kn = {})", out.makespan, k * n);
+    println!(
+        "  route-trace messages : {} (one per physical hop)",
+        out.trace_messages
+    );
+    println!(
+        "  makespan             : {} latency units (paper bound O(kn), kn = {})",
+        out.makespan,
+        k * n
+    );
     println!("  source saw termination: {}", out.terminated);
 
     // Verify against the centralized algorithm.
@@ -42,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Sweep k and watch messages scale ~linearly in k·m (Theorem 3).
     println!("\nmessage scaling on EON (source London):");
-    println!("  {:>3}  {:>8}  {:>8}  {:>10}", "k", "km", "messages", "msgs/km");
+    println!(
+        "  {:>3}  {:>8}  {:>8}  {:>10}",
+        "k", "km", "messages", "msgs/km"
+    );
     for k in [2usize, 4, 8, 16] {
         let mut rng = SmallRng::seed_from_u64(7);
         let net = wdm::core::instance::random_network(

@@ -67,7 +67,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(restrictions::theorem2_applies(&repaired));
     let simple = find_optimal_semilightpath(&repaired, 0.into(), 3.into())?.expect("reachable");
     println!("\nwith Restrictions 1+2 satisfied: {simple}");
-    println!("  node-simple? : {} (Theorem 2)", simple.is_node_simple(&repaired));
+    println!(
+        "  node-simple? : {} (Theorem 2)",
+        simple.is_node_simple(&repaired)
+    );
     assert!(simple.is_node_simple(&repaired));
     Ok(())
 }

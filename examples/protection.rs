@@ -62,7 +62,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         disjoint_semilightpath_pair(&trap, 0.into(), 3.into(), Disjointness::PhysicalLink)?;
     println!(
         "  active-path-first heuristic: {}",
-        if greedy.is_some() { "found a pair" } else { "FAILS — the optimal primary 0-1-2-3 blocks every backup" }
+        if greedy.is_some() {
+            "found a pair"
+        } else {
+            "FAILS — the optimal primary 0-1-2-3 blocks every backup"
+        }
     );
     let exact =
         disjoint_semilightpath_pair(&trap, 0.into(), 3.into(), Disjointness::LinkWavelength)?

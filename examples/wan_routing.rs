@@ -56,7 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     cities.join("–"),
                 );
             }
-            None => println!("  WA → {:3}  unreachable under current availability", CITY[t]),
+            None => println!(
+                "  WA → {:3}  unreachable under current availability",
+                CITY[t]
+            ),
         }
     }
 

@@ -73,8 +73,7 @@ fn all_pairs_triangle_inequality() {
         link_cost: (5, 40),
         conversion: wdm::prelude::ConversionSpec::AllFree,
     };
-    let net = random_network(wdm::graph::topology::abilene(), &config, &mut rng)
-        .expect("valid");
+    let net = random_network(wdm::graph::topology::abilene(), &config, &mut rng).expect("valid");
     let ap = AllPairs::solve(&net);
     let n = net.node_count();
     for s in 0..n {

@@ -13,8 +13,8 @@ use wdm::prelude::*;
 fn distributed_tree_matches_centralized_on_every_reference_topology() {
     for topo in ReferenceTopology::ALL {
         let mut rng = SmallRng::seed_from_u64(41);
-        let net = random_network(topo.build(), &InstanceConfig::standard(4), &mut rng)
-            .expect("valid");
+        let net =
+            random_network(topo.build(), &InstanceConfig::standard(4), &mut rng).expect("valid");
         let router = LiangShenRouter::new();
         let tree = wdm::distributed_tree(&net, 0.into()).expect("terminates");
         assert!(tree.root_detected_termination, "{topo}");
@@ -105,10 +105,7 @@ fn acks_equal_data_messages_in_dijkstra_scholten() {
     .expect("valid");
     let tree = wdm::distributed_tree(&net, 5.into()).expect("terminates");
     assert_eq!(tree.data_messages, tree.ack_messages);
-    assert_eq!(
-        tree.stats.messages,
-        tree.data_messages + tree.ack_messages
-    );
+    assert_eq!(tree.stats.messages, tree.data_messages + tree.ack_messages);
 }
 
 #[test]

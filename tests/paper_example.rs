@@ -23,8 +23,18 @@ fn figure_2_lambda_tables() {
         let node = NodeId::new(v);
         let lin: Vec<usize> = net.lambda_in(node).iter().map(|w| w.index()).collect();
         let lout: Vec<usize> = net.lambda_out(node).iter().map(|w| w.index()).collect();
-        assert_eq!(lin, paper_example::LAMBDA_IN[v], "Λ_in at paper node {}", v + 1);
-        assert_eq!(lout, paper_example::LAMBDA_OUT[v], "Λ_out at paper node {}", v + 1);
+        assert_eq!(
+            lin,
+            paper_example::LAMBDA_IN[v],
+            "Λ_in at paper node {}",
+            v + 1
+        );
+        assert_eq!(
+            lout,
+            paper_example::LAMBDA_OUT[v],
+            "Λ_out at paper node {}",
+            v + 1
+        );
     }
 }
 

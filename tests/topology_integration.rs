@@ -36,7 +36,10 @@ fn full_availability_routing_equals_hop_distance() {
         let net = random_network(g, &full_availability_config(3), &mut rng).expect("valid");
         let router = LiangShenRouter::new();
         for (t, hop) in hops.iter().enumerate() {
-            let cost = router.route(&net, 0.into(), NodeId::new(t)).expect("ok").cost();
+            let cost = router
+                .route(&net, 0.into(), NodeId::new(t))
+                .expect("ok")
+                .cost();
             match hop {
                 Some(h) => assert_eq!(cost, Cost::new(10 * *h as u64), "dest {t}"),
                 None => assert!(cost.is_infinite(), "dest {t}"),
@@ -104,15 +107,15 @@ fn single_wavelength_network_is_pure_lightpath_routing() {
     // k = 1 degenerates to ordinary shortest paths; every route is a
     // lightpath (no conversion possible or needed).
     let mut rng = SmallRng::seed_from_u64(31);
-    let net = random_network(
-        topology::geant(),
-        &full_availability_config(1),
-        &mut rng,
-    )
-    .expect("valid");
+    let net =
+        random_network(topology::geant(), &full_availability_config(1), &mut rng).expect("valid");
     let router = LiangShenRouter::new();
     for t in 1..net.node_count() {
-        if let Some(p) = router.route(&net, 0.into(), NodeId::new(t)).expect("ok").path {
+        if let Some(p) = router
+            .route(&net, 0.into(), NodeId::new(t))
+            .expect("ok")
+            .path
+        {
             assert!(p.is_lightpath());
             p.validate(&net).expect("valid");
         }
