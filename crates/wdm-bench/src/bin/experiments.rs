@@ -100,8 +100,23 @@ fn main() {
     if want("e12") {
         e12(quick);
     }
+    // E13 and E14 share one machine-readable output file, so their
+    // record lines are collected here and written together.
+    let mut provisioning_records: Vec<String> = Vec::new();
     if want("e13") {
-        e13(quick);
+        provisioning_records.extend(e13(quick));
+    }
+    if want("e14") {
+        provisioning_records.extend(e14(quick));
+    }
+    if !provisioning_records.is_empty() {
+        let mut records = String::from("[\n");
+        records.push_str(&provisioning_records.join(",\n"));
+        records.push_str("\n]\n");
+        match std::fs::write("BENCH_provisioning.json", &records) {
+            Ok(()) => println!("\nwrote BENCH_provisioning.json"),
+            Err(e) => println!("\ncould not write BENCH_provisioning.json: {e}"),
+        }
     }
 }
 
@@ -119,8 +134,9 @@ fn main() {
 /// * `masked` — the hot path: one persistent auxiliary graph, busy bits
 ///   flipped in place, one masked Dijkstra per request.
 ///
-/// Emits `BENCH_provisioning.json` for downstream tooling.
-fn e13(quick: bool) {
+/// Returns record lines for `BENCH_provisioning.json` (written by
+/// `main` together with E14's).
+fn e13(quick: bool) -> Vec<String> {
     use wdm_core::Semilightpath;
     use wdm_rwa::{Policy, ProvisioningEngine, RoutingMode};
     println!("\n## E13 — provisioning hot path: masked vs rebuild-per-request\n");
@@ -133,8 +149,7 @@ fn e13(quick: bool) {
     };
     let requests = if quick { 50 } else { 100 };
     let iters = if quick { 3 } else { 5 };
-    let mut records = String::from("[\n");
-    let mut first = true;
+    let mut records = Vec::new();
     for &(n, k) in sizes {
         let net = sparse_instance(n, k, (n + k) as u64);
         let pairs: Vec<(NodeId, NodeId)> = (0..requests)
@@ -204,11 +219,7 @@ fn e13(quick: bool) {
             allocs_of[0],
             allocs_of[2],
         );
-        if !first {
-            records.push_str(",\n");
-        }
-        first = false;
-        records.push_str(&format!(
+        records.push(format!(
             "  {{\"experiment\": \"e13_provisioning_hot_path\", \"n\": {n}, \"k\": {k}, \
              \"requests\": {requests}, \"legacy_secs_per_req\": {:.9}, \
              \"rebuild_secs_per_req\": {:.9}, \"masked_secs_per_req\": {:.9}, \
@@ -224,18 +235,107 @@ fn e13(quick: bool) {
             allocs_of[2],
         ));
     }
-    records.push_str("\n]\n");
-    match std::fs::write("BENCH_provisioning.json", &records) {
-        Ok(()) => println!("\nwrote BENCH_provisioning.json"),
-        Err(e) => println!("\ncould not write BENCH_provisioning.json: {e}"),
-    }
     println!(
-        "shape check: masked beats the legacy clone-and-rebuild hot path by well over 5x in \
+        "\nshape check: masked beats the legacy clone-and-rebuild hot path by well over 5x in \
          throughput and 10x in allocations per request, and the gap widens with n·k — one \
          bounded Dijkstra per request vs a network clone plus the full O(k²n + km) \
          construction. The rebuild column is the engine's bit-identity reference \
          (provisioning_conformance pins masked == rebuild hop for hop)."
     );
+    records
+}
+
+/// E14 — observability overhead: the masked hot path with the engine
+/// detached from any metrics registry vs attached to one. Attached,
+/// every request pays a few relaxed atomic adds, two `Instant::now()`
+/// calls, and one histogram observe; the budget is < 5% throughput
+/// loss (in practice within measurement noise).
+///
+/// Alongside the timing, the instrumented run's registry is dumped to
+/// `METRICS_provisioning.json`, so the bench numbers and the metrics
+/// they describe travel together. Returns record lines for
+/// `BENCH_provisioning.json`.
+fn e14(quick: bool) -> Vec<String> {
+    use wdm_obs::MetricsRegistry;
+    use wdm_rwa::{Policy, ProvisioningEngine, RoutingMode};
+    println!("\n## E14 — observability overhead on the masked hot path\n");
+    println!("| n | k | baseline µs/req | instrumented µs/req | overhead |");
+    println!("|---|---|---|---|---|");
+    let sizes: &[(usize, usize)] = if quick {
+        &[(32, 4), (64, 8)]
+    } else {
+        &[(32, 4), (64, 8), (128, 8)]
+    };
+    let requests = if quick { 50 } else { 100 };
+    let iters = if quick { 5 } else { 9 };
+    let mut records = Vec::new();
+    let mut last_registry: Option<MetricsRegistry> = None;
+    for &(n, k) in sizes {
+        let net = sparse_instance(n, k, (n + k) as u64);
+        let pairs: Vec<(NodeId, NodeId)> = (0..requests)
+            .map(|i| {
+                let s = (i * 7) % n;
+                let t = (s + 1 + (i * 13) % (n - 1)) % n;
+                (NodeId::new(s), NodeId::new(t))
+            })
+            .collect();
+        let churn = |engine: &mut ProvisioningEngine| {
+            let mut ids = Vec::new();
+            for &(s, t) in &pairs {
+                if let Ok(id) = engine.provision(s, t, Policy::Optimal) {
+                    ids.push(id);
+                }
+            }
+            for id in ids {
+                engine.release(id).expect("active");
+            }
+        };
+        let mut baseline = ProvisioningEngine::with_mode(&net, RoutingMode::Masked);
+        let registry = MetricsRegistry::new();
+        let mut instrumented = ProvisioningEngine::with_mode(&net, RoutingMode::Masked);
+        instrumented.attach_metrics(&registry);
+        // Interleave the two series so slow frequency / scheduler drift
+        // hits both equally instead of biasing whichever ran second.
+        let mut base_secs = f64::INFINITY;
+        let mut instr_secs = f64::INFINITY;
+        for _ in 0..iters {
+            let t = std::time::Instant::now();
+            churn(&mut baseline);
+            base_secs = base_secs.min(t.elapsed().as_secs_f64());
+            let t = std::time::Instant::now();
+            churn(&mut instrumented);
+            instr_secs = instr_secs.min(t.elapsed().as_secs_f64());
+        }
+        let overhead_pct = (instr_secs / base_secs.max(f64::MIN_POSITIVE) - 1.0) * 100.0;
+        let per_req = |s: f64| s * 1e6 / requests as f64;
+        println!(
+            "| {n} | {k} | {:.1} | {:.1} | {overhead_pct:+.1}% |",
+            per_req(base_secs),
+            per_req(instr_secs),
+        );
+        records.push(format!(
+            "  {{\"experiment\": \"e14_obs_overhead\", \"n\": {n}, \"k\": {k}, \
+             \"requests\": {requests}, \"baseline_secs_per_req\": {:.9}, \
+             \"instrumented_secs_per_req\": {:.9}, \"overhead_pct\": {overhead_pct:.4}}}",
+            base_secs / requests as f64,
+            instr_secs / requests as f64,
+        ));
+        last_registry = Some(registry);
+    }
+    if let Some(registry) = last_registry {
+        match registry.write_json(std::path::Path::new("METRICS_provisioning.json")) {
+            Ok(()) => println!("\nwrote METRICS_provisioning.json (largest instance's registry)"),
+            Err(e) => println!("\ncould not write METRICS_provisioning.json: {e}"),
+        }
+    }
+    println!(
+        "shape check: the instrumented cost is fixed per request — a few dozen relaxed \
+         atomics plus four clock reads per provision/release cycle, a few hundred ns \
+         total — so from n = 64 up (requests ≥ 40 µs) the overhead column sits inside \
+         the ±5% acceptance band and is dominated by scheduler noise; only the n = 32 \
+         toy instance (≈ 3 µs/request) resolves the fixed cost as a few percent."
+    );
+    records
 }
 
 /// E12 — parallel all-pairs: serial `solve_with` vs `solve_parallel`

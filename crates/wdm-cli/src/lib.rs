@@ -12,6 +12,7 @@
 //! wdm route nsf.wdm 0 13 --baseline                     # CFZ comparison
 //! wdm all-pairs nsf.wdm                                 # Corollary-1 matrix
 //! wdm serve-workload nsf.wdm --requests 500             # dynamic provisioning trace
+//! wdm serve-workload nsf.wdm --metrics-out m.json       # …with a metrics snapshot
 //! ```
 //!
 //! Argument parsing is hand-rolled (the workspace carries no CLI
@@ -30,6 +31,7 @@ use wdm_core::{
 };
 use wdm_distributed::route_distributed;
 use wdm_graph::{topology, NodeId};
+use wdm_obs::MetricsRegistry;
 use wdm_rwa::{workload, ConnectionId, Policy, ProvisioningEngine, RoutingMode};
 
 /// Runs the CLI with `args` (excluding the program name), writing output
@@ -63,6 +65,9 @@ USAGE:
                   ring:<n> | grid:<r>x<c> | sparse:<n>
   wdm info <file.wdm>
   wdm route <file.wdm> <src> <dst> [--alternates <k>] [--distributed] [--baseline]
+      [--metrics-out <file>]
+      --metrics-out writes a JSON metrics snapshot (route latency,
+      search-kernel operation counts) after the query
   wdm all-pairs <file.wdm> [--parallel] [--threads <n>]
       --parallel uses all cores; --threads <n> pins the worker count
       (the matrix is identical either way — see AllPairs::solve_parallel)
@@ -70,9 +75,13 @@ USAGE:
   wdm serve-workload <file.wdm> [--requests <n>] [--load <erlang>]
       [--holding <mean>] [--seed <s>] [--policy optimal|lightpath|first-fit]
       [--mode masked|rebuild] [--fail-link <id>]
+      [--metrics-out <file>] [--metrics-interval <n>]
       drives a Poisson request/release trace through the provisioning
       engine; --mode rebuild reconstructs the auxiliary graph per request
-      (reference), --fail-link cuts a fibre halfway through the trace
+      (reference), --fail-link cuts a fibre halfway through the trace;
+      --metrics-out writes a JSON metrics snapshot at the end (and adds
+      a request-latency summary to the report), --metrics-interval n
+      appends a Prometheus text dump to <file>.prom every n requests
   wdm export <file.wdm>           (Graphviz DOT with wavelength labels)
   wdm help";
 
@@ -250,6 +259,7 @@ fn cmd_route(args: &[String], out: &mut String) -> i32 {
     let mut alternates = 1usize;
     let mut distributed = false;
     let mut baseline = false;
+    let mut metrics_out: Option<String> = None;
     let mut it = args[3..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -261,6 +271,12 @@ fn cmd_route(args: &[String], out: &mut String) -> i32 {
             }
             "--distributed" => distributed = true,
             "--baseline" => baseline = true,
+            "--metrics-out" => {
+                metrics_out = match it.next() {
+                    Some(p) => Some(p.clone()),
+                    None => return usage_error(out, "missing --metrics-out path"),
+                }
+            }
             other => return usage_error(out, &format!("unknown flag `{other}`")),
         }
     }
@@ -270,6 +286,7 @@ fn cmd_route(args: &[String], out: &mut String) -> i32 {
     };
     let (s, t) = (NodeId::new(s), NodeId::new(t));
 
+    let started = std::time::Instant::now();
     let result = match LiangShenRouter::new().route(&net, s, t) {
         Ok(r) => r,
         Err(e) => {
@@ -277,11 +294,45 @@ fn cmd_route(args: &[String], out: &mut String) -> i32 {
             return 1;
         }
     };
+    let route_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
     match &result.path {
         Some(p) => describe(out, &net, "optimal semilightpath", p),
         None => {
             let _ = writeln!(out, "{s} cannot reach {t} under the wavelength constraints");
         }
+    }
+    if let Some(metrics_path) = &metrics_out {
+        let registry = MetricsRegistry::new();
+        registry
+            .histogram("wdm_cli_route_latency_ns", &[])
+            .observe(route_ns);
+        let d = &result.dijkstra;
+        registry
+            .counter("wdm_core_search_settled_total", &[])
+            .add(d.settled as u64);
+        registry
+            .counter("wdm_core_search_relaxed_total", &[])
+            .add(d.relaxed as u64);
+        registry
+            .counter("wdm_core_search_masked_skips_total", &[])
+            .add(d.masked_skips as u64);
+        registry
+            .counter("wdm_core_search_pushes_total", &[])
+            .add(d.pushes as u64);
+        registry
+            .counter("wdm_core_search_decrease_keys_total", &[])
+            .add(d.decrease_keys as u64);
+        registry
+            .gauge("wdm_core_search_graph_nodes", &[])
+            .set(result.search_nodes.min(i64::MAX as usize) as i64);
+        registry
+            .gauge("wdm_core_search_graph_edges", &[])
+            .set(result.search_edges.min(i64::MAX as usize) as i64);
+        if let Err(e) = registry.write_json(Path::new(metrics_path)) {
+            let _ = writeln!(out, "error: cannot write {metrics_path}: {e}");
+            return 1;
+        }
+        let _ = writeln!(out, "metrics: wrote {metrics_path}");
     }
 
     if alternates > 1 {
@@ -384,6 +435,8 @@ fn cmd_serve_workload(args: &[String], out: &mut String) -> i32 {
     let mut policy = Policy::Optimal;
     let mut mode = RoutingMode::Masked;
     let mut fail_link: Option<usize> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut metrics_interval: Option<usize> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -432,6 +485,20 @@ fn cmd_serve_workload(args: &[String], out: &mut String) -> i32 {
                     None => return usage_error(out, "bad --fail-link (want link index)"),
                 }
             }
+            "--metrics-out" => {
+                metrics_out = match it.next() {
+                    Some(p) => Some(p.clone()),
+                    None => return usage_error(out, "missing --metrics-out path"),
+                }
+            }
+            "--metrics-interval" => {
+                metrics_interval = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(0) | None => {
+                        return usage_error(out, "bad --metrics-interval (want n >= 1)")
+                    }
+                    some => some,
+                }
+            }
             flag if flag.starts_with("--") => {
                 return usage_error(out, &format!("unknown flag `{flag}`"))
             }
@@ -442,6 +509,9 @@ fn cmd_serve_workload(args: &[String], out: &mut String) -> i32 {
     let Some(path) = path else {
         return usage_error(out, "serve-workload takes one file");
     };
+    if metrics_interval.is_some() && metrics_out.is_none() {
+        return usage_error(out, "--metrics-interval requires --metrics-out");
+    }
     // `self::` because the `--load` flag variable shadows the loader fn.
     let net = match self::load(path, out) {
         Ok(n) => n,
@@ -465,6 +535,24 @@ fn cmd_serve_workload(args: &[String], out: &mut String) -> i32 {
     let mut rng = SmallRng::seed_from_u64(seed);
     let trace = workload::poisson_requests(net.node_count(), requests, load, holding, &mut rng);
     let mut engine = ProvisioningEngine::with_mode(&net, mode);
+    let registry = metrics_out.as_ref().map(|_| MetricsRegistry::new());
+    if let Some(registry) = &registry {
+        engine.attach_metrics(registry);
+    }
+    // Periodic dumps append to a sibling `.prom` file; start it empty so
+    // a rerun doesn't inherit a previous trace's samples.
+    let prom_path = match (&metrics_out, metrics_interval) {
+        (Some(base), Some(_)) => {
+            let p = format!("{base}.prom");
+            if let Err(e) = std::fs::write(&p, "") {
+                let _ = writeln!(out, "error: cannot write {p}: {e}");
+                return 1;
+            }
+            Some(p)
+        }
+        _ => None,
+    };
+    let mut dumps = 0usize;
 
     // Event loop as in `wdm_rwa::simulate`, run inline so the trace can
     // inject a fibre cut halfway and so routing time can be measured.
@@ -510,6 +598,26 @@ fn cmd_serve_workload(args: &[String], out: &mut String) -> i32 {
             }
             Err(_) => blocked += 1,
         }
+        if let (Some(prom_path), Some(interval)) = (&prom_path, metrics_interval) {
+            if (i + 1) % interval == 0 {
+                dumps += 1;
+                let registry = registry.as_ref().expect("interval implies metrics");
+                let text = format!(
+                    "# dump {dumps} after request {}\n{}",
+                    i + 1,
+                    registry.render_prometheus()
+                );
+                use std::io::Write as _;
+                let appended = std::fs::OpenOptions::new()
+                    .append(true)
+                    .open(prom_path)
+                    .and_then(|mut f| f.write_all(text.as_bytes()));
+                if let Err(e) = appended {
+                    let _ = writeln!(out, "error: cannot append to {prom_path}: {e}");
+                    return 1;
+                }
+            }
+        }
     }
     let elapsed = started.elapsed();
 
@@ -547,6 +655,28 @@ fn cmd_serve_workload(args: &[String], out: &mut String) -> i32 {
         elapsed.as_secs_f64() * 1e3,
         requests as f64 / elapsed.as_secs_f64().max(1e-9)
     );
+    if let (Some(registry), Some(metrics_path)) = (&registry, &metrics_out) {
+        // The engine shares its instruments through the registry, so the
+        // summary reads the same histogram the hot path filled in.
+        let lat = registry.histogram("wdm_rwa_provision_latency_ns", &[]);
+        let _ = writeln!(
+            out,
+            "req latency: p50 {:.0} ns, p90 {:.0} ns, p99 {:.0} ns (mean {:.0} ns over {} requests)",
+            lat.quantile(0.5),
+            lat.quantile(0.9),
+            lat.quantile(0.99),
+            lat.mean(),
+            lat.count()
+        );
+        if let Err(e) = registry.write_json(Path::new(metrics_path)) {
+            let _ = writeln!(out, "error: cannot write {metrics_path}: {e}");
+            return 1;
+        }
+        let _ = writeln!(out, "metrics    : wrote {metrics_path}");
+        if let Some(prom_path) = &prom_path {
+            let _ = writeln!(out, "prom dumps : {dumps} appended to {prom_path}");
+        }
+    }
     0
 }
 
@@ -953,5 +1083,225 @@ mod tests {
         let (code, out) = run_args(&["info", "/nonexistent.wdm"]);
         assert_eq!(code, 1);
         assert!(out.contains("cannot read"));
+    }
+
+    /// Sum of every counter series named `name` (optionally restricted
+    /// to one label pair) in a parsed metrics snapshot.
+    fn counter_sum(snap: &wdm_obs::json::Value, name: &str, label: Option<(&str, &str)>) -> u64 {
+        snap.get("counters")
+            .and_then(|v| v.as_array())
+            .expect("counters array")
+            .iter()
+            .filter(|c| c.get("name").and_then(|v| v.as_str()) == Some(name))
+            .filter(|c| match label {
+                None => true,
+                Some((k, want)) => {
+                    c.get("labels")
+                        .and_then(|l| l.get(k))
+                        .and_then(|v| v.as_str())
+                        == Some(want)
+                }
+            })
+            .map(|c| c.get("value").and_then(|v| v.as_u64()).expect("value"))
+            .sum()
+    }
+
+    fn histogram_count(snap: &wdm_obs::json::Value, name: &str) -> u64 {
+        snap.get("histograms")
+            .and_then(|v| v.as_array())
+            .expect("histograms array")
+            .iter()
+            .find(|h| h.get("name").and_then(|v| v.as_str()) == Some(name))
+            .and_then(|h| h.get("count"))
+            .and_then(|v| v.as_u64())
+            .unwrap_or_else(|| panic!("histogram {name} missing"))
+    }
+
+    #[test]
+    fn serve_workload_metrics_snapshot_is_consistent() {
+        let dir = std::env::temp_dir().join("wdm-cli-test-metrics");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let file = dir.join("m.wdm");
+        let file_s = file.to_str().expect("utf8").to_string();
+        let snap_path = dir.join("m.json");
+        let snap_s = snap_path.to_str().expect("utf8").to_string();
+        let (code, _) = run_args(&[
+            "gen",
+            "--topology",
+            "nsfnet",
+            "--k",
+            "4",
+            "--seed",
+            "3",
+            "-o",
+            &file_s,
+        ]);
+        assert_eq!(code, 0);
+
+        let (code, out) = run_args(&[
+            "serve-workload",
+            &file_s,
+            "--requests",
+            "60",
+            "--load",
+            "5",
+            "--seed",
+            "11",
+            "--metrics-out",
+            &snap_s,
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("req latency: p50"), "{out}");
+        assert!(
+            out.contains(&format!("metrics    : wrote {snap_s}")),
+            "{out}"
+        );
+
+        let text = std::fs::read_to_string(&snap_path).expect("snapshot written");
+        let snap = wdm_obs::json::parse(&text).expect("snapshot parses");
+
+        // offered == accepted + blocked, and the latency histogram saw
+        // every request (no --fail-link, so no extra restoration calls).
+        let offered = counter_sum(&snap, "wdm_rwa_requests_total", None);
+        assert_eq!(offered, 60);
+        let accepted = counter_sum(&snap, "wdm_rwa_accepted_total", None);
+        let blocked = counter_sum(&snap, "wdm_rwa_blocked_total", None);
+        assert_eq!(offered, accepted + blocked, "{text}");
+        assert_eq!(
+            blocked,
+            counter_sum(&snap, "wdm_rwa_blocked_total", Some(("cause", "no_path")))
+                + counter_sum(&snap, "wdm_rwa_blocked_total", Some(("cause", "capacity")))
+        );
+        assert_eq!(histogram_count(&snap, "wdm_rwa_provision_latency_ns"), 60);
+        // The stdout report and the registry agree.
+        assert!(out.contains(&format!("accepted   : {accepted}")), "{out}");
+        assert!(out.contains(&format!("blocked    : {blocked}")), "{out}");
+        // Search kernels ran and reported.
+        assert!(counter_sum(&snap, "wdm_core_search_settled_total", None) > 0);
+        assert!(counter_sum(&snap, "wdm_core_search_pushes_total", None) > 0);
+
+        std::fs::remove_file(&file).ok();
+        std::fs::remove_file(&snap_path).ok();
+    }
+
+    #[test]
+    fn serve_workload_metrics_interval_appends_prometheus_dumps() {
+        let dir = std::env::temp_dir().join("wdm-cli-test-metrics-prom");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let file = dir.join("p.wdm");
+        let file_s = file.to_str().expect("utf8").to_string();
+        let snap_path = dir.join("p.json");
+        let snap_s = snap_path.to_str().expect("utf8").to_string();
+        let (code, _) = run_args(&["gen", "--topology", "ring:6", "--k", "3", "-o", &file_s]);
+        assert_eq!(code, 0);
+
+        let (code, out) = run_args(&[
+            "serve-workload",
+            &file_s,
+            "--requests",
+            "60",
+            "--seed",
+            "4",
+            "--metrics-out",
+            &snap_s,
+            "--metrics-interval",
+            "20",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        let prom_path = format!("{snap_s}.prom");
+        assert!(
+            out.contains(&format!("prom dumps : 3 appended to {prom_path}")),
+            "{out}"
+        );
+        let prom = std::fs::read_to_string(&prom_path).expect("prom file written");
+        assert_eq!(prom.matches("# dump ").count(), 3, "{prom}");
+        assert!(prom.contains("# dump 1 after request 20"), "{prom}");
+        assert!(prom.contains("# dump 3 after request 60"), "{prom}");
+        assert!(
+            prom.contains("# TYPE wdm_rwa_requests_total counter"),
+            "{prom}"
+        );
+        assert!(prom.contains("wdm_rwa_requests_total 60"), "{prom}");
+        assert!(
+            prom.contains("wdm_rwa_provision_latency_ns_bucket"),
+            "{prom}"
+        );
+
+        std::fs::remove_file(&file).ok();
+        std::fs::remove_file(&snap_path).ok();
+        std::fs::remove_file(&prom_path).ok();
+    }
+
+    #[test]
+    fn serve_workload_metrics_usage_errors() {
+        for bad in [
+            vec!["serve-workload", "x.wdm", "--metrics-interval", "10"],
+            vec!["serve-workload", "x.wdm", "--metrics-out"],
+            vec![
+                "serve-workload",
+                "x.wdm",
+                "--metrics-out",
+                "m.json",
+                "--metrics-interval",
+                "0",
+            ],
+            vec![
+                "serve-workload",
+                "x.wdm",
+                "--metrics-out",
+                "m.json",
+                "--metrics-interval",
+                "x",
+            ],
+        ] {
+            let (code, _) = run_args(&bad);
+            assert_eq!(code, 2, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn route_metrics_out_writes_snapshot() {
+        let dir = std::env::temp_dir().join("wdm-cli-test-route-metrics");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let file = dir.join("r.wdm");
+        let file_s = file.to_str().expect("utf8").to_string();
+        let snap_path = dir.join("r.json");
+        let snap_s = snap_path.to_str().expect("utf8").to_string();
+        let (code, _) = run_args(&[
+            "gen",
+            "--topology",
+            "nsfnet",
+            "--k",
+            "4",
+            "--seed",
+            "7",
+            "-o",
+            &file_s,
+        ]);
+        assert_eq!(code, 0);
+
+        let (code, out) = run_args(&["route", &file_s, "0", "13", "--metrics-out", &snap_s]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains(&format!("metrics: wrote {snap_s}")), "{out}");
+        let text = std::fs::read_to_string(&snap_path).expect("snapshot written");
+        let snap = wdm_obs::json::parse(&text).expect("snapshot parses");
+        assert_eq!(histogram_count(&snap, "wdm_cli_route_latency_ns"), 1);
+        assert!(counter_sum(&snap, "wdm_core_search_settled_total", None) > 0);
+        let nodes = snap
+            .get("gauges")
+            .and_then(|v| v.as_array())
+            .expect("gauges")
+            .iter()
+            .find(|g| g.get("name").and_then(|v| v.as_str()) == Some("wdm_core_search_graph_nodes"))
+            .and_then(|g| g.get("value"))
+            .and_then(|v| v.as_f64())
+            .expect("search graph node gauge");
+        assert!(nodes > 0.0, "{text}");
+
+        let (code, _) = run_args(&["route", &file_s, "0", "13", "--metrics-out"]);
+        assert_eq!(code, 2, "missing path is a usage error");
+
+        std::fs::remove_file(&file).ok();
+        std::fs::remove_file(&snap_path).ok();
     }
 }

@@ -14,16 +14,49 @@ use heaps::{
     SkewHeap,
 };
 
-/// Operation counters from one Dijkstra run, for the experiment tables.
+/// Operation counters from one search-kernel run, for the experiment
+/// tables and the observability layer.
+///
+/// The heap-operation counts are derived inside the relaxation loop
+/// rather than by instrumenting the [`IndexedPriorityQueue`] trait:
+/// an improvement on a node whose tentative distance was still infinite
+/// is a `push`, an improvement on a finite one is an effective
+/// `decrease_key`, and `pop_min`s equal [`settled`](Self::settled).
+/// Counting here keeps every heap implementation untouched and costs
+/// one branch that the optimizer folds into the existing infinity
+/// check.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct DijkstraStats {
+pub struct SearchStats {
     /// Nodes settled (`pop_min` count).
     pub settled: usize,
     /// Edges relaxed (out-edges scanned from settled nodes).
     pub relaxed: usize,
     /// Successful queue improvements (`push` or effective `decrease_key`).
     pub improved: usize,
+    /// Edges skipped because their dense index was set in the mask.
+    pub masked_skips: usize,
+    /// Queue insertions (first-time improvements plus the source push).
+    pub pushes: usize,
+    /// Effective key decreases (improvements on already-queued nodes).
+    pub decrease_keys: usize,
 }
+
+impl SearchStats {
+    /// Adds `other`'s counters into `self` (used for per-workspace
+    /// running totals).
+    pub fn accumulate(&mut self, other: &SearchStats) {
+        self.settled += other.settled;
+        self.relaxed += other.relaxed;
+        self.improved += other.improved;
+        self.masked_skips += other.masked_skips;
+        self.pushes += other.pushes;
+        self.decrease_keys += other.decrease_keys;
+    }
+}
+
+/// Former name of [`SearchStats`], kept for the experiment tables and
+/// downstream callers.
+pub type DijkstraStats = SearchStats;
 
 /// A shortest-path tree: per-node distance and parent pointers.
 #[derive(Debug, Clone)]
@@ -93,7 +126,8 @@ pub struct DijkstraWorkspace {
     dist: Vec<Cost>,
     parent: Vec<Option<(usize, usize)>>,
     settled: Vec<bool>,
-    stats: DijkstraStats,
+    stats: SearchStats,
+    totals: SearchStats,
     source: usize,
 }
 
@@ -109,7 +143,8 @@ impl DijkstraWorkspace {
             dist: Vec::with_capacity(n),
             parent: Vec::with_capacity(n),
             settled: Vec::with_capacity(n),
-            stats: DijkstraStats::default(),
+            stats: SearchStats::default(),
+            totals: SearchStats::default(),
             source: 0,
         }
     }
@@ -122,7 +157,7 @@ impl DijkstraWorkspace {
         self.parent.resize(n, None);
         self.settled.clear();
         self.settled.resize(n, false);
-        self.stats = DijkstraStats::default();
+        self.stats = SearchStats::default();
     }
 
     /// Runs Dijkstra from `source`, reusing this workspace's arenas and
@@ -189,6 +224,20 @@ impl DijkstraWorkspace {
         self.run_inner(graph, source, queue, Some(mask), Some(target));
     }
 
+    /// Like [`run`](Self::run) but stops as soon as `target` is settled
+    /// — the unmasked counterpart of
+    /// [`run_masked_to`](Self::run_masked_to), used for reachability
+    /// probes on the free topology (blocked-cause classification).
+    pub fn run_to<Q: IndexedPriorityQueue<Cost>>(
+        &mut self,
+        graph: &CsrGraph,
+        source: usize,
+        queue: &mut Q,
+        target: usize,
+    ) {
+        self.run_inner(graph, source, queue, None, Some(target));
+    }
+
     fn run_inner<Q: IndexedPriorityQueue<Cost>>(
         &mut self,
         graph: &CsrGraph,
@@ -213,6 +262,7 @@ impl DijkstraWorkspace {
 
         self.dist[source] = Cost::ZERO;
         queue.push(source, Cost::ZERO);
+        self.stats.pushes += 1;
 
         while let Some((u, du)) = queue.pop_min() {
             debug_assert_eq!(du, self.dist[u]);
@@ -223,6 +273,7 @@ impl DijkstraWorkspace {
             }
             for edge in graph.out_edges(u) {
                 if mask.is_some_and(|m| m.is_set(edge.index)) {
+                    self.stats.masked_skips += 1;
                     continue;
                 }
                 self.stats.relaxed += 1;
@@ -232,6 +283,14 @@ impl DijkstraWorkspace {
                 }
                 let candidate = du + edge.cost;
                 if candidate < self.dist[v] {
+                    // Finite old distance means v is already queued, so
+                    // the improvement is an effective decrease-key; an
+                    // infinite one means this is v's first insertion.
+                    if self.dist[v].is_infinite() {
+                        self.stats.pushes += 1;
+                    } else {
+                        self.stats.decrease_keys += 1;
+                    }
                     self.dist[v] = candidate;
                     self.parent[v] = Some((u, edge.index));
                     queue.push_or_decrease(v, candidate);
@@ -239,6 +298,7 @@ impl DijkstraWorkspace {
                 }
             }
         }
+        self.totals.accumulate(&self.stats);
     }
 
     /// Distances from the last run's source.
@@ -252,8 +312,24 @@ impl DijkstraWorkspace {
     }
 
     /// Operation counters from the last run.
-    pub fn stats(&self) -> DijkstraStats {
+    pub fn stats(&self) -> SearchStats {
         self.stats
+    }
+
+    /// Running totals accumulated over every run since the last
+    /// [`take_totals`](Self::take_totals).
+    ///
+    /// The totals are plain workspace fields bumped alongside the
+    /// per-run counters — no atomics on the search path. A metrics
+    /// flush drains them with `take_totals` and feeds the deltas into
+    /// shared `wdm-obs` counters at whatever cadence it likes.
+    pub fn totals(&self) -> SearchStats {
+        self.totals
+    }
+
+    /// Returns the running totals and resets them to zero.
+    pub fn take_totals(&mut self) -> SearchStats {
+        std::mem::take(&mut self.totals)
     }
 
     /// The source of the last run.
@@ -374,6 +450,7 @@ pub fn dijkstra_filtered(
     if !banned_nodes[source] {
         dist[source] = Cost::ZERO;
         queue.push(source, Cost::ZERO);
+        stats.pushes += 1;
     }
     while let Some((u, du)) = queue.pop_min() {
         settled[u] = true;
@@ -386,6 +463,11 @@ pub fn dijkstra_filtered(
             }
             let candidate = du + edge.cost;
             if candidate < dist[v] {
+                if dist[v].is_infinite() {
+                    stats.pushes += 1;
+                } else {
+                    stats.decrease_keys += 1;
+                }
                 dist[v] = candidate;
                 parent[v] = Some((u, edge.index));
                 queue.push_or_decrease(v, candidate);
@@ -562,6 +644,65 @@ mod tests {
             }
             path.reverse();
             assert_eq!(Some(path), full.path_to(target), "path to {target}");
+            assert!(ws.stats().settled <= full.stats.settled);
+        }
+    }
+
+    #[test]
+    fn heap_op_counters_balance() {
+        let g = diamond();
+        for kind in HeapKind::ALL {
+            let tree = dijkstra_with(kind, &g, 0);
+            let s = tree.stats;
+            // Every improvement is a push or a decrease-key; the source
+            // push is the only queue insertion with no improvement.
+            assert_eq!(s.pushes + s.decrease_keys, s.improved + 1, "{kind:?}");
+            // Pops (settled) can never exceed insertions.
+            assert!(s.settled <= s.pushes, "{kind:?}");
+            assert_eq!(s.masked_skips, 0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn masked_skips_count_suppressed_edges() {
+        let g = diamond();
+        // Mask 0→1 (index 0): it is scanned exactly once, from node 0.
+        let mut mask = EdgeMask::all_clear(g.edge_count());
+        mask.set(0);
+        let tree = dijkstra_masked::<FibonacciHeap<Cost>>(&g, 0, &mask);
+        assert_eq!(tree.stats.masked_skips, 1);
+        let full = dijkstra::<FibonacciHeap<Cost>>(&g, 0);
+        assert_eq!(full.stats.masked_skips, 0);
+    }
+
+    #[test]
+    fn workspace_totals_accumulate_and_drain() {
+        let g = diamond();
+        let mut ws = DijkstraWorkspace::new();
+        let mut queue: FibonacciHeap<Cost> = FibonacciHeap::with_capacity(g.node_count());
+        ws.run(&g, 0, &mut queue);
+        let single = ws.stats();
+        ws.run(&g, 0, &mut queue);
+        let totals = ws.totals();
+        assert_eq!(totals.settled, 2 * single.settled);
+        assert_eq!(totals.relaxed, 2 * single.relaxed);
+        assert_eq!(totals.pushes, 2 * single.pushes);
+        let drained = ws.take_totals();
+        assert_eq!(drained, totals);
+        assert_eq!(ws.totals(), SearchStats::default());
+        // Per-run stats are untouched by the drain.
+        assert_eq!(ws.stats(), single);
+    }
+
+    #[test]
+    fn run_to_matches_full_run_on_target() {
+        let g = diamond();
+        let full = dijkstra::<FibonacciHeap<Cost>>(&g, 0);
+        let mut ws = DijkstraWorkspace::new();
+        let mut queue: FibonacciHeap<Cost> = FibonacciHeap::with_capacity(g.node_count());
+        for target in 0..g.node_count() {
+            ws.run_to(&g, 0, &mut queue, target);
+            assert_eq!(ws.dist()[target], full.dist[target], "dist to {target}");
             assert!(ws.stats().settled <= full.stats.settled);
         }
     }

@@ -243,6 +243,67 @@ impl PersistentAuxGraph {
             .extract_semilightpath_from(self.ws.dist(), self.ws.parent(), sink)
     }
 
+    /// Drains the search-operation totals accumulated by every routing
+    /// call (optimal and per-λ alike) since the last drain.
+    ///
+    /// The underlying [`DijkstraWorkspace`] bumps plain fields during
+    /// the search, so this is the zero-hot-path handoff point between
+    /// the kernels and a metrics registry: call it per request (or per
+    /// flush interval) and feed the deltas into shared counters.
+    pub fn take_search_totals(&mut self) -> crate::SearchStats {
+        self.ws.take_totals()
+    }
+
+    /// Whether `t` is reachable from `s` when **every** resource is
+    /// free — i.e. on the unmasked persistent structure. Used to
+    /// classify blocked requests: a pair that fails this probe is
+    /// blocked by topology (`no_path`), anything else by occupancy.
+    ///
+    /// `s == t` is trivially reachable. The probe's search work is
+    /// accumulated into the totals like any other run; callers that
+    /// only meter hot-path searches should drain totals before probing
+    /// and discard the probe's delta.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn reachable_when_free(&mut self, s: NodeId, t: NodeId) -> bool {
+        if s == t {
+            return true;
+        }
+        let source = self.aux.source_terminal(s).expect("all-pairs terminals");
+        let sink = self.aux.sink_terminal(t).expect("all-pairs terminals");
+        self.ws
+            .run_to(self.aux.graph(), source, &mut self.heap, sink);
+        self.ws.dist()[sink].is_finite()
+    }
+
+    /// Whether some **single** wavelength connects `s` to `t` when every
+    /// resource is free — the no-conversion counterpart of
+    /// [`reachable_when_free`](Self::reachable_when_free), matching what
+    /// first-fit / lightpath-only policies could ever route.
+    ///
+    /// `s == t` returns `false`, mirroring
+    /// [`route_single_wavelength`](Self::route_single_wavelength).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn reachable_when_free_single_wavelength(&mut self, s: NodeId, t: NodeId) -> bool {
+        if s == t {
+            return false;
+        }
+        for li in 0..self.lambda.len() {
+            let lg = &self.lambda[li];
+            self.ws
+                .run_to(&lg.graph, s.index(), &mut self.heap, t.index());
+            if self.ws.dist()[t.index()].is_finite() {
+                return true;
+            }
+        }
+        false
+    }
+
     /// Cheapest single-wavelength path `s → t` on wavelength `lambda` of
     /// the residual network (the lightpath-only building block). Mirrors
     /// the legacy per-λ rebuild exactly, including returning `None` for
@@ -413,6 +474,45 @@ mod tests {
         assert_eq!(empty.cost(), Cost::ZERO);
         // 2 has no outgoing links.
         assert!(residual.route_optimal(2.into(), 0.into()).is_none());
+    }
+
+    #[test]
+    fn search_totals_accumulate_across_requests_and_drain() {
+        let net = chain();
+        let mut residual = PersistentAuxGraph::new(&net);
+        assert_eq!(residual.take_search_totals(), Default::default());
+        residual.route_optimal(0.into(), 2.into()).expect("free");
+        let one = residual.take_search_totals();
+        assert!(one.settled > 0 && one.relaxed > 0 && one.pushes > 0);
+        // Two identical requests cost exactly twice one request.
+        residual.route_optimal(0.into(), 2.into()).expect("free");
+        residual.route_optimal(0.into(), 2.into()).expect("free");
+        let mut twice = crate::SearchStats::default();
+        twice.accumulate(&one);
+        twice.accumulate(&one);
+        assert_eq!(residual.take_search_totals(), twice);
+        // Masked searches report their skips.
+        residual.set_busy(LinkId::new(0), Wavelength::new(0), true);
+        residual.route_optimal(0.into(), 2.into()).expect("λ1 free");
+        assert!(residual.take_search_totals().masked_skips > 0);
+        // s == t short-circuits without touching the kernels.
+        residual.route_optimal(1.into(), 1.into()).expect("trivial");
+        assert_eq!(residual.take_search_totals(), Default::default());
+    }
+
+    #[test]
+    fn free_reachability_ignores_masks() {
+        let net = chain();
+        let mut residual = PersistentAuxGraph::new(&net);
+        // Saturate link 0 completely: routing blocks, but the free
+        // topology still connects 0 → 2.
+        residual.set_busy(LinkId::new(0), Wavelength::new(0), true);
+        residual.set_busy(LinkId::new(0), Wavelength::new(1), true);
+        assert!(residual.route_optimal(0.into(), 2.into()).is_none());
+        assert!(residual.reachable_when_free(0.into(), 2.into()));
+        // Node 2 has no outgoing links: blocked by topology.
+        assert!(!residual.reachable_when_free(2.into(), 0.into()));
+        assert!(residual.reachable_when_free(1.into(), 1.into()));
     }
 
     #[test]

@@ -12,6 +12,7 @@
 use crate::sim::{Context, Process, ProcessId, SimError, SimStats, Simulator};
 use wdm_core::Cost;
 use wdm_graph::{DiGraph, NodeId};
+use wdm_obs::MetricsRegistry;
 
 /// Messages of the protocol.
 #[derive(Debug, Clone)]
@@ -157,6 +158,36 @@ pub fn chandy_misra_sssp(
     weights: &[Cost],
     source: NodeId,
 ) -> Result<DistributedSsspOutcome, SimError> {
+    chandy_misra_sssp_inner(graph, weights, source, None)
+}
+
+/// [`chandy_misra_sssp`] with the simulator reporting into `registry`
+/// under `protocol="chandy_misra_sssp"`: total messages/deliveries, the
+/// per-round message histogram, round count, and final makespan (see
+/// [`Simulator::with_metrics`]).
+///
+/// # Errors
+///
+/// Same as [`chandy_misra_sssp`].
+///
+/// # Panics
+///
+/// Same as [`chandy_misra_sssp`].
+pub fn chandy_misra_sssp_with_metrics(
+    graph: &DiGraph,
+    weights: &[Cost],
+    source: NodeId,
+    registry: &MetricsRegistry,
+) -> Result<DistributedSsspOutcome, SimError> {
+    chandy_misra_sssp_inner(graph, weights, source, Some(registry))
+}
+
+fn chandy_misra_sssp_inner(
+    graph: &DiGraph,
+    weights: &[Cost],
+    source: NodeId,
+    registry: Option<&MetricsRegistry>,
+) -> Result<DistributedSsspOutcome, SimError> {
     assert_eq!(
         weights.len(),
         graph.link_count(),
@@ -200,6 +231,9 @@ pub fn chandy_misra_sssp(
     }
 
     let mut sim = Simulator::new(processes, topology);
+    if let Some(registry) = registry {
+        sim = sim.with_metrics(registry, "chandy_misra_sssp");
+    }
     let stats = sim.run()?;
 
     let mut dist = Vec::with_capacity(n);
@@ -313,6 +347,39 @@ mod tests {
         assert_eq!(out.dist[1], Cost::new(2));
         assert_eq!(out.dist[2], Cost::INFINITY);
         assert!(out.root_detected_termination);
+    }
+
+    #[test]
+    fn metrics_variant_reports_totals_matching_outcome() {
+        let g = topology::nsfnet();
+        let w: Vec<Cost> = (0..g.link_count())
+            .map(|i| Cost::new(5 + (i as u64 * 13) % 23))
+            .collect();
+        let registry = MetricsRegistry::new();
+        let out = chandy_misra_sssp_with_metrics(&g, &w, 0.into(), &registry).expect("terminates");
+        // The metrics variant runs the identical protocol.
+        let plain = chandy_misra_sssp(&g, &w, 0.into()).expect("terminates");
+        assert_eq!(out.dist, plain.dist);
+        assert_eq!(out.stats, plain.stats);
+
+        let labels: &[(&str, &str)] = &[("protocol", "chandy_misra_sssp")];
+        assert_eq!(
+            registry.counter("wdm_dist_messages_total", labels).get(),
+            out.stats.messages
+        );
+        assert_eq!(
+            registry.counter("wdm_dist_deliveries_total", labels).get(),
+            out.stats.deliveries
+        );
+        assert_eq!(
+            registry.gauge("wdm_dist_makespan", labels).get(),
+            out.stats.makespan as i64
+        );
+        let rounds = registry.counter("wdm_dist_rounds_total", labels).get();
+        assert!(rounds >= 1 && rounds <= out.stats.makespan + 1);
+        let h = registry.histogram("wdm_dist_round_messages", labels);
+        assert_eq!(h.count(), rounds);
+        assert_eq!(h.sum(), out.stats.messages, "every message in some round");
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub mod semilightpath;
 pub mod sim;
 
 pub use all_pairs::{distributed_all_pairs, DistributedAllPairsOutcome};
-pub use chandy_misra::{chandy_misra_sssp, DistributedSsspOutcome};
+pub use chandy_misra::{chandy_misra_sssp, chandy_misra_sssp_with_metrics, DistributedSsspOutcome};
 pub use semilightpath::{
     distributed_tree, distributed_tree_with_latencies, route_distributed, DistributedRouteOutcome,
     DistributedTraceOutcome, DistributedTreeOutcome, RouteSimError,

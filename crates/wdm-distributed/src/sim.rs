@@ -16,6 +16,8 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
+use wdm_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 
 /// Index of a process (= physical node index).
 pub type ProcessId = usize;
@@ -109,6 +111,38 @@ impl fmt::Display for SimError {
 
 impl Error for SimError {}
 
+/// Registry-backed instruments a simulator reports into when built with
+/// [`Simulator::with_metrics`]. All series carry a `protocol` label so
+/// several protocols (Chandy–Misra SSSP, the Theorem-3 semilightpath
+/// search) can share one registry.
+#[derive(Debug, Clone)]
+struct SimMetrics {
+    /// `wdm_dist_messages_total{protocol}` — messages sent.
+    messages: Arc<Counter>,
+    /// `wdm_dist_deliveries_total{protocol}` — `on_message` invocations.
+    deliveries: Arc<Counter>,
+    /// `wdm_dist_rounds_total{protocol}` — delivery rounds (runs of
+    /// equal delivery times, plus the start phase when it sends).
+    rounds: Arc<Counter>,
+    /// `wdm_dist_round_messages{protocol}` — messages sent per round.
+    round_messages: Arc<Histogram>,
+    /// `wdm_dist_makespan{protocol}` — last run's makespan.
+    makespan: Arc<Gauge>,
+}
+
+impl SimMetrics {
+    fn resolve(registry: &MetricsRegistry, protocol: &str) -> Self {
+        let labels: &[(&str, &str)] = &[("protocol", protocol)];
+        SimMetrics {
+            messages: registry.counter("wdm_dist_messages_total", labels),
+            deliveries: registry.counter("wdm_dist_deliveries_total", labels),
+            rounds: registry.counter("wdm_dist_rounds_total", labels),
+            round_messages: registry.histogram("wdm_dist_round_messages", labels),
+            makespan: registry.gauge("wdm_dist_makespan", labels),
+        }
+    }
+}
+
 #[derive(Debug, PartialEq, Eq)]
 struct Event {
     at: SimTime,
@@ -173,6 +207,7 @@ pub struct Simulator<P: Process> {
     payloads: Vec<Option<(ProcessId, ProcessId, P::Message)>>,
     stats: SimStats,
     event_budget: u64,
+    metrics: Option<SimMetrics>,
 }
 
 impl<P: Process> Simulator<P> {
@@ -200,7 +235,21 @@ impl<P: Process> Simulator<P> {
             payloads: Vec::new(),
             stats: SimStats::default(),
             event_budget: 500_000_000,
+            metrics: None,
         }
+    }
+
+    /// Reports this simulator's counters into `registry` under the
+    /// `protocol` label: totals (`wdm_dist_messages_total`,
+    /// `wdm_dist_deliveries_total`), per-round message counts
+    /// (`wdm_dist_rounds_total`, the `wdm_dist_round_messages`
+    /// histogram — a round is a maximal run of deliveries at one
+    /// simulated time, with the start phase counting as a round when it
+    /// sends), and the final `wdm_dist_makespan` gauge. Metrics are
+    /// flushed as [`run`](Self::run) progresses and on success.
+    pub fn with_metrics(mut self, registry: &MetricsRegistry, protocol: &str) -> Self {
+        self.metrics = Some(SimMetrics::resolve(registry, protocol));
+        self
     }
 
     /// Sets the per-link latency (default 1).
@@ -264,11 +313,22 @@ impl<P: Process> Simulator<P> {
             self.dispatch(id, 0, ctx.outbox)?;
         }
 
+        // Round accounting: a round is a maximal run of deliveries at one
+        // simulated time; the start phase is the round at t = 0. Each
+        // boundary flushes the messages sent during the closed round.
+        let mut round_at: SimTime = 0;
+        let mut round_base: u64 = 0;
+
         while let Some(Reverse(event)) = self.queue.pop() {
             if self.stats.deliveries >= self.event_budget {
                 return Err(SimError::BudgetExhausted {
                     budget: self.event_budget,
                 });
+            }
+            if event.at != round_at {
+                self.flush_round(self.stats.messages - round_base);
+                round_base = self.stats.messages;
+                round_at = event.at;
             }
             let (from, to, message) = self.payloads[event.seq as usize]
                 .take()
@@ -282,7 +342,25 @@ impl<P: Process> Simulator<P> {
             self.processes[to].on_message(from, message, &mut ctx);
             self.dispatch(to, event.at, ctx.outbox)?;
         }
+        if self.stats.messages > round_base || self.stats.deliveries > 0 {
+            self.flush_round(self.stats.messages - round_base);
+        }
+        if let Some(m) = &self.metrics {
+            m.messages.add(self.stats.messages);
+            m.deliveries.add(self.stats.deliveries);
+            m.makespan
+                .set(self.stats.makespan.min(i64::MAX as u64) as i64);
+        }
         Ok(self.stats)
+    }
+
+    /// Closes one delivery round: counts it and records how many
+    /// messages were dispatched while it ran. No-op when detached.
+    fn flush_round(&self, sent: u64) {
+        if let Some(m) = &self.metrics {
+            m.rounds.inc();
+            m.round_messages.observe(sent);
+        }
     }
 
     fn dispatch(
@@ -452,6 +530,87 @@ mod tests {
         let mut sim = Simulator::new(vec![Idle, Idle], vec![vec![1], vec![0]]);
         let stats = sim.run().expect("terminates");
         assert_eq!(stats, SimStats::default());
+    }
+
+    #[test]
+    fn metrics_match_sim_stats_and_count_rounds() {
+        let registry = MetricsRegistry::new();
+        let topo = line_topology(5);
+        let procs: Vec<Flood> = (0..5)
+            .map(|id| Flood {
+                id,
+                neighbours: topo[id].clone(),
+                level: None,
+            })
+            .collect();
+        let mut sim = Simulator::new(procs, topo).with_metrics(&registry, "flood");
+        let stats = sim.run().expect("terminates");
+
+        let labels: &[(&str, &str)] = &[("protocol", "flood")];
+        assert_eq!(
+            registry.counter("wdm_dist_messages_total", labels).get(),
+            stats.messages
+        );
+        assert_eq!(
+            registry.counter("wdm_dist_deliveries_total", labels).get(),
+            stats.deliveries
+        );
+        assert_eq!(
+            registry.gauge("wdm_dist_makespan", labels).get(),
+            stats.makespan as i64
+        );
+        // Unit latency ⇒ one delivery round per time 1..=makespan, plus
+        // the start round at t = 0.
+        assert_eq!(
+            registry.counter("wdm_dist_rounds_total", labels).get(),
+            stats.makespan + 1
+        );
+        // Per-round message counts cover every message exactly once.
+        let h = registry.histogram("wdm_dist_round_messages", labels);
+        assert_eq!(h.count(), stats.makespan + 1);
+        assert_eq!(h.sum(), stats.messages);
+    }
+
+    #[test]
+    fn quiescent_simulator_reports_no_rounds() {
+        struct Idle;
+        impl Process for Idle {
+            type Message = ();
+            fn on_start(&mut self, _: &mut Context<()>) {}
+            fn on_message(&mut self, _: ProcessId, _: (), _: &mut Context<()>) {}
+        }
+        let registry = MetricsRegistry::new();
+        let mut sim = Simulator::new(vec![Idle, Idle], vec![vec![1], vec![0]])
+            .with_metrics(&registry, "idle");
+        sim.run().expect("terminates");
+        let labels: &[(&str, &str)] = &[("protocol", "idle")];
+        assert_eq!(registry.counter("wdm_dist_rounds_total", labels).get(), 0);
+        assert_eq!(registry.counter("wdm_dist_messages_total", labels).get(), 0);
+    }
+
+    #[test]
+    fn two_protocols_share_one_registry_without_mixing() {
+        let registry = MetricsRegistry::new();
+        for name in ["a", "b"] {
+            let topo = line_topology(3);
+            let procs: Vec<Flood> = (0..3)
+                .map(|id| Flood {
+                    id,
+                    neighbours: topo[id].clone(),
+                    level: None,
+                })
+                .collect();
+            let mut sim = Simulator::new(procs, topo).with_metrics(&registry, name);
+            sim.run().expect("terminates");
+        }
+        let a = registry
+            .counter("wdm_dist_messages_total", &[("protocol", "a")])
+            .get();
+        let b = registry
+            .counter("wdm_dist_messages_total", &[("protocol", "b")])
+            .get();
+        assert!(a > 0);
+        assert_eq!(a, b, "identical runs, separate series");
     }
 
     #[test]

@@ -1,0 +1,263 @@
+//! The log₂-bucketed histogram.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one per possible bit length of a `u64` (0..=64).
+pub const BUCKET_COUNT: usize = 65;
+
+/// A lock-free histogram over `u64` samples with power-of-two buckets.
+///
+/// Bucket `i` holds every value whose bit length is `i`: bucket 0 is
+/// exactly `{0}`, bucket 1 is `{1}`, bucket 2 is `{2, 3}`, bucket `i`
+/// is `[2^(i-1), 2^i - 1]`, and bucket 64 is `[2^63, u64::MAX]`. The
+/// mapping is a single `leading_zeros`, so `observe` costs two relaxed
+/// `fetch_add`s — cheap enough to time every provisioning request.
+///
+/// Quantiles ([`quantile`](Self::quantile)) are estimated by linear
+/// interpolation inside the target bucket, which bounds the relative
+/// error by the bucket width (a factor of two); for latency tails that
+/// resolution is exactly what log-bucketed production histograms
+/// (HDR-style) accept on purpose.
+///
+/// The running [`sum`](Self::sum) wraps on overflow (2⁶⁴ ns ≈ 584
+/// years of accumulated latency, so in practice it does not).
+///
+/// # Examples
+///
+/// ```
+/// let h = wdm_obs::Histogram::new();
+/// for v in [1u64, 2, 3, 100] {
+///     h.observe(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.sum(), 106);
+/// assert!(h.quantile(0.5) <= 3.0);
+/// ```
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKET_COUNT],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Index of the bucket holding `v`: its bit length.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Smallest value in bucket `i`.
+fn bucket_lo(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        _ => 1u64 << (i - 1),
+    }
+}
+
+/// Largest value in bucket `i` (the Prometheus `le` boundary).
+pub(crate) fn bucket_hi(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples (wrapping).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket sample counts (not cumulative), indexed by bit length.
+    pub fn bucket_counts(&self) -> [u64; BUCKET_COUNT] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Inclusive value range `[lo, hi]` of bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= BUCKET_COUNT`.
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        assert!(i < BUCKET_COUNT, "bucket {i} out of range");
+        (bucket_lo(i), bucket_hi(i))
+    }
+
+    /// Estimated value at quantile `q ∈ [0, 1]` (0 on an empty
+    /// histogram), by linear interpolation within the target bucket.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total as f64).max(1.0);
+        let mut cumulative = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let before = cumulative;
+            cumulative += c;
+            if cumulative as f64 >= rank {
+                let lo = bucket_lo(i) as f64;
+                let hi = bucket_hi(i) as f64;
+                let frac = ((rank - before as f64) / c as f64).clamp(0.0, 1.0);
+                return lo + (hi - lo) * frac;
+            }
+        }
+        bucket_hi(BUCKET_COUNT - 1) as f64
+    }
+
+    /// Mean sample value (0 on an empty histogram).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_lands_in_its_own_bucket() {
+        let h = Histogram::new();
+        h.observe(0);
+        let counts = h.bucket_counts();
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[1..].iter().sum::<u64>(), 0);
+        assert_eq!(Histogram::bucket_bounds(0), (0, 0));
+    }
+
+    #[test]
+    fn exact_powers_of_two_open_their_bucket() {
+        // 2^i has bit length i+1, so it is the *lowest* value of bucket
+        // i+1 — the boundary the satellite test pins.
+        let h = Histogram::new();
+        for i in 0..64u32 {
+            h.observe(1u64 << i);
+        }
+        let counts = h.bucket_counts();
+        assert_eq!(counts[0], 0);
+        for (i, &c) in counts.iter().enumerate().skip(1) {
+            assert_eq!(c, 1, "bucket {i}");
+            let (lo, hi) = Histogram::bucket_bounds(i);
+            assert_eq!(lo, 1u64 << (i - 1), "bucket {i} lower bound");
+            assert!(lo <= hi);
+        }
+    }
+
+    #[test]
+    fn bucket_upper_bounds_are_one_below_the_next_power() {
+        for i in 1..64 {
+            let (lo, hi) = Histogram::bucket_bounds(i);
+            assert_eq!(hi, 2 * lo - 1, "bucket {i}");
+            // The boundary pair: 2^i - 1 stays in bucket i, 2^i moves up.
+            let h = Histogram::new();
+            h.observe(hi);
+            assert_eq!(h.bucket_counts()[i], 1, "2^{i} - 1 stays in bucket {i}");
+        }
+    }
+
+    #[test]
+    fn u64_max_lands_in_the_last_bucket() {
+        let h = Histogram::new();
+        h.observe(u64::MAX);
+        h.observe(1u64 << 63);
+        let counts = h.bucket_counts();
+        assert_eq!(counts[BUCKET_COUNT - 1], 2);
+        assert_eq!(
+            Histogram::bucket_bounds(BUCKET_COUNT - 1),
+            (1u64 << 63, u64::MAX)
+        );
+        // The wrapping sum is documented, not a crash.
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bracketed() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        let (p50, p90, p99) = (h.quantile(0.5), h.quantile(0.9), h.quantile(0.99));
+        assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
+        // Bucketing limits resolution to the enclosing power-of-two
+        // range; the estimates must land inside the right buckets.
+        assert!((256.0..=1023.0).contains(&p50), "{p50}");
+        assert!((512.0..=1023.0).contains(&p99), "{p99}");
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), 500_500);
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.quantile(0.99), 0.0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_quantiles_hit_its_bucket() {
+        let h = Histogram::new();
+        h.observe(100); // bucket [64, 127]
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let est = h.quantile(q);
+            assert!((64.0..=127.0).contains(&est), "q={q} est={est}");
+        }
+    }
+
+    #[test]
+    fn concurrent_observations_are_not_lost() {
+        let h = Histogram::new();
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let h = &h;
+                scope.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.observe(t * 10_000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 40_000);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), 40_000);
+    }
+}

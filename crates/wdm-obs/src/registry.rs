@@ -1,0 +1,502 @@
+//! The instrument registry: name + labels → shared instrument, plus the
+//! Prometheus and JSON export paths.
+
+use crate::histogram::{bucket_hi, BUCKET_COUNT};
+use crate::json::escape_into;
+use crate::{Counter, Gauge, Histogram};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// One registered instrument.
+#[derive(Debug)]
+struct Entry {
+    name: String,
+    labels: Vec<(String, String)>,
+    kind: Kind,
+}
+
+#[derive(Debug, Clone)]
+enum Kind {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Kind {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Kind::Counter(_) => "counter",
+            Kind::Gauge(_) => "gauge",
+            Kind::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// The process-wide (or engine-wide) collection of instruments.
+///
+/// `counter`/`gauge`/`histogram` are get-or-create: the same
+/// `(name, labels)` pair always returns the same `Arc`'d instrument, so
+/// a producer (the provisioning engine) and a consumer (the CLI's
+/// latency summary) can meet by name without plumbing handles through
+/// every layer. Registration takes a `Mutex`; instruments themselves
+/// are lock-free, so the lock sits entirely off the hot path — acquire
+/// the `Arc`s once at setup, then mutate them freely.
+///
+/// Exports read live atomics without pausing writers: a scrape during a
+/// run sees a consistent-enough snapshot (each instrument is internally
+/// consistent; cross-instrument skew is bounded by the scrape duration).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+/// Entry list plus a hash index so get-or-create stays O(1) even with
+/// thousands of per-link gauges.
+#[derive(Debug, Default)]
+struct Inner {
+    entries: Vec<Entry>,
+    index: HashMap<(String, Vec<(String, String)>), usize>,
+}
+
+fn normalize(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    let mut v: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, val)| (k.to_string(), val.to_string()))
+        .collect();
+    v.sort();
+    v
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Gets or creates the counter named `name` with `labels`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(name, labels)` is already registered as a different
+    /// instrument kind — that is a programming error, not runtime state.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.get_or_insert(name, labels, || Kind::Counter(Arc::new(Counter::new()))) {
+            Kind::Counter(c) => c,
+            other => panic!("metric {name} already registered as {}", other.type_name()),
+        }
+    }
+
+    /// Gets or creates the gauge named `name` with `labels`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a kind mismatch, like [`counter`](Self::counter).
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.get_or_insert(name, labels, || Kind::Gauge(Arc::new(Gauge::new()))) {
+            Kind::Gauge(g) => g,
+            other => panic!("metric {name} already registered as {}", other.type_name()),
+        }
+    }
+
+    /// Gets or creates the histogram named `name` with `labels`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a kind mismatch, like [`counter`](Self::counter).
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        match self.get_or_insert(name, labels, || Kind::Histogram(Arc::new(Histogram::new()))) {
+            Kind::Histogram(h) => h,
+            other => panic!("metric {name} already registered as {}", other.type_name()),
+        }
+    }
+
+    /// The hash-indexed get-or-create shared by the three instrument
+    /// constructors. Returns a clone of the stored kind, so callers can
+    /// match on it and surface kind mismatches with the metric name.
+    fn get_or_insert(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Kind,
+    ) -> Kind {
+        let labels = normalize(labels);
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        let key = (name.to_string(), labels.clone());
+        if let Some(&i) = inner.index.get(&key) {
+            return inner.entries[i].kind.clone();
+        }
+        let kind = make();
+        let i = inner.entries.len();
+        inner.entries.push(Entry {
+            name: name.to_string(),
+            labels,
+            kind: kind.clone(),
+        });
+        inner.index.insert(key, i);
+        kind
+    }
+
+    /// Renders every instrument in the Prometheus text exposition
+    /// format, sorted by `(name, labels)` for deterministic output.
+    ///
+    /// Histograms emit cumulative `_bucket{le="..."}` series (only
+    /// non-empty buckets plus the mandatory `+Inf`), `_sum`, and
+    /// `_count`, with `le` boundaries at the exact bucket upper bounds.
+    pub fn render_prometheus(&self) -> String {
+        let inner = self.inner.lock().expect("registry poisoned");
+        let entries = &inner.entries;
+        let mut order: Vec<usize> = (0..entries.len()).collect();
+        order.sort_by(|&a, &b| {
+            (&entries[a].name, &entries[a].labels).cmp(&(&entries[b].name, &entries[b].labels))
+        });
+        let mut out = String::new();
+        let mut last_typed: Option<&str> = None;
+        for &i in &order {
+            let e = &entries[i];
+            if last_typed != Some(e.name.as_str()) {
+                let _ = writeln!(out, "# TYPE {} {}", e.name, e.kind.type_name());
+                last_typed = Some(e.name.as_str());
+            }
+            match &e.kind {
+                Kind::Counter(c) => {
+                    let _ = writeln!(
+                        out,
+                        "{}{} {}",
+                        e.name,
+                        label_block(&e.labels, None),
+                        c.get()
+                    );
+                }
+                Kind::Gauge(g) => {
+                    let _ = writeln!(
+                        out,
+                        "{}{} {}",
+                        e.name,
+                        label_block(&e.labels, None),
+                        g.get()
+                    );
+                }
+                Kind::Histogram(h) => {
+                    let counts = h.bucket_counts();
+                    let mut cumulative = 0u64;
+                    for (b, &c) in counts.iter().enumerate() {
+                        cumulative += c;
+                        if c == 0 {
+                            continue;
+                        }
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {}",
+                            e.name,
+                            label_block(&e.labels, Some(&bucket_hi(b).to_string())),
+                            cumulative
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {}",
+                        e.name,
+                        label_block(&e.labels, Some("+Inf")),
+                        cumulative
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_sum{} {}",
+                        e.name,
+                        label_block(&e.labels, None),
+                        h.sum()
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_count{} {}",
+                        e.name,
+                        label_block(&e.labels, None),
+                        h.count()
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Serialises every instrument into one JSON object:
+    /// `{"counters": [...], "gauges": [...], "histograms": [...]}`.
+    ///
+    /// Each element carries `name` and `labels`; counters and gauges a
+    /// `value`; histograms `count`, `sum`, `mean`, `p50`/`p90`/`p99`
+    /// estimates, and the non-empty `buckets` as `[lo, hi, count]`
+    /// triples. The output parses with [`crate::json::parse`].
+    pub fn snapshot_json(&self) -> String {
+        let inner = self.inner.lock().expect("registry poisoned");
+        let entries = &inner.entries;
+        let mut order: Vec<usize> = (0..entries.len()).collect();
+        order.sort_by(|&a, &b| {
+            (&entries[a].name, &entries[a].labels).cmp(&(&entries[b].name, &entries[b].labels))
+        });
+
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        for &i in &order {
+            let e = &entries[i];
+            let mut obj = String::from("{");
+            let _ = write!(obj, "\"name\": ");
+            push_json_string(&mut obj, &e.name);
+            let _ = write!(obj, ", \"labels\": {{");
+            for (j, (k, v)) in e.labels.iter().enumerate() {
+                if j > 0 {
+                    obj.push_str(", ");
+                }
+                push_json_string(&mut obj, k);
+                obj.push_str(": ");
+                push_json_string(&mut obj, v);
+            }
+            obj.push('}');
+            match &e.kind {
+                Kind::Counter(c) => {
+                    let _ = write!(obj, ", \"value\": {}", c.get());
+                    obj.push('}');
+                    counters.push(obj);
+                }
+                Kind::Gauge(g) => {
+                    let _ = write!(obj, ", \"value\": {}", g.get());
+                    obj.push('}');
+                    gauges.push(obj);
+                }
+                Kind::Histogram(h) => {
+                    let counts = h.bucket_counts();
+                    let _ = write!(
+                        obj,
+                        ", \"count\": {}, \"sum\": {}, \"mean\": {}, \
+                         \"p50\": {}, \"p90\": {}, \"p99\": {}",
+                        h.count(),
+                        h.sum(),
+                        fmt_f64(h.mean()),
+                        fmt_f64(h.quantile(0.5)),
+                        fmt_f64(h.quantile(0.9)),
+                        fmt_f64(h.quantile(0.99)),
+                    );
+                    obj.push_str(", \"buckets\": [");
+                    let mut first = true;
+                    for (b, &c) in counts.iter().enumerate().take(BUCKET_COUNT) {
+                        if c == 0 {
+                            continue;
+                        }
+                        if !first {
+                            obj.push_str(", ");
+                        }
+                        first = false;
+                        let (lo, hi) = Histogram::bucket_bounds(b);
+                        let _ = write!(obj, "[{lo}, {hi}, {c}]");
+                    }
+                    obj.push_str("]}");
+                    histograms.push(obj);
+                }
+            }
+        }
+
+        let mut out = String::from("{\n  \"counters\": [");
+        join_indented(&mut out, &counters);
+        out.push_str("],\n  \"gauges\": [");
+        join_indented(&mut out, &gauges);
+        out.push_str("],\n  \"histograms\": [");
+        join_indented(&mut out, &histograms);
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Writes [`snapshot_json`](Self::snapshot_json) to `path`.
+    pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.snapshot_json())
+    }
+}
+
+/// `{k="v",...}` with an optional trailing `le` label; empty labels and
+/// no `le` render as nothing at all (`name value`).
+fn label_block(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push_str("=\"");
+        escape_into(&mut out, v);
+        out.push('"');
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        out.push_str("le=\"");
+        out.push_str(le);
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    escape_into(out, s);
+    out.push('"');
+}
+
+/// f64 → JSON number text; guards against NaN/inf which JSON forbids.
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn join_indented(out: &mut String, items: &[String]) {
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        out.push_str(item);
+    }
+    if !items.is_empty() {
+        out.push_str("\n  ");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn same_name_and_labels_share_one_instrument() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("x_total", &[("k", "v")]);
+        let b = r.counter("x_total", &[("k", "v")]);
+        a.inc();
+        assert_eq!(b.get(), 1);
+        assert!(Arc::ptr_eq(&a, &b));
+        // Label order must not matter.
+        let c = r.counter("y_total", &[("a", "1"), ("b", "2")]);
+        let d = r.counter("y_total", &[("b", "2"), ("a", "1")]);
+        assert!(Arc::ptr_eq(&c, &d));
+        // Different labels → different instrument.
+        let e = r.counter("x_total", &[("k", "other")]);
+        e.add(5);
+        assert_eq!(a.get(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = MetricsRegistry::new();
+        let _ = r.counter("m", &[]);
+        let _ = r.gauge("m", &[]);
+    }
+
+    #[test]
+    fn prometheus_text_has_types_labels_and_histogram_series() {
+        let r = MetricsRegistry::new();
+        r.counter("req_total", &[("policy", "optimal")]).add(3);
+        r.gauge("active", &[]).set(-2);
+        let h = r.histogram("lat_ns", &[("policy", "optimal")]);
+        h.observe(0);
+        h.observe(5); // bucket [4,7]
+        h.observe(6);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE req_total counter"), "{text}");
+        assert!(text.contains("req_total{policy=\"optimal\"} 3"), "{text}");
+        assert!(text.contains("# TYPE active gauge"), "{text}");
+        assert!(text.contains("active -2"), "{text}");
+        assert!(text.contains("# TYPE lat_ns histogram"), "{text}");
+        // Cumulative buckets: le="0" → 1, le="7" → 3, +Inf → 3.
+        assert!(
+            text.contains("lat_ns_bucket{policy=\"optimal\",le=\"0\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("lat_ns_bucket{policy=\"optimal\",le=\"7\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("lat_ns_bucket{policy=\"optimal\",le=\"+Inf\"} 3"),
+            "{text}"
+        );
+        assert!(text.contains("lat_ns_sum{policy=\"optimal\"} 11"), "{text}");
+        assert!(
+            text.contains("lat_ns_count{policy=\"optimal\"} 3"),
+            "{text}"
+        );
+        // One TYPE line per metric name even with several label sets.
+        r.counter("req_total", &[("policy", "first_fit")]).inc();
+        let text = r.render_prometheus();
+        assert_eq!(text.matches("# TYPE req_total counter").count(), 1);
+    }
+
+    #[test]
+    fn snapshot_json_round_trips_through_the_parser() {
+        let r = MetricsRegistry::new();
+        r.counter("req_total", &[("policy", "optimal")]).add(7);
+        r.gauge("active", &[]).set(4);
+        let h = r.histogram("lat_ns", &[]);
+        for v in [1u64, 10, 100, 1000] {
+            h.observe(v);
+        }
+        let snap = json::parse(&r.snapshot_json()).expect("snapshot must parse");
+        let counters = snap.get("counters").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(counters.len(), 1);
+        assert_eq!(
+            counters[0].get("name").and_then(|v| v.as_str()),
+            Some("req_total")
+        );
+        assert_eq!(counters[0].get("value").and_then(|v| v.as_u64()), Some(7));
+        assert_eq!(
+            counters[0]
+                .get("labels")
+                .and_then(|l| l.get("policy"))
+                .and_then(|v| v.as_str()),
+            Some("optimal")
+        );
+        let gauges = snap.get("gauges").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(gauges[0].get("value").and_then(|v| v.as_f64()), Some(4.0));
+        let hists = snap.get("histograms").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(hists[0].get("count").and_then(|v| v.as_u64()), Some(4));
+        assert_eq!(hists[0].get("sum").and_then(|v| v.as_u64()), Some(1111));
+        let buckets = hists[0].get("buckets").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(buckets.len(), 4); // four samples, four distinct buckets
+        let total: u64 = buckets
+            .iter()
+            .map(|b| b.index(2).and_then(|v| v.as_u64()).unwrap())
+            .sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn empty_registry_exports_cleanly() {
+        let r = MetricsRegistry::new();
+        assert_eq!(r.render_prometheus(), "");
+        let snap = json::parse(&r.snapshot_json()).unwrap();
+        assert_eq!(
+            snap.get("counters")
+                .and_then(|v| v.as_array())
+                .map(<[_]>::len),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn label_values_are_escaped_in_both_exports() {
+        let r = MetricsRegistry::new();
+        r.counter("odd_total", &[("k", "a\"b\\c")]).inc();
+        let text = r.render_prometheus();
+        assert!(text.contains(r#"odd_total{k="a\"b\\c"} 1"#), "{text}");
+        assert!(json::parse(&r.snapshot_json()).is_ok());
+    }
+}

@@ -1,0 +1,103 @@
+//! Manual span timers feeding histograms.
+
+use crate::Histogram;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A lightweight manual span: started explicitly, recorded into a
+/// [`Histogram`] (in nanoseconds) on [`finish`](Self::finish) or drop.
+///
+/// This is deliberately not a tracing framework — no IDs, no context
+/// propagation — just the "how long did this critical section take"
+/// primitive the engine's latency histograms need, with drop-safety so
+/// early returns and `?` still record.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use wdm_obs::{Histogram, Span};
+///
+/// let h = Arc::new(Histogram::new());
+/// {
+///     let span = Span::start(Arc::clone(&h));
+///     std::hint::black_box(3 + 4);
+///     span.finish();
+/// }
+/// let _dropped = Span::start(Arc::clone(&h)); // records on drop too
+/// drop(_dropped);
+/// assert_eq!(h.count(), 2);
+/// ```
+#[derive(Debug)]
+pub struct Span {
+    histogram: Option<Arc<Histogram>>,
+    started: Instant,
+}
+
+impl Span {
+    /// Starts timing now; the elapsed nanoseconds land in `histogram`.
+    pub fn start(histogram: Arc<Histogram>) -> Self {
+        Span {
+            histogram: Some(histogram),
+            started: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds since the span started (the span keeps running).
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Stops the span, records the elapsed nanoseconds, and returns them.
+    pub fn finish(mut self) -> u64 {
+        self.record()
+    }
+
+    fn record(&mut self) -> u64 {
+        let ns = self.elapsed_ns();
+        if let Some(h) = self.histogram.take() {
+            h.observe(ns);
+        }
+        ns
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finish_records_exactly_once() {
+        let h = Arc::new(Histogram::new());
+        let span = Span::start(Arc::clone(&h));
+        let ns = span.finish();
+        assert_eq!(h.count(), 1);
+        assert!(h.sum() >= ns || h.sum() == ns); // one sample == its sum
+        assert_eq!(h.sum(), ns);
+    }
+
+    #[test]
+    fn drop_records_without_finish() {
+        let h = Arc::new(Histogram::new());
+        {
+            let _span = Span::start(Arc::clone(&h));
+        }
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn elapsed_is_monotone() {
+        let h = Arc::new(Histogram::new());
+        let span = Span::start(Arc::clone(&h));
+        let a = span.elapsed_ns();
+        let b = span.elapsed_ns();
+        assert!(b >= a);
+        span.finish();
+    }
+}

@@ -1,11 +1,19 @@
 //! The provisioning engine: mutable (link, wavelength) resource state.
 
+use crate::metrics::{BlockCause, EngineMetrics};
 use crate::policy::Policy;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
-use wdm_core::{PersistentAuxGraph, Semilightpath, Wavelength, WdmNetwork};
+use std::time::Instant;
+use wdm_core::{PersistentAuxGraph, SearchStats, Semilightpath, Wavelength, WdmNetwork};
 use wdm_graph::{LinkId, NodeId};
+use wdm_obs::MetricsRegistry;
+
+/// Nanoseconds since `t0`, saturating at `u64::MAX`.
+fn ns_since(t0: Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
 
 /// Handle of an active connection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -92,6 +100,20 @@ pub struct ProvisioningEngine {
     accepted: u64,
     blocked: u64,
     released: u64,
+    /// Blocked requests whose pair is unroutable even on the free
+    /// network (under the request's policy).
+    blocked_no_path: u64,
+    /// Blocked requests that a free network would have routed.
+    blocked_capacity: u64,
+    /// Memoized free-network reachability, keyed by
+    /// `(s, t, conversion-capable)`. The blocked-cause verdict depends
+    /// only on the *free* network — never on current occupancy — so it
+    /// is stable for the engine's lifetime and churn workloads that
+    /// block the same pairs repeatedly pay the probe once.
+    free_reach_cache: HashMap<(NodeId, NodeId, bool), bool>,
+    /// Shared instruments when a registry is attached; `None` keeps the
+    /// hot path at one branch per operation.
+    metrics: Option<EngineMetrics>,
 }
 
 impl ProvisioningEngine {
@@ -115,7 +137,33 @@ impl ProvisioningEngine {
             accepted: 0,
             blocked: 0,
             released: 0,
+            blocked_no_path: 0,
+            blocked_capacity: 0,
+            free_reach_cache: HashMap::new(),
+            metrics: None,
         }
+    }
+
+    /// Attaches a metrics registry: from now on every provision /
+    /// release / fail_link reports latency histograms, outcome counters
+    /// (blocked split by cause), search-kernel totals, and occupancy
+    /// gauges into `registry`'s shared instruments (see the crate docs
+    /// for the metric names). Gauges are seeded from the current state,
+    /// so attaching mid-run is coherent; re-attaching replaces the
+    /// handles. Detached engines skip all of it behind one branch.
+    pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
+        let m = EngineMetrics::resolve(registry, self.base.link_count());
+        m.active.set(self.active.len() as i64);
+        let mut occupied = 0i64;
+        for (li, per_link) in self.busy.iter().enumerate() {
+            let count = per_link.iter().filter(|&&b| b).count() as i64;
+            m.link_occupancy[li].set(count);
+            occupied += count;
+        }
+        m.occupied.set(occupied);
+        // Search work done before the attach stays unattributed.
+        let _ = self.residual.take_search_totals();
+        self.metrics = Some(m);
     }
 
     /// The base network the engine was created from.
@@ -136,6 +184,17 @@ impl ProvisioningEngine {
     /// Totals so far: `(accepted, blocked, released)`.
     pub fn totals(&self) -> (u64, u64, u64) {
         (self.accepted, self.blocked, self.released)
+    }
+
+    /// Blocked totals split by cause: `(no_path, capacity)`.
+    ///
+    /// `no_path` counts requests whose pair is unroutable even with
+    /// every resource free (under the request's policy — conversion-free
+    /// policies can be topology-blocked where [`Policy::Optimal`]
+    /// would route); `capacity` counts requests a free network would
+    /// have carried. The two always sum to the blocked total.
+    pub fn blocked_by_cause(&self) -> (u64, u64) {
+        (self.blocked_no_path, self.blocked_capacity)
     }
 
     /// Fraction of base (link, wavelength) resources currently occupied.
@@ -171,8 +230,19 @@ impl ProvisioningEngine {
     /// persistent masked structure. Keeping every flip behind this method
     /// is what maintains the mask-sync invariant.
     fn set_resource(&mut self, link: LinkId, wavelength: Wavelength, busy: bool) {
+        let was = self.busy[link.index()][wavelength.index()];
         self.busy[link.index()][wavelength.index()] = busy;
-        self.residual.set_busy(link, wavelength, busy);
+        let exists = self.residual.set_busy(link, wavelength, busy);
+        // Only genuine transitions of resources the base actually
+        // carries move the occupancy gauges and the flip counter.
+        if was != busy && exists {
+            if let Some(m) = &self.metrics {
+                m.mask_flips.inc();
+                let delta = if busy { 1 } else { -1 };
+                m.occupied.add(delta);
+                m.link_occupancy[link.index()].add(delta);
+            }
+        }
     }
 
     /// A from-scratch [`PersistentAuxGraph`] with the current busy state
@@ -189,17 +259,83 @@ impl ProvisioningEngine {
         fresh
     }
 
-    /// Answers one routing query according to [`Self::mode`].
-    fn route_request(&mut self, s: NodeId, t: NodeId, policy: Policy) -> Option<Semilightpath> {
-        let path = match self.mode {
-            RoutingMode::Masked => policy.route_masked(&mut self.residual, s, t),
+    /// Answers one routing query according to [`Self::mode`], returning
+    /// the path and the search-kernel operation totals the query cost
+    /// (drained from whichever structure ran the search, so both modes
+    /// report comparable numbers).
+    fn route_request(
+        &mut self,
+        s: NodeId,
+        t: NodeId,
+        policy: Policy,
+    ) -> (Option<Semilightpath>, SearchStats) {
+        let (path, search) = match self.mode {
+            RoutingMode::Masked => {
+                let p = policy.route_masked(&mut self.residual, s, t);
+                (p, self.residual.take_search_totals())
+            }
             RoutingMode::RebuildPerRequest => {
-                policy.route_masked(&mut self.rebuild_residual(), s, t)
+                let mut fresh = self.rebuild_residual();
+                let p = policy.route_masked(&mut fresh, s, t);
+                let stats = fresh.take_search_totals();
+                (p, stats)
             }
         };
         #[cfg(debug_assertions)]
         self.cross_check_route(s, t, policy, &path);
-        path
+        (path, search)
+    }
+
+    /// Classifies a blocked request: topology-blocked (`no_path`) when
+    /// the pair cannot be routed even on the fully free network under
+    /// `policy`'s capabilities, occupancy-blocked (`capacity`)
+    /// otherwise. Runs on the cold blocked path only; the probe's
+    /// search work is discarded so it never pollutes request metering.
+    /// Verdicts are memoized per `(s, t, conversion-capable)` — the free
+    /// network never changes under provisioning, so repeat offenders
+    /// (the common case in steady-state churn) skip the probe entirely.
+    fn classify_blocked(&mut self, s: NodeId, t: NodeId, policy: Policy) -> BlockCause {
+        let reachable = if s == t {
+            // The engine rejects s == t (an empty path carries nothing);
+            // no amount of capacity changes that.
+            false
+        } else {
+            // LightpathOnly and FirstFit both route on a single
+            // wavelength end-to-end, so they share one cache class.
+            let converts = matches!(policy, Policy::Optimal);
+            match self.free_reach_cache.get(&(s, t, converts)) {
+                Some(&hit) => hit,
+                None => {
+                    let probed = if converts {
+                        self.residual.reachable_when_free(s, t)
+                    } else {
+                        self.residual.reachable_when_free_single_wavelength(s, t)
+                    };
+                    let _ = self.residual.take_search_totals();
+                    self.free_reach_cache.insert((s, t, converts), probed);
+                    probed
+                }
+            }
+        };
+        if reachable {
+            BlockCause::Capacity
+        } else {
+            BlockCause::NoPath
+        }
+    }
+
+    /// Accounts one blocked request: engine totals, cause split, and
+    /// (when attached) the blocked counters.
+    fn note_blocked(&mut self, s: NodeId, t: NodeId, policy: Policy) {
+        let cause = self.classify_blocked(s, t, policy);
+        self.blocked += 1;
+        match cause {
+            BlockCause::NoPath => self.blocked_no_path += 1,
+            BlockCause::Capacity => self.blocked_capacity += 1,
+        }
+        if let Some(m) = &self.metrics {
+            m.record_blocked(cause);
+        }
     }
 
     /// Debug-build cross-check of the masked answer against the legacy
@@ -257,26 +393,45 @@ impl ProvisioningEngine {
                 return Err(RwaError::NodeOutOfRange(v));
             }
         }
-        let path = match self.route_request(s, t, policy) {
-            Some(p) if !p.is_empty() => p,
+        // Requests are metered only past endpoint validation, so
+        // requests_total == accepted_total + blocked_total holds.
+        let started = self.metrics.as_ref().map(|m| {
+            m.requests.inc();
+            Instant::now()
+        });
+        let (routed, search) = self.route_request(s, t, policy);
+        if let Some(m) = &self.metrics {
+            m.flush_search(&search);
+        }
+        let result = match routed {
+            Some(path) if !path.is_empty() => {
+                debug_assert!(
+                    path.validate(&self.residual_network()).is_ok(),
+                    "policy returned invalid path"
+                );
+                for hop in path.hops() {
+                    debug_assert!(!self.busy[hop.link.index()][hop.wavelength.index()]);
+                    self.set_resource(hop.link, hop.wavelength, true);
+                }
+                let id = ConnectionId(self.next_id);
+                self.next_id += 1;
+                self.active.insert(id, Connection { path });
+                self.accepted += 1;
+                if let Some(m) = &self.metrics {
+                    m.accepted.inc();
+                    m.active.set(self.active.len() as i64);
+                }
+                Ok(id)
+            }
             _ => {
-                self.blocked += 1;
-                return Err(RwaError::Blocked { s, t });
+                self.note_blocked(s, t, policy);
+                Err(RwaError::Blocked { s, t })
             }
         };
-        debug_assert!(
-            path.validate(&self.residual_network()).is_ok(),
-            "policy returned invalid path"
-        );
-        for hop in path.hops() {
-            debug_assert!(!self.busy[hop.link.index()][hop.wavelength.index()]);
-            self.set_resource(hop.link, hop.wavelength, true);
+        if let (Some(m), Some(t0)) = (&self.metrics, started) {
+            m.provision_latency.observe(ns_since(t0));
         }
-        let id = ConnectionId(self.next_id);
-        self.next_id += 1;
-        self.active.insert(id, Connection { path });
-        self.accepted += 1;
-        Ok(id)
+        result
     }
 
     /// Provisions a batch of requests, using the parallel all-pairs
@@ -319,7 +474,17 @@ impl ProvisioningEngine {
                     }
                 }
                 if reachable.cost(s, t).is_infinite() {
-                    self.blocked += 1;
+                    // Pre-screened requests never reach `provision`, so
+                    // meter them here to keep requests_total equal to
+                    // the latency histogram's count.
+                    let started = self.metrics.as_ref().map(|m| {
+                        m.requests.inc();
+                        Instant::now()
+                    });
+                    self.note_blocked(s, t, policy);
+                    if let (Some(m), Some(t0)) = (&self.metrics, started) {
+                        m.provision_latency.observe(ns_since(t0));
+                    }
                     return Err(RwaError::Blocked { s, t });
                 }
                 self.provision(s, t, policy)
@@ -333,6 +498,7 @@ impl ProvisioningEngine {
     ///
     /// [`RwaError::UnknownConnection`] if `id` is not active.
     pub fn release(&mut self, id: ConnectionId) -> Result<(), RwaError> {
+        let started = self.metrics.as_ref().map(|_| Instant::now());
         let conn = self
             .active
             .remove(&id)
@@ -341,6 +507,11 @@ impl ProvisioningEngine {
             self.set_resource(hop.link, hop.wavelength, false);
         }
         self.released += 1;
+        if let (Some(m), Some(t0)) = (&self.metrics, started) {
+            m.released.inc();
+            m.active.set(self.active.len() as i64);
+            m.release_latency.observe(ns_since(t0));
+        }
         Ok(())
     }
 
@@ -376,6 +547,10 @@ impl ProvisioningEngine {
             link.index() < self.base.link_count(),
             "link {link} out of range"
         );
+        // The whole cut — teardowns, blocking, restorations — is one
+        // span; the nested release/provision calls also meter their own
+        // operations (documented on the latency metric).
+        let started = self.metrics.as_ref().map(|_| Instant::now());
         let mut affected: Vec<ConnectionId> = self
             .active
             .iter()
@@ -408,6 +583,9 @@ impl ProvisioningEngine {
         // its true resource state is all-free; clear the block markers.
         for lambda in 0..self.base.k() {
             self.set_resource(link, Wavelength::new(lambda), false);
+        }
+        if let (Some(m), Some(t0)) = (&self.metrics, started) {
+            m.fail_link_latency.observe(ns_since(t0));
         }
         outcome
     }
@@ -669,6 +847,219 @@ mod tests {
         assert_eq!(masked.totals(), rebuild.totals());
         assert_eq!(masked.active_count(), rebuild.active_count());
         assert_eq!(masked.utilization(), rebuild.utilization());
+    }
+
+    #[test]
+    fn blocked_causes_are_classified() {
+        let mut engine = ProvisioningEngine::new(&base());
+        // 3 → 0: no outgoing links from 3 — topology-blocked.
+        assert!(engine
+            .provision(3.into(), 0.into(), Policy::Optimal)
+            .is_err());
+        // Saturate both wavelengths of the chain, then block on capacity.
+        engine
+            .provision(0.into(), 3.into(), Policy::Optimal)
+            .expect("λ0 free");
+        engine
+            .provision(0.into(), 3.into(), Policy::Optimal)
+            .expect("λ1 free");
+        assert!(engine
+            .provision(0.into(), 3.into(), Policy::Optimal)
+            .is_err());
+        // s == t: rejected regardless of capacity — no_path.
+        assert!(engine
+            .provision(1.into(), 1.into(), Policy::Optimal)
+            .is_err());
+        assert_eq!(engine.blocked_by_cause(), (2, 1));
+        let (_, blocked, _) = engine.totals();
+        assert_eq!(blocked, 3);
+    }
+
+    #[test]
+    fn blocked_causes_respect_policy_capabilities() {
+        // λ0 on link 0, λ1 on link 1: only conversion routes 0 → 2, so
+        // conversion-free policies are topology-blocked where Optimal
+        // would be capacity-blocked.
+        let g = DiGraph::from_links(3, [(0, 1), (1, 2)]);
+        let net = WdmNetwork::builder(g, 2)
+            .link_wavelengths(0, [(0, 10)])
+            .link_wavelengths(1, [(1, 10)])
+            .uniform_conversion(ConversionPolicy::Uniform(Cost::new(1)))
+            .build()
+            .expect("valid");
+        let mut ff = ProvisioningEngine::new(&net);
+        assert!(ff.provision(0.into(), 2.into(), Policy::FirstFit).is_err());
+        assert_eq!(ff.blocked_by_cause(), (1, 0), "first-fit cannot ever route");
+        let mut opt = ProvisioningEngine::new(&net);
+        opt.provision(0.into(), 2.into(), Policy::Optimal)
+            .expect("conversion routes");
+        assert!(opt.provision(0.into(), 2.into(), Policy::Optimal).is_err());
+        assert_eq!(opt.blocked_by_cause(), (0, 1), "free network routes it");
+    }
+
+    #[test]
+    fn blocked_cause_cache_survives_occupancy_changes() {
+        // The memoized verdict must stay correct as occupancy shifts:
+        // a capacity-blocked pair probed while the network is saturated
+        // must still classify as capacity-blocked after releases (and
+        // vice versa the engine must re-block it identically), because
+        // the verdict is a property of the *free* network.
+        let mut engine = ProvisioningEngine::new(&base());
+        let a = engine
+            .provision(0.into(), 3.into(), Policy::Optimal)
+            .expect("λ0 free");
+        let b = engine
+            .provision(0.into(), 3.into(), Policy::Optimal)
+            .expect("λ1 free");
+        for _ in 0..3 {
+            assert!(engine
+                .provision(0.into(), 3.into(), Policy::Optimal)
+                .is_err());
+            assert!(engine
+                .provision(3.into(), 0.into(), Policy::Optimal)
+                .is_err());
+        }
+        assert_eq!(engine.blocked_by_cause(), (3, 3));
+        engine.release(a).expect("active");
+        engine.release(b).expect("active");
+        // Freed capacity: the pair routes again, while the topology
+        // verdict for the reverse pair is unchanged (cache hit).
+        let c = engine
+            .provision(0.into(), 3.into(), Policy::Optimal)
+            .expect("capacity restored");
+        assert!(engine
+            .provision(3.into(), 0.into(), Policy::Optimal)
+            .is_err());
+        assert_eq!(engine.blocked_by_cause(), (4, 3));
+        engine.release(c).expect("active");
+    }
+
+    #[test]
+    fn metrics_track_engine_lifecycle() {
+        let registry = wdm_obs::MetricsRegistry::new();
+        let mut engine = ProvisioningEngine::new(&base());
+        engine.attach_metrics(&registry);
+        let id = engine
+            .provision(0.into(), 3.into(), Policy::Optimal)
+            .expect("routes");
+        engine
+            .provision(0.into(), 3.into(), Policy::Optimal)
+            .expect("routes");
+        assert!(engine
+            .provision(0.into(), 3.into(), Policy::Optimal)
+            .is_err());
+        assert!(engine
+            .provision(3.into(), 0.into(), Policy::Optimal)
+            .is_err());
+        engine.release(id).expect("active");
+
+        assert_eq!(registry.counter("wdm_rwa_requests_total", &[]).get(), 4);
+        assert_eq!(registry.counter("wdm_rwa_accepted_total", &[]).get(), 2);
+        assert_eq!(
+            registry
+                .counter("wdm_rwa_blocked_total", &[("cause", "capacity")])
+                .get(),
+            1
+        );
+        assert_eq!(
+            registry
+                .counter("wdm_rwa_blocked_total", &[("cause", "no_path")])
+                .get(),
+            1
+        );
+        assert_eq!(registry.counter("wdm_rwa_released_total", &[]).get(), 1);
+        assert_eq!(registry.gauge("wdm_rwa_active_connections", &[]).get(), 1);
+        // Each accepted path is the 3-hop chain; one is still active.
+        assert_eq!(registry.gauge("wdm_rwa_occupied_resources", &[]).get(), 3);
+        // 2 × 3 hops locked + 3 freed = 9 effective flips.
+        assert_eq!(registry.counter("wdm_rwa_mask_flips_total", &[]).get(), 9);
+        // One latency sample per metered request / release.
+        assert_eq!(
+            registry
+                .histogram("wdm_rwa_provision_latency_ns", &[])
+                .count(),
+            4
+        );
+        assert_eq!(
+            registry
+                .histogram("wdm_rwa_release_latency_ns", &[])
+                .count(),
+            1
+        );
+        // The search kernels reported real work.
+        assert!(registry.counter("wdm_core_search_settled_total", &[]).get() > 0);
+        assert!(registry.counter("wdm_core_search_pushes_total", &[]).get() > 0);
+        // Per-link occupancy sums to the occupied total.
+        let sum: i64 = (0..engine.base().link_count())
+            .map(|i| {
+                registry
+                    .gauge("wdm_rwa_link_occupancy", &[("link", &i.to_string())])
+                    .get()
+            })
+            .sum();
+        assert_eq!(sum, 3);
+        // requests == accepted + blocked holds by construction.
+        let blocked = registry
+            .counter("wdm_rwa_blocked_total", &[("cause", "capacity")])
+            .get()
+            + registry
+                .counter("wdm_rwa_blocked_total", &[("cause", "no_path")])
+                .get();
+        assert_eq!(
+            registry.counter("wdm_rwa_requests_total", &[]).get(),
+            registry.counter("wdm_rwa_accepted_total", &[]).get() + blocked
+        );
+    }
+
+    #[test]
+    fn metrics_report_in_rebuild_mode_too() {
+        let registry = wdm_obs::MetricsRegistry::new();
+        let mut engine = ProvisioningEngine::with_mode(&base(), RoutingMode::RebuildPerRequest);
+        engine.attach_metrics(&registry);
+        engine
+            .provision(0.into(), 3.into(), Policy::Optimal)
+            .expect("routes");
+        // Search totals come from the per-request rebuilt structure.
+        assert!(registry.counter("wdm_core_search_settled_total", &[]).get() > 0);
+        assert_eq!(registry.counter("wdm_rwa_requests_total", &[]).get(), 1);
+    }
+
+    #[test]
+    fn metrics_cover_fail_link_and_masked_skips() {
+        let registry = wdm_obs::MetricsRegistry::new();
+        let mut engine = ProvisioningEngine::new(&base());
+        engine.attach_metrics(&registry);
+        let id = engine
+            .provision(0.into(), 3.into(), Policy::Optimal)
+            .expect("routes");
+        // A second request over the busy chain must skip masked edges.
+        engine
+            .provision(0.into(), 3.into(), Policy::Optimal)
+            .expect("second wavelength");
+        assert!(
+            registry
+                .counter("wdm_core_search_masked_skips_total", &[])
+                .get()
+                > 0
+        );
+        let mid = engine.path_of(id).expect("active").hops()[1].link;
+        engine.fail_link(mid, Policy::Optimal);
+        assert_eq!(
+            registry
+                .histogram("wdm_rwa_fail_link_latency_ns", &[])
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn detached_engine_still_splits_blocked_causes() {
+        // The cause split is engine state, not a metrics feature.
+        let mut engine = ProvisioningEngine::new(&base());
+        assert!(engine
+            .provision(3.into(), 0.into(), Policy::Optimal)
+            .is_err());
+        assert_eq!(engine.blocked_by_cause(), (1, 0));
     }
 
     #[test]

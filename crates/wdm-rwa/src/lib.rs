@@ -21,6 +21,20 @@
 //! * [`simulate`] — an event-driven arrival/departure loop producing
 //!   [`BlockingStats`].
 //!
+//! # Observability
+//!
+//! [`ProvisioningEngine::attach_metrics`] wires an engine into a
+//! [`wdm_obs::MetricsRegistry`]: latency histograms
+//! (`wdm_rwa_provision_latency_ns`, `wdm_rwa_release_latency_ns`,
+//! `wdm_rwa_fail_link_latency_ns`), outcome counters
+//! (`wdm_rwa_requests_total`, `wdm_rwa_accepted_total`,
+//! `wdm_rwa_blocked_total{cause="no_path"|"capacity"}`,
+//! `wdm_rwa_released_total`, `wdm_rwa_mask_flips_total`), occupancy
+//! gauges (`wdm_rwa_active_connections`, `wdm_rwa_occupied_resources`,
+//! `wdm_rwa_link_occupancy{link="i"}`), and per-request search-kernel
+//! totals (`wdm_core_search_*_total`). A detached engine pays one
+//! branch per operation; an attached one a few relaxed atomics.
+//!
 //! # Examples
 //!
 //! ```
@@ -50,10 +64,12 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod metrics;
 mod policy;
 mod stats;
 pub mod workload;
 
 pub use engine::{ConnectionId, ProvisioningEngine, RoutingMode, RwaError};
+pub use metrics::BlockCause;
 pub use policy::Policy;
 pub use stats::{simulate, BlockingStats};

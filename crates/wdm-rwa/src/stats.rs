@@ -22,6 +22,13 @@ pub struct BlockingStats {
     pub links_used: u64,
     /// Peak simultaneous active connections.
     pub peak_active: usize,
+    /// Blocked requests that no amount of free capacity would have
+    /// routed (pair unroutable on the free network under the policy).
+    pub blocked_no_path: u64,
+    /// Blocked requests caused by occupancy: the free network routes
+    /// the pair. Together with [`blocked_no_path`](Self::blocked_no_path)
+    /// this sums to [`blocked`](Self::blocked).
+    pub blocked_capacity: u64,
 }
 
 impl BlockingStats {
@@ -41,6 +48,20 @@ impl BlockingStats {
         } else {
             self.conversions as f64 / self.accepted as f64
         }
+    }
+
+    /// Mean links (hops) per accepted connection.
+    pub fn mean_links(&self) -> f64 {
+        if self.accepted == 0 {
+            0.0
+        } else {
+            self.links_used as f64 / self.accepted as f64
+        }
+    }
+
+    /// Blocked totals split by cause: `(no_path, capacity)`.
+    pub fn blocked_by_cause(&self) -> (u64, u64) {
+        (self.blocked_no_path, self.blocked_capacity)
     }
 }
 
@@ -136,6 +157,11 @@ pub fn simulate(base: &WdmNetwork, requests: &[Request], policy: Policy) -> Bloc
             }
         }
     }
+    // The engine is fresh and saw exactly this workload, so its cause
+    // split is the workload's cause split.
+    let (no_path, capacity) = engine.blocked_by_cause();
+    stats.blocked_no_path = no_path;
+    stats.blocked_capacity = capacity;
     stats
 }
 
@@ -225,6 +251,32 @@ mod tests {
             "optimal {} vs first-fit {}",
             opt.blocking_probability(),
             ff.blocking_probability()
+        );
+    }
+
+    #[test]
+    fn blocked_cause_split_sums_and_mean_links_averages() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let net = base(2);
+        let reqs = static_requests(net.node_count(), 100, &mut rng);
+        let stats = simulate(&net, &reqs, Policy::Optimal);
+        assert!(stats.blocked > 0);
+        assert_eq!(
+            stats.blocked_no_path + stats.blocked_capacity,
+            stats.blocked,
+            "cause split must cover every block"
+        );
+        assert_eq!(
+            stats.blocked_by_cause(),
+            (stats.blocked_no_path, stats.blocked_capacity)
+        );
+        // NSFNET with full availability is strongly connected: every
+        // block is a capacity block.
+        assert_eq!(stats.blocked_no_path, 0);
+        // Accepted paths each use at least one link.
+        assert!(stats.mean_links() >= 1.0);
+        assert!(
+            (stats.mean_links() - stats.links_used as f64 / stats.accepted as f64).abs() < 1e-12
         );
     }
 
