@@ -58,11 +58,13 @@ impl<P: Ord + Clone> IndexedPriorityQueue<P> for ArrayHeap<P> {
     }
 
     fn decrease_key(&mut self, item: usize, priority: P) {
-        let slot = self
-            .slots
-            .get_mut(item)
-            .and_then(|s| s.as_mut())
-            .unwrap_or_else(|| panic!("item {item} not queued"));
+        assert!(
+            self.slots.get(item).is_some_and(|s| s.is_some()),
+            "item {item} not queued"
+        );
+        let Some(slot) = self.slots.get_mut(item).and_then(|s| s.as_mut()) else {
+            unreachable!("presence asserted above")
+        };
         assert!(
             priority <= *slot,
             "decrease_key with greater priority for item {item}"
@@ -71,18 +73,20 @@ impl<P: Ord + Clone> IndexedPriorityQueue<P> for ArrayHeap<P> {
     }
 
     fn pop_min(&mut self) -> Option<(usize, P)> {
-        let mut best: Option<usize> = None;
+        let mut best: Option<(usize, &P)> = None;
         for (item, slot) in self.slots.iter().enumerate() {
             if let Some(p) = slot {
                 match best {
-                    None => best = Some(item),
-                    Some(b) if *p < *self.slots[b].as_ref().expect("occupied") => best = Some(item),
+                    None => best = Some((item, p)),
+                    Some((_, bp)) if *p < *bp => best = Some((item, p)),
                     Some(_) => {}
                 }
             }
         }
-        let item = best?;
-        let priority = self.slots[item].take().expect("occupied");
+        let item = best?.0;
+        let Some(priority) = self.slots[item].take() else {
+            unreachable!("best indexes an occupied slot")
+        };
         self.len -= 1;
         Some((item, priority))
     }

@@ -124,7 +124,9 @@ impl<P: Ord + Clone> IndexedPriorityQueue<P> for BinaryHeap<P> {
         }
         let last = self.data.len() - 1;
         self.swap(0, last);
-        let (item, priority) = self.data.pop().expect("non-empty");
+        let Some((item, priority)) = self.data.pop() else {
+            unreachable!("emptiness was checked above")
+        };
         self.pos[item] = ABSENT;
         if !self.data.is_empty() {
             self.sift_down(0);

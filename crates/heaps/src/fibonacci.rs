@@ -72,7 +72,10 @@ pub struct FibonacciHeap<P> {
 
 impl<P: Ord + Clone> FibonacciHeap<P> {
     fn priority_of(&self, node: usize) -> &P {
-        self.nodes[node].priority.as_ref().expect("node occupied")
+        match self.nodes[node].priority.as_ref() {
+            Some(p) => p,
+            None => unreachable!("priority_of is only called on occupied nodes"),
+        }
     }
 
     /// Splices `node` (a detached singleton) into the root list.
@@ -151,6 +154,7 @@ impl<P: Ord + Clone> FibonacciHeap<P> {
         }
     }
 
+    // wdm-lint: hot-path
     fn consolidate(&mut self) {
         // Max degree is O(log_phi len); 2 + log2 is a safe over-estimate.
         let cap = 2 + usize::BITS as usize - (self.len.max(1)).leading_zeros() as usize + 1;
@@ -279,6 +283,7 @@ impl<P: Ord + Clone> IndexedPriorityQueue<P> for FibonacciHeap<P> {
         }
     }
 
+    // wdm-lint: hot-path
     fn pop_min(&mut self) -> Option<(usize, P)> {
         if self.min == NIL {
             return None;
@@ -318,7 +323,9 @@ impl<P: Ord + Clone> IndexedPriorityQueue<P> for FibonacciHeap<P> {
         // Remove min from the root ring.
         let right = self.nodes[min].right;
         self.remove_from_ring(min);
-        let priority = self.nodes[min].priority.take().expect("min occupied");
+        let Some(priority) = self.nodes[min].priority.take() else {
+            unreachable!("the minimum root always holds a priority")
+        };
         self.len -= 1;
         if right == min {
             self.min = NIL;

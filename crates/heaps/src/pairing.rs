@@ -60,8 +60,12 @@ impl<P: Ord + Clone> PairingHeap<P> {
     fn link(&mut self, a: usize, b: usize) -> usize {
         debug_assert!(a != NIL && b != NIL);
         let (parent, child) = {
-            let pa = self.nodes[a].priority.as_ref().expect("root occupied");
-            let pb = self.nodes[b].priority.as_ref().expect("root occupied");
+            let (Some(pa), Some(pb)) = (
+                self.nodes[a].priority.as_ref(),
+                self.nodes[b].priority.as_ref(),
+            ) else {
+                unreachable!("link operates on occupied roots")
+            };
             if pa <= pb {
                 (a, b)
             } else {
@@ -149,7 +153,9 @@ impl<P: Ord + Clone> IndexedPriorityQueue<P> for PairingHeap<P> {
     fn decrease_key(&mut self, item: usize, priority: P) {
         assert!(self.contains(item), "item {item} not queued");
         {
-            let current = self.nodes[item].priority.as_ref().expect("queued");
+            let Some(current) = self.nodes[item].priority.as_ref() else {
+                unreachable!("contains(item) was asserted above")
+            };
             assert!(
                 priority <= *current,
                 "decrease_key with greater priority for item {item}"
@@ -167,7 +173,9 @@ impl<P: Ord + Clone> IndexedPriorityQueue<P> for PairingHeap<P> {
             return None;
         }
         let min = self.root;
-        let priority = self.nodes[min].priority.take().expect("root occupied");
+        let Some(priority) = self.nodes[min].priority.take() else {
+            unreachable!("the root always holds a priority")
+        };
         self.len -= 1;
 
         // Two-pass pairing of the root's children.

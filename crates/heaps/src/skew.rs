@@ -151,8 +151,11 @@ impl<P: Ord + Clone> IndexedPriorityQueue<P> for SkewHeap<P> {
 
     fn decrease_key(&mut self, item: usize, priority: P) {
         assert!(self.contains(item), "item {item} not queued");
+        let Some(current) = self.nodes[item].priority.as_ref() else {
+            unreachable!("contains(item) was asserted above")
+        };
         assert!(
-            priority <= *self.nodes[item].priority.as_ref().expect("queued"),
+            priority <= *current,
             "decrease_key with greater priority for item {item}"
         );
         self.nodes[item].priority = Some(priority);
@@ -168,7 +171,9 @@ impl<P: Ord + Clone> IndexedPriorityQueue<P> for SkewHeap<P> {
             return None;
         }
         let min = self.root;
-        let priority = self.nodes[min].priority.take().expect("root occupied");
+        let Some(priority) = self.nodes[min].priority.take() else {
+            unreachable!("the root always holds a priority")
+        };
         let (l, r) = (self.nodes[min].left, self.nodes[min].right);
         if l != NIL {
             self.nodes[l].parent = NIL;

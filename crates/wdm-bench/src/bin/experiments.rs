@@ -30,13 +30,19 @@ mod alloc_counter {
     // SAFETY: defers every operation verbatim to `System`; the counter
     // does not touch the returned memory.
     unsafe impl GlobalAlloc for Counting {
+        // SAFETY: caller upholds `GlobalAlloc::alloc`'s contract
+        // (non-zero-sized layout); we pass it unchanged to `System`.
         unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
             ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
             System.alloc(layout)
         }
+        // SAFETY: caller guarantees `ptr` came from this allocator with
+        // this `layout`; `System` gets both unchanged.
         unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
             System.dealloc(ptr, layout)
         }
+        // SAFETY: same pass-through argument as `dealloc`, plus
+        // `realloc`'s non-zero `new_size` requirement forwarded verbatim.
         unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
             ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
             System.realloc(ptr, layout, new_size)

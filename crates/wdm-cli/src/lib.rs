@@ -74,10 +74,13 @@ USAGE:
   wdm protect <file.wdm> <src> <dst> [--physical]
   wdm serve-workload <file.wdm> [--requests <n>] [--load <erlang>]
       [--holding <mean>] [--seed <s>] [--policy optimal|lightpath|first-fit]
-      [--mode masked|rebuild] [--fail-link <id>]
+      [--mode masked|rebuild] [--fail-link <id>] [--trace <file>]
       [--metrics-out <file>] [--metrics-interval <n>]
       drives a Poisson request/release trace through the provisioning
-      engine; --mode rebuild reconstructs the auxiliary graph per request
+      engine; --trace replays a recorded trace file instead (one
+      `s t arrival holding` line per request, `#` comments, `inf`
+      holding), ignoring --requests/--load/--holding/--seed;
+      --mode rebuild reconstructs the auxiliary graph per request
       (reference), --fail-link cuts a fibre halfway through the trace;
       --metrics-out writes a JSON metrics snapshot at the end (and adds
       a request-latency summary to the report), --metrics-interval n
@@ -435,6 +438,7 @@ fn cmd_serve_workload(args: &[String], out: &mut String) -> i32 {
     let mut policy = Policy::Optimal;
     let mut mode = RoutingMode::Masked;
     let mut fail_link: Option<usize> = None;
+    let mut trace_path: Option<String> = None;
     let mut metrics_out: Option<String> = None;
     let mut metrics_interval: Option<usize> = None;
     let mut it = args.iter();
@@ -485,6 +489,12 @@ fn cmd_serve_workload(args: &[String], out: &mut String) -> i32 {
                     None => return usage_error(out, "bad --fail-link (want link index)"),
                 }
             }
+            "--trace" => {
+                trace_path = match it.next() {
+                    Some(p) => Some(p.clone()),
+                    None => return usage_error(out, "missing --trace path"),
+                }
+            }
             "--metrics-out" => {
                 metrics_out = match it.next() {
                     Some(p) => Some(p.clone()),
@@ -532,8 +542,33 @@ fn cmd_serve_workload(args: &[String], out: &mut String) -> i32 {
         }
     }
 
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let trace = workload::poisson_requests(net.node_count(), requests, load, holding, &mut rng);
+    let trace = match &trace_path {
+        Some(p) => {
+            let text = match std::fs::read_to_string(p) {
+                Ok(t) => t,
+                Err(e) => {
+                    let _ = writeln!(out, "error: cannot read trace {p}: {e}");
+                    return 1;
+                }
+            };
+            match workload::parse_trace(&text, net.node_count()) {
+                Ok(reqs) if reqs.is_empty() => {
+                    let _ = writeln!(out, "error: trace {p} contains no requests");
+                    return 1;
+                }
+                Ok(reqs) => reqs,
+                Err(e) => {
+                    let _ = writeln!(out, "error: {p}: {e}");
+                    return 1;
+                }
+            }
+        }
+        None => {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            workload::poisson_requests(net.node_count(), requests, load, holding, &mut rng)
+        }
+    };
+    let requests = trace.len();
     let mut engine = ProvisioningEngine::with_mode(&net, mode);
     let registry = metrics_out.as_ref().map(|_| MetricsRegistry::new());
     if let Some(registry) = &registry {
@@ -564,8 +599,8 @@ fn cmd_serve_workload(args: &[String], out: &mut String) -> i32 {
     let cut_at = fail_link.map(|_| requests / 2);
     let started = std::time::Instant::now();
     for (i, req) in trace.iter().enumerate() {
-        if cut_at == Some(i) {
-            let link = wdm_graph::LinkId::new(fail_link.expect("cut_at set"));
+        if let (Some(fl), true) = (fail_link, cut_at == Some(i)) {
+            let link = wdm_graph::LinkId::new(fl);
             for (_, outcome) in engine.fail_link(link, policy) {
                 match outcome {
                     Some(_) => restored += 1,
@@ -598,10 +633,11 @@ fn cmd_serve_workload(args: &[String], out: &mut String) -> i32 {
             }
             Err(_) => blocked += 1,
         }
-        if let (Some(prom_path), Some(interval)) = (&prom_path, metrics_interval) {
+        if let (Some(prom_path), Some(interval), Some(registry)) =
+            (&prom_path, metrics_interval, registry.as_ref())
+        {
             if (i + 1) % interval == 0 {
                 dumps += 1;
-                let registry = registry.as_ref().expect("interval implies metrics");
                 let text = format!(
                     "# dump {dumps} after request {}\n{}",
                     i + 1,
@@ -623,10 +659,13 @@ fn cmd_serve_workload(args: &[String], out: &mut String) -> i32 {
 
     let (_, _, released) = engine.totals();
     let _ = writeln!(out, "instance   : {path}");
-    let _ = writeln!(
-        out,
-        "trace      : {requests} requests, load {load} erlang, mean holding {holding}, seed {seed}"
-    );
+    let _ = match &trace_path {
+        Some(p) => writeln!(out, "trace      : {requests} requests replayed from {p}"),
+        None => writeln!(
+            out,
+            "trace      : {requests} requests, load {load} erlang, mean holding {holding}, seed {seed}"
+        ),
+    };
     let _ = writeln!(out, "policy     : {policy}");
     let _ = writeln!(
         out,
@@ -636,11 +675,10 @@ fn cmd_serve_workload(args: &[String], out: &mut String) -> i32 {
             RoutingMode::RebuildPerRequest => "rebuild-per-request (reference)",
         }
     );
-    if let Some(e) = fail_link {
+    if let (Some(e), Some(cut)) = (fail_link, cut_at) {
         let _ = writeln!(
             out,
-            "fibre cut  : link {e} after request {} ({restored} restored, {lost} lost)",
-            cut_at.expect("fail_link set")
+            "fibre cut  : link {e} after request {cut} ({restored} restored, {lost} lost)"
         );
     }
     let _ = writeln!(out, "accepted   : {accepted}");

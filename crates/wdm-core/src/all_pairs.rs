@@ -71,19 +71,14 @@ impl AllPairs {
         let mut costs = vec![Cost::INFINITY; n * n];
         let mut total_settled = 0;
         for s in 0..n {
-            let s_node = NodeId::new(s);
-            let source = aux
-                .source_terminal(s_node)
-                .expect("all-pairs graph has terminals");
+            let (source, _) = aux.all_pairs_terminals(NodeId::new(s));
             let tree = dijkstra_with(heap, aux.graph(), source);
             total_settled += tree.stats.settled;
             for t in 0..n {
                 costs[s * n + t] = if s == t {
                     Cost::ZERO
                 } else {
-                    let sink = aux
-                        .sink_terminal(NodeId::new(t))
-                        .expect("all-pairs graph has terminals");
+                    let (_, sink) = aux.all_pairs_terminals(NodeId::new(t));
                     tree.dist[sink]
                 };
             }
@@ -250,18 +245,14 @@ fn solve_rows<Q: IndexedPriorityQueue<Cost>>(
     let mut total_settled = 0;
     for (i, row) in rows.chunks_mut(n).enumerate() {
         let s = first_row + i;
-        let source = aux
-            .source_terminal(NodeId::new(s))
-            .expect("all-pairs graph has terminals");
+        let (source, _) = aux.all_pairs_terminals(NodeId::new(s));
         workspace.run(aux.graph(), source, &mut queue);
         total_settled += workspace.stats().settled;
         for (t, cell) in row.iter_mut().enumerate() {
             *cell = if s == t {
                 Cost::ZERO
             } else {
-                let sink = aux
-                    .sink_terminal(NodeId::new(t))
-                    .expect("all-pairs graph has terminals");
+                let (_, sink) = aux.all_pairs_terminals(NodeId::new(t));
                 workspace.dist()[sink]
             };
         }
@@ -327,9 +318,7 @@ impl AllPairsPaths {
         let aux = AuxiliaryGraph::for_all_pairs(network);
         let trees = (0..network.node_count())
             .map(|s| {
-                let source = aux
-                    .source_terminal(NodeId::new(s))
-                    .expect("all-pairs graph has terminals");
+                let (source, _) = aux.all_pairs_terminals(NodeId::new(s));
                 dijkstra_with(heap, aux.graph(), source)
             })
             .collect();
@@ -350,10 +339,7 @@ impl AllPairsPaths {
         if s == t {
             return Cost::ZERO;
         }
-        let sink = self
-            .aux
-            .sink_terminal(t)
-            .expect("all-pairs graph has terminals");
+        let (_, sink) = self.aux.all_pairs_terminals(t);
         self.trees[s.index()].dist[sink]
     }
 
@@ -368,10 +354,7 @@ impl AllPairsPaths {
         if s == t {
             return Some(Semilightpath::new(Vec::new(), Cost::ZERO));
         }
-        let sink = self
-            .aux
-            .sink_terminal(t)
-            .expect("all-pairs graph has terminals");
+        let (_, sink) = self.aux.all_pairs_terminals(t);
         self.aux.extract_semilightpath(&self.trees[s.index()], sink)
     }
 }

@@ -378,6 +378,25 @@ impl AuxiliaryGraph {
         }
     }
 
+    /// The `(s', t'')` super-terminal pair, for graphs built with
+    /// [`AuxiliaryGraph::for_pair`].
+    ///
+    /// Infallible counterpart of [`super_source`](Self::super_source)/
+    /// [`super_sink`](Self::super_sink) for callers that already hold a
+    /// pair graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph was built without super-terminals
+    /// ([`core`](Self::core) or [`for_all_pairs`](Self::for_all_pairs)).
+    pub fn pair_terminals(&self) -> (usize, usize) {
+        assert!(
+            matches!(self.terminals, Terminals::Pair { .. }),
+            "pair_terminals requires a graph built with for_pair"
+        );
+        (self.terminal_base, self.terminal_base + 1)
+    }
+
     /// The terminal `v'` of `node` (for a [`AuxiliaryGraph::for_all_pairs`]
     /// graph).
     pub fn source_terminal(&self, node: NodeId) -> Option<usize> {
@@ -394,6 +413,27 @@ impl AuxiliaryGraph {
             Terminals::All => Some(self.terminal_base + 2 * node.index() + 1),
             _ => None,
         }
+    }
+
+    /// The `(v', v'')` terminal pair of `node`, for graphs built with
+    /// [`AuxiliaryGraph::for_all_pairs`].
+    ///
+    /// Infallible counterpart of
+    /// [`source_terminal`](Self::source_terminal)/
+    /// [`sink_terminal`](Self::sink_terminal) for callers that already
+    /// hold an all-pairs graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph was built without per-node terminals
+    /// ([`core`](Self::core) or [`for_pair`](Self::for_pair)).
+    pub fn all_pairs_terminals(&self, node: NodeId) -> (usize, usize) {
+        assert!(
+            matches!(self.terminals, Terminals::All),
+            "all_pairs_terminals requires a graph built with for_all_pairs"
+        );
+        let base = self.terminal_base + 2 * node.index();
+        (base, base + 1)
     }
 
     /// The `X_v` node for `(node, wavelength)`, if `wavelength ∈
@@ -470,9 +510,10 @@ impl AuxiliaryGraph {
 }
 
 fn index_of(sorted: &[Wavelength], w: Wavelength) -> usize {
-    sorted
-        .binary_search(&w)
-        .expect("wavelength present by construction of Λ_in/Λ_out")
+    match sorted.binary_search(&w) {
+        Ok(i) => i,
+        Err(_) => unreachable!("wavelength present by construction of Λ_in/Λ_out"),
+    }
 }
 
 #[cfg(test)]

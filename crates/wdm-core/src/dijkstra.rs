@@ -213,6 +213,7 @@ impl DijkstraWorkspace {
     /// chain of parents behind a settled node never changes afterwards.
     /// Distances of nodes not yet settled at cut-off are unspecified;
     /// read only the target's path after a truncated run.
+    // wdm-lint: hot-path
     pub fn run_masked_to<Q: IndexedPriorityQueue<Cost>>(
         &mut self,
         graph: &CsrGraph,
@@ -238,6 +239,7 @@ impl DijkstraWorkspace {
         self.run_inner(graph, source, queue, None, Some(target));
     }
 
+    // wdm-lint: hot-path
     fn run_inner<Q: IndexedPriorityQueue<Cost>>(
         &mut self,
         graph: &CsrGraph,

@@ -119,7 +119,9 @@ impl MinCostFlow {
             let mut settled = vec![false; self.n];
             while let Some((u, _)) = heap.pop_min() {
                 settled[u] = true;
-                let du = dist[u].expect("popped nodes have distances");
+                let Some(du) = dist[u] else {
+                    unreachable!("popped nodes have distances")
+                };
                 for &ei in &self.adj[u] {
                     let edge = &self.edges[ei];
                     if edge.cap == 0 || settled[edge.to] {
@@ -131,10 +133,10 @@ impl MinCostFlow {
                     if dist[edge.to].map(|d| cand < d).unwrap_or(true) {
                         dist[edge.to] = Some(cand);
                         parent_edge[edge.to] = Some(ei);
-                        heap.push_or_decrease(
-                            edge.to,
-                            Cost::new(u64::try_from(cand).expect("non-negative reduced dist")),
-                        );
+                        let Ok(cand_u64) = u64::try_from(cand) else {
+                            unreachable!("reduced distances are non-negative")
+                        };
+                        heap.push_or_decrease(edge.to, Cost::new(cand_u64));
                     }
                 }
             }
@@ -170,8 +172,11 @@ impl MinCostFlow {
             total += path_cost as u128 * bottleneck as u128;
             flow += bottleneck;
         }
-        let total = u64::try_from(total).expect("total cost fits u64");
-        Some((flow, Cost::new(total)))
+        assert!(
+            u64::try_from(total).is_ok(),
+            "total min-cost-flow cost {total} overflows u64"
+        );
+        Some((flow, Cost::new(total as u64)))
     }
 
     /// Units of flow currently on forward edge `handle`.
@@ -181,7 +186,9 @@ impl MinCostFlow {
     /// Panics if `handle` is not a forward-edge handle from
     /// [`MinCostFlow::add_edge`].
     pub fn flow_on(&self, handle: usize) -> u32 {
-        let original = self.original_cap[handle].expect("forward edge handle");
+        let Some(original) = self.original_cap[handle] else {
+            unreachable!("flow_on requires a forward-edge handle from add_edge")
+        };
         original - self.edges[handle].cap
     }
 }

@@ -138,8 +138,7 @@ pub fn k_shortest_semilightpaths(
 
     let aux = AuxiliaryGraph::for_pair(network, s, t);
     let graph = aux.graph();
-    let source = aux.super_source().expect("pair graph");
-    let sink = aux.super_sink().expect("pair graph");
+    let (source, sink) = aux.pair_terminals();
     let no_bans_nodes = vec![false; graph.node_count()];
     let no_bans_edges = HashSet::new();
 
@@ -156,7 +155,9 @@ pub fn k_shortest_semilightpaths(
     seen.insert(accepted[0].edges.clone());
 
     while accepted.len() < count {
-        let last = accepted.last().expect("non-empty").clone();
+        let Some(last) = accepted.last().cloned() else {
+            unreachable!("accepted starts with the first path and only grows")
+        };
         // Spur from every node of the last accepted path except the sink.
         for spur_idx in 0..last.nodes.len() - 1 {
             let spur_node = last.nodes[spur_idx];

@@ -111,8 +111,7 @@ impl LiangShenRouter {
             });
         }
         let aux = AuxiliaryGraph::for_pair(network, s, t);
-        let source = aux.super_source().expect("pair graph has super-source");
-        let sink = aux.super_sink().expect("pair graph has super-sink");
+        let (source, sink) = aux.pair_terminals();
         let tree = dijkstra_with(self.heap, aux.graph(), source);
         let path = aux.extract_semilightpath(&tree, sink);
         Ok(RouteResult {
@@ -138,9 +137,7 @@ impl LiangShenRouter {
     ) -> Result<SemilightpathTree, WdmError> {
         check_node(network, s)?;
         let aux = AuxiliaryGraph::for_all_pairs(network);
-        let source = aux
-            .source_terminal(s)
-            .expect("all-pairs graph has per-node terminals");
+        let (source, _) = aux.all_pairs_terminals(s);
         let tree = dijkstra_with(self.heap, aux.graph(), source);
         Ok(SemilightpathTree {
             aux,
@@ -178,10 +175,7 @@ impl SemilightpathTree {
         if t == self.source {
             return Cost::ZERO;
         }
-        let sink = self
-            .aux
-            .sink_terminal(t)
-            .expect("all-pairs graph has per-node terminals");
+        let (_, sink) = self.aux.all_pairs_terminals(t);
         self.tree.dist[sink]
     }
 
@@ -195,10 +189,7 @@ impl SemilightpathTree {
         if t == self.source {
             return Some(Semilightpath::new(Vec::new(), Cost::ZERO));
         }
-        let sink = self
-            .aux
-            .sink_terminal(t)
-            .expect("all-pairs graph has per-node terminals");
+        let (_, sink) = self.aux.all_pairs_terminals(t);
         self.aux.extract_semilightpath(&self.tree, sink)
     }
 

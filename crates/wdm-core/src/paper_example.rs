@@ -76,9 +76,10 @@ pub fn network() -> WdmNetwork {
     let mut m = ConversionMatrix::uniform(K, Cost::new(1));
     m.set(Wavelength::new(1), Wavelength::new(2), Cost::INFINITY);
     builder = builder.conversion(2, ConversionPolicy::Matrix(m));
-    builder
-        .build()
-        .expect("the paper example is a valid instance")
+    match builder.build() {
+        Ok(network) => network,
+        Err(_) => unreachable!("the paper example is a valid instance"),
+    }
 }
 
 /// The paper's `Λ_in(G_M, v)` table (0-indexed wavelengths), in node

@@ -235,8 +235,8 @@ impl PersistentAuxGraph {
         if s == t {
             return Some(Semilightpath::new(Vec::new(), Cost::ZERO));
         }
-        let source = self.aux.source_terminal(s).expect("all-pairs terminals");
-        let sink = self.aux.sink_terminal(t).expect("all-pairs terminals");
+        let (source, _) = self.aux.all_pairs_terminals(s);
+        let (_, sink) = self.aux.all_pairs_terminals(t);
         self.ws
             .run_masked_to(self.aux.graph(), source, &mut self.heap, &self.mask, sink);
         self.aux
@@ -271,8 +271,8 @@ impl PersistentAuxGraph {
         if s == t {
             return true;
         }
-        let source = self.aux.source_terminal(s).expect("all-pairs terminals");
-        let sink = self.aux.sink_terminal(t).expect("all-pairs terminals");
+        let (source, _) = self.aux.all_pairs_terminals(s);
+        let (_, sink) = self.aux.all_pairs_terminals(t);
         self.ws
             .run_to(self.aux.graph(), source, &mut self.heap, sink);
         self.ws.dist()[sink].is_finite()

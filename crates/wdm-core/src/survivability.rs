@@ -134,8 +134,7 @@ pub fn disjoint_semilightpath_pair(
 fn exact_link_wavelength_pair(network: &WdmNetwork, s: NodeId, t: NodeId) -> Option<DisjointPair> {
     let aux = AuxiliaryGraph::for_pair(network, s, t);
     let g = aux.graph();
-    let source = aux.super_source().expect("pair graph");
-    let sink = aux.super_sink().expect("pair graph");
+    let (source, sink) = aux.pair_terminals();
 
     let mut flow = MinCostFlow::new(g.node_count());
     // Map from flow-edge handle back to the aux edge it models.
@@ -148,7 +147,9 @@ fn exact_link_wavelength_pair(network: &WdmNetwork, s: NodeId, t: NodeId) -> Opt
                 // Gadget and tap edges carry both connections if needed.
                 EdgeRole::Conversion { .. } | EdgeRole::Tap => 2,
             };
-            let cost = edge.cost.value().expect("aux edges have finite costs");
+            let Some(cost) = edge.cost.value() else {
+                unreachable!("aux edges have finite costs by construction")
+            };
             let h = flow.add_edge(u, edge.target, cap, cost);
             handles.push((h, edge.index));
         }
@@ -172,10 +173,9 @@ fn exact_link_wavelength_pair(network: &WdmNetwork, s: NodeId, t: NodeId) -> Opt
         let mut walk_edges = Vec::new();
         let mut at = source;
         while at != sink {
-            let next = g
-                .out_edges(at)
-                .find(|e| units[e.index] > 0)
-                .expect("flow conservation yields an out-edge");
+            let Some(next) = g.out_edges(at).find(|e| units[e.index] > 0) else {
+                unreachable!("flow conservation yields an out-edge")
+            };
             units[next.index] -= 1;
             walk_edges.push(next.index);
             walk_nodes.push(next.target);
@@ -209,8 +209,9 @@ fn exact_link_wavelength_pair(network: &WdmNetwork, s: NodeId, t: NodeId) -> Opt
         paths.push(Semilightpath::new(hops, cost));
     }
     paths.sort_by_key(Semilightpath::cost);
-    let backup = paths.pop().expect("two paths");
-    let primary = paths.pop().expect("two paths");
+    let (Some(backup), Some(primary)) = (paths.pop(), paths.pop()) else {
+        unreachable!("the decomposition loop pushes exactly two paths")
+    };
     Some(DisjointPair { primary, backup })
 }
 

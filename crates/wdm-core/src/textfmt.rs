@@ -78,6 +78,16 @@ impl From<crate::WdmError> for ParseError {
     }
 }
 
+/// The finite value of a cost the model guarantees finite (validated link
+/// costs; conversion parameters, whose infinite cases serialize through
+/// other branches).
+fn finite(c: Cost) -> u64 {
+    match c.value() {
+        Some(v) => v,
+        None => unreachable!("textfmt only serializes finite costs"),
+    }
+}
+
 /// Serializes a network to the text format.
 pub fn to_text(network: &WdmNetwork) -> String {
     let mut out = String::new();
@@ -92,7 +102,7 @@ pub fn to_text(network: &WdmNetwork) -> String {
         } else {
             let entries: Vec<String> = lw
                 .iter()
-                .map(|(w, c)| format!("{}:{}", w.index(), c.value().expect("finite by model")))
+                .map(|(w, c)| format!("{}:{}", w.index(), finite(c)))
                 .collect();
             out.push_str(&entries.join(","));
         }
@@ -105,12 +115,7 @@ pub fn to_text(network: &WdmNetwork) -> String {
                 let _ = writeln!(out, "conv {} free", v.index());
             }
             ConversionPolicy::Uniform(c) => {
-                let _ = writeln!(
-                    out,
-                    "conv {} uniform {}",
-                    v.index(),
-                    c.value().expect("finite uniform cost")
-                );
+                let _ = writeln!(out, "conv {} uniform {}", v.index(), finite(*c));
             }
             ConversionPolicy::Banded {
                 radius,
@@ -122,8 +127,8 @@ pub fn to_text(network: &WdmNetwork) -> String {
                     "conv {} banded {} {} {}",
                     v.index(),
                     radius,
-                    base.value().expect("finite base"),
-                    slope.value().expect("finite slope"),
+                    finite(*base),
+                    finite(*slope),
                 );
             }
             ConversionPolicy::Matrix(m) => {

@@ -28,7 +28,11 @@ impl Wavelength {
     ///
     /// Panics if `index` does not fit into `u32`.
     pub fn new(index: usize) -> Self {
-        Wavelength(u32::try_from(index).expect("wavelength index fits in u32"))
+        assert!(
+            u32::try_from(index).is_ok(),
+            "wavelength index {index} exceeds u32"
+        );
+        Wavelength(index as u32)
     }
 
     /// The dense index of this wavelength.

@@ -1,0 +1,317 @@
+//! The shared finding model: what both analysis engines report.
+
+use std::fmt;
+use std::path::Path;
+
+/// Which rule produced a finding.
+///
+/// `L*` rules come from the source engine ([`crate::source`]), `M*` rules
+/// from the model verifier ([`crate::model`]). The slug (see
+/// [`Rule::slug`]) is what suppression comments name:
+/// `// wdm-lint: allow(no_unwrap) — reason`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Rule {
+    /// L1 — no `unwrap()` / `expect()` / `panic!` in non-test library
+    /// code (typed errors or `assert!`/`unreachable!` invariants instead).
+    NoUnwrap,
+    /// L2 — no allocating calls inside `// wdm-lint: hot-path` functions.
+    HotPathAlloc,
+    /// L3 — every `unsafe` token needs an immediately preceding
+    /// `// SAFETY:` comment.
+    UnsafeNeedsSafety,
+    /// L4 — every `Ordering::` use needs a justification comment or must
+    /// live in a `// wdm-lint: audited-orderings` module.
+    OrderingJustification,
+    /// L5 — public items need doc comments.
+    MissingDocs,
+    /// M1 — Theorem 1 node-count formula violated.
+    Theorem1NodeCount,
+    /// M2 — Theorem 1 edge-count formula violated.
+    Theorem1EdgeCount,
+    /// M3 — a conversion gadget `G_v` is not bipartite `X_v → Y_v`, or a
+    /// diagonal `c_v(λ, λ)` edge has non-zero cost, or a gadget edge cost
+    /// disagrees with the conversion policy.
+    GadgetShape,
+    /// M4 — a traversal edge disagrees with the base multigraph
+    /// (endpoints, wavelength, cost, or multiplicity).
+    TraversalShape,
+    /// M5 — a super-source/sink tap arc is not zero-cost, or a terminal
+    /// has edges on the wrong side.
+    TerminalShape,
+    /// M6 — an EdgeMask/CSR cross-index is out of bounds, points at the
+    /// wrong edge, or a busy flip is not an involution with release.
+    MaskIndex,
+    /// M7 — the Restriction 1/2 gate (`restrictions.rs` fast-path
+    /// preconditions) disagrees with an independent recomputation.
+    RestrictionGate,
+}
+
+impl Rule {
+    /// Every rule, in report order.
+    pub const ALL: [Rule; 12] = [
+        Rule::NoUnwrap,
+        Rule::HotPathAlloc,
+        Rule::UnsafeNeedsSafety,
+        Rule::OrderingJustification,
+        Rule::MissingDocs,
+        Rule::Theorem1NodeCount,
+        Rule::Theorem1EdgeCount,
+        Rule::GadgetShape,
+        Rule::TraversalShape,
+        Rule::TerminalShape,
+        Rule::MaskIndex,
+        Rule::RestrictionGate,
+    ];
+
+    /// Stable machine name, used in JSON output and suppression comments.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Rule::NoUnwrap => "no_unwrap",
+            Rule::HotPathAlloc => "hot_path_alloc",
+            Rule::UnsafeNeedsSafety => "unsafe_needs_safety",
+            Rule::OrderingJustification => "ordering_justification",
+            Rule::MissingDocs => "missing_docs",
+            Rule::Theorem1NodeCount => "theorem1_node_count",
+            Rule::Theorem1EdgeCount => "theorem1_edge_count",
+            Rule::GadgetShape => "gadget_shape",
+            Rule::TraversalShape => "traversal_shape",
+            Rule::TerminalShape => "terminal_shape",
+            Rule::MaskIndex => "mask_index",
+            Rule::RestrictionGate => "restriction_gate",
+        }
+    }
+
+    /// Short display code (`L1`..`L5`, `M1`..`M7`).
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::NoUnwrap => "L1",
+            Rule::HotPathAlloc => "L2",
+            Rule::UnsafeNeedsSafety => "L3",
+            Rule::OrderingJustification => "L4",
+            Rule::MissingDocs => "L5",
+            Rule::Theorem1NodeCount => "M1",
+            Rule::Theorem1EdgeCount => "M2",
+            Rule::GadgetShape => "M3",
+            Rule::TraversalShape => "M4",
+            Rule::TerminalShape => "M5",
+            Rule::MaskIndex => "M6",
+            Rule::RestrictionGate => "M7",
+        }
+    }
+
+    /// Looks a rule up by its [`slug`](Self::slug).
+    pub fn from_slug(slug: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.slug() == slug)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.code(), self.slug())
+    }
+}
+
+/// How severe a finding is for the exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Reported but never fails the run (report-only scopes, e.g. L1
+    /// extended over `wdm-cli`).
+    Warning,
+    /// Fails the run under `--deny`.
+    Deny,
+}
+
+impl Severity {
+    /// Stable machine name.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Deny => "deny",
+        }
+    }
+}
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Whether the finding fails a `--deny` run.
+    pub severity: Severity,
+    /// Source file (source engine) or instance label (model engine).
+    pub file: String,
+    /// 1-based line (0 for model findings).
+    pub line: usize,
+    /// 1-based column (0 for model findings).
+    pub col: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Finding {
+    /// A deny-severity source finding at `file:line:col`.
+    pub fn source(rule: Rule, file: &str, line: usize, col: usize, message: String) -> Self {
+        Finding {
+            rule,
+            severity: Severity::Deny,
+            file: file.to_string(),
+            line,
+            col,
+            message,
+        }
+    }
+
+    /// A deny-severity model finding against `instance`.
+    pub fn model(rule: Rule, instance: &str, message: String) -> Self {
+        Finding {
+            rule,
+            severity: Severity::Deny,
+            file: instance.to_string(),
+            line: 0,
+            col: 0,
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(
+                f,
+                "{}: [{}] {}: {}",
+                self.severity.slug(),
+                self.rule.code(),
+                self.file,
+                self.message
+            )
+        } else {
+            write!(
+                f,
+                "{}: [{}] {}:{}:{}: {}",
+                self.severity.slug(),
+                self.rule.code(),
+                self.file,
+                self.line,
+                self.col,
+                self.message
+            )
+        }
+    }
+}
+
+/// Escapes `s` for a JSON string literal (same rules as
+/// `wdm_obs::json`).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let mut buf = String::new();
+                let _ = fmt::Write::write_fmt(&mut buf, format_args!("\\u{:04x}", c as u32));
+                out.push_str(&buf);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders findings as a machine-readable JSON document:
+/// `{"findings": [...], "deny_count": N, "warning_count": N}`.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"findings\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        let sep = if i + 1 == findings.len() { "" } else { "," };
+        let _ = fmt::Write::write_fmt(
+            &mut out,
+            format_args!(
+                "    {{\"rule\": \"{}\", \"code\": \"{}\", \"severity\": \"{}\", \
+                 \"file\": \"{}\", \"line\": {}, \"col\": {}, \"message\": \"{}\"}}{}\n",
+                f.rule.slug(),
+                f.rule.code(),
+                f.severity.slug(),
+                json_escape(&f.file),
+                f.line,
+                f.col,
+                json_escape(&f.message),
+                sep
+            ),
+        );
+    }
+    let deny = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Deny)
+        .count();
+    let warn = findings.len() - deny;
+    let _ = fmt::Write::write_fmt(
+        &mut out,
+        format_args!("  ],\n  \"deny_count\": {deny},\n  \"warning_count\": {warn}\n}}\n"),
+    );
+    out
+}
+
+/// Renders findings as human-readable text, one per line, with a
+/// trailing summary.
+pub fn render_text(findings: &[Finding], root: &Path) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let _ = fmt::Write::write_fmt(&mut out, format_args!("{f}\n"));
+    }
+    let deny = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Deny)
+        .count();
+    let warn = findings.len() - deny;
+    let _ = fmt::Write::write_fmt(
+        &mut out,
+        format_args!(
+            "wdm-lint: {deny} deny, {warn} warning finding(s) under {}\n",
+            root.display()
+        ),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slugs_round_trip() {
+        for rule in Rule::ALL {
+            assert_eq!(Rule::from_slug(rule.slug()), Some(rule));
+        }
+        assert_eq!(Rule::from_slug("nope"), None);
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let findings = vec![
+            Finding::source(Rule::NoUnwrap, "a \"b\".rs", 3, 7, "uses\nunwrap".into()),
+            Finding {
+                severity: Severity::Warning,
+                ..Finding::model(Rule::MaskIndex, "inst", "bad".into())
+            },
+        ];
+        let json = render_json(&findings);
+        assert!(json.contains("\\\"b\\\""));
+        assert!(json.contains("uses\\nunwrap"));
+        assert!(json.contains("\"deny_count\": 1"));
+        assert!(json.contains("\"warning_count\": 1"));
+    }
+
+    #[test]
+    fn display_forms() {
+        let f = Finding::source(Rule::NoUnwrap, "x.rs", 3, 7, "m".into());
+        assert_eq!(f.to_string(), "deny: [L1] x.rs:3:7: m");
+        let m = Finding::model(Rule::GadgetShape, "chain", "bad".into());
+        assert_eq!(m.to_string(), "deny: [M3] chain: bad");
+    }
+}

@@ -1,0 +1,37 @@
+//! Workspace static-analysis pass and Liang–Shen construction verifier.
+//!
+//! Two engines, one finding model:
+//!
+//! * [`source`] — a lightweight token-level scanner over the workspace's
+//!   own `.rs` files enforcing project rules **L1–L5** (no
+//!   `unwrap`/`expect`/`panic!` in library code, no allocation in
+//!   `// wdm-lint: hot-path` functions, `// SAFETY:` before every
+//!   `unsafe`, justified atomic `Ordering`s, docs on public items);
+//! * [`model`] — a static verifier for built Liang–Shen instances
+//!   enforcing rules **M1–M7** (Theorem 1 node/edge-count formulas,
+//!   bipartite conversion gadgets with zero-cost diagonals, traversal and
+//!   terminal shape, mask cross-index integrity and involution, and the
+//!   Restriction 1/2 gates).
+//!
+//! Both report through [`Finding`] and render as human text or JSON.
+//! The `wdm-lint` binary drives them; `--deny all` turns any deny-severity
+//! finding into a non-zero exit, which CI gates on. `wdm-rwa` also runs
+//! [`model::verify_network`] on every engine construction in debug builds.
+//!
+//! Suppression is explicit and per-site: a comment
+//! `// wdm-lint: allow(no_unwrap) — reason` (or the
+//! `wdm_lint::no_unwrap` spelling) silences that rule on its own line,
+//! the line it ends on, and the next line. There is no blanket off
+//! switch.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod findings;
+pub mod lexer;
+pub mod model;
+pub mod source;
+
+pub use findings::{render_json, render_text, Finding, Rule, Severity};
+pub use model::{verify_mask_involution, verify_network, verify_view, ModelView, ViewEdge};
+pub use source::{analyze_file, collect_rs_files, scan_workspace};

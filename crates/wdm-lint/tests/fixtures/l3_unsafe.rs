@@ -1,0 +1,6 @@
+//! L3 fixture: `unsafe` without a `SAFETY:` comment.
+
+/// Dereferences `p`.
+pub fn read(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,7 @@
+//! L4 fixture: bare atomic ordering without justification.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn load(counter: &AtomicU64) -> u64 {
+    counter.load(Ordering::Relaxed)
+}

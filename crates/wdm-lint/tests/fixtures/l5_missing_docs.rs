@@ -1,0 +1,9 @@
+// L5 fixture: public items without doc comments.
+
+pub fn undocumented() -> u32 {
+    42
+}
+
+pub struct Bare {
+    pub field: u32,
+}

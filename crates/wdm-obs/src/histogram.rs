@@ -1,6 +1,7 @@
 //! The log₂-bucketed histogram.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::ordering::RELAXED;
+use std::sync::atomic::AtomicU64;
 
 /// Number of buckets: one per possible bit length of a `u64` (0..=64).
 pub const BUCKET_COUNT: usize = 65;
@@ -82,24 +83,24 @@ impl Histogram {
     /// Records one sample.
     #[inline]
     pub fn observe(&self, v: u64) {
-        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(v, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, RELAXED);
+        self.sum.fetch_add(v, RELAXED);
+        self.count.fetch_add(1, RELAXED);
     }
 
     /// Total number of samples.
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.count.load(RELAXED)
     }
 
     /// Sum of all samples (wrapping).
     pub fn sum(&self) -> u64 {
-        self.sum.load(Ordering::Relaxed)
+        self.sum.load(RELAXED)
     }
 
     /// Per-bucket sample counts (not cumulative), indexed by bit length.
     pub fn bucket_counts(&self) -> [u64; BUCKET_COUNT] {
-        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+        std::array::from_fn(|i| self.buckets[i].load(RELAXED))
     }
 
     /// Inclusive value range `[lo, hi]` of bucket `i`.

@@ -50,6 +50,7 @@
 mod histogram;
 pub mod json;
 mod metric;
+mod ordering;
 mod registry;
 mod span;
 

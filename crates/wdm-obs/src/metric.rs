@@ -1,6 +1,7 @@
 //! The two scalar instruments: monotonic counters and up/down gauges.
 
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use crate::ordering::RELAXED;
+use std::sync::atomic::{AtomicI64, AtomicU64};
 
 /// A monotonically increasing event counter.
 ///
@@ -37,12 +38,12 @@ impl Counter {
     /// Adds `n` events.
     #[inline]
     pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, Ordering::Relaxed);
+        self.0.fetch_add(n, RELAXED);
     }
 
     /// The total so far.
     pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
+        self.0.load(RELAXED)
     }
 }
 
@@ -71,13 +72,13 @@ impl Gauge {
     /// Replaces the value.
     #[inline]
     pub fn set(&self, v: i64) {
-        self.0.store(v, Ordering::Relaxed);
+        self.0.store(v, RELAXED);
     }
 
     /// Adds `n` (may be negative).
     #[inline]
     pub fn add(&self, n: i64) {
-        self.0.fetch_add(n, Ordering::Relaxed);
+        self.0.fetch_add(n, RELAXED);
     }
 
     /// Increments by one.
@@ -94,7 +95,7 @@ impl Gauge {
 
     /// The current value.
     pub fn get(&self) -> i64 {
-        self.0.load(Ordering::Relaxed)
+        self.0.load(RELAXED)
     }
 }
 

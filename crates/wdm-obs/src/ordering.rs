@@ -1,0 +1,26 @@
+// wdm-lint: audited-orderings
+//! The one audited home for atomic memory-ordering choices in `wdm-obs`.
+//!
+//! Every instrument in this crate uses [`RELAXED`], and the argument is
+//! made once, here, instead of at each call site:
+//!
+//! * Instruments are *independent* monotonic counters, gauges, and
+//!   histogram cells. No reader infers anything about one atomic from the
+//!   value of another, so no acquire/release pairing is needed to order
+//!   them.
+//! * Exported snapshots are advisory. A scrape may observe counts that
+//!   are exact for already-published events and slightly stale for
+//!   in-flight ones; that is the documented contract of the registry.
+//! * Cross-thread *publication* of the instruments themselves happens
+//!   through `Arc`/`&'static` creation, whose synchronization is provided
+//!   by the surrounding structures, not by the instrument atomics.
+//!
+//! Anything needing a stronger ordering must NOT import [`RELAXED`]; it
+//! must use an explicit `Ordering::` at the call site with its own
+//! justification comment, where the `wdm-lint` L4 rule will see it.
+
+use std::sync::atomic::Ordering;
+
+/// Relaxed ordering for independent metric cells (see module docs for the
+/// full audit).
+pub(crate) const RELAXED: Ordering = Ordering::Relaxed;

@@ -124,7 +124,22 @@ impl ProvisioningEngine {
     }
 
     /// Creates an engine with an explicit [`RoutingMode`].
+    ///
+    /// Debug builds additionally run the `wdm-lint` model verifier over
+    /// `base` before the engine routes anything: Theorem 1 node/edge
+    /// counts, gadget shape, tap costs, mask cross-index, and the
+    /// Restriction 1/2 gates are all checked against independent
+    /// recomputation, and any finding aborts construction.
     pub fn with_mode(base: &WdmNetwork, mode: RoutingMode) -> Self {
+        #[cfg(debug_assertions)]
+        {
+            let findings = wdm_lint::verify_network(base, "provisioning-engine");
+            debug_assert!(
+                findings.is_empty(),
+                "auxiliary-graph construction failed static verification:\n{}",
+                wdm_lint::render_text(&findings, std::path::Path::new("."))
+            );
+        }
         let m = base.link_count();
         let k = base.k();
         ProvisioningEngine {
@@ -263,6 +278,8 @@ impl ProvisioningEngine {
     /// the path and the search-kernel operation totals the query cost
     /// (drained from whichever structure ran the search, so both modes
     /// report comparable numbers).
+    // wdm-lint: hot-path (the masked arm; the rebuild arm is the
+    // reference implementation and allocates by design)
     fn route_request(
         &mut self,
         s: NodeId,
@@ -367,7 +384,10 @@ impl ProvisioningEngine {
                 debug_assert_eq!(a.is_empty(), b.is_empty());
             }
             (None, None) => {}
-            _ => panic!("masked vs rebuild blocked-verdict mismatch for {s} -> {t} under {policy}"),
+            _ => debug_assert!(
+                false,
+                "masked vs rebuild blocked-verdict mismatch for {s} -> {t} under {policy}"
+            ),
         }
     }
 
@@ -561,11 +581,17 @@ impl ProvisioningEngine {
         // Tear down first so restoration can reuse the freed resources.
         let mut endpoints = Vec::with_capacity(affected.len());
         for &id in &affected {
-            let conn = self.active.get(&id).expect("affected is active");
-            let s = conn.path.source(&self.base).expect("non-empty active path");
-            let t = conn.path.target(&self.base).expect("non-empty active path");
+            let Some(conn) = self.active.get(&id) else {
+                unreachable!("affected ids were just drawn from the active map")
+            };
+            let (Some(s), Some(t)) = (conn.path.source(&self.base), conn.path.target(&self.base))
+            else {
+                unreachable!("active paths are non-empty; they were provisioned with hops")
+            };
             endpoints.push((s, t));
-            self.release(id).expect("active");
+            if self.release(id).is_err() {
+                unreachable!("releasing an active connection cannot fail");
+            }
         }
         // Mark the failed link busy on every wavelength so restoration
         // avoids it. (Wavelengths the link does not carry have no mask

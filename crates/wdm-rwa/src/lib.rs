@@ -67,6 +67,8 @@ mod engine;
 mod metrics;
 mod policy;
 mod stats;
+/// Synthetic request/workload generators (Poisson arrivals, hotspots,
+/// failure scenarios).
 pub mod workload;
 
 pub use engine::{ConnectionId, ProvisioningEngine, RoutingMode, RwaError};

@@ -76,10 +76,10 @@ impl Eq for Departure {}
 
 impl Ord for Departure {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.at
-            .partial_cmp(&other.at)
-            .expect("finite departure times")
-            .then(self.id.cmp(&other.id))
+        let Some(by_time) = self.at.partial_cmp(&other.at) else {
+            unreachable!("departure times are finite (arrival + finite holding)")
+        };
+        by_time.then(self.id.cmp(&other.id))
     }
 }
 
@@ -131,8 +131,12 @@ pub fn simulate(base: &WdmNetwork, requests: &[Request], policy: Policy) -> Bloc
         // Process departures up to this arrival.
         while let Some(Reverse(dep)) = departures.peek() {
             if dep.at <= req.arrival {
-                let Reverse(dep) = departures.pop().expect("peeked");
-                engine.release(dep.id).expect("departing connection active");
+                let Some(Reverse(dep)) = departures.pop() else {
+                    unreachable!("peek returned an entry")
+                };
+                if engine.release(dep.id).is_err() {
+                    unreachable!("departing connections are still active");
+                }
             } else {
                 break;
             }
@@ -141,7 +145,9 @@ pub fn simulate(base: &WdmNetwork, requests: &[Request], policy: Policy) -> Bloc
         match engine.provision(req.s, req.t, policy) {
             Ok(id) => {
                 stats.accepted += 1;
-                let path = engine.path_of(id).expect("just provisioned");
+                let Some(path) = engine.path_of(id) else {
+                    unreachable!("provision returned this id moments ago")
+                };
                 stats.conversions += path.conversion_count() as u64;
                 stats.links_used += path.len() as u64;
                 if req.holding.is_finite() {

@@ -152,6 +152,104 @@ pub fn permutation_requests<R: Rng + ?Sized>(n_nodes: usize, rng: &mut R) -> Vec
         .collect()
 }
 
+/// Why a trace line could not be parsed by [`parse_trace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    /// 1-based line number in the trace text.
+    pub line: usize,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Parses a replayable request trace.
+///
+/// One request per line, whitespace-separated:
+///
+/// ```text
+/// # source target arrival holding
+/// 0 3 0.00 12.5
+/// 2 1 0.75 inf
+/// ```
+///
+/// Blank lines and `#` comments are skipped. `holding` accepts `inf` for
+/// connections that never depart. Endpoints must be distinct and below
+/// `n_nodes`; arrivals must be finite, non-negative, and non-decreasing
+/// (the simulators process departures in arrival order).
+///
+/// # Errors
+///
+/// [`TraceError`] pinpointing the first offending line — malformed input
+/// is a user error, never a panic.
+pub fn parse_trace(text: &str, n_nodes: usize) -> Result<Vec<Request>, TraceError> {
+    let mut requests = Vec::new();
+    let mut last_arrival = 0.0f64;
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let err = |reason: String| TraceError { line, reason };
+        let body = raw.split('#').next().unwrap_or("").trim();
+        if body.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = body.split_whitespace().collect();
+        let [s, t, arrival, holding] = fields[..] else {
+            return Err(err(format!(
+                "expected 4 fields `s t arrival holding`, found {}",
+                fields.len()
+            )));
+        };
+        let s: usize = s
+            .parse()
+            .map_err(|_| err(format!("bad source node `{s}`")))?;
+        let t: usize = t
+            .parse()
+            .map_err(|_| err(format!("bad target node `{t}`")))?;
+        let arrival: f64 = arrival
+            .parse()
+            .map_err(|_| err(format!("bad arrival time `{arrival}`")))?;
+        let holding: f64 = match holding {
+            "inf" => f64::INFINITY,
+            h => h
+                .parse()
+                .map_err(|_| err(format!("bad holding time `{h}` (number or `inf`)")))?,
+        };
+        if s >= n_nodes || t >= n_nodes {
+            return Err(err(format!(
+                "endpoint out of range (instance has {n_nodes} nodes)"
+            )));
+        }
+        if s == t {
+            return Err(err(format!("source and target are both {s}")));
+        }
+        if !arrival.is_finite() || arrival < 0.0 {
+            return Err(err(format!("arrival {arrival} must be finite and >= 0")));
+        }
+        if arrival < last_arrival {
+            return Err(err(format!(
+                "arrival {arrival} goes back in time (previous was {last_arrival})"
+            )));
+        }
+        if holding.is_nan() || holding <= 0.0 {
+            return Err(err(format!("holding {holding} must be > 0")));
+        }
+        last_arrival = arrival;
+        requests.push(Request {
+            s: NodeId::new(s),
+            t: NodeId::new(t),
+            arrival,
+            holding,
+        });
+    }
+    Ok(requests)
+}
+
 fn distinct_pair<R: Rng + ?Sized>(n: usize, rng: &mut R) -> (usize, usize) {
     let s = rng.gen_range(0..n);
     let mut t = rng.gen_range(0..n - 1);
@@ -261,6 +359,34 @@ mod tests {
             for r in &reqs {
                 assert_ne!(r.s, r.t);
             }
+        }
+    }
+
+    #[test]
+    fn trace_round_trips_and_accepts_comments() {
+        let text = "# demo trace\n\n0 3 0.0 12.5\n2 1 0.75 inf # spike\n";
+        let reqs = parse_trace(text, 4).expect("valid trace");
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(reqs[0].s.index(), 0);
+        assert_eq!(reqs[0].t.index(), 3);
+        assert_eq!(reqs[0].holding, 12.5);
+        assert!(reqs[1].holding.is_infinite());
+    }
+
+    #[test]
+    fn trace_errors_carry_line_numbers() {
+        for (text, line, needle) in [
+            ("0 1 0.0\n", 1, "4 fields"),
+            ("0 1 0.0 1.0\n0 9 1.0 1.0\n", 2, "out of range"),
+            ("3 3 0.0 1.0\n", 1, "source and target"),
+            ("0 1 x 1.0\n", 1, "bad arrival"),
+            ("0 1 5.0 1.0\n1 0 2.0 1.0\n", 2, "back in time"),
+            ("0 1 0.0 0\n", 1, "must be > 0"),
+            ("0 1 0.0 nope\n", 1, "bad holding"),
+        ] {
+            let err = parse_trace(text, 4).expect_err(text);
+            assert_eq!(err.line, line, "{text}");
+            assert!(err.reason.contains(needle), "{text}: {}", err.reason);
         }
     }
 
