@@ -106,7 +106,7 @@ fn main() {
     if want("e12") {
         e12(quick);
     }
-    // E13 and E14 share one machine-readable output file, so their
+    // E13–E15 share one machine-readable output file, so their
     // record lines are collected here and written together.
     let mut provisioning_records: Vec<String> = Vec::new();
     if want("e13") {
@@ -114,6 +114,9 @@ fn main() {
     }
     if want("e14") {
         provisioning_records.extend(e14(quick));
+    }
+    if want("e15") {
+        provisioning_records.extend(e15(quick));
     }
     if !provisioning_records.is_empty() {
         let mut records = String::from("[\n");
@@ -340,6 +343,133 @@ fn e14(quick: bool) -> Vec<String> {
          total — so from n = 64 up (requests ≥ 40 µs) the overhead column sits inside \
          the ±5% acceptance band and is dominated by scheduler noise; only the n = 32 \
          toy instance (≈ 3 µs/request) resolves the fixed cost as a few percent."
+    );
+    records
+}
+
+/// E15 — concurrent-engine contention cost. The sharded optimistic
+/// engine must not tax the uncontended path: one `ConcurrentHandle`
+/// driven from one thread runs the full claim/validate/publish protocol
+/// with zero conflicts, and its throughput must sit within ±10% of the
+/// single-threaded masked engine on the same churn. A second series
+/// drives 4 real threads over disjoint request quarters — the host has
+/// **one CPU**, so that column is an honest protocol-cost measurement
+/// (conflicts + yields under forced interleaving), not a speedup claim.
+/// Records append to `BENCH_provisioning.json`.
+fn e15(quick: bool) -> Vec<String> {
+    use wdm_rwa::{ConcurrentEngine, Policy, ProvisioningEngine, RoutingMode};
+    println!("\n## E15 — sharded concurrent engine vs single-threaded masked path\n");
+    println!(
+        "| n | k | masked µs/req | concurrent(1T) µs/req | ratio | 4T µs/req | conflicts(4T) |"
+    );
+    println!("|---|---|---|---|---|---|---|");
+    let sizes: &[(usize, usize)] = if quick {
+        &[(32, 4), (64, 8)]
+    } else {
+        &[(32, 4), (64, 8), (128, 8)]
+    };
+    let requests = if quick { 48 } else { 96 };
+    let iters = if quick { 5 } else { 9 };
+    let mut records = Vec::new();
+    for &(n, k) in sizes {
+        let net = sparse_instance(n, k, (n + k) as u64);
+        let pairs: Vec<(NodeId, NodeId)> = (0..requests)
+            .map(|i| {
+                let s = (i * 7) % n;
+                let t = (s + 1 + (i * 13) % (n - 1)) % n;
+                (NodeId::new(s), NodeId::new(t))
+            })
+            .collect();
+
+        let mut masked = ProvisioningEngine::with_mode(&net, RoutingMode::Masked);
+        let conc = ConcurrentEngine::new(&net, 0);
+        let mut handle = conc.handle();
+        // Interleave the two series (same rationale as E14).
+        let mut masked_secs = f64::INFINITY;
+        let mut conc_secs = f64::INFINITY;
+        for _ in 0..iters {
+            let t0 = std::time::Instant::now();
+            let mut ids = Vec::new();
+            for &(s, t) in &pairs {
+                if let Ok(id) = masked.provision(s, t, Policy::Optimal) {
+                    ids.push(id);
+                }
+            }
+            for id in ids {
+                masked.release(id).expect("active");
+            }
+            masked_secs = masked_secs.min(t0.elapsed().as_secs_f64());
+
+            let t0 = std::time::Instant::now();
+            let mut ids = Vec::new();
+            for &(s, t) in &pairs {
+                if let Ok(id) = handle.provision(s, t, Policy::Optimal) {
+                    ids.push(id);
+                }
+            }
+            for id in ids {
+                handle.release(id).expect("own connection");
+            }
+            conc_secs = conc_secs.min(t0.elapsed().as_secs_f64());
+        }
+        assert_eq!(
+            conc.conflicts(),
+            0,
+            "a single uncontended handle must never conflict"
+        );
+
+        // 4 real threads, disjoint request quarters, fresh engine.
+        let contended = ConcurrentEngine::new(&net, 0);
+        let t0 = std::time::Instant::now();
+        std::thread::scope(|scope| {
+            for quarter in pairs.chunks(pairs.len().div_ceil(4)) {
+                let mut h = contended.handle();
+                scope.spawn(move || {
+                    let mut ids = Vec::new();
+                    for &(s, t) in quarter {
+                        if let Ok(id) = h.provision(s, t, Policy::Optimal) {
+                            ids.push(id);
+                        }
+                    }
+                    for id in ids {
+                        h.release(id).expect("own connection");
+                    }
+                });
+            }
+        });
+        let four_secs = t0.elapsed().as_secs_f64();
+        let conflicts = contended.conflicts();
+
+        let ratio_pct = (conc_secs / masked_secs.max(f64::MIN_POSITIVE) - 1.0) * 100.0;
+        let per_req = |s: f64| s * 1e6 / requests as f64;
+        println!(
+            "| {n} | {k} | {:.1} | {:.1} | {ratio_pct:+.1}% | {:.1} | {conflicts} |",
+            per_req(masked_secs),
+            per_req(conc_secs),
+            per_req(four_secs),
+        );
+        records.push(format!(
+            "  {{\"experiment\": \"e15_concurrent_contention\", \"n\": {n}, \"k\": {k}, \
+             \"requests\": {requests}, \"masked_secs_per_req\": {:.9}, \
+             \"concurrent_1t_secs_per_req\": {:.9}, \"ratio_pct\": {ratio_pct:.4}, \
+             \"threads\": 4, \"threads4_secs_per_req\": {:.9}, \
+             \"conflicts_4t\": {conflicts}, \"cpus\": 1}}",
+            masked_secs / requests as f64,
+            conc_secs / requests as f64,
+            four_secs / requests as f64,
+        ));
+    }
+    println!(
+        "shape check: at one thread the protocol adds a fixed per-request cost — the \
+         shard-version reads, one CAS per touched shard, the post-route validation \
+         scan, and the per-hop transaction stepping — a few hundred ns against \
+         multi-µs routes, so the ratio column sits inside the ±10% acceptance band \
+         (on the n = 32 toy instance, ≈ 4 µs/request, the fixed cost and timer noise \
+         dominate the ratio; it tightens with size exactly like E14's budget). The \
+         4-thread column shares one CPU: expect ~1x wall time with occasional \
+         conflicts/yields — it demonstrates the protocol stays correct and cheap \
+         under forced interleaving, not parallel speedup; the linearizability \
+         evidence lives in `wdm-conformance`, not here."
     );
     records
 }

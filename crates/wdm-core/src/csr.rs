@@ -6,7 +6,9 @@
 //! implementation ([`crate::dijkstra()`]).
 
 use crate::{Cost, Wavelength};
+use std::sync::atomic::{AtomicU64, AtomicUsize};
 use wdm_graph::{LinkId, NodeId};
+use wdm_obs::ordering::RELAXED;
 
 /// What a search-graph edge means in terms of the physical network.
 ///
@@ -127,6 +129,20 @@ impl CsrGraph {
 /// allocation-free, which is what lets the provisioning engine keep one
 /// persistent search graph instead of rebuilding it per request.
 ///
+/// # Concurrency
+///
+/// The words are `AtomicU64`, so a mask may be shared across threads:
+/// [`is_set`](Self::is_set) takes `&self` and the `fetch_set`/
+/// `fetch_clear` pair flips bits through atomic RMWs. All accesses use
+/// the relaxed ordering audited in `wdm_obs::ordering` — mask *bits*
+/// never carry cross-thread consistency decisions on their own; the
+/// concurrent engine layers a sharded seqlock on top (versions carry
+/// the ordering), and single-threaded users see no atomics at all: the
+/// `&mut self` methods ([`set`](Self::set), [`clear`](Self::clear),
+/// [`set_to`](Self::set_to), [`clear_all`](Self::clear_all)) go through
+/// `get_mut` and compile to the same plain word ops as before, so
+/// single-threaded behaviour is bit-identical.
+///
 /// # Examples
 ///
 /// ```
@@ -140,20 +156,49 @@ impl CsrGraph {
 /// assert!(mask.clear(3));
 /// assert_eq!(mask.set_count(), 0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug)]
 pub struct EdgeMask {
-    bits: Vec<u64>,
+    bits: Vec<AtomicU64>,
     len: usize,
-    set_count: usize,
+    set_count: AtomicUsize,
 }
+
+impl Clone for EdgeMask {
+    fn clone(&self) -> Self {
+        EdgeMask {
+            bits: self
+                .bits
+                .iter()
+                .map(|w| AtomicU64::new(w.load(RELAXED)))
+                .collect(),
+            len: self.len,
+            set_count: AtomicUsize::new(self.set_count.load(RELAXED)),
+        }
+    }
+}
+
+impl PartialEq for EdgeMask {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len
+            && self
+                .bits
+                .iter()
+                .zip(&other.bits)
+                .all(|(a, b)| a.load(RELAXED) == b.load(RELAXED))
+    }
+}
+
+impl Eq for EdgeMask {}
 
 impl EdgeMask {
     /// A mask over `len` edges with every bit clear.
     pub fn all_clear(len: usize) -> Self {
+        let mut bits = Vec::new();
+        bits.resize_with(len.div_ceil(64), || AtomicU64::new(0));
         EdgeMask {
-            bits: vec![0; len.div_ceil(64)],
+            bits,
             len,
-            set_count: 0,
+            set_count: AtomicUsize::new(0),
         }
     }
 
@@ -168,18 +213,27 @@ impl EdgeMask {
     }
 
     /// Number of set (masked-out) bits.
+    ///
+    /// Exact whenever the mask is quiescent (no concurrent flips in
+    /// flight); during concurrent mutation the count lags the individual
+    /// bits by at most the number of in-flight flips.
     pub fn set_count(&self) -> usize {
-        self.set_count
+        self.set_count.load(RELAXED)
     }
 
     /// Whether bit `index` is set.
     ///
+    /// A relaxed atomic load — safe to call while other threads flip
+    /// bits; consistency across *multiple* bits is the caller's
+    /// protocol (see the type-level docs).
+    ///
     /// # Panics
     ///
     /// Panics if `index` is out of range.
+    // wdm-lint: hot-path
     pub fn is_set(&self, index: usize) -> bool {
         assert!(index < self.len, "mask index {index} out of range");
-        self.bits[index / 64] & (1 << (index % 64)) != 0
+        self.bits[index / 64].load(RELAXED) & (1 << (index % 64)) != 0
     }
 
     /// Sets bit `index`; returns `true` when the bit changed.
@@ -189,13 +243,13 @@ impl EdgeMask {
     /// Panics if `index` is out of range.
     pub fn set(&mut self, index: usize) -> bool {
         assert!(index < self.len, "mask index {index} out of range");
-        let word = &mut self.bits[index / 64];
+        let word = self.bits[index / 64].get_mut();
         let bit = 1 << (index % 64);
         if *word & bit != 0 {
             return false;
         }
         *word |= bit;
-        self.set_count += 1;
+        *self.set_count.get_mut() += 1;
         true
     }
 
@@ -206,13 +260,13 @@ impl EdgeMask {
     /// Panics if `index` is out of range.
     pub fn clear(&mut self, index: usize) -> bool {
         assert!(index < self.len, "mask index {index} out of range");
-        let word = &mut self.bits[index / 64];
+        let word = self.bits[index / 64].get_mut();
         let bit = 1 << (index % 64);
         if *word & bit == 0 {
             return false;
         }
         *word &= !bit;
-        self.set_count -= 1;
+        *self.set_count.get_mut() -= 1;
         true
     }
 
@@ -231,8 +285,65 @@ impl EdgeMask {
 
     /// Clears every bit.
     pub fn clear_all(&mut self) {
-        self.bits.fill(0);
-        self.set_count = 0;
+        for w in &mut self.bits {
+            *w.get_mut() = 0;
+        }
+        *self.set_count.get_mut() = 0;
+    }
+
+    /// Atomically sets bit `index` through `&self`; returns `true` when
+    /// this call changed it (i.e. the caller won the flip).
+    ///
+    /// Relaxed RMW — callers that need set/observe ordering across bits
+    /// must provide it themselves (the concurrent engine's shard
+    /// versions do; see the type-level docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn fetch_set(&self, index: usize) -> bool {
+        assert!(index < self.len, "mask index {index} out of range");
+        let bit = 1 << (index % 64);
+        let prev = self.bits[index / 64].fetch_or(bit, RELAXED);
+        if prev & bit != 0 {
+            return false;
+        }
+        self.set_count.fetch_add(1, RELAXED);
+        true
+    }
+
+    /// Atomically clears bit `index` through `&self`; returns `true`
+    /// when this call changed it. The shared counterpart of
+    /// [`clear`](Self::clear); same ordering contract as
+    /// [`fetch_set`](Self::fetch_set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn fetch_clear(&self, index: usize) -> bool {
+        assert!(index < self.len, "mask index {index} out of range");
+        let bit = 1 << (index % 64);
+        let prev = self.bits[index / 64].fetch_and(!bit, RELAXED);
+        if prev & bit == 0 {
+            return false;
+        }
+        self.set_count.fetch_sub(1, RELAXED);
+        true
+    }
+
+    /// Atomically sets bit `index` to `value` through `&self`; returns
+    /// `true` when the bit changed. The shared counterpart of
+    /// [`set_to`](Self::set_to).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn fetch_set_to(&self, index: usize, value: bool) -> bool {
+        if value {
+            self.fetch_set(index)
+        } else {
+            self.fetch_clear(index)
+        }
     }
 }
 
@@ -388,6 +499,61 @@ mod tests {
     fn mask_out_of_range_panics() {
         let mask = EdgeMask::all_clear(3);
         mask.is_set(3);
+    }
+
+    #[test]
+    fn shared_flips_match_exclusive_flips() {
+        // fetch_set/fetch_clear through &self must agree bit-for-bit
+        // with the &mut API, including the changed-bit return values.
+        let mut a = EdgeMask::all_clear(130);
+        let b = EdgeMask::all_clear(130);
+        for i in [0, 63, 64, 129, 64, 0] {
+            assert_eq!(a.set(i), b.fetch_set(i), "set {i}");
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.set_count(), b.set_count());
+        for i in [63, 63, 129] {
+            assert_eq!(a.clear(i), b.fetch_clear(i), "clear {i}");
+        }
+        assert_eq!(a, b);
+        for (i, v) in [(5, true), (5, true), (5, false), (64, false)] {
+            assert_eq!(a.set_to(i, v), b.fetch_set_to(i, v), "set_to {i} {v}");
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.set_count(), b.set_count());
+    }
+
+    #[test]
+    fn shared_flips_from_threads_are_exclusive() {
+        // Each of 4 threads tries to claim every bit; exactly one
+        // claimant per bit may win, and the final set_count is exact
+        // once the threads are joined.
+        let mask = EdgeMask::all_clear(257);
+        let winners: Vec<usize> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| scope.spawn(|| (0..mask.len()).filter(|&i| mask.fetch_set(i)).count()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .collect()
+        });
+        assert_eq!(winners.iter().sum::<usize>(), mask.len());
+        assert_eq!(mask.set_count(), mask.len());
+        assert!((0..mask.len()).all(|i| mask.is_set(i)));
+    }
+
+    #[test]
+    fn clone_and_eq_see_current_bits() {
+        let src = EdgeMask::all_clear(70);
+        src.fetch_set(3);
+        src.fetch_set(69);
+        let copy = src.clone();
+        assert_eq!(copy, src);
+        assert!(copy.is_set(3) && copy.is_set(69) && !copy.is_set(4));
+        assert_eq!(copy.set_count(), 2);
+        copy.fetch_clear(3);
+        assert_ne!(copy, src);
     }
 
     #[test]

@@ -26,6 +26,24 @@
 //! match a from-scratch rebuild. A full rebuild is still required when the
 //! *base* network changes — topology edits, added wavelengths, or altered
 //! conversion policies — because those change the node set itself.
+//!
+//! # Sharing across threads
+//!
+//! The structure splits into two halves:
+//!
+//! * [`ResidualState`] — the graphs, busy masks, and (link, λ) index.
+//!   Routing and reachability probes take `&self`; busy flips come in an
+//!   exclusive flavour (`&mut self`, plain word ops — the
+//!   single-threaded hot path) and a shared flavour
+//!   ([`try_acquire_shared`](ResidualState::try_acquire_shared) /
+//!   [`release_shared`](ResidualState::release_shared), atomic RMWs for
+//!   the concurrent engine, which layers its own conflict protocol on
+//!   top).
+//! * [`SearchScratch`] — the per-thread Dijkstra workspace, heap, and
+//!   probe masks. One per searching thread; never shared.
+//!
+//! [`PersistentAuxGraph`] bundles one of each behind the original
+//! single-threaded API, so existing callers are untouched.
 
 use crate::auxiliary::AuxiliaryGraph;
 use crate::csr::{CsrBuilder, CsrGraph, EdgeMask, EdgeRole};
@@ -47,33 +65,32 @@ struct LambdaGraph {
 
 const NO_EDGE: u32 = u32::MAX;
 
-/// The persistent, maskable residual-routing structure for one base
-/// network.
+/// Outcome of a shared-mode resource acquisition
+/// ([`ResidualState::try_acquire_shared`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcquireOutcome {
+    /// The caller won the flip: the resource was free and is now busy,
+    /// owned by the caller.
+    Acquired,
+    /// The resource was already busy (another owner holds it).
+    Busy,
+    /// The base network does not carry this wavelength on this link;
+    /// nothing was changed.
+    NoSuchResource,
+}
+
+/// The shareable half of the persistent residual structure: `G_all`
+/// ([`AuxiliaryGraph::for_all_pairs`]), one per-wavelength link graph,
+/// and the busy masks, with a (link, λ) → traversal-edge index.
 ///
-/// Holds `G_all` ([`AuxiliaryGraph::for_all_pairs`]), one per-wavelength
-/// link graph, busy masks for both, and a reusable
-/// [`DijkstraWorkspace`]+heap pair, so that after construction a request
-/// costs one heap-driven Dijkstra and zero structural work.
-///
-/// # Examples
-///
-/// ```
-/// use wdm_core::{Cost, PersistentAuxGraph, WdmNetwork, Wavelength};
-/// use wdm_graph::{DiGraph, LinkId};
-///
-/// let g = DiGraph::from_links(2, [(0, 1)]);
-/// let net = WdmNetwork::builder(g, 1).link_wavelengths(0, [(0, 4)]).build()?;
-/// let mut residual = PersistentAuxGraph::new(&net);
-/// let p = residual.route_optimal(0.into(), 1.into()).expect("free");
-/// assert_eq!(p.cost(), Cost::new(4));
-/// residual.set_busy(LinkId::new(0), Wavelength::new(0), true);
-/// assert!(residual.route_optimal(0.into(), 1.into()).is_none());
-/// residual.set_busy(LinkId::new(0), Wavelength::new(0), false);
-/// assert!(residual.route_optimal(0.into(), 1.into()).is_some());
-/// # Ok::<(), wdm_core::WdmError>(())
-/// ```
+/// All routing queries take `&self` plus a caller-owned
+/// [`SearchScratch`], so any number of threads may search one state
+/// concurrently while flipping busy bits through the shared-mode
+/// methods. Consistency across multiple bits is the caller's protocol —
+/// see `wdm_obs::ordering` for the seqlock audit the concurrent engine
+/// builds on.
 #[derive(Debug, Clone)]
-pub struct PersistentAuxGraph {
+pub struct ResidualState {
     aux: AuxiliaryGraph,
     /// Busy mask over the aux graph's edges (only traversal bits are set).
     mask: EdgeMask,
@@ -81,18 +98,61 @@ pub struct PersistentAuxGraph {
     /// `(link, λ)`.
     aux_edge: Vec<Vec<(Wavelength, u32)>>,
     lambda: Vec<LambdaGraph>,
-    ws: DijkstraWorkspace,
-    /// Heap reused by every search. The indexed binary heap wins over the
-    /// Theorem-1 Fibonacci heap here: per-request graphs are mid-sized, so
-    /// the flat sift beats pointer chasing, and it matches the legacy
-    /// lightpath routine's heap for the per-wavelength searches.
-    heap: BinaryHeap<Cost>,
 }
 
-impl PersistentAuxGraph {
-    /// Builds the persistent structure for `base` with every resource
-    /// free. This is the once-per-engine `O(k²n + km)` cost the per-request
-    /// path no longer pays.
+/// The per-thread half: a reusable [`DijkstraWorkspace`]+heap pair and
+/// lazily sized probe masks, so that after warm-up a request costs one
+/// heap-driven Dijkstra and zero structural work.
+///
+/// The indexed binary heap wins over the Theorem-1 Fibonacci heap here:
+/// per-request graphs are mid-sized, so the flat sift beats pointer
+/// chasing, and it matches the legacy lightpath routine's heap for the
+/// per-wavelength searches.
+#[derive(Debug, Clone)]
+pub struct SearchScratch {
+    ws: DijkstraWorkspace,
+    heap: BinaryHeap<Cost>,
+    /// All-clear mask over the aux graph used by link-excluding probes;
+    /// zero-length until first use.
+    probe_aux: EdgeMask,
+    /// All-clear masks over the per-λ graphs for link-excluding probes;
+    /// empty until first use.
+    probe_lambda: Vec<EdgeMask>,
+}
+
+impl SearchScratch {
+    /// Scratch sized for searches over `state`.
+    pub fn for_state(state: &ResidualState) -> Self {
+        let n_phys = state
+            .lambda
+            .first()
+            .map(|lg| lg.graph.node_count())
+            .unwrap_or(0);
+        let cap = state.aux.graph().node_count().max(n_phys).max(1);
+        SearchScratch {
+            ws: DijkstraWorkspace::with_capacity(cap),
+            heap: BinaryHeap::with_capacity(cap),
+            probe_aux: EdgeMask::all_clear(0),
+            probe_lambda: Vec::new(),
+        }
+    }
+
+    /// Drains the search-operation totals accumulated by every routing
+    /// call through this scratch since the last drain.
+    ///
+    /// The underlying [`DijkstraWorkspace`] bumps plain fields during
+    /// the search, so this is the zero-hot-path handoff point between
+    /// the kernels and a metrics registry: call it per request (or per
+    /// flush interval) and feed the deltas into shared counters.
+    pub fn take_search_totals(&mut self) -> crate::SearchStats {
+        self.ws.take_totals()
+    }
+}
+
+impl ResidualState {
+    /// Builds the state for `base` with every resource free. This is the
+    /// once-per-engine `O(k²n + km)` cost the per-request path no longer
+    /// pays.
     pub fn new(base: &WdmNetwork) -> Self {
         let aux = AuxiliaryGraph::for_all_pairs(base);
         let g = aux.graph();
@@ -147,13 +207,10 @@ impl PersistentAuxGraph {
             });
         }
 
-        let cap = g.node_count().max(n).max(1);
-        PersistentAuxGraph {
+        ResidualState {
             mask: EdgeMask::all_clear(g.edge_count()),
             aux_edge,
             lambda,
-            ws: DijkstraWorkspace::with_capacity(cap),
-            heap: BinaryHeap::with_capacity(cap),
             aux,
         }
     }
@@ -168,7 +225,18 @@ impl PersistentAuxGraph {
         self.lambda.len()
     }
 
-    /// Marks `(link, λ)` busy (`true`) or free (`false`) in place.
+    /// The aux traversal edge for `(link, λ)`, when the base carries it.
+    fn aux_edge_of(&self, link: LinkId, wavelength: Wavelength) -> Option<usize> {
+        let per_link = &self.aux_edge[link.index()];
+        per_link
+            .binary_search_by_key(&wavelength, |&(w, _)| w)
+            .ok()
+            .map(|pos| per_link[pos].1 as usize)
+    }
+
+    /// Marks `(link, λ)` busy (`true`) or free (`false`) in place
+    /// through exclusive access — the single-threaded hot path (plain
+    /// word ops, no atomic RMWs).
     ///
     /// Returns `false` — and changes nothing — when the base network does
     /// not carry `λ` on `link` (there is no corresponding traversal edge;
@@ -181,16 +249,63 @@ impl PersistentAuxGraph {
     ///
     /// Panics if `link` is out of range.
     pub fn set_busy(&mut self, link: LinkId, wavelength: Wavelength, busy: bool) -> bool {
-        let per_link = &self.aux_edge[link.index()];
-        let Ok(pos) = per_link.binary_search_by_key(&wavelength, |&(w, _)| w) else {
+        let Some(aux_idx) = self.aux_edge_of(link, wavelength) else {
             return false;
         };
-        let aux_idx = per_link[pos].1 as usize;
         self.mask.set_to(aux_idx, busy);
         let lg = &mut self.lambda[wavelength.index()];
         let e = lg.edge_of_link[link.index()];
         debug_assert_ne!(e, NO_EDGE, "λ-graph edge exists whenever the aux edge does");
         lg.mask.set_to(e as usize, busy);
+        true
+    }
+
+    /// Attempts to acquire `(link, λ)` through `&self` — the concurrent
+    /// engine's flavour of [`set_busy`](Self::set_busy)`(…, true)`.
+    ///
+    /// On [`AcquireOutcome::Acquired`] the caller owns the resource and
+    /// this call has flipped both the aux-graph bit and the λ-graph bit.
+    /// The RMWs are relaxed (see `wdm_obs::ordering`): callers must
+    /// bracket acquisitions with their own ordering protocol before
+    /// concluding anything about *other* resources.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn try_acquire_shared(&self, link: LinkId, wavelength: Wavelength) -> AcquireOutcome {
+        let Some(aux_idx) = self.aux_edge_of(link, wavelength) else {
+            return AcquireOutcome::NoSuchResource;
+        };
+        if !self.mask.fetch_set(aux_idx) {
+            return AcquireOutcome::Busy;
+        }
+        let lg = &self.lambda[wavelength.index()];
+        let e = lg.edge_of_link[link.index()];
+        debug_assert_ne!(e, NO_EDGE, "λ-graph edge exists whenever the aux edge does");
+        // The caller now owns the resource, so this second flip cannot
+        // race another owner of the same bit.
+        lg.mask.fetch_set(e as usize);
+        AcquireOutcome::Acquired
+    }
+
+    /// Releases `(link, λ)` through `&self` — the shared counterpart of
+    /// [`set_busy`](Self::set_busy)`(…, false)`. Returns `false` when
+    /// the base does not carry the resource (nothing changed). Releasing
+    /// an already-free resource is a no-op; only the owner should call
+    /// this (the concurrent engine's protocol guarantees it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn release_shared(&self, link: LinkId, wavelength: Wavelength) -> bool {
+        let Some(aux_idx) = self.aux_edge_of(link, wavelength) else {
+            return false;
+        };
+        self.mask.fetch_clear(aux_idx);
+        let lg = &self.lambda[wavelength.index()];
+        let e = lg.edge_of_link[link.index()];
+        debug_assert_ne!(e, NO_EDGE, "λ-graph edge exists whenever the aux edge does");
+        lg.mask.fetch_clear(e as usize);
         true
     }
 
@@ -200,10 +315,9 @@ impl PersistentAuxGraph {
     ///
     /// Panics if `link` is out of range.
     pub fn is_busy(&self, link: LinkId, wavelength: Wavelength) -> bool {
-        let per_link = &self.aux_edge[link.index()];
-        match per_link.binary_search_by_key(&wavelength, |&(w, _)| w) {
-            Ok(pos) => self.mask.is_set(per_link[pos].1 as usize),
-            Err(_) => false,
+        match self.aux_edge_of(link, wavelength) {
+            Some(idx) => self.mask.is_set(idx),
+            None => false,
         }
     }
 
@@ -231,27 +345,26 @@ impl PersistentAuxGraph {
     /// # Panics
     ///
     /// Panics if an endpoint is out of range.
-    pub fn route_optimal(&mut self, s: NodeId, t: NodeId) -> Option<Semilightpath> {
+    pub fn route_optimal(
+        &self,
+        scratch: &mut SearchScratch,
+        s: NodeId,
+        t: NodeId,
+    ) -> Option<Semilightpath> {
         if s == t {
             return Some(Semilightpath::new(Vec::new(), Cost::ZERO));
         }
         let (source, _) = self.aux.all_pairs_terminals(s);
         let (_, sink) = self.aux.all_pairs_terminals(t);
-        self.ws
-            .run_masked_to(self.aux.graph(), source, &mut self.heap, &self.mask, sink);
+        scratch.ws.run_masked_to(
+            self.aux.graph(),
+            source,
+            &mut scratch.heap,
+            &self.mask,
+            sink,
+        );
         self.aux
-            .extract_semilightpath_from(self.ws.dist(), self.ws.parent(), sink)
-    }
-
-    /// Drains the search-operation totals accumulated by every routing
-    /// call (optimal and per-λ alike) since the last drain.
-    ///
-    /// The underlying [`DijkstraWorkspace`] bumps plain fields during
-    /// the search, so this is the zero-hot-path handoff point between
-    /// the kernels and a metrics registry: call it per request (or per
-    /// flush interval) and feed the deltas into shared counters.
-    pub fn take_search_totals(&mut self) -> crate::SearchStats {
-        self.ws.take_totals()
+            .extract_semilightpath_from(scratch.ws.dist(), scratch.ws.parent(), sink)
     }
 
     /// Whether `t` is reachable from `s` when **every** resource is
@@ -267,15 +380,57 @@ impl PersistentAuxGraph {
     /// # Panics
     ///
     /// Panics if an endpoint is out of range.
-    pub fn reachable_when_free(&mut self, s: NodeId, t: NodeId) -> bool {
+    pub fn reachable_when_free(&self, scratch: &mut SearchScratch, s: NodeId, t: NodeId) -> bool {
         if s == t {
             return true;
         }
         let (source, _) = self.aux.all_pairs_terminals(s);
         let (_, sink) = self.aux.all_pairs_terminals(t);
-        self.ws
-            .run_to(self.aux.graph(), source, &mut self.heap, sink);
-        self.ws.dist()[sink].is_finite()
+        scratch
+            .ws
+            .run_to(self.aux.graph(), source, &mut scratch.heap, sink);
+        scratch.ws.dist()[sink].is_finite()
+    }
+
+    /// Like [`reachable_when_free`](Self::reachable_when_free) but with
+    /// every wavelength of `excluded` unavailable — the probe behind
+    /// failed-link-aware blocked-cause classification: while a fibre is
+    /// cut, a pair whose only free-network routes crossed it is blocked
+    /// by topology, not capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint or `excluded` is out of range.
+    pub fn reachable_when_free_excluding(
+        &self,
+        scratch: &mut SearchScratch,
+        s: NodeId,
+        t: NodeId,
+        excluded: LinkId,
+    ) -> bool {
+        if s == t {
+            return true;
+        }
+        if scratch.probe_aux.len() != self.aux.graph().edge_count() {
+            scratch.probe_aux = EdgeMask::all_clear(self.aux.graph().edge_count());
+        }
+        for &(_, idx) in &self.aux_edge[excluded.index()] {
+            scratch.probe_aux.set(idx as usize);
+        }
+        let (source, _) = self.aux.all_pairs_terminals(s);
+        let (_, sink) = self.aux.all_pairs_terminals(t);
+        scratch.ws.run_masked_to(
+            self.aux.graph(),
+            source,
+            &mut scratch.heap,
+            &scratch.probe_aux,
+            sink,
+        );
+        let reachable = scratch.ws.dist()[sink].is_finite();
+        for &(_, idx) in &self.aux_edge[excluded.index()] {
+            scratch.probe_aux.clear(idx as usize);
+        }
+        reachable
     }
 
     /// Whether some **single** wavelength connects `s` to `t` when every
@@ -289,15 +444,62 @@ impl PersistentAuxGraph {
     /// # Panics
     ///
     /// Panics if an endpoint is out of range.
-    pub fn reachable_when_free_single_wavelength(&mut self, s: NodeId, t: NodeId) -> bool {
+    pub fn reachable_when_free_single_wavelength(
+        &self,
+        scratch: &mut SearchScratch,
+        s: NodeId,
+        t: NodeId,
+    ) -> bool {
         if s == t {
             return false;
         }
-        for li in 0..self.lambda.len() {
-            let lg = &self.lambda[li];
-            self.ws
-                .run_to(&lg.graph, s.index(), &mut self.heap, t.index());
-            if self.ws.dist()[t.index()].is_finite() {
+        for lg in &self.lambda {
+            scratch
+                .ws
+                .run_to(&lg.graph, s.index(), &mut scratch.heap, t.index());
+            if scratch.ws.dist()[t.index()].is_finite() {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The single-wavelength counterpart of
+    /// [`reachable_when_free_excluding`](Self::reachable_when_free_excluding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint or `excluded` is out of range.
+    pub fn reachable_when_free_single_wavelength_excluding(
+        &self,
+        scratch: &mut SearchScratch,
+        s: NodeId,
+        t: NodeId,
+        excluded: LinkId,
+    ) -> bool {
+        if s == t {
+            return false;
+        }
+        if scratch.probe_lambda.len() != self.lambda.len() {
+            scratch.probe_lambda = self
+                .lambda
+                .iter()
+                .map(|lg| EdgeMask::all_clear(lg.graph.edge_count()))
+                .collect();
+        }
+        for (lg, probe) in self.lambda.iter().zip(&mut scratch.probe_lambda) {
+            let e = lg.edge_of_link[excluded.index()];
+            if e != NO_EDGE {
+                probe.set(e as usize);
+            }
+            scratch
+                .ws
+                .run_masked_to(&lg.graph, s.index(), &mut scratch.heap, probe, t.index());
+            let reachable = scratch.ws.dist()[t.index()].is_finite();
+            if e != NO_EDGE {
+                probe.clear(e as usize);
+            }
+            if reachable {
                 return true;
             }
         }
@@ -313,7 +515,8 @@ impl PersistentAuxGraph {
     ///
     /// Panics if an endpoint or `lambda` is out of range.
     pub fn route_single_wavelength(
-        &mut self,
+        &self,
+        scratch: &mut SearchScratch,
         s: NodeId,
         t: NodeId,
         lambda: Wavelength,
@@ -322,15 +525,16 @@ impl PersistentAuxGraph {
             return None;
         }
         let lg = &self.lambda[lambda.index()];
-        self.ws
-            .run_masked_to(&lg.graph, s.index(), &mut self.heap, &lg.mask, t.index());
-        let total = self.ws.dist()[t.index()];
+        scratch
+            .ws
+            .run_masked_to(&lg.graph, s.index(), &mut scratch.heap, &lg.mask, t.index());
+        let total = scratch.ws.dist()[t.index()];
         if total.is_infinite() {
             return None;
         }
         let mut hops = Vec::new();
         let mut at = t.index();
-        while let Some((prev, edge_idx)) = self.ws.parent()[at] {
+        while let Some((prev, edge_idx)) = scratch.ws.parent()[at] {
             let (_, edge) = lg.graph.edge(edge_idx);
             if let EdgeRole::Traversal { link, wavelength } = edge.role {
                 hops.push(Hop { link, wavelength });
@@ -339,6 +543,159 @@ impl PersistentAuxGraph {
         }
         hops.reverse();
         Some(Semilightpath::new(hops, total))
+    }
+}
+
+/// The persistent, maskable residual-routing structure for one base
+/// network: one [`ResidualState`] bundled with one [`SearchScratch`]
+/// behind a single-threaded API. After construction a request costs one
+/// heap-driven Dijkstra and zero structural work.
+///
+/// Multi-threaded users split the halves instead: share the state (the
+/// concurrent engine wraps it in an `Arc`) and give each thread its own
+/// scratch via [`SearchScratch::for_state`].
+///
+/// # Examples
+///
+/// ```
+/// use wdm_core::{Cost, PersistentAuxGraph, WdmNetwork, Wavelength};
+/// use wdm_graph::{DiGraph, LinkId};
+///
+/// let g = DiGraph::from_links(2, [(0, 1)]);
+/// let net = WdmNetwork::builder(g, 1).link_wavelengths(0, [(0, 4)]).build()?;
+/// let mut residual = PersistentAuxGraph::new(&net);
+/// let p = residual.route_optimal(0.into(), 1.into()).expect("free");
+/// assert_eq!(p.cost(), Cost::new(4));
+/// residual.set_busy(LinkId::new(0), Wavelength::new(0), true);
+/// assert!(residual.route_optimal(0.into(), 1.into()).is_none());
+/// residual.set_busy(LinkId::new(0), Wavelength::new(0), false);
+/// assert!(residual.route_optimal(0.into(), 1.into()).is_some());
+/// # Ok::<(), wdm_core::WdmError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PersistentAuxGraph {
+    state: ResidualState,
+    scratch: SearchScratch,
+}
+
+impl PersistentAuxGraph {
+    /// Builds the persistent structure for `base` with every resource
+    /// free. This is the once-per-engine `O(k²n + km)` cost the per-request
+    /// path no longer pays.
+    pub fn new(base: &WdmNetwork) -> Self {
+        let state = ResidualState::new(base);
+        let scratch = SearchScratch::for_state(&state);
+        PersistentAuxGraph { state, scratch }
+    }
+
+    /// The shareable state half, e.g. to seed a concurrent engine.
+    pub fn state(&self) -> &ResidualState {
+        &self.state
+    }
+
+    /// Consumes the bundle, yielding the state half (the scratch is
+    /// rebuilt per thread via [`SearchScratch::for_state`]).
+    pub fn into_state(self) -> ResidualState {
+        self.state
+    }
+
+    /// Borrows both halves at once, for callers that route through the
+    /// state API directly while holding the bundle.
+    pub fn split_mut(&mut self) -> (&ResidualState, &mut SearchScratch) {
+        (&self.state, &mut self.scratch)
+    }
+
+    /// The persistent `G_all` structure.
+    pub fn aux(&self) -> &AuxiliaryGraph {
+        self.state.aux()
+    }
+
+    /// The base network's global wavelength count `k`.
+    pub fn k(&self) -> usize {
+        self.state.k()
+    }
+
+    /// Marks `(link, λ)` busy (`true`) or free (`false`) in place; see
+    /// [`ResidualState::set_busy`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn set_busy(&mut self, link: LinkId, wavelength: Wavelength, busy: bool) -> bool {
+        self.state.set_busy(link, wavelength, busy)
+    }
+
+    /// Whether `(link, λ)` is currently masked busy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn is_busy(&self, link: LinkId, wavelength: Wavelength) -> bool {
+        self.state.is_busy(link, wavelength)
+    }
+
+    /// Number of (link, λ) resources currently masked busy.
+    pub fn busy_count(&self) -> usize {
+        self.state.busy_count()
+    }
+
+    /// Frees every resource (e.g. after a full teardown).
+    pub fn clear_busy(&mut self) {
+        self.state.clear_busy();
+    }
+
+    /// Cheapest semilightpath `s → t` on the residual network; see
+    /// [`ResidualState::route_optimal`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn route_optimal(&mut self, s: NodeId, t: NodeId) -> Option<Semilightpath> {
+        self.state.route_optimal(&mut self.scratch, s, t)
+    }
+
+    /// Drains the search-operation totals accumulated by every routing
+    /// call (optimal and per-λ alike) since the last drain; see
+    /// [`SearchScratch::take_search_totals`].
+    pub fn take_search_totals(&mut self) -> crate::SearchStats {
+        self.scratch.take_search_totals()
+    }
+
+    /// Free-network reachability probe; see
+    /// [`ResidualState::reachable_when_free`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn reachable_when_free(&mut self, s: NodeId, t: NodeId) -> bool {
+        self.state.reachable_when_free(&mut self.scratch, s, t)
+    }
+
+    /// Single-wavelength free-network reachability probe; see
+    /// [`ResidualState::reachable_when_free_single_wavelength`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn reachable_when_free_single_wavelength(&mut self, s: NodeId, t: NodeId) -> bool {
+        self.state
+            .reachable_when_free_single_wavelength(&mut self.scratch, s, t)
+    }
+
+    /// Cheapest single-wavelength path on `lambda`; see
+    /// [`ResidualState::route_single_wavelength`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint or `lambda` is out of range.
+    pub fn route_single_wavelength(
+        &mut self,
+        s: NodeId,
+        t: NodeId,
+        lambda: Wavelength,
+    ) -> Option<Semilightpath> {
+        self.state
+            .route_single_wavelength(&mut self.scratch, s, t, lambda)
     }
 }
 
@@ -424,6 +781,81 @@ mod tests {
         assert_eq!(residual.busy_count(), 0);
         let before = residual.route_optimal(0.into(), 2.into()).expect("free");
         assert_eq!(before.cost(), Cost::new(20));
+    }
+
+    #[test]
+    fn shared_acquire_matches_exclusive_set_busy() {
+        let net = chain();
+        let mut exclusive = PersistentAuxGraph::new(&net);
+        let shared = ResidualState::new(&net);
+        let mut scratch = SearchScratch::for_state(&shared);
+        let link = LinkId::new(0);
+        let lam = Wavelength::new(0);
+        assert_eq!(
+            shared.try_acquire_shared(link, lam),
+            AcquireOutcome::Acquired
+        );
+        assert_eq!(shared.try_acquire_shared(link, lam), AcquireOutcome::Busy);
+        exclusive.set_busy(link, lam, true);
+        // Same busy state → same routes, both flavours.
+        for (s, t) in [(0, 2), (0, 1), (1, 2)] {
+            let a = exclusive.route_optimal(NodeId::new(s), NodeId::new(t));
+            let b = shared.route_optimal(&mut scratch, NodeId::new(s), NodeId::new(t));
+            assert_eq!(a.map(|p| p.cost()), b.map(|p| p.cost()), "{s}->{t}");
+        }
+        assert!(shared.release_shared(link, lam));
+        assert_eq!(shared.busy_count(), 0);
+        // Absent resources are reported, not flipped.
+        let g = DiGraph::from_links(2, [(0, 1)]);
+        let sparse = WdmNetwork::builder(g, 3)
+            .link_wavelengths(0, [(1, 5)])
+            .build()
+            .expect("valid");
+        let st = ResidualState::new(&sparse);
+        assert_eq!(
+            st.try_acquire_shared(LinkId::new(0), Wavelength::new(0)),
+            AcquireOutcome::NoSuchResource
+        );
+        assert!(!st.release_shared(LinkId::new(0), Wavelength::new(2)));
+    }
+
+    #[test]
+    fn excluding_probes_mask_only_the_excluded_link() {
+        let net = chain();
+        let state = ResidualState::new(&net);
+        let mut scratch = SearchScratch::for_state(&state);
+        // Free network: 0 → 2 reachable, also on a single wavelength.
+        assert!(state.reachable_when_free(&mut scratch, 0.into(), 2.into()));
+        assert!(state.reachable_when_free_single_wavelength(&mut scratch, 0.into(), 2.into()));
+        // Excluding the only middle link cuts 0 → 2 but not 0 → 1.
+        let link = LinkId::new(1);
+        assert!(!state.reachable_when_free_excluding(&mut scratch, 0.into(), 2.into(), link));
+        assert!(state.reachable_when_free_excluding(&mut scratch, 0.into(), 1.into(), link));
+        assert!(!state.reachable_when_free_single_wavelength_excluding(
+            &mut scratch,
+            0.into(),
+            2.into(),
+            link
+        ));
+        assert!(state.reachable_when_free_single_wavelength_excluding(
+            &mut scratch,
+            0.into(),
+            1.into(),
+            link
+        ));
+        // The probe masks are scratch-local and restored after each call:
+        // the same probes answer identically a second time, and normal
+        // routing still sees a fully free network.
+        assert!(!state.reachable_when_free_excluding(
+            &mut scratch,
+            0.into(),
+            2.into(),
+            LinkId::new(1)
+        ));
+        assert!(state
+            .route_optimal(&mut scratch, 0.into(), 2.into())
+            .is_some());
+        assert_eq!(state.busy_count(), 0);
     }
 
     #[test]
@@ -526,5 +958,39 @@ mod tests {
             copy.route_optimal(0.into(), 2.into()).map(|p| p.cost()),
             residual.route_optimal(0.into(), 2.into()).map(|p| p.cost())
         );
+    }
+
+    #[test]
+    fn concurrent_search_while_flipping_is_memory_safe() {
+        // Two searcher threads route while a flipper thread toggles a
+        // resource: every observed outcome must be one of the two legal
+        // states (λ0 busy or free), never a torn hybrid.
+        let net = chain();
+        let state = ResidualState::new(&net);
+        let link = LinkId::new(0);
+        let lam = Wavelength::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                scope.spawn(|| {
+                    let mut scratch = SearchScratch::for_state(&state);
+                    for _ in 0..200 {
+                        let p = state.route_optimal(&mut scratch, 0.into(), 2.into());
+                        let cost = p.expect("λ1 always free").cost();
+                        assert!(
+                            cost == Cost::new(20) || cost == Cost::new(24) || cost == Cost::new(23),
+                            "cost {cost:?} must come from a legal mask state"
+                        );
+                    }
+                });
+            }
+            scope.spawn(|| {
+                for _ in 0..200 {
+                    if state.try_acquire_shared(link, lam) == AcquireOutcome::Acquired {
+                        state.release_shared(link, lam);
+                    }
+                }
+            });
+        });
+        assert!(!state.is_busy(link, lam) || state.busy_count() <= 1);
     }
 }

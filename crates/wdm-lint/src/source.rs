@@ -24,8 +24,11 @@ use std::path::{Path, PathBuf};
 const L1_DENY_CRATES: &[&str] = &["wdm-core", "wdm-rwa", "heaps"];
 /// Crates where L1 reports but never fails the run.
 const L1_WARN_CRATES: &[&str] = &["wdm-cli"];
-/// Crates whose `Ordering::` uses need justification (L4).
-const L4_CRATES: &[&str] = &["wdm-obs", "wdm-rwa"];
+/// Crates whose `Ordering::` uses need justification (L4). `wdm-core`
+/// joined when `EdgeMask` went atomic for the sharded concurrent
+/// engine: its words are flipped from multiple threads, so every
+/// ordering there must come from the audited module too.
+const L4_CRATES: &[&str] = &["wdm-core", "wdm-obs", "wdm-rwa"];
 /// Crates whose public items require doc comments (L5).
 const L5_CRATES: &[&str] = &["wdm-core", "wdm-rwa"];
 
@@ -867,8 +870,14 @@ fn cold(&mut self) {
         let cmp = "fn f() -> Ordering { Ordering::Less }\n";
         assert!(lint("crates/wdm-obs/src/metric.rs", cmp).is_empty());
 
+        // wdm-core is in scope since EdgeMask went atomic: a bare
+        // ordering in the mask hot path must be flagged there too.
+        let core_found = lint(CORE, bad);
+        assert_eq!(core_found.len(), 1);
+        assert_eq!(core_found[0].rule, Rule::OrderingJustification);
+
         // Out-of-scope crate.
-        assert!(lint(CORE, bad).is_empty());
+        assert!(lint("crates/wdm-graph/src/lib.rs", bad).is_empty());
     }
 
     #[test]

@@ -165,3 +165,88 @@ proptest! {
         );
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The atomic-mask half of M6, under interleaved shared flips: a
+    /// seeded sequence of `try_acquire_shared` / `release_shared` calls
+    /// (the concurrent engine's primitive operations) must behave as an
+    /// involution on exactly the touched `(link, λ)` pair — acquire
+    /// succeeds iff the pair is free, release succeeds iff it is busy,
+    /// no flip ever leaks into another pair through the cross-index,
+    /// and `busy_count` tracks the reference set exactly. Ends with the
+    /// static M6 sweep (`verify_mask_involution`) on the drained state.
+    #[test]
+    fn shared_flips_are_involutive_and_cross_index_unique(
+        seed in 0u64..200,
+        ops in prop::collection::vec((0usize..10_000, 0usize..4, prop::bool::ANY), 1..120),
+    ) {
+        use std::collections::BTreeSet;
+        use wdm_core::{AcquireOutcome, ResidualState, Wavelength};
+        use wdm_graph::LinkId;
+
+        let network = instance(seed, 8, 3, 0.8);
+        let state = ResidualState::new(&network);
+        // Only pairs the base network carries participate; the rest must
+        // report NoSuchResource and never change any state.
+        let mut carried: Vec<(usize, usize)> = Vec::new();
+        for (e, _) in network.graph().links() {
+            for li in 0..network.k() {
+                if network.link_cost(e, Wavelength::new(li)).is_finite() {
+                    carried.push((e.index(), li));
+                }
+            }
+        }
+        prop_assume!(!carried.is_empty());
+
+        let mut reference: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for (pick, lambda_raw, acquire) in ops {
+            let (e, li) = carried[pick % carried.len()];
+            // Occasionally hit a wavelength the link may not carry.
+            let li = if lambda_raw == 3 { (li + 1) % network.k() } else { li };
+            let link = LinkId::new(e);
+            let w = Wavelength::new(li);
+            let was_busy = reference.contains(&(e, li));
+            let carried_pair = carried.contains(&(e, li));
+            if acquire {
+                let got = state.try_acquire_shared(link, w);
+                let want = if !carried_pair {
+                    AcquireOutcome::NoSuchResource
+                } else if was_busy {
+                    AcquireOutcome::Busy
+                } else {
+                    reference.insert((e, li));
+                    AcquireOutcome::Acquired
+                };
+                prop_assert_eq!(got, want, "acquire ({e}, λ{li})");
+            } else {
+                // `release_shared` returns whether the base carries the
+                // resource; releasing an already-free pair is a no-op.
+                let got = state.release_shared(link, w);
+                prop_assert_eq!(got, carried_pair, "release ({e}, λ{li})");
+                reference.remove(&(e, li));
+            }
+            // The flip touched exactly one pair: every carried pair must
+            // agree with the reference set (cross-index uniqueness — a
+            // duplicate or aliased slot would flip a bystander).
+            prop_assert_eq!(state.busy_count(), reference.len());
+            for &(oe, oli) in &carried {
+                prop_assert_eq!(
+                    state.is_busy(LinkId::new(oe), Wavelength::new(oli)),
+                    reference.contains(&(oe, oli)),
+                    "bystander ({oe}, λ{oli}) changed"
+                );
+            }
+        }
+
+        // Drain and hand the state to the M6 sweep: a fresh-equivalent
+        // mask must pass the full involution check with zero findings.
+        for &(e, li) in &carried {
+            state.release_shared(LinkId::new(e), Wavelength::new(li));
+        }
+        prop_assert_eq!(state.busy_count(), 0);
+        let findings = wdm_lint::verify_mask_involution(&network, "shared-flips");
+        prop_assert!(findings.is_empty(), "M6 findings: {findings:?}");
+    }
+}

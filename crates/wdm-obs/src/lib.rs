@@ -50,7 +50,7 @@
 mod histogram;
 pub mod json;
 mod metric;
-mod ordering;
+pub mod ordering;
 mod registry;
 mod span;
 

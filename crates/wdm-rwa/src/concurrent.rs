@@ -1,0 +1,1198 @@
+//! The sharded concurrent provisioning engine: optimistic provisioning
+//! over one shared [`ResidualState`], serialized per wavelength class by
+//! seqlock version counters.
+//!
+//! # Design
+//!
+//! The single-threaded [`ProvisioningEngine`](crate::ProvisioningEngine)
+//! owns its residual structure outright; this engine instead shares one
+//! [`ResidualState`] (whose busy masks are atomic words) among any number
+//! of threads and layers a **sharded seqlock** on top:
+//!
+//! * wavelengths are partitioned into `S` shards (`shard = λ mod S`),
+//!   each guarded by one version counter (`AtomicU64`, odd = writer in
+//!   its critical section);
+//! * a **provision** reads every shard version, routes optimistically on
+//!   the racy mask, then *claims* the shards its path touches (CAS even
+//!   `v → v + 1`, ascending shard order) and *validates* that every
+//!   untouched shard still holds its original version. Success proves
+//!   the mask the route saw was a consistent global snapshot and is
+//!   still current, so the path is exactly what the sequential engine
+//!   would have picked at that instant; the bits are flipped and the
+//!   claimed shards published at `v + 2`. Any version mismatch —
+//!   somebody committed or is mid-commit — rolls back the claims,
+//!   counts a conflict, and retries from scratch;
+//! * a blocked verdict commits the same way (all versions unchanged)
+//!   minus the claims — an occupancy state that blocked the request
+//!   provably existed at the validation instant;
+//! * a **release** only claims the shards of the connection it owns (no
+//!   global validation — freeing owned bits commutes with everything
+//!   that cannot see them), and a **fibre cut** claims *all* shards for
+//!   its teardown–restore transaction.
+//!
+//! Because both accepted and blocked commits validate *every* shard,
+//! commits are globally serialized at their validation instants — the
+//! linearization witness — while routing (the expensive part) runs fully
+//! in parallel and releases interleave freely. Connection ids are
+//! allocated at commit time, so id order equals commit order.
+//!
+//! The memory-ordering protocol (acquire version reads, the
+//! [`fence_acquire`] between racy mask loads and validation, acq-rel
+//! claim CAS, release publication) is audited once in
+//! [`wdm_obs::ordering`]; this module only imports the named constants.
+//!
+//! # Stepped execution
+//!
+//! Every operation is a state machine ([`ProvisionTxn`], [`ReleaseTxn`],
+//! [`FailLinkTxn`]) advanced by `step()` calls; the blocking methods on
+//! [`ConcurrentHandle`] just drive the machine to completion. The
+//! `wdm-conformance` harness instead interleaves many machines from one
+//! real thread under a seeded scheduler, which is what makes concurrent
+//! histories replayable: no step ever holds an OS lock or spins
+//! internally — contention is reported as [`Step::Contended`] and
+//! retried on the next step.
+//!
+//! On a blocked verdict the engine classifies the cause exactly like the
+//! single-threaded engine, memoized in an **epoch/snapshot** map: the
+//! epoch advances whenever the failed-link set changes (entering and
+//! leaving a cut), entries are tagged with the epoch they were probed
+//! under, and readers clone an `Arc` snapshot of the map so the hot path
+//! never holds the map lock across a probe.
+
+use crate::metrics::BlockCause;
+use crate::policy::Policy;
+use crate::{ConnectionId, RwaError};
+use std::collections::HashMap;
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Mutex, MutexGuard};
+use wdm_core::{
+    AcquireOutcome, ResidualState, SearchScratch, Semilightpath, Wavelength, WdmNetwork,
+};
+use wdm_graph::{LinkId, NodeId};
+use wdm_obs::ordering::{fence_acquire, ACQUIRE, ACQ_REL, RELAXED, RELEASE};
+
+/// Locks a mutex, recovering the data from a poisoned lock. Every
+/// guarded section in this module performs a single map operation (an
+/// insert, remove, or clone-out), so a panic mid-section cannot leave
+/// partial state behind and the data stays usable.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Deliberate protocol corruption for conformance-harness validation.
+///
+/// The linearizability harness must be able to demonstrate that it
+/// *catches* broken engines, not only that the real one passes. This
+/// knob exists solely for that purpose — production code always uses
+/// [`RaceInjection::None`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RaceInjection {
+    /// The audited protocol: claim + validate before every commit.
+    #[default]
+    None,
+    /// Skip the shard claim and validation entirely and ignore
+    /// lost acquire races: routes commit on whatever (possibly torn,
+    /// possibly stale) mask state they observed, so two transactions can
+    /// both "win" the same (link, λ) — the classic check-then-act race a
+    /// non-atomic mask flip would exhibit.
+    SkipShardLock,
+}
+
+/// A provision's blocked-verdict memo entry: the epoch it was probed
+/// under and the free-network reachability it found.
+type MemoEntry = (u64, bool);
+type MemoKey = (NodeId, NodeId, bool);
+
+/// An accepted connection's bookkeeping.
+#[derive(Debug, Clone)]
+struct Connection {
+    path: Semilightpath,
+}
+
+/// The state shared by every handle and transaction of one engine.
+#[derive(Debug)]
+struct Shared {
+    base: WdmNetwork,
+    state: ResidualState,
+    /// Seqlock version counters, one per wavelength shard. Odd = a
+    /// writer owns the shard's wavelengths.
+    shards: Vec<AtomicU64>,
+    /// Active connections. Locked only *within* a single transaction
+    /// step, never across steps.
+    active: Mutex<HashMap<ConnectionId, Connection>>,
+    next_id: AtomicU64,
+    accepted: AtomicU64,
+    blocked: AtomicU64,
+    blocked_no_path: AtomicU64,
+    blocked_capacity: AtomicU64,
+    released: AtomicU64,
+    /// Optimistic commits that failed validation and retried.
+    conflicts: AtomicU64,
+    /// Advances every time the failed-link set changes; tags memo
+    /// entries so verdicts probed under another regime are re-probed.
+    memo_epoch: AtomicU64,
+    /// Blocked-cause memo behind a snapshot pointer: readers briefly
+    /// lock, clone the `Arc`, and probe against the immutable snapshot.
+    memo: Mutex<Arc<HashMap<MemoKey, MemoEntry>>>,
+    /// Base (link, λ) resource count, for utilization.
+    total_resources: usize,
+    race: RaceInjection,
+}
+
+impl Shared {
+    fn shard_of(&self, lambda: Wavelength) -> usize {
+        lambda.index() % self.shards.len()
+    }
+
+    /// Sorted, deduplicated shard indices touched by `path`.
+    fn touched_shards(&self, path: &Semilightpath) -> Vec<usize> {
+        let mut touched: Vec<usize> = path
+            .hops()
+            .iter()
+            .map(|h| self.shard_of(h.wavelength))
+            .collect();
+        touched.sort_unstable();
+        touched.dedup();
+        touched
+    }
+
+    /// Classifies a blocked request against the free network (minus
+    /// `failed`, when a cut is in flight), through the epoch-tagged
+    /// snapshot memo.
+    fn classify(
+        &self,
+        scratch: &mut SearchScratch,
+        s: NodeId,
+        t: NodeId,
+        policy: Policy,
+        failed: Option<LinkId>,
+    ) -> BlockCause {
+        if s == t {
+            // The engine rejects s == t; capacity is irrelevant.
+            return BlockCause::NoPath;
+        }
+        let converts = matches!(policy, Policy::Optimal);
+        let epoch = self.memo_epoch.load(ACQUIRE);
+        let key = (s, t, converts);
+        let snapshot = Arc::clone(&lock(&self.memo));
+        let reachable = match snapshot.get(&key) {
+            Some(&(e, hit)) if e == epoch => hit,
+            _ => {
+                let probed = match (converts, failed) {
+                    (true, None) => self.state.reachable_when_free(scratch, s, t),
+                    (true, Some(l)) => self.state.reachable_when_free_excluding(scratch, s, t, l),
+                    (false, None) => self
+                        .state
+                        .reachable_when_free_single_wavelength(scratch, s, t),
+                    (false, Some(l)) => self
+                        .state
+                        .reachable_when_free_single_wavelength_excluding(scratch, s, t, l),
+                };
+                let _ = scratch.take_search_totals();
+                let mut guard = lock(&self.memo);
+                // Clone-on-write: concurrent readers keep their snapshot.
+                let mut next: HashMap<MemoKey, MemoEntry> = (**guard).clone();
+                next.insert(key, (epoch, probed));
+                *guard = Arc::new(next);
+                probed
+            }
+        };
+        if reachable {
+            BlockCause::Capacity
+        } else {
+            BlockCause::NoPath
+        }
+    }
+
+    fn note_blocked(&self, cause: BlockCause) {
+        self.blocked.fetch_add(1, RELAXED);
+        match cause {
+            BlockCause::NoPath => self.blocked_no_path.fetch_add(1, RELAXED),
+            BlockCause::Capacity => self.blocked_capacity.fetch_add(1, RELAXED),
+        };
+    }
+}
+
+/// One `step()` of a transaction state machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Step<T> {
+    /// The transaction finished with this result.
+    Done(T),
+    /// The step did useful work; call `step()` again.
+    Progress,
+    /// The step found a shard claimed by another writer (or lost a CAS)
+    /// and made no progress; yield to whoever holds it, then retry.
+    Contended,
+}
+
+/// How one provision request concluded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProvisionOutcome {
+    /// The request was accepted: the connection is active on `path`.
+    Accepted {
+        /// Handle for releasing the connection.
+        id: ConnectionId,
+        /// The committed route (also retrievable via
+        /// [`ConcurrentEngine::path_of`] while active).
+        path: Semilightpath,
+    },
+    /// The request was blocked, with its cause classification.
+    Blocked {
+        /// Topology- vs capacity-blocked, per the same rules as
+        /// [`ProvisioningEngine::blocked_by_cause`](crate::ProvisioningEngine::blocked_by_cause).
+        cause: BlockCause,
+    },
+}
+
+/// One torn connection's fate in a [`FailLinkTxn`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RestorationOutcome {
+    /// The connection torn down by the cut.
+    pub torn: ConnectionId,
+    /// The restored connection's id and path, or `None` when lost.
+    pub restored: Option<(ConnectionId, Semilightpath)>,
+    /// The blocked-cause classification when the restoration was lost
+    /// (always `Some` iff `restored` is `None`).
+    pub cause: Option<BlockCause>,
+}
+
+/// The sharded concurrent provisioning engine. Cheaply cloneable; all
+/// clones share the same state. Each thread works through its own
+/// [`ConcurrentHandle`] (see [`ConcurrentEngine::handle`]).
+#[derive(Debug, Clone)]
+pub struct ConcurrentEngine {
+    shared: Arc<Shared>,
+}
+
+impl ConcurrentEngine {
+    /// Creates an engine over `base` with every resource free, using
+    /// `num_shards` wavelength shards (clamped to `1..=k`; `0` picks
+    /// `min(k, 8)`). More shards admit more disjoint writers; a single
+    /// shard degenerates to one global seqlock.
+    pub fn new(base: &WdmNetwork, num_shards: usize) -> Self {
+        Self::with_race_injection(base, num_shards, RaceInjection::None)
+    }
+
+    /// [`ConcurrentEngine::new`] with a deliberate protocol corruption —
+    /// conformance-harness use only (see [`RaceInjection`]).
+    pub fn with_race_injection(base: &WdmNetwork, num_shards: usize, race: RaceInjection) -> Self {
+        let k = base.k().max(1);
+        let num_shards = if num_shards == 0 {
+            k.min(8)
+        } else {
+            num_shards.min(k)
+        };
+        let state = ResidualState::new(base);
+        let total_resources = base
+            .graph()
+            .links()
+            .map(|(e, _)| base.wavelengths_on(e).iter().count())
+            .sum();
+        ConcurrentEngine {
+            shared: Arc::new(Shared {
+                base: base.clone(),
+                state,
+                shards: (0..num_shards).map(|_| AtomicU64::new(0)).collect(),
+                active: Mutex::new(HashMap::new()),
+                next_id: AtomicU64::new(0),
+                accepted: AtomicU64::new(0),
+                blocked: AtomicU64::new(0),
+                blocked_no_path: AtomicU64::new(0),
+                blocked_capacity: AtomicU64::new(0),
+                released: AtomicU64::new(0),
+                conflicts: AtomicU64::new(0),
+                memo_epoch: AtomicU64::new(0),
+                memo: Mutex::new(Arc::new(HashMap::new())),
+                total_resources,
+                race,
+            }),
+        }
+    }
+
+    /// A per-thread handle bundling this engine with its own search
+    /// scratch.
+    pub fn handle(&self) -> ConcurrentHandle {
+        ConcurrentHandle {
+            engine: self.clone(),
+            scratch: self.handle_scratch(),
+        }
+    }
+
+    /// A bare per-thread [`SearchScratch`] sized for this engine, for
+    /// callers that drive transactions directly (the conformance
+    /// harness's simulated threads).
+    pub fn handle_scratch(&self) -> SearchScratch {
+        SearchScratch::for_state(&self.shared.state)
+    }
+
+    /// Busy (link, λ) resources right now (racy peek; exact at
+    /// quiescence).
+    pub fn busy_count(&self) -> usize {
+        self.shared.state.busy_count()
+    }
+
+    /// The base network the engine was created from.
+    pub fn base(&self) -> &WdmNetwork {
+        &self.shared.base
+    }
+
+    /// Number of wavelength shards.
+    pub fn num_shards(&self) -> usize {
+        self.shared.shards.len()
+    }
+
+    /// Totals so far: `(accepted, blocked, released)`.
+    pub fn totals(&self) -> (u64, u64, u64) {
+        (
+            self.shared.accepted.load(RELAXED),
+            self.shared.blocked.load(RELAXED),
+            self.shared.released.load(RELAXED),
+        )
+    }
+
+    /// Blocked totals split by cause: `(no_path, capacity)`; same
+    /// semantics as the single-threaded engine's split.
+    pub fn blocked_by_cause(&self) -> (u64, u64) {
+        (
+            self.shared.blocked_no_path.load(RELAXED),
+            self.shared.blocked_capacity.load(RELAXED),
+        )
+    }
+
+    /// Optimistic commits that failed validation and retried. Zero in
+    /// any single-threaded run; under contention each conflict is one
+    /// wasted route computation.
+    pub fn conflicts(&self) -> u64 {
+        self.shared.conflicts.load(RELAXED)
+    }
+
+    /// Number of currently active connections.
+    pub fn active_count(&self) -> usize {
+        lock(&self.shared.active).len()
+    }
+
+    /// The path of an active connection (cloned out of the table).
+    pub fn path_of(&self, id: ConnectionId) -> Option<Semilightpath> {
+        lock(&self.shared.active).get(&id).map(|c| c.path.clone())
+    }
+
+    /// Fraction of base (link, wavelength) resources currently busy.
+    pub fn utilization(&self) -> f64 {
+        if self.shared.total_resources == 0 {
+            0.0
+        } else {
+            self.shared.state.busy_count() as f64 / self.shared.total_resources as f64
+        }
+    }
+
+    /// Whether `(link, λ)` is currently masked busy (racy peek; the
+    /// conformance harness reads it only at quiescent points).
+    pub fn is_busy(&self, link: LinkId, lambda: Wavelength) -> bool {
+        self.shared.state.is_busy(link, lambda)
+    }
+
+    fn shared(&self) -> &Shared {
+        &self.shared
+    }
+}
+
+/// A per-thread handle: the engine plus this thread's [`SearchScratch`].
+/// The blocking methods drive the transaction state machines to
+/// completion, yielding on contention (the host has few cores; a
+/// spinning waiter on the holder's core is pure waste).
+#[derive(Debug)]
+pub struct ConcurrentHandle {
+    engine: ConcurrentEngine,
+    scratch: SearchScratch,
+}
+
+impl ConcurrentHandle {
+    /// The engine this handle works on.
+    pub fn engine(&self) -> &ConcurrentEngine {
+        &self.engine
+    }
+
+    /// Routes and, on success, locks `s → t` under `policy` — the
+    /// concurrent counterpart of
+    /// [`ProvisioningEngine::provision`](crate::ProvisioningEngine::provision).
+    ///
+    /// # Errors
+    ///
+    /// * [`RwaError::NodeOutOfRange`] for invalid endpoints;
+    /// * [`RwaError::Blocked`] when no route exists at the commit
+    ///   instant.
+    pub fn provision(
+        &mut self,
+        s: NodeId,
+        t: NodeId,
+        policy: Policy,
+    ) -> Result<ConnectionId, RwaError> {
+        let mut txn = ProvisionTxn::new(&self.engine, s, t, policy)?;
+        loop {
+            match txn.step(&self.engine, &mut self.scratch) {
+                Step::Done(ProvisionOutcome::Accepted { id, .. }) => return Ok(id),
+                Step::Done(ProvisionOutcome::Blocked { .. }) => {
+                    return Err(RwaError::Blocked { s, t })
+                }
+                Step::Progress => {}
+                Step::Contended => std::thread::yield_now(),
+            }
+        }
+    }
+
+    /// Releases an active connection, freeing its resources.
+    ///
+    /// # Errors
+    ///
+    /// [`RwaError::UnknownConnection`] if `id` is not active.
+    pub fn release(&mut self, id: ConnectionId) -> Result<(), RwaError> {
+        let mut txn = ReleaseTxn::new(id);
+        loop {
+            match txn.step(&self.engine) {
+                Step::Done(r) => return r,
+                Step::Progress => {}
+                Step::Contended => std::thread::yield_now(),
+            }
+        }
+    }
+
+    /// Simulates a fibre cut with restoration, like
+    /// [`ProvisioningEngine::fail_link`](crate::ProvisioningEngine::fail_link):
+    /// tears down every connection crossing `link`, restores each on the
+    /// residual network with the cut excluded, and returns the outcomes
+    /// in connection-id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn fail_link(
+        &mut self,
+        link: LinkId,
+        policy: Policy,
+    ) -> Vec<(ConnectionId, Option<ConnectionId>)> {
+        let mut txn = FailLinkTxn::new(&self.engine, link, policy);
+        loop {
+            match txn.step(&self.engine, &mut self.scratch) {
+                Step::Done(outcomes) => {
+                    return outcomes
+                        .into_iter()
+                        .map(|o| (o.torn, o.restored.map(|(id, _)| id)))
+                        .collect()
+                }
+                Step::Progress => {}
+                Step::Contended => std::thread::yield_now(),
+            }
+        }
+    }
+}
+
+/// Provision transaction phases.
+#[derive(Debug)]
+enum ProvisionPhase {
+    ReadVersions,
+    Route,
+    Claim,
+    Validate,
+    Flip,
+    Publish,
+    CommitBlocked,
+    Done,
+}
+
+/// A stepped provision transaction; see the module docs for the
+/// protocol. Create with [`ProvisionTxn::new`], drive with
+/// [`ProvisionTxn::step`].
+#[derive(Debug)]
+pub struct ProvisionTxn {
+    s: NodeId,
+    t: NodeId,
+    policy: Policy,
+    /// Every shard's version at [`ProvisionPhase::ReadVersions`].
+    versions: Vec<u64>,
+    path: Option<Semilightpath>,
+    touched: Vec<usize>,
+    claimed: usize,
+    flipped: usize,
+    phase: ProvisionPhase,
+}
+
+impl ProvisionTxn {
+    /// Starts a provision transaction, validating endpoints up front.
+    ///
+    /// # Errors
+    ///
+    /// [`RwaError::NodeOutOfRange`] for invalid endpoints.
+    pub fn new(
+        engine: &ConcurrentEngine,
+        s: NodeId,
+        t: NodeId,
+        policy: Policy,
+    ) -> Result<Self, RwaError> {
+        for v in [s, t] {
+            if v.index() >= engine.shared().base.node_count() {
+                return Err(RwaError::NodeOutOfRange(v));
+            }
+        }
+        Ok(ProvisionTxn {
+            s,
+            t,
+            policy,
+            versions: vec![0; engine.shared().shards.len()],
+            path: None,
+            touched: Vec::new(),
+            claimed: 0,
+            flipped: 0,
+            phase: ProvisionPhase::ReadVersions,
+        })
+    }
+
+    /// Rolls claimed shards back to their pre-claim versions (no bits
+    /// were flipped yet, so restoring the even value is exact) and
+    /// restarts the optimistic loop.
+    fn rollback_and_retry(&mut self, shared: &Shared) {
+        for &sh in &self.touched[..self.claimed] {
+            shared.shards[sh].store(self.versions[sh], RELEASE);
+        }
+        shared.conflicts.fetch_add(1, RELAXED);
+        self.claimed = 0;
+        self.path = None;
+        self.touched.clear();
+        self.phase = ProvisionPhase::ReadVersions;
+    }
+
+    /// Advances the transaction by one step. Call until [`Step::Done`];
+    /// [`Step::Contended`] steps made no progress (another writer holds
+    /// a needed shard) and should be retried after yielding.
+    pub fn step(
+        &mut self,
+        engine: &ConcurrentEngine,
+        scratch: &mut SearchScratch,
+    ) -> Step<ProvisionOutcome> {
+        let shared = engine.shared();
+        match self.phase {
+            ProvisionPhase::ReadVersions => {
+                for (i, shard) in shared.shards.iter().enumerate() {
+                    let v = shard.load(ACQUIRE);
+                    if v % 2 == 1 {
+                        return Step::Contended;
+                    }
+                    self.versions[i] = v;
+                }
+                self.phase = ProvisionPhase::Route;
+                Step::Progress
+            }
+            ProvisionPhase::Route => {
+                let path = self
+                    .policy
+                    .route_shared(&shared.state, scratch, self.s, self.t);
+                match path {
+                    Some(p) if !p.is_empty() => {
+                        self.touched = shared.touched_shards(&p);
+                        self.path = Some(p);
+                        self.claimed = 0;
+                        self.phase = if shared.race == RaceInjection::SkipShardLock {
+                            // Injected race: commit on the racy read.
+                            ProvisionPhase::Flip
+                        } else {
+                            ProvisionPhase::Claim
+                        };
+                    }
+                    _ => {
+                        // Empty paths (s == t) block like the
+                        // single-threaded engine.
+                        self.phase = if shared.race == RaceInjection::SkipShardLock {
+                            ProvisionPhase::Done
+                        } else {
+                            ProvisionPhase::CommitBlocked
+                        };
+                        if matches!(self.phase, ProvisionPhase::Done) {
+                            let cause = shared.classify(scratch, self.s, self.t, self.policy, None);
+                            shared.note_blocked(cause);
+                            return Step::Done(ProvisionOutcome::Blocked { cause });
+                        }
+                    }
+                }
+                Step::Progress
+            }
+            ProvisionPhase::Claim => {
+                if self.claimed == self.touched.len() {
+                    self.phase = ProvisionPhase::Validate;
+                    return Step::Progress;
+                }
+                let sh = self.touched[self.claimed];
+                let v = self.versions[sh];
+                match shared.shards[sh].compare_exchange(v, v + 1, ACQ_REL, ACQUIRE) {
+                    Ok(_) => {
+                        self.claimed += 1;
+                        Step::Progress
+                    }
+                    Err(_) => {
+                        self.rollback_and_retry(shared);
+                        Step::Contended
+                    }
+                }
+            }
+            ProvisionPhase::Validate => {
+                // Order the route's relaxed mask loads before the
+                // validating version loads (see wdm_obs::ordering).
+                fence_acquire();
+                let consistent = shared
+                    .shards
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !self.touched.contains(i))
+                    .all(|(i, shard)| shard.load(RELAXED) == self.versions[i]);
+                if consistent {
+                    self.phase = ProvisionPhase::Flip;
+                    Step::Progress
+                } else {
+                    self.rollback_and_retry(shared);
+                    Step::Contended
+                }
+            }
+            ProvisionPhase::Flip => {
+                let Some(path) = self.path.as_ref() else {
+                    unreachable!("flip phase always holds a path")
+                };
+                let hop = path.hops()[self.flipped];
+                let outcome = shared.state.try_acquire_shared(hop.link, hop.wavelength);
+                // With the shards claimed and validated the bit must be
+                // free; only the injected race can lose it (and ignores
+                // the loss — that is the bug the harness must catch).
+                debug_assert!(
+                    shared.race == RaceInjection::SkipShardLock
+                        || outcome == AcquireOutcome::Acquired,
+                    "owned shard lost a bit at ({}, {})",
+                    hop.link,
+                    hop.wavelength
+                );
+                self.flipped += 1;
+                if self.flipped == path.hops().len() {
+                    self.phase = ProvisionPhase::Publish;
+                }
+                Step::Progress
+            }
+            ProvisionPhase::Publish => {
+                let Some(path) = self.path.take() else {
+                    unreachable!("publish phase always holds a path")
+                };
+                let id = ConnectionId::from_raw(shared.next_id.fetch_add(1, RELAXED));
+                lock(&shared.active).insert(id, Connection { path: path.clone() });
+                shared.accepted.fetch_add(1, RELAXED);
+                if shared.race != RaceInjection::SkipShardLock {
+                    for &sh in &self.touched {
+                        shared.shards[sh].store(self.versions[sh] + 2, RELEASE);
+                    }
+                }
+                self.phase = ProvisionPhase::Done;
+                Step::Done(ProvisionOutcome::Accepted { id, path })
+            }
+            ProvisionPhase::CommitBlocked => {
+                fence_acquire();
+                let consistent = shared
+                    .shards
+                    .iter()
+                    .enumerate()
+                    .all(|(i, shard)| shard.load(RELAXED) == self.versions[i]);
+                if !consistent {
+                    shared.conflicts.fetch_add(1, RELAXED);
+                    self.phase = ProvisionPhase::ReadVersions;
+                    return Step::Contended;
+                }
+                let cause = shared.classify(scratch, self.s, self.t, self.policy, None);
+                shared.note_blocked(cause);
+                self.phase = ProvisionPhase::Done;
+                Step::Done(ProvisionOutcome::Blocked { cause })
+            }
+            ProvisionPhase::Done => unreachable!("stepped a finished transaction"),
+        }
+    }
+}
+
+/// Release transaction phases.
+#[derive(Debug)]
+enum ReleasePhase {
+    Lookup,
+    Claim,
+    Commit,
+    Flip,
+    Publish,
+    Done,
+}
+
+/// A stepped release transaction: peeks the connection's path, claims
+/// the shards the path touches, then — *under the claim* — removes the
+/// connection from the active map and clears its bits. Releases never
+/// conflict logically (the resources are owned), only contend on shard
+/// claims.
+///
+/// The map removal must happen while the shards are held: a `fail_link`
+/// holds every shard from its first claim through its publish, so
+/// committing the removal under our own claim guarantees the release
+/// linearizes entirely before or entirely after any cut. (An earlier
+/// draft removed the entry during lookup, *before* claiming; the
+/// conformance harness caught the resulting history — a cut and a
+/// release both reporting they freed the same connection.) If the
+/// connection is gone by the time we hold the shards, it was torn by a
+/// concurrent cut: roll the claims back untouched and report
+/// [`RwaError::UnknownConnection`].
+#[derive(Debug)]
+pub struct ReleaseTxn {
+    id: ConnectionId,
+    path: Option<Semilightpath>,
+    touched: Vec<usize>,
+    /// Per touched shard: the even version the claim CAS started from.
+    claim_base: Vec<u64>,
+    claimed: usize,
+    flipped: usize,
+    phase: ReleasePhase,
+}
+
+impl ReleaseTxn {
+    /// Starts a release transaction for `id`.
+    pub fn new(id: ConnectionId) -> Self {
+        ReleaseTxn {
+            id,
+            path: None,
+            touched: Vec::new(),
+            claim_base: Vec::new(),
+            claimed: 0,
+            flipped: 0,
+            phase: ReleasePhase::Lookup,
+        }
+    }
+
+    /// Advances the transaction by one step.
+    pub fn step(&mut self, engine: &ConcurrentEngine) -> Step<Result<(), RwaError>> {
+        let shared = engine.shared();
+        match self.phase {
+            ReleasePhase::Lookup => {
+                let conn = lock(&shared.active).get(&self.id).cloned();
+                match conn {
+                    Some(c) => {
+                        self.touched = shared.touched_shards(&c.path);
+                        self.claim_base = vec![0; self.touched.len()];
+                        self.path = Some(c.path);
+                        self.phase = ReleasePhase::Claim;
+                        Step::Progress
+                    }
+                    None => {
+                        self.phase = ReleasePhase::Done;
+                        Step::Done(Err(RwaError::UnknownConnection(self.id)))
+                    }
+                }
+            }
+            ReleasePhase::Claim => {
+                if self.claimed == self.touched.len() {
+                    self.phase = ReleasePhase::Commit;
+                    return Step::Progress;
+                }
+                let sh = self.touched[self.claimed];
+                let v = shared.shards[sh].load(ACQUIRE);
+                if v % 2 == 1 {
+                    return Step::Contended;
+                }
+                match shared.shards[sh].compare_exchange(v, v + 1, ACQ_REL, ACQUIRE) {
+                    Ok(_) => {
+                        self.claim_base[self.claimed] = v;
+                        self.claimed += 1;
+                        Step::Progress
+                    }
+                    Err(_) => Step::Contended,
+                }
+            }
+            ReleasePhase::Commit => {
+                let present = lock(&shared.active).remove(&self.id).is_some();
+                if present {
+                    self.phase = ReleasePhase::Flip;
+                    Step::Progress
+                } else {
+                    // Torn down by a cut that committed between our peek
+                    // and our claim. Nothing was flipped: restore the
+                    // claimed versions untouched.
+                    for (i, &sh) in self.touched.iter().enumerate().take(self.claimed) {
+                        shared.shards[sh].store(self.claim_base[i], RELEASE);
+                    }
+                    self.phase = ReleasePhase::Done;
+                    Step::Done(Err(RwaError::UnknownConnection(self.id)))
+                }
+            }
+            ReleasePhase::Flip => {
+                let Some(path) = self.path.as_ref() else {
+                    unreachable!("flip phase always holds a path")
+                };
+                let hop = path.hops()[self.flipped];
+                let released = shared.state.release_shared(hop.link, hop.wavelength);
+                debug_assert!(released, "released a hop the base does not carry");
+                self.flipped += 1;
+                if self.flipped == path.hops().len() {
+                    self.phase = ReleasePhase::Publish;
+                }
+                Step::Progress
+            }
+            ReleasePhase::Publish => {
+                for (i, &sh) in self.touched.iter().enumerate() {
+                    shared.shards[sh].store(self.claim_base[i] + 2, RELEASE);
+                }
+                shared.released.fetch_add(1, RELAXED);
+                self.phase = ReleasePhase::Done;
+                Step::Done(Ok(()))
+            }
+            ReleasePhase::Done => unreachable!("stepped a finished transaction"),
+        }
+    }
+}
+
+/// Fail-link transaction phases.
+#[derive(Debug)]
+enum FailLinkPhase {
+    ClaimAll,
+    Snapshot,
+    Teardown,
+    MarkCut,
+    Restore,
+    UnmarkCut,
+    PublishAll,
+    Done,
+}
+
+/// A stepped fibre-cut transaction. Claims **every** shard (ascending —
+/// the same global order provisions and releases use, so claim cycles
+/// cannot form), then runs the teardown → mark → restore → unmark
+/// sequence exclusively, exactly mirroring the single-threaded
+/// [`fail_link`](crate::ProvisioningEngine::fail_link). The memo epoch
+/// advances entering and leaving the cut so blocked-cause verdicts
+/// probed under one failed-link regime are never reused under another.
+#[derive(Debug)]
+pub struct FailLinkTxn {
+    link: LinkId,
+    policy: Policy,
+    claim_base: Vec<u64>,
+    claimed: usize,
+    affected: Vec<(ConnectionId, Semilightpath)>,
+    torn: usize,
+    /// Wavelengths of the cut link we marked busy (those the base
+    /// carries).
+    marked: Vec<Wavelength>,
+    restored: usize,
+    outcomes: Vec<RestorationOutcome>,
+    phase: FailLinkPhase,
+}
+
+impl FailLinkTxn {
+    /// Starts a fail-link transaction for `link`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn new(engine: &ConcurrentEngine, link: LinkId, policy: Policy) -> Self {
+        assert!(
+            link.index() < engine.shared().base.link_count(),
+            "link {link} out of range"
+        );
+        FailLinkTxn {
+            link,
+            policy,
+            claim_base: vec![0; engine.shared().shards.len()],
+            claimed: 0,
+            affected: Vec::new(),
+            torn: 0,
+            marked: Vec::new(),
+            restored: 0,
+            outcomes: Vec::new(),
+            phase: FailLinkPhase::ClaimAll,
+        }
+    }
+
+    /// Advances the transaction by one step.
+    pub fn step(
+        &mut self,
+        engine: &ConcurrentEngine,
+        scratch: &mut SearchScratch,
+    ) -> Step<Vec<RestorationOutcome>> {
+        let shared = engine.shared();
+        match self.phase {
+            FailLinkPhase::ClaimAll => {
+                if self.claimed == shared.shards.len() {
+                    self.phase = FailLinkPhase::Snapshot;
+                    return Step::Progress;
+                }
+                let sh = self.claimed;
+                let v = shared.shards[sh].load(ACQUIRE);
+                if v % 2 == 1 {
+                    return Step::Contended;
+                }
+                match shared.shards[sh].compare_exchange(v, v + 1, ACQ_REL, ACQUIRE) {
+                    Ok(_) => {
+                        self.claim_base[sh] = v;
+                        self.claimed += 1;
+                        Step::Progress
+                    }
+                    Err(_) => Step::Contended,
+                }
+            }
+            FailLinkPhase::Snapshot => {
+                // Exclusive from here on. Entering the cut changes the
+                // failed-link regime for cause classification.
+                shared.memo_epoch.fetch_add(1, RELEASE);
+                let active = lock(&shared.active);
+                let mut affected: Vec<(ConnectionId, Semilightpath)> = active
+                    .iter()
+                    .filter(|(_, c)| c.path.hops().iter().any(|h| h.link == self.link))
+                    .map(|(&id, c)| (id, c.path.clone()))
+                    .collect();
+                drop(active);
+                affected.sort_by_key(|&(id, _)| id);
+                self.affected = affected;
+                self.phase = FailLinkPhase::Teardown;
+                Step::Progress
+            }
+            FailLinkPhase::Teardown => {
+                if self.torn == self.affected.len() {
+                    self.phase = FailLinkPhase::MarkCut;
+                    return Step::Progress;
+                }
+                let (id, path) = &self.affected[self.torn];
+                lock(&shared.active).remove(id);
+                for hop in path.hops() {
+                    let released = shared.state.release_shared(hop.link, hop.wavelength);
+                    debug_assert!(released, "active path hop missing from base");
+                }
+                shared.released.fetch_add(1, RELAXED);
+                self.torn += 1;
+                Step::Progress
+            }
+            FailLinkPhase::MarkCut => {
+                for lambda in 0..shared.base.k() {
+                    let lam = Wavelength::new(lambda);
+                    if shared.state.try_acquire_shared(self.link, lam) == AcquireOutcome::Acquired {
+                        self.marked.push(lam);
+                    }
+                }
+                self.phase = FailLinkPhase::Restore;
+                Step::Progress
+            }
+            FailLinkPhase::Restore => {
+                if self.restored == self.affected.len() {
+                    self.phase = FailLinkPhase::UnmarkCut;
+                    return Step::Progress;
+                }
+                let (torn_id, old_path) = self.affected[self.restored].clone();
+                let (Some(s), Some(t)) =
+                    (old_path.source(&shared.base), old_path.target(&shared.base))
+                else {
+                    unreachable!("active paths are non-empty")
+                };
+                let routed = self.policy.route_shared(&shared.state, scratch, s, t);
+                let outcome = match routed {
+                    Some(path) if !path.is_empty() => {
+                        for hop in path.hops() {
+                            let got = shared.state.try_acquire_shared(hop.link, hop.wavelength);
+                            debug_assert_eq!(got, AcquireOutcome::Acquired);
+                        }
+                        let id = ConnectionId::from_raw(shared.next_id.fetch_add(1, RELAXED));
+                        lock(&shared.active).insert(id, Connection { path: path.clone() });
+                        shared.accepted.fetch_add(1, RELAXED);
+                        RestorationOutcome {
+                            torn: torn_id,
+                            restored: Some((id, path)),
+                            cause: None,
+                        }
+                    }
+                    _ => {
+                        let cause = shared.classify(scratch, s, t, self.policy, Some(self.link));
+                        shared.note_blocked(cause);
+                        RestorationOutcome {
+                            torn: torn_id,
+                            restored: None,
+                            cause: Some(cause),
+                        }
+                    }
+                };
+                self.outcomes.push(outcome);
+                self.restored += 1;
+                Step::Progress
+            }
+            FailLinkPhase::UnmarkCut => {
+                for &lam in &self.marked {
+                    shared.state.release_shared(self.link, lam);
+                }
+                // Leaving the cut: back to the no-failed-links regime.
+                shared.memo_epoch.fetch_add(1, RELEASE);
+                self.phase = FailLinkPhase::PublishAll;
+                Step::Progress
+            }
+            FailLinkPhase::PublishAll => {
+                for (sh, shard) in shared.shards.iter().enumerate() {
+                    shard.store(self.claim_base[sh] + 2, RELEASE);
+                }
+                self.phase = FailLinkPhase::Done;
+                Step::Done(std::mem::take(&mut self.outcomes))
+            }
+            FailLinkPhase::Done => unreachable!("stepped a finished transaction"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ProvisioningEngine, RoutingMode};
+    use wdm_core::{ConversionPolicy, Cost};
+    use wdm_graph::DiGraph;
+
+    fn base() -> WdmNetwork {
+        let g = DiGraph::from_links(4, [(0, 1), (1, 2), (2, 3)]);
+        WdmNetwork::builder(g, 2)
+            .link_wavelengths(0, [(0, 10), (1, 12)])
+            .link_wavelengths(1, [(0, 10), (1, 12)])
+            .link_wavelengths(2, [(0, 10), (1, 12)])
+            .uniform_conversion(ConversionPolicy::Uniform(Cost::new(1)))
+            .build()
+            .expect("valid")
+    }
+
+    #[test]
+    fn single_threaded_run_matches_sequential_engine() {
+        // Same script through the concurrent engine (1 handle) and the
+        // single-threaded engine: identical outcomes, paths, totals,
+        // cause splits, and utilization — and zero conflicts.
+        let net = base();
+        let conc = ConcurrentEngine::new(&net, 0);
+        let mut h = conc.handle();
+        let mut seq = ProvisioningEngine::with_mode(&net, RoutingMode::Masked);
+        let script = [(0, 3), (0, 2), (3, 0), (1, 3), (0, 3), (2, 2)];
+        let mut pairs = Vec::new();
+        for (s, t) in script {
+            let a = h.provision(NodeId::new(s), NodeId::new(t), Policy::Optimal);
+            let b = seq.provision(NodeId::new(s), NodeId::new(t), Policy::Optimal);
+            assert_eq!(a.is_ok(), b.is_ok(), "{s}->{t}");
+            if let (Ok(ca), Ok(cb)) = (a, b) {
+                assert_eq!(conc.path_of(ca), seq.path_of(cb).cloned(), "{s}->{t} path");
+                pairs.push((ca, cb));
+            }
+        }
+        assert_eq!(conc.totals(), seq.totals());
+        assert_eq!(conc.blocked_by_cause(), seq.blocked_by_cause());
+        assert!((conc.utilization() - seq.utilization()).abs() < 1e-12);
+        assert_eq!(conc.conflicts(), 0);
+        let (ca, cb) = pairs[0];
+        h.release(ca).expect("active");
+        seq.release(cb).expect("active");
+        assert_eq!(conc.totals(), seq.totals());
+        assert_eq!(
+            h.release(ca),
+            Err(RwaError::UnknownConnection(ca)),
+            "double release"
+        );
+    }
+
+    #[test]
+    fn fail_link_matches_sequential_engine() {
+        let net = base();
+        let conc = ConcurrentEngine::new(&net, 2);
+        let mut h = conc.handle();
+        let mut seq = ProvisioningEngine::new(&net);
+        let a = h
+            .provision(0.into(), 3.into(), Policy::Optimal)
+            .expect("routes");
+        let b = seq
+            .provision(0.into(), 3.into(), Policy::Optimal)
+            .expect("routes");
+        let cut = conc.path_of(a).expect("active").hops()[1].link;
+        let oa = h.fail_link(cut, Policy::Optimal);
+        let ob = seq.fail_link(cut, Policy::Optimal);
+        assert_eq!(oa.len(), ob.len());
+        assert_eq!(oa[0].0, a);
+        assert_eq!(ob[0].0, b);
+        assert_eq!(oa[0].1.is_some(), ob[0].1.is_some());
+        assert_eq!(conc.totals(), seq.totals());
+        assert_eq!(conc.blocked_by_cause(), seq.blocked_by_cause());
+        assert!((conc.utilization() - seq.utilization()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threads_never_share_a_resource() {
+        // 4 real threads hammer provision/release; afterwards the busy
+        // count must equal exactly the hops of still-active paths and
+        // no two active paths may share a (link, λ).
+        let net = base();
+        let conc = ConcurrentEngine::new(&net, 2);
+        let mut held: Vec<Vec<ConnectionId>> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut joins = Vec::new();
+            for worker in 0..4 {
+                let engine = conc.clone();
+                joins.push(scope.spawn(move || {
+                    let mut h = engine.handle();
+                    let mut mine = Vec::new();
+                    for round in 0..50 {
+                        let (s, t) = [(0, 3), (0, 2), (1, 3)][(worker + round) % 3];
+                        if let Ok(id) = h.provision(NodeId::new(s), NodeId::new(t), Policy::Optimal)
+                        {
+                            if round % 2 == 0 {
+                                h.release(id).expect("own connection");
+                            } else {
+                                mine.push(id);
+                            }
+                        }
+                    }
+                    mine
+                }));
+            }
+            for j in joins {
+                held.push(j.join().expect("worker panicked"));
+            }
+        });
+        let active: Vec<ConnectionId> = held.into_iter().flatten().collect();
+        assert_eq!(conc.active_count(), active.len());
+        let mut used = std::collections::HashSet::new();
+        let mut hops = 0usize;
+        for &id in &active {
+            let path = conc.path_of(id).expect("active");
+            for h in path.hops() {
+                assert!(
+                    used.insert((h.link, h.wavelength)),
+                    "two active paths share ({}, {})",
+                    h.link,
+                    h.wavelength
+                );
+                assert!(conc.is_busy(h.link, h.wavelength));
+                hops += 1;
+            }
+        }
+        assert_eq!(conc.shared().state.busy_count(), hops);
+        let (accepted, _, released) = conc.totals();
+        assert_eq!(accepted - released, active.len() as u64);
+        // Drain and verify the engine returns to empty.
+        let mut h = conc.handle();
+        for id in active {
+            h.release(id).expect("active");
+        }
+        assert_eq!(conc.shared().state.busy_count(), 0);
+        assert_eq!(conc.utilization(), 0.0);
+    }
+
+    #[test]
+    fn shard_count_is_clamped() {
+        let net = base();
+        assert_eq!(ConcurrentEngine::new(&net, 0).num_shards(), 2);
+        assert_eq!(ConcurrentEngine::new(&net, 1).num_shards(), 1);
+        assert_eq!(ConcurrentEngine::new(&net, 64).num_shards(), 2);
+    }
+
+    #[test]
+    fn out_of_range_endpoints_fail_fast() {
+        let net = base();
+        let conc = ConcurrentEngine::new(&net, 0);
+        let mut h = conc.handle();
+        assert!(matches!(
+            h.provision(0.into(), 9.into(), Policy::Optimal),
+            Err(RwaError::NodeOutOfRange(_))
+        ));
+        assert_eq!(conc.totals(), (0, 0, 0));
+    }
+}

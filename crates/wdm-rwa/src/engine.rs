@@ -19,6 +19,14 @@ fn ns_since(t0: Instant) -> u64 {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ConnectionId(u64);
 
+impl ConnectionId {
+    /// Crate-internal constructor for the concurrent engine's id
+    /// allocator (ids are engine-scoped either way).
+    pub(crate) fn from_raw(raw: u64) -> Self {
+        ConnectionId(raw)
+    }
+}
+
 impl fmt::Display for ConnectionId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "conn{}", self.0)
@@ -106,11 +114,24 @@ pub struct ProvisioningEngine {
     /// Blocked requests that a free network would have routed.
     blocked_capacity: u64,
     /// Memoized free-network reachability, keyed by
-    /// `(s, t, conversion-capable)`. The blocked-cause verdict depends
-    /// only on the *free* network — never on current occupancy — so it
-    /// is stable for the engine's lifetime and churn workloads that
-    /// block the same pairs repeatedly pay the probe once.
-    free_reach_cache: HashMap<(NodeId, NodeId, bool), bool>,
+    /// `(s, t, conversion-capable)` and tagged with the
+    /// [`cause_epoch`](Self::cause_epoch) it was probed under. The
+    /// blocked-cause verdict depends only on the free network *minus the
+    /// currently failed link* — never on occupancy — so entries stay
+    /// valid until the failed-link set changes; churn workloads that
+    /// block the same pairs repeatedly pay the probe once per epoch.
+    free_reach_cache: HashMap<(NodeId, NodeId, bool), (u64, bool)>,
+    /// Bumped every time the failed-link set changes (entering *and*
+    /// leaving a [`fail_link`](Self::fail_link) cut), invalidating all
+    /// memoized cause verdicts probed under the previous set.
+    cause_epoch: u64,
+    /// The link currently cut by an in-flight [`fail_link`] — blocked
+    /// restorations must be classified against the free network *without*
+    /// this link: a pair whose only free-network routes crossed the cut
+    /// is topology-blocked for the duration, not capacity-blocked.
+    ///
+    /// [`fail_link`]: Self::fail_link
+    failed_link: Option<LinkId>,
     /// Shared instruments when a registry is attached; `None` keeps the
     /// hot path at one branch per operation.
     metrics: Option<EngineMetrics>,
@@ -155,6 +176,8 @@ impl ProvisioningEngine {
             blocked_no_path: 0,
             blocked_capacity: 0,
             free_reach_cache: HashMap::new(),
+            cause_epoch: 0,
+            failed_link: None,
             metrics: None,
         }
     }
@@ -304,13 +327,15 @@ impl ProvisioningEngine {
     }
 
     /// Classifies a blocked request: topology-blocked (`no_path`) when
-    /// the pair cannot be routed even on the fully free network under
-    /// `policy`'s capabilities, occupancy-blocked (`capacity`)
-    /// otherwise. Runs on the cold blocked path only; the probe's
-    /// search work is discarded so it never pollutes request metering.
-    /// Verdicts are memoized per `(s, t, conversion-capable)` — the free
-    /// network never changes under provisioning, so repeat offenders
-    /// (the common case in steady-state churn) skip the probe entirely.
+    /// the pair cannot be routed even with every resource free under
+    /// `policy`'s capabilities — on the free network *minus the
+    /// currently failed link*, if a cut is in flight — and
+    /// occupancy-blocked (`capacity`) otherwise. Runs on the cold
+    /// blocked path only; the probe's search work is discarded so it
+    /// never pollutes request metering. Verdicts are memoized per
+    /// `(s, t, conversion-capable)` under the current
+    /// [`cause_epoch`](Self::cause_epoch): stale entries from a
+    /// different failed-link regime are re-probed, never trusted.
     fn classify_blocked(&mut self, s: NodeId, t: NodeId, policy: Policy) -> BlockCause {
         let reachable = if s == t {
             // The engine rejects s == t (an empty path carries nothing);
@@ -320,16 +345,23 @@ impl ProvisioningEngine {
             // LightpathOnly and FirstFit both route on a single
             // wavelength end-to-end, so they share one cache class.
             let converts = matches!(policy, Policy::Optimal);
+            let epoch = self.cause_epoch;
             match self.free_reach_cache.get(&(s, t, converts)) {
-                Some(&hit) => hit,
-                None => {
-                    let probed = if converts {
-                        self.residual.reachable_when_free(s, t)
-                    } else {
-                        self.residual.reachable_when_free_single_wavelength(s, t)
+                Some(&(e, hit)) if e == epoch => hit,
+                _ => {
+                    let failed = self.failed_link;
+                    let (state, scratch) = self.residual.split_mut();
+                    let probed = match (converts, failed) {
+                        (true, None) => state.reachable_when_free(scratch, s, t),
+                        (true, Some(l)) => state.reachable_when_free_excluding(scratch, s, t, l),
+                        (false, None) => state.reachable_when_free_single_wavelength(scratch, s, t),
+                        (false, Some(l)) => {
+                            state.reachable_when_free_single_wavelength_excluding(scratch, s, t, l)
+                        }
                     };
                     let _ = self.residual.take_search_totals();
-                    self.free_reach_cache.insert((s, t, converts), probed);
+                    self.free_reach_cache
+                        .insert((s, t, converts), (epoch, probed));
                     probed
                 }
             }
@@ -596,20 +628,28 @@ impl ProvisioningEngine {
         // Mark the failed link busy on every wavelength so restoration
         // avoids it. (Wavelengths the link does not carry have no mask
         // bit; flagging them in the busy matrix alone is harmless because
-        // no route can use them either way.)
+        // no route can use them either way.) Cause classification must
+        // see the cut too — a restoration whose only free-network routes
+        // crossed the fibre is topology-blocked for the duration — so the
+        // failed-link regime changes and the memo epoch advances with it.
         for lambda in 0..self.base.k() {
             self.set_resource(link, Wavelength::new(lambda), true);
         }
+        self.failed_link = Some(link);
+        self.cause_epoch += 1;
         let mut outcome = Vec::with_capacity(affected.len());
         for (&id, &(s, t)) in affected.iter().zip(&endpoints) {
             outcome.push((id, self.provision(s, t, policy).ok()));
         }
         // No active connection crosses the cut fibre any more (the
         // affected ones were torn down and restorations excluded it), so
-        // its true resource state is all-free; clear the block markers.
+        // its true resource state is all-free; clear the block markers
+        // and leave the in-cut cause verdicts behind with their epoch.
         for lambda in 0..self.base.k() {
             self.set_resource(link, Wavelength::new(lambda), false);
         }
+        self.failed_link = None;
+        self.cause_epoch += 1;
         if let (Some(m), Some(t0)) = (&self.metrics, started) {
             m.fail_link_latency.observe(ns_since(t0));
         }
@@ -1098,5 +1138,58 @@ mod tests {
             .is_err());
         assert_eq!(engine.utilization(), before);
         assert_eq!(engine.active_count(), 0);
+    }
+
+    /// Regression: the blocked-cause memo must be invalidated across a
+    /// fibre cut. A snapshot-free implementation that caches "0 → 3 is
+    /// reachable on the free network" before the cut would classify the
+    /// cut's blocked restorations as capacity; with the middle link
+    /// failed they are topology-blocked, and after repair the pair must
+    /// classify as capacity again (the no-path regime must not stick
+    /// either).
+    #[test]
+    fn blocked_cause_memo_invalidated_across_fail_link() {
+        let mut engine = ProvisioningEngine::new(&base());
+        // Fill both wavelengths of the chain, then seed the memo:
+        // 0 → 3 is routable when free, so the third request is
+        // capacity-blocked and the (0, 3) probe is now cached.
+        let a = engine
+            .provision(0.into(), 3.into(), Policy::Optimal)
+            .expect("λ0 free");
+        let b = engine
+            .provision(0.into(), 3.into(), Policy::Optimal)
+            .expect("λ1 free");
+        assert!(engine
+            .provision(0.into(), 3.into(), Policy::Optimal)
+            .is_err());
+        assert_eq!(engine.blocked_by_cause(), (0, 1));
+
+        // Cut the middle link: both connections are torn, neither can
+        // restore (every 0 → 3 route crosses the cut), and the verdict
+        // must be no-path — the stale cached probe said "reachable".
+        let outcome = engine.fail_link(LinkId::new(1), Policy::Optimal);
+        assert_eq!(outcome.len(), 2);
+        assert!(outcome.iter().all(|(_, restored)| restored.is_none()));
+        assert_eq!(
+            engine.blocked_by_cause(),
+            (2, 1),
+            "restorations blocked by the cut must classify as no-path"
+        );
+        let _ = (a, b);
+
+        // The cut is over (markers cleared): the pair routes again, and
+        // once re-filled the verdict flips back to capacity — the
+        // no-path entries from the cut regime must not stick either.
+        let c = engine
+            .provision(0.into(), 3.into(), Policy::Optimal)
+            .expect("resources freed by the teardown");
+        let _ = engine
+            .provision(0.into(), 3.into(), Policy::Optimal)
+            .expect("second wavelength free again");
+        assert!(engine
+            .provision(0.into(), 3.into(), Policy::Optimal)
+            .is_err());
+        assert_eq!(engine.blocked_by_cause(), (2, 2));
+        engine.release(c).expect("active");
     }
 }

@@ -63,6 +63,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod concurrent;
 mod engine;
 mod metrics;
 mod policy;
@@ -71,6 +72,7 @@ mod stats;
 /// failure scenarios).
 pub mod workload;
 
+pub use concurrent::{ConcurrentEngine, ConcurrentHandle, RaceInjection};
 pub use engine::{ConnectionId, ProvisioningEngine, RoutingMode, RwaError};
 pub use metrics::BlockCause;
 pub use policy::Policy;

@@ -2,8 +2,8 @@
 
 use wdm_core::csr::{CsrBuilder, EdgeRole};
 use wdm_core::{
-    dijkstra_with, Cost, HeapKind, Hop, LiangShenRouter, PersistentAuxGraph, Semilightpath,
-    Wavelength, WdmNetwork,
+    dijkstra_with, Cost, HeapKind, Hop, LiangShenRouter, PersistentAuxGraph, ResidualState,
+    SearchScratch, Semilightpath, Wavelength, WdmNetwork,
 };
 use wdm_graph::NodeId;
 
@@ -92,6 +92,47 @@ impl Policy {
             Policy::FirstFit => {
                 for lambda in 0..residual.k() {
                     if let Some(p) = residual.route_single_wavelength(s, t, Wavelength::new(lambda))
+                    {
+                        return Some(p);
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Routes `s → t` on a shared [`ResidualState`] through a
+    /// caller-owned scratch — the concurrent engine's flavour of
+    /// [`route_masked`](Self::route_masked), policy-for-policy
+    /// identical (same wavelength scan order, same strict-improvement
+    /// selection) so both engines make bit-identical decisions on the
+    /// same mask state.
+    pub(crate) fn route_shared(
+        self,
+        state: &ResidualState,
+        scratch: &mut SearchScratch,
+        s: NodeId,
+        t: NodeId,
+    ) -> Option<Semilightpath> {
+        match self {
+            Policy::Optimal => state.route_optimal(scratch, s, t),
+            Policy::LightpathOnly => {
+                let mut best: Option<Semilightpath> = None;
+                for lambda in 0..state.k() {
+                    if let Some(p) =
+                        state.route_single_wavelength(scratch, s, t, Wavelength::new(lambda))
+                    {
+                        if best.as_ref().map(|b| p.cost() < b.cost()).unwrap_or(true) {
+                            best = Some(p);
+                        }
+                    }
+                }
+                best
+            }
+            Policy::FirstFit => {
+                for lambda in 0..state.k() {
+                    if let Some(p) =
+                        state.route_single_wavelength(scratch, s, t, Wavelength::new(lambda))
                     {
                         return Some(p);
                     }

@@ -91,24 +91,35 @@ pub mod test_runner {
     #[derive(Debug, Clone)]
     pub struct TestRng {
         state: u64,
+        seed: u64,
     }
 
     impl TestRng {
         /// Seeds from the test identity (stable across runs), or from
-        /// `PROPTEST_SEED` when set.
+        /// `WDM_TEST_SEED` / `PROPTEST_SEED` when set (checked in that
+        /// order; `WDM_TEST_SEED` is the workspace-wide knob every
+        /// randomized suite honors).
         pub fn for_test(file: &str, name: &str) -> Self {
-            if let Ok(seed) = std::env::var("PROPTEST_SEED") {
-                if let Ok(seed) = seed.parse::<u64>() {
-                    return TestRng { state: seed };
+            let env = parse_seed(
+                std::env::var("WDM_TEST_SEED").ok(),
+                std::env::var("PROPTEST_SEED").ok(),
+            );
+            let seed = env.unwrap_or_else(|| {
+                // FNV-1a over file/name gives a stable per-test stream.
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in file.bytes().chain([0u8]).chain(name.bytes()) {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x0000_0100_0000_01B3);
                 }
-            }
-            // FNV-1a over file/name gives a stable per-test stream.
-            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-            for b in file.bytes().chain([0u8]).chain(name.bytes()) {
-                h ^= b as u64;
-                h = h.wrapping_mul(0x0000_0100_0000_01B3);
-            }
-            TestRng { state: h }
+                h
+            });
+            TestRng { state: seed, seed }
+        }
+
+        /// The seed this stream started from — echoed in failure
+        /// messages so any case replays with `WDM_TEST_SEED=<seed>`.
+        pub fn seed(&self) -> u64 {
+            self.seed
         }
 
         /// Next 64 random bits.
@@ -130,6 +141,13 @@ pub mod test_runner {
         pub fn unit_f64(&mut self) -> f64 {
             (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
         }
+    }
+
+    /// First parseable seed among the override env values, in priority
+    /// order (`WDM_TEST_SEED`, then `PROPTEST_SEED`).
+    pub(crate) fn parse_seed(wdm: Option<String>, proptest: Option<String>) -> Option<u64> {
+        wdm.and_then(|s| s.parse().ok())
+            .or_else(|| proptest.and_then(|s| s.parse().ok()))
     }
 }
 
@@ -553,8 +571,13 @@ macro_rules! proptest {
                 while ran < config.cases {
                     $(let $pat = $crate::strategy::Strategy::generate(&$strat, &mut rng);)*
                     let case_desc = format!(
-                        concat!($(stringify!($pat), " = {:?}, ",)* ""),
+                        concat!(
+                            $(stringify!($pat), " = {:?}, ",)*
+                            "seed = {} (rerun with WDM_TEST_SEED={})",
+                        ),
                         $($crate::__pat_bindings!($pat),)*
+                        rng.seed(),
+                        rng.seed(),
                     );
                     let passed = $crate::run_case(
                         || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
@@ -682,6 +705,43 @@ pub mod prelude {
 #[cfg(test)]
 mod self_tests {
     use crate::prelude::*;
+
+    #[test]
+    fn seed_override_prefers_wdm_test_seed() {
+        use crate::test_runner::parse_seed;
+        assert_eq!(
+            parse_seed(Some("7".into()), Some("9".into())),
+            Some(7),
+            "WDM_TEST_SEED wins over PROPTEST_SEED"
+        );
+        assert_eq!(parse_seed(None, Some("9".into())), Some(9));
+        assert_eq!(parse_seed(Some("junk".into()), Some("9".into())), Some(9));
+        assert_eq!(parse_seed(None, None), None);
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_echo_their_seed() {
+        use crate::test_runner::TestRng;
+        let mut a = TestRng::for_test("f.rs", "prop");
+        let mut b = TestRng::for_test("f.rs", "prop");
+        assert_eq!(a.seed(), b.seed());
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "WDM_TEST_SEED=")]
+    fn failing_case_panics_with_the_replay_seed() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(2))]
+            #[allow(unused)]
+            fn inner(x in 0usize..4) {
+                prop_assert!(false);
+            }
+        }
+        inner();
+    }
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
