@@ -1,0 +1,90 @@
+//! `wdm all-pairs` — the Corollary-1 cost matrix, serial or parallel.
+
+use std::fmt::Write as _;
+
+use wdm_graph::NodeId;
+
+use crate::util::{load, usage_error};
+use crate::Command;
+
+/// The `all-pairs` subcommand.
+pub struct AllPairs;
+
+impl Command for AllPairs {
+    fn name(&self) -> &'static str {
+        "all-pairs"
+    }
+
+    fn summary(&self) -> &'static str {
+        "print the all-pairs optimal-cost matrix (Corollary 1)"
+    }
+
+    fn usage(&self) -> &'static str {
+        "  wdm all-pairs <file.wdm> [--parallel] [--threads <n>]
+      --parallel uses all cores; --threads <n> pins the worker count
+      (the matrix is identical either way — see AllPairs::solve_parallel)"
+    }
+
+    fn run(&self, args: &[String], out: &mut String) -> i32 {
+        let mut path: Option<&String> = None;
+        let mut parallel = false;
+        let mut threads: Option<usize> = None;
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--parallel" => parallel = true,
+                "--threads" => {
+                    threads = match it.next().and_then(|v| v.parse().ok()) {
+                        Some(0) | None => return usage_error(out, "bad --threads (want n >= 1)"),
+                        some => some,
+                    }
+                }
+                flag if flag.starts_with("--") => {
+                    return usage_error(out, &format!("unknown flag `{flag}`"))
+                }
+                _ if path.is_none() => path = Some(a),
+                extra => return usage_error(out, &format!("unexpected argument `{extra}`")),
+            }
+        }
+        let Some(path) = path else {
+            return usage_error(out, "all-pairs takes one file");
+        };
+        let net = match load(path, out) {
+            Ok(n) => n,
+            Err(code) => return code,
+        };
+        let n = net.node_count();
+        if n > 64 {
+            let _ = writeln!(out, "error: all-pairs table limited to 64 nodes (have {n})");
+            return 1;
+        }
+        // `--threads n` implies parallel; bare `--parallel` auto-sizes (0).
+        let ap = match (parallel, threads) {
+            (_, Some(t)) => {
+                wdm_core::AllPairs::solve_parallel(&net, wdm_core::HeapKind::Fibonacci, t)
+            }
+            (true, None) => {
+                wdm_core::AllPairs::solve_parallel(&net, wdm_core::HeapKind::Fibonacci, 0)
+            }
+            (false, None) => wdm_core::AllPairs::solve(&net),
+        };
+        let _ = write!(out, "{:>5}", "");
+        for t in 0..n {
+            let _ = write!(out, "{t:>7}");
+        }
+        out.push('\n');
+        for s in 0..n {
+            let _ = write!(out, "{s:>5}");
+            for t in 0..n {
+                let c = ap.cost(NodeId::new(s), NodeId::new(t));
+                if c.is_infinite() {
+                    let _ = write!(out, "{:>7}", "∞");
+                } else {
+                    let _ = write!(out, "{:>7}", c.to_string());
+                }
+            }
+            out.push('\n');
+        }
+        0
+    }
+}

@@ -1,0 +1,50 @@
+//! `wdm export` — Graphviz DOT with wavelength labels.
+
+use crate::util::{load, usage_error};
+use crate::Command;
+
+/// The `export` subcommand.
+pub struct Export;
+
+impl Command for Export {
+    fn name(&self) -> &'static str {
+        "export"
+    }
+
+    fn summary(&self) -> &'static str {
+        "export an instance as Graphviz DOT with wavelength labels"
+    }
+
+    fn usage(&self) -> &'static str {
+        "  wdm export <file.wdm>           (Graphviz DOT with wavelength labels)"
+    }
+
+    fn run(&self, args: &[String], out: &mut String) -> i32 {
+        let [path] = args else {
+            return usage_error(out, "export takes exactly one file");
+        };
+        let net = match load(path, out) {
+            Ok(n) => n,
+            Err(code) => return code,
+        };
+        let link_labels: Vec<String> = net
+            .graph()
+            .links()
+            .map(|(e, _)| {
+                net.wavelengths_on(e)
+                    .iter()
+                    .map(|(w, _)| w.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            })
+            .collect();
+        let options = wdm_graph::dot::DotOptions {
+            name: "wdm_instance".to_string(),
+            node_labels: Vec::new(),
+            link_labels,
+            merge_fibre_pairs: false,
+        };
+        out.push_str(&wdm_graph::dot::to_dot(net.graph(), &options));
+        0
+    }
+}

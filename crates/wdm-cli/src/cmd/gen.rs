@@ -1,0 +1,101 @@
+//! `wdm gen` — generate a random `.wdm` instance over a named or
+//! parametric topology.
+
+use std::fmt::Write as _;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use wdm_core::instance::{random_network, Availability, ConversionSpec, InstanceConfig};
+use wdm_core::textfmt;
+
+use crate::util::{build_topology, usage_error};
+use crate::Command;
+
+/// The `gen` subcommand.
+pub struct Gen;
+
+impl Command for Gen {
+    fn name(&self) -> &'static str {
+        "gen"
+    }
+
+    fn summary(&self) -> &'static str {
+        "generate a random instance over a named or parametric topology"
+    }
+
+    fn usage(&self) -> &'static str {
+        "  wdm gen --topology <name> --k <k> [--k0 <k0>] [--seed <s>] [-o <file>]
+      topologies: nsfnet | arpanet | eon | abilene | geant |
+                  ring:<n> | grid:<r>x<c> | sparse:<n>"
+    }
+
+    fn run(&self, args: &[String], out: &mut String) -> i32 {
+        let mut topo: Option<String> = None;
+        let mut k: Option<usize> = None;
+        let mut k0: Option<usize> = None;
+        let mut seed = 0u64;
+        let mut output: Option<String> = None;
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--topology" => topo = it.next().cloned(),
+                "--k" => k = it.next().and_then(|v| v.parse().ok()),
+                "--k0" => k0 = it.next().and_then(|v| v.parse().ok()),
+                "--seed" => {
+                    seed = match it.next().and_then(|v| v.parse().ok()) {
+                        Some(s) => s,
+                        None => return usage_error(out, "bad --seed"),
+                    }
+                }
+                "-o" | "--output" => output = it.next().cloned(),
+                other => return usage_error(out, &format!("unknown flag `{other}`")),
+            }
+        }
+        let Some(topo) = topo else {
+            return usage_error(out, "missing --topology");
+        };
+        let Some(k) = k else {
+            return usage_error(out, "missing --k");
+        };
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let graph = match build_topology(&topo, &mut rng) {
+            Ok(g) => g,
+            Err(msg) => return usage_error(out, &msg),
+        };
+        let config = match k0 {
+            Some(k0) => InstanceConfig::bounded(k, k0),
+            None => InstanceConfig {
+                k,
+                availability: Availability::Probability(0.6),
+                link_cost: (10, 100),
+                conversion: ConversionSpec::Uniform { lo: 1, hi: 5 },
+            },
+        };
+        let net = match random_network(graph, &config, &mut rng) {
+            Ok(n) => n,
+            Err(e) => {
+                let _ = writeln!(out, "error: {e}");
+                return 1;
+            }
+        };
+        let text = textfmt::to_text(&net);
+        match output {
+            Some(path) => {
+                if let Err(e) = std::fs::write(&path, text) {
+                    let _ = writeln!(out, "error: cannot write {path}: {e}");
+                    return 1;
+                }
+                let _ = writeln!(
+                    out,
+                    "wrote {path}: n = {}, m = {}, k = {}, k0 = {}",
+                    net.node_count(),
+                    net.link_count(),
+                    net.k(),
+                    net.k0()
+                );
+            }
+            None => out.push_str(&text),
+        }
+        0
+    }
+}

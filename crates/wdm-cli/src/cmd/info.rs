@@ -1,0 +1,52 @@
+//! `wdm info` — shape and parameters of a `.wdm` instance.
+
+use std::fmt::Write as _;
+
+use crate::util::{load, usage_error};
+use crate::Command;
+
+/// The `info` subcommand.
+pub struct Info;
+
+impl Command for Info {
+    fn name(&self) -> &'static str {
+        "info"
+    }
+
+    fn summary(&self) -> &'static str {
+        "print an instance's shape, parameters, and structural checks"
+    }
+
+    fn usage(&self) -> &'static str {
+        "  wdm info <file.wdm>"
+    }
+
+    fn run(&self, args: &[String], out: &mut String) -> i32 {
+        let [path] = args else {
+            return usage_error(out, "info takes exactly one file");
+        };
+        let net = match load(path, out) {
+            Ok(n) => n,
+            Err(code) => return code,
+        };
+        let stats = wdm_graph::metrics::DegreeStats::of(net.graph());
+        let _ = writeln!(out, "instance  : {path}");
+        let _ = writeln!(out, "nodes     : {}", stats.n);
+        let _ = writeln!(out, "links     : {}", stats.m);
+        let _ = writeln!(out, "max degree: {}", stats.max_degree);
+        let _ = writeln!(out, "wavelengths (k)  : {}", net.k());
+        let _ = writeln!(out, "per-link max (k0): {}", net.k0());
+        let _ = writeln!(out, "Σ|Λ(e)|          : {}", net.multigraph_link_count());
+        let _ = writeln!(
+            out,
+            "strongly connected: {}",
+            wdm_graph::metrics::is_strongly_connected(net.graph())
+        );
+        let _ = writeln!(
+            out,
+            "Theorem-2 restrictions hold: {}",
+            wdm_core::restrictions::theorem2_applies(&net)
+        );
+        0
+    }
+}

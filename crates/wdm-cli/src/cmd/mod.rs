@@ -1,0 +1,12 @@
+//! The `wdm` subcommands, one module each, all implementing
+//! [`Command`](crate::Command). The registry lives in
+//! [`COMMANDS`](crate::COMMANDS).
+
+pub mod all_pairs;
+pub mod export;
+pub mod gen;
+pub mod info;
+pub mod protect;
+pub mod route;
+pub mod serve;
+pub mod serve_workload;

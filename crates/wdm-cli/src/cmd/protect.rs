@@ -1,0 +1,71 @@
+//! `wdm protect` — a disjoint primary/backup semilightpath pair.
+
+use std::fmt::Write as _;
+
+use wdm_graph::NodeId;
+
+use crate::util::{describe, load, usage_error};
+use crate::Command;
+
+/// The `protect` subcommand.
+pub struct Protect;
+
+impl Command for Protect {
+    fn name(&self) -> &'static str {
+        "protect"
+    }
+
+    fn summary(&self) -> &'static str {
+        "find a disjoint primary/backup semilightpath pair"
+    }
+
+    fn usage(&self) -> &'static str {
+        "  wdm protect <file.wdm> <src> <dst> [--physical]"
+    }
+
+    fn run(&self, args: &[String], out: &mut String) -> i32 {
+        if args.len() < 3 {
+            return usage_error(out, "protect takes <file> <src> <dst>");
+        }
+        let file = &args[0];
+        let (Ok(s), Ok(t)) = (args[1].parse::<usize>(), args[2].parse::<usize>()) else {
+            return usage_error(out, "src/dst must be node indices");
+        };
+        let disjointness = if args[3..].iter().any(|a| a == "--physical") {
+            wdm_core::Disjointness::PhysicalLink
+        } else {
+            wdm_core::Disjointness::LinkWavelength
+        };
+        let net = match load(file, out) {
+            Ok(n) => n,
+            Err(code) => return code,
+        };
+        match wdm_core::disjoint_semilightpath_pair(
+            &net,
+            NodeId::new(s),
+            NodeId::new(t),
+            disjointness,
+        ) {
+            Ok(Some(pair)) => {
+                describe(out, &net, "primary", &pair.primary);
+                describe(out, &net, "backup", &pair.backup);
+                let _ = writeln!(
+                    out,
+                    "total cost {}  (λ-disjoint: {}, fibre-disjoint: {})",
+                    pair.total_cost(),
+                    pair.is_link_wavelength_disjoint(),
+                    pair.is_physical_link_disjoint()
+                );
+                0
+            }
+            Ok(None) => {
+                let _ = writeln!(out, "no disjoint pair from {s} to {t}");
+                0
+            }
+            Err(e) => {
+                let _ = writeln!(out, "error: {e}");
+                1
+            }
+        }
+    }
+}

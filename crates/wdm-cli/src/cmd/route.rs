@@ -1,0 +1,170 @@
+//! `wdm route` — optimal semilightpath for one request, with optional
+//! alternates, distributed protocol, CFZ baseline, and a metrics
+//! snapshot.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use wdm_core::{k_shortest_semilightpaths, CfzRouter, LiangShenRouter};
+use wdm_distributed::route_distributed;
+use wdm_graph::NodeId;
+use wdm_obs::MetricsRegistry;
+
+use crate::util::{describe, load, usage_error};
+use crate::Command;
+
+/// The `route` subcommand.
+pub struct Route;
+
+impl Command for Route {
+    fn name(&self) -> &'static str {
+        "route"
+    }
+
+    fn summary(&self) -> &'static str {
+        "route one request optimally (Liang-Shen), with optional extras"
+    }
+
+    fn usage(&self) -> &'static str {
+        "  wdm route <file.wdm> <src> <dst> [--alternates <k>] [--distributed] [--baseline]
+      [--metrics-out <file>]
+      --metrics-out writes a JSON metrics snapshot (route latency,
+      search-kernel operation counts) after the query"
+    }
+
+    fn run(&self, args: &[String], out: &mut String) -> i32 {
+        if args.len() < 3 {
+            return usage_error(out, "route takes <file> <src> <dst>");
+        }
+        let path = &args[0];
+        let (Ok(s), Ok(t)) = (args[1].parse::<usize>(), args[2].parse::<usize>()) else {
+            return usage_error(out, "src/dst must be node indices");
+        };
+        let mut alternates = 1usize;
+        let mut distributed = false;
+        let mut baseline = false;
+        let mut metrics_out: Option<String> = None;
+        let mut it = args[3..].iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--alternates" => {
+                    alternates = match it.next().and_then(|v| v.parse().ok()) {
+                        Some(n) => n,
+                        None => return usage_error(out, "bad --alternates"),
+                    }
+                }
+                "--distributed" => distributed = true,
+                "--baseline" => baseline = true,
+                "--metrics-out" => {
+                    metrics_out = match it.next() {
+                        Some(p) => Some(p.clone()),
+                        None => return usage_error(out, "missing --metrics-out path"),
+                    }
+                }
+                other => return usage_error(out, &format!("unknown flag `{other}`")),
+            }
+        }
+        let net = match load(path, out) {
+            Ok(n) => n,
+            Err(code) => return code,
+        };
+        let (s, t) = (NodeId::new(s), NodeId::new(t));
+
+        let started = std::time::Instant::now();
+        let result = match LiangShenRouter::new().route(&net, s, t) {
+            Ok(r) => r,
+            Err(e) => {
+                let _ = writeln!(out, "error: {e}");
+                return 1;
+            }
+        };
+        let route_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        match &result.path {
+            Some(p) => describe(out, &net, "optimal semilightpath", p),
+            None => {
+                let _ = writeln!(out, "{s} cannot reach {t} under the wavelength constraints");
+            }
+        }
+        if let Some(metrics_path) = &metrics_out {
+            let registry = MetricsRegistry::new();
+            registry
+                .histogram("wdm_cli_route_latency_ns", &[])
+                .observe(route_ns);
+            let d = &result.dijkstra;
+            registry
+                .counter("wdm_core_search_settled_total", &[])
+                .add(d.settled as u64);
+            registry
+                .counter("wdm_core_search_relaxed_total", &[])
+                .add(d.relaxed as u64);
+            registry
+                .counter("wdm_core_search_masked_skips_total", &[])
+                .add(d.masked_skips as u64);
+            registry
+                .counter("wdm_core_search_pushes_total", &[])
+                .add(d.pushes as u64);
+            registry
+                .counter("wdm_core_search_decrease_keys_total", &[])
+                .add(d.decrease_keys as u64);
+            registry
+                .gauge("wdm_core_search_graph_nodes", &[])
+                .set(result.search_nodes.min(i64::MAX as usize) as i64);
+            registry
+                .gauge("wdm_core_search_graph_edges", &[])
+                .set(result.search_edges.min(i64::MAX as usize) as i64);
+            if let Err(e) = registry.write_json(Path::new(metrics_path)) {
+                let _ = writeln!(out, "error: cannot write {metrics_path}: {e}");
+                return 1;
+            }
+            let _ = writeln!(out, "metrics: wrote {metrics_path}");
+        }
+
+        if alternates > 1 {
+            match k_shortest_semilightpaths(&net, s, t, alternates) {
+                Ok(paths) => {
+                    for (i, p) in paths.iter().enumerate().skip(1) {
+                        describe(out, &net, &format!("alternate #{i}"), p);
+                    }
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "error: {e}");
+                    return 1;
+                }
+            }
+        }
+
+        if distributed {
+            match route_distributed(&net, s, t) {
+                Ok(d) => {
+                    let _ = writeln!(
+                        out,
+                        "distributed: cost {}, {} data messages, {} acks, makespan {} (terminated: {})",
+                        d.cost, d.data_messages, d.ack_messages, d.makespan, d.terminated
+                    );
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "error: {e}");
+                    return 1;
+                }
+            }
+        }
+
+        if baseline {
+            match CfzRouter::new().route(&net, s, t) {
+                Ok(b) => {
+                    let _ = writeln!(
+                        out,
+                        "cfz baseline: cost {} over {} wavelength-graph nodes",
+                        b.cost(),
+                        b.search_nodes
+                    );
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "error: {e}");
+                    return 1;
+                }
+            }
+        }
+        0
+    }
+}

@@ -12,1334 +12,102 @@
 //! wdm route nsf.wdm 0 13 --baseline                     # CFZ comparison
 //! wdm all-pairs nsf.wdm                                 # Corollary-1 matrix
 //! wdm serve-workload nsf.wdm --requests 500             # dynamic provisioning trace
-//! wdm serve-workload nsf.wdm --metrics-out m.json       # …with a metrics snapshot
+//! wdm serve nsf.wdm --listen 127.0.0.1:4700             # control-plane daemon
 //! ```
 //!
 //! Argument parsing is hand-rolled (the workspace carries no CLI
 //! dependency); [`run`] is the testable entry point — it takes the raw
 //! argument list and a writer, and returns the process exit code.
+//!
+//! # Structure
+//!
+//! Each subcommand lives in its own module under [`cmd`], implementing
+//! the small object-safe [`Command`] trait (name / summary / usage /
+//! run). The dispatcher below and the assembled usage text are derived
+//! from the [`COMMANDS`] registry, so adding a subcommand is one module
+//! plus one registry entry.
 
 use std::fmt::Write as _;
-use std::path::Path;
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use wdm_core::instance::{random_network, Availability, ConversionSpec, InstanceConfig};
-use wdm_core::{
-    k_shortest_semilightpaths, textfmt, AllPairs, CfzRouter, LiangShenRouter, Semilightpath,
-    WdmNetwork,
-};
-use wdm_distributed::route_distributed;
-use wdm_graph::{topology, NodeId};
-use wdm_obs::MetricsRegistry;
-use wdm_rwa::{workload, ConnectionId, Policy, ProvisioningEngine, RoutingMode};
+pub mod cmd;
+mod util;
+
+/// One `wdm` subcommand: static metadata plus the runner.
+///
+/// `Sync` is a supertrait so implementations (stateless unit structs)
+/// can sit behind `&'static dyn Command` references in [`COMMANDS`].
+pub trait Command: Sync {
+    /// The subcommand name as typed on the command line (`"route"`).
+    fn name(&self) -> &'static str;
+    /// A one-line description for command listings.
+    fn summary(&self) -> &'static str;
+    /// This command's indented block of the `USAGE` text (no trailing
+    /// newline).
+    fn usage(&self) -> &'static str;
+    /// Runs the command on `args` (everything after the command name),
+    /// writing human output to `out`. Returns the process exit code
+    /// (0 success, 1 runtime failure, 2 usage error).
+    fn run(&self, args: &[String], out: &mut String) -> i32;
+}
+
+/// Every `wdm` subcommand, in help order.
+pub static COMMANDS: &[&dyn Command] = &[
+    &cmd::gen::Gen,
+    &cmd::info::Info,
+    &cmd::route::Route,
+    &cmd::all_pairs::AllPairs,
+    &cmd::protect::Protect,
+    &cmd::serve_workload::ServeWorkload,
+    &cmd::serve::Serve,
+    &cmd::export::Export,
+];
 
 /// Runs the CLI with `args` (excluding the program name), writing output
 /// to `out`. Returns the exit code (0 success, 2 usage error, 1 runtime
 /// failure).
 pub fn run(args: &[String], out: &mut String) -> i32 {
     match args.first().map(String::as_str) {
-        Some("gen") => cmd_gen(&args[1..], out),
-        Some("info") => cmd_info(&args[1..], out),
-        Some("route") => cmd_route(&args[1..], out),
-        Some("all-pairs") => cmd_all_pairs(&args[1..], out),
-        Some("protect") => cmd_protect(&args[1..], out),
-        Some("serve-workload") => cmd_serve_workload(&args[1..], out),
-        Some("export") => cmd_export(&args[1..], out),
         Some("--help") | Some("-h") | Some("help") | None => {
-            let _ = writeln!(out, "{USAGE}");
-            0
-        }
-        Some(other) => {
-            let _ = writeln!(out, "unknown command `{other}`\n{USAGE}");
-            2
-        }
-    }
-}
-
-const USAGE: &str = "wdm — optimal lightpath/semilightpath routing (Liang & Shen)
-
-USAGE:
-  wdm gen --topology <name> --k <k> [--k0 <k0>] [--seed <s>] [-o <file>]
-      topologies: nsfnet | arpanet | eon | abilene | geant |
-                  ring:<n> | grid:<r>x<c> | sparse:<n>
-  wdm info <file.wdm>
-  wdm route <file.wdm> <src> <dst> [--alternates <k>] [--distributed] [--baseline]
-      [--metrics-out <file>]
-      --metrics-out writes a JSON metrics snapshot (route latency,
-      search-kernel operation counts) after the query
-  wdm all-pairs <file.wdm> [--parallel] [--threads <n>]
-      --parallel uses all cores; --threads <n> pins the worker count
-      (the matrix is identical either way — see AllPairs::solve_parallel)
-  wdm protect <file.wdm> <src> <dst> [--physical]
-  wdm serve-workload <file.wdm> [--requests <n>] [--load <erlang>]
-      [--holding <mean>] [--seed <s>] [--policy optimal|lightpath|first-fit]
-      [--mode masked|rebuild] [--fail-link <id>] [--trace <file>]
-      [--metrics-out <file>] [--metrics-interval <n>]
-      drives a Poisson request/release trace through the provisioning
-      engine; --trace replays a recorded trace file instead (one
-      `s t arrival holding` line per request, `#` comments, `inf`
-      holding), ignoring --requests/--load/--holding/--seed;
-      --mode rebuild reconstructs the auxiliary graph per request
-      (reference), --fail-link cuts a fibre halfway through the trace;
-      --metrics-out writes a JSON metrics snapshot at the end (and adds
-      a request-latency summary to the report), --metrics-interval n
-      appends a Prometheus text dump to <file>.prom every n requests
-  wdm export <file.wdm>           (Graphviz DOT with wavelength labels)
-  wdm help";
-
-fn cmd_gen(args: &[String], out: &mut String) -> i32 {
-    let mut topo: Option<String> = None;
-    let mut k: Option<usize> = None;
-    let mut k0: Option<usize> = None;
-    let mut seed = 0u64;
-    let mut output: Option<String> = None;
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--topology" => topo = it.next().cloned(),
-            "--k" => k = it.next().and_then(|v| v.parse().ok()),
-            "--k0" => k0 = it.next().and_then(|v| v.parse().ok()),
-            "--seed" => {
-                seed = match it.next().and_then(|v| v.parse().ok()) {
-                    Some(s) => s,
-                    None => return usage_error(out, "bad --seed"),
-                }
-            }
-            "-o" | "--output" => output = it.next().cloned(),
-            other => return usage_error(out, &format!("unknown flag `{other}`")),
-        }
-    }
-    let Some(topo) = topo else {
-        return usage_error(out, "missing --topology");
-    };
-    let Some(k) = k else {
-        return usage_error(out, "missing --k");
-    };
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let graph = match build_topology(&topo, &mut rng) {
-        Ok(g) => g,
-        Err(msg) => return usage_error(out, &msg),
-    };
-    let config = match k0 {
-        Some(k0) => InstanceConfig::bounded(k, k0),
-        None => InstanceConfig {
-            k,
-            availability: Availability::Probability(0.6),
-            link_cost: (10, 100),
-            conversion: ConversionSpec::Uniform { lo: 1, hi: 5 },
-        },
-    };
-    let net = match random_network(graph, &config, &mut rng) {
-        Ok(n) => n,
-        Err(e) => {
-            let _ = writeln!(out, "error: {e}");
-            return 1;
-        }
-    };
-    let text = textfmt::to_text(&net);
-    match output {
-        Some(path) => {
-            if let Err(e) = std::fs::write(&path, text) {
-                let _ = writeln!(out, "error: cannot write {path}: {e}");
-                return 1;
-            }
-            let _ = writeln!(
-                out,
-                "wrote {path}: n = {}, m = {}, k = {}, k0 = {}",
-                net.node_count(),
-                net.link_count(),
-                net.k(),
-                net.k0()
-            );
-        }
-        None => out.push_str(&text),
-    }
-    0
-}
-
-fn build_topology(spec: &str, rng: &mut SmallRng) -> Result<wdm_graph::DiGraph, String> {
-    match spec {
-        "nsfnet" => Ok(topology::nsfnet()),
-        "arpanet" => Ok(topology::arpanet()),
-        "eon" => Ok(topology::eon()),
-        "abilene" => Ok(topology::abilene()),
-        "geant" => Ok(topology::geant()),
-        other => {
-            if let Some(n) = other.strip_prefix("ring:") {
-                let n: usize = n.parse().map_err(|_| format!("bad ring size `{n}`"))?;
-                if n < 3 {
-                    return Err("ring needs at least 3 nodes".to_string());
-                }
-                Ok(topology::ring(n, true))
-            } else if let Some(dims) = other.strip_prefix("grid:") {
-                let (r, c) = dims
-                    .split_once('x')
-                    .ok_or_else(|| format!("bad grid spec `{dims}` (want RxC)"))?;
-                let r: usize = r.parse().map_err(|_| "bad grid rows".to_string())?;
-                let c: usize = c.parse().map_err(|_| "bad grid cols".to_string())?;
-                if r == 0 || c == 0 {
-                    return Err("grid dimensions must be positive".to_string());
-                }
-                Ok(topology::grid(r, c))
-            } else if let Some(n) = other.strip_prefix("sparse:") {
-                let n: usize = n.parse().map_err(|_| format!("bad node count `{n}`"))?;
-                topology::random_sparse(n, n / 2, 6, rng).map_err(|e| e.to_string())
-            } else {
-                Err(format!("unknown topology `{other}`"))
-            }
-        }
-    }
-}
-
-fn load(path: &str, out: &mut String) -> Result<WdmNetwork, i32> {
-    let text = std::fs::read_to_string(Path::new(path)).map_err(|e| {
-        let _ = writeln!(out, "error: cannot read {path}: {e}");
-        1
-    })?;
-    textfmt::from_text(&text).map_err(|e| {
-        let _ = writeln!(out, "error: {path}: {e}");
-        1
-    })
-}
-
-fn cmd_info(args: &[String], out: &mut String) -> i32 {
-    let [path] = args else {
-        return usage_error(out, "info takes exactly one file");
-    };
-    let net = match load(path, out) {
-        Ok(n) => n,
-        Err(code) => return code,
-    };
-    let stats = wdm_graph::metrics::DegreeStats::of(net.graph());
-    let _ = writeln!(out, "instance  : {path}");
-    let _ = writeln!(out, "nodes     : {}", stats.n);
-    let _ = writeln!(out, "links     : {}", stats.m);
-    let _ = writeln!(out, "max degree: {}", stats.max_degree);
-    let _ = writeln!(out, "wavelengths (k)  : {}", net.k());
-    let _ = writeln!(out, "per-link max (k0): {}", net.k0());
-    let _ = writeln!(out, "Σ|Λ(e)|          : {}", net.multigraph_link_count());
-    let _ = writeln!(
-        out,
-        "strongly connected: {}",
-        wdm_graph::metrics::is_strongly_connected(net.graph())
-    );
-    let _ = writeln!(
-        out,
-        "Theorem-2 restrictions hold: {}",
-        wdm_core::restrictions::theorem2_applies(&net)
-    );
-    0
-}
-
-fn describe(out: &mut String, net: &WdmNetwork, label: &str, path: &Semilightpath) {
-    let _ = writeln!(out, "{label}: {path}");
-    let _ = writeln!(
-        out,
-        "  {} link(s), {} conversion(s), lightpath: {}",
-        path.len(),
-        path.conversion_count(),
-        path.is_lightpath()
-    );
-    let seq: Vec<String> = path
-        .node_sequence(net)
-        .iter()
-        .map(|v| v.to_string())
-        .collect();
-    if !seq.is_empty() {
-        let _ = writeln!(out, "  via {}", seq.join(" → "));
-    }
-}
-
-fn cmd_route(args: &[String], out: &mut String) -> i32 {
-    if args.len() < 3 {
-        return usage_error(out, "route takes <file> <src> <dst>");
-    }
-    let path = &args[0];
-    let (Ok(s), Ok(t)) = (args[1].parse::<usize>(), args[2].parse::<usize>()) else {
-        return usage_error(out, "src/dst must be node indices");
-    };
-    let mut alternates = 1usize;
-    let mut distributed = false;
-    let mut baseline = false;
-    let mut metrics_out: Option<String> = None;
-    let mut it = args[3..].iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--alternates" => {
-                alternates = match it.next().and_then(|v| v.parse().ok()) {
-                    Some(n) => n,
-                    None => return usage_error(out, "bad --alternates"),
-                }
-            }
-            "--distributed" => distributed = true,
-            "--baseline" => baseline = true,
-            "--metrics-out" => {
-                metrics_out = match it.next() {
-                    Some(p) => Some(p.clone()),
-                    None => return usage_error(out, "missing --metrics-out path"),
-                }
-            }
-            other => return usage_error(out, &format!("unknown flag `{other}`")),
-        }
-    }
-    let net = match load(path, out) {
-        Ok(n) => n,
-        Err(code) => return code,
-    };
-    let (s, t) = (NodeId::new(s), NodeId::new(t));
-
-    let started = std::time::Instant::now();
-    let result = match LiangShenRouter::new().route(&net, s, t) {
-        Ok(r) => r,
-        Err(e) => {
-            let _ = writeln!(out, "error: {e}");
-            return 1;
-        }
-    };
-    let route_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-    match &result.path {
-        Some(p) => describe(out, &net, "optimal semilightpath", p),
-        None => {
-            let _ = writeln!(out, "{s} cannot reach {t} under the wavelength constraints");
-        }
-    }
-    if let Some(metrics_path) = &metrics_out {
-        let registry = MetricsRegistry::new();
-        registry
-            .histogram("wdm_cli_route_latency_ns", &[])
-            .observe(route_ns);
-        let d = &result.dijkstra;
-        registry
-            .counter("wdm_core_search_settled_total", &[])
-            .add(d.settled as u64);
-        registry
-            .counter("wdm_core_search_relaxed_total", &[])
-            .add(d.relaxed as u64);
-        registry
-            .counter("wdm_core_search_masked_skips_total", &[])
-            .add(d.masked_skips as u64);
-        registry
-            .counter("wdm_core_search_pushes_total", &[])
-            .add(d.pushes as u64);
-        registry
-            .counter("wdm_core_search_decrease_keys_total", &[])
-            .add(d.decrease_keys as u64);
-        registry
-            .gauge("wdm_core_search_graph_nodes", &[])
-            .set(result.search_nodes.min(i64::MAX as usize) as i64);
-        registry
-            .gauge("wdm_core_search_graph_edges", &[])
-            .set(result.search_edges.min(i64::MAX as usize) as i64);
-        if let Err(e) = registry.write_json(Path::new(metrics_path)) {
-            let _ = writeln!(out, "error: cannot write {metrics_path}: {e}");
-            return 1;
-        }
-        let _ = writeln!(out, "metrics: wrote {metrics_path}");
-    }
-
-    if alternates > 1 {
-        match k_shortest_semilightpaths(&net, s, t, alternates) {
-            Ok(paths) => {
-                for (i, p) in paths.iter().enumerate().skip(1) {
-                    describe(out, &net, &format!("alternate #{i}"), p);
-                }
-            }
-            Err(e) => {
-                let _ = writeln!(out, "error: {e}");
-                return 1;
-            }
-        }
-    }
-
-    if distributed {
-        match route_distributed(&net, s, t) {
-            Ok(d) => {
-                let _ = writeln!(
-                    out,
-                    "distributed: cost {}, {} data messages, {} acks, makespan {} (terminated: {})",
-                    d.cost, d.data_messages, d.ack_messages, d.makespan, d.terminated
-                );
-            }
-            Err(e) => {
-                let _ = writeln!(out, "error: {e}");
-                return 1;
-            }
-        }
-    }
-
-    if baseline {
-        match CfzRouter::new().route(&net, s, t) {
-            Ok(b) => {
-                let _ = writeln!(
-                    out,
-                    "cfz baseline: cost {} over {} wavelength-graph nodes",
-                    b.cost(),
-                    b.search_nodes
-                );
-            }
-            Err(e) => {
-                let _ = writeln!(out, "error: {e}");
-                return 1;
-            }
-        }
-    }
-    0
-}
-
-fn cmd_protect(args: &[String], out: &mut String) -> i32 {
-    if args.len() < 3 {
-        return usage_error(out, "protect takes <file> <src> <dst>");
-    }
-    let file = &args[0];
-    let (Ok(s), Ok(t)) = (args[1].parse::<usize>(), args[2].parse::<usize>()) else {
-        return usage_error(out, "src/dst must be node indices");
-    };
-    let disjointness = if args[3..].iter().any(|a| a == "--physical") {
-        wdm_core::Disjointness::PhysicalLink
-    } else {
-        wdm_core::Disjointness::LinkWavelength
-    };
-    let net = match load(file, out) {
-        Ok(n) => n,
-        Err(code) => return code,
-    };
-    match wdm_core::disjoint_semilightpath_pair(&net, NodeId::new(s), NodeId::new(t), disjointness)
-    {
-        Ok(Some(pair)) => {
-            describe(out, &net, "primary", &pair.primary);
-            describe(out, &net, "backup", &pair.backup);
-            let _ = writeln!(
-                out,
-                "total cost {}  (λ-disjoint: {}, fibre-disjoint: {})",
-                pair.total_cost(),
-                pair.is_link_wavelength_disjoint(),
-                pair.is_physical_link_disjoint()
-            );
-            0
-        }
-        Ok(None) => {
-            let _ = writeln!(out, "no disjoint pair from {s} to {t}");
-            0
-        }
-        Err(e) => {
-            let _ = writeln!(out, "error: {e}");
-            1
-        }
-    }
-}
-
-fn cmd_serve_workload(args: &[String], out: &mut String) -> i32 {
-    let mut path: Option<&String> = None;
-    let mut requests = 200usize;
-    let mut load = 6.0f64;
-    let mut holding = 1.0f64;
-    let mut seed = 0u64;
-    let mut policy = Policy::Optimal;
-    let mut mode = RoutingMode::Masked;
-    let mut fail_link: Option<usize> = None;
-    let mut trace_path: Option<String> = None;
-    let mut metrics_out: Option<String> = None;
-    let mut metrics_interval: Option<usize> = None;
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--requests" => {
-                requests = match it.next().and_then(|v| v.parse().ok()) {
-                    Some(0) | None => return usage_error(out, "bad --requests (want n >= 1)"),
-                    Some(n) => n,
-                }
-            }
-            "--load" => {
-                load = match it.next().and_then(|v| v.parse().ok()) {
-                    Some(l) if l > 0.0 => l,
-                    _ => return usage_error(out, "bad --load (want erlang > 0)"),
-                }
-            }
-            "--holding" => {
-                holding = match it.next().and_then(|v| v.parse().ok()) {
-                    Some(h) if h > 0.0 => h,
-                    _ => return usage_error(out, "bad --holding (want mean > 0)"),
-                }
-            }
-            "--seed" => {
-                seed = match it.next().and_then(|v| v.parse().ok()) {
-                    Some(s) => s,
-                    None => return usage_error(out, "bad --seed"),
-                }
-            }
-            "--policy" => {
-                policy = match it.next().map(String::as_str) {
-                    Some("optimal") => Policy::Optimal,
-                    Some("lightpath") => Policy::LightpathOnly,
-                    Some("first-fit") => Policy::FirstFit,
-                    _ => return usage_error(out, "bad --policy (optimal|lightpath|first-fit)"),
-                }
-            }
-            "--mode" => {
-                mode = match it.next().map(String::as_str) {
-                    Some("masked") => RoutingMode::Masked,
-                    Some("rebuild") => RoutingMode::RebuildPerRequest,
-                    _ => return usage_error(out, "bad --mode (masked|rebuild)"),
-                }
-            }
-            "--fail-link" => {
-                fail_link = match it.next().and_then(|v| v.parse().ok()) {
-                    Some(e) => Some(e),
-                    None => return usage_error(out, "bad --fail-link (want link index)"),
-                }
-            }
-            "--trace" => {
-                trace_path = match it.next() {
-                    Some(p) => Some(p.clone()),
-                    None => return usage_error(out, "missing --trace path"),
-                }
-            }
-            "--metrics-out" => {
-                metrics_out = match it.next() {
-                    Some(p) => Some(p.clone()),
-                    None => return usage_error(out, "missing --metrics-out path"),
-                }
-            }
-            "--metrics-interval" => {
-                metrics_interval = match it.next().and_then(|v| v.parse().ok()) {
-                    Some(0) | None => {
-                        return usage_error(out, "bad --metrics-interval (want n >= 1)")
+            // `wdm help <cmd>` prints just that command's usage block.
+            if let Some(name) = args.get(1) {
+                return match find(name) {
+                    Some(c) => {
+                        let _ = writeln!(out, "{}\n\nUSAGE:\n{}", c.summary(), c.usage());
+                        0
                     }
-                    some => some,
-                }
+                    None => {
+                        let _ = writeln!(out, "unknown command `{name}`\n{}", full_usage());
+                        2
+                    }
+                };
             }
-            flag if flag.starts_with("--") => {
-                return usage_error(out, &format!("unknown flag `{flag}`"))
+            let _ = writeln!(out, "{}", full_usage());
+            0
+        }
+        Some(name) => match find(name) {
+            Some(c) => c.run(&args[1..], out),
+            None => {
+                let _ = writeln!(out, "unknown command `{name}`\n{}", full_usage());
+                2
             }
-            _ if path.is_none() => path = Some(a),
-            extra => return usage_error(out, &format!("unexpected argument `{extra}`")),
-        }
+        },
     }
-    let Some(path) = path else {
-        return usage_error(out, "serve-workload takes one file");
-    };
-    if metrics_interval.is_some() && metrics_out.is_none() {
-        return usage_error(out, "--metrics-interval requires --metrics-out");
-    }
-    // `self::` because the `--load` flag variable shadows the loader fn.
-    let net = match self::load(path, out) {
-        Ok(n) => n,
-        Err(code) => return code,
-    };
-    if net.node_count() < 2 {
-        let _ = writeln!(out, "error: workload needs at least two nodes");
-        return 1;
-    }
-    if let Some(e) = fail_link {
-        if e >= net.link_count() {
-            let _ = writeln!(
-                out,
-                "error: --fail-link {e} out of range (instance has {} links)",
-                net.link_count()
-            );
-            return 1;
-        }
-    }
-
-    let trace = match &trace_path {
-        Some(p) => {
-            let text = match std::fs::read_to_string(p) {
-                Ok(t) => t,
-                Err(e) => {
-                    let _ = writeln!(out, "error: cannot read trace {p}: {e}");
-                    return 1;
-                }
-            };
-            match workload::parse_trace(&text, net.node_count()) {
-                Ok(reqs) if reqs.is_empty() => {
-                    let _ = writeln!(out, "error: trace {p} contains no requests");
-                    return 1;
-                }
-                Ok(reqs) => reqs,
-                Err(e) => {
-                    let _ = writeln!(out, "error: {p}: {e}");
-                    return 1;
-                }
-            }
-        }
-        None => {
-            let mut rng = SmallRng::seed_from_u64(seed);
-            workload::poisson_requests(net.node_count(), requests, load, holding, &mut rng)
-        }
-    };
-    let requests = trace.len();
-    let mut engine = ProvisioningEngine::with_mode(&net, mode);
-    let registry = metrics_out.as_ref().map(|_| MetricsRegistry::new());
-    if let Some(registry) = &registry {
-        engine.attach_metrics(registry);
-    }
-    // Periodic dumps append to a sibling `.prom` file; start it empty so
-    // a rerun doesn't inherit a previous trace's samples.
-    let prom_path = match (&metrics_out, metrics_interval) {
-        (Some(base), Some(_)) => {
-            let p = format!("{base}.prom");
-            if let Err(e) = std::fs::write(&p, "") {
-                let _ = writeln!(out, "error: cannot write {p}: {e}");
-                return 1;
-            }
-            Some(p)
-        }
-        _ => None,
-    };
-    let mut dumps = 0usize;
-
-    // Event loop as in `wdm_rwa::simulate`, run inline so the trace can
-    // inject a fibre cut halfway and so routing time can be measured.
-    let mut departures: std::collections::BinaryHeap<std::cmp::Reverse<(u64, ConnectionId)>> =
-        std::collections::BinaryHeap::new();
-    let (mut accepted, mut blocked) = (0u64, 0u64);
-    let (mut lost, mut restored) = (0u64, 0u64);
-    let mut peak_active = 0usize;
-    let cut_at = fail_link.map(|_| requests / 2);
-    let started = std::time::Instant::now();
-    for (i, req) in trace.iter().enumerate() {
-        if let (Some(fl), true) = (fail_link, cut_at == Some(i)) {
-            let link = wdm_graph::LinkId::new(fl);
-            for (_, outcome) in engine.fail_link(link, policy) {
-                match outcome {
-                    Some(_) => restored += 1,
-                    None => lost += 1,
-                }
-            }
-        }
-        // f64 arrival times are strictly increasing, so the bit pattern
-        // preserves their order and gives the heap a total Ord key.
-        while let Some(&std::cmp::Reverse((at, id))) = departures.peek() {
-            if f64::from_bits(at) <= req.arrival {
-                departures.pop();
-                // A restoration under --fail-link may have reassigned the
-                // id; skip departures of connections no longer active.
-                let _ = engine.release(id);
-            } else {
-                break;
-            }
-        }
-        match engine.provision(req.s, req.t, policy) {
-            Ok(id) => {
-                accepted += 1;
-                if req.holding.is_finite() {
-                    departures.push(std::cmp::Reverse((
-                        (req.arrival + req.holding).to_bits(),
-                        id,
-                    )));
-                }
-                peak_active = peak_active.max(engine.active_count());
-            }
-            Err(_) => blocked += 1,
-        }
-        if let (Some(prom_path), Some(interval), Some(registry)) =
-            (&prom_path, metrics_interval, registry.as_ref())
-        {
-            if (i + 1) % interval == 0 {
-                dumps += 1;
-                let text = format!(
-                    "# dump {dumps} after request {}\n{}",
-                    i + 1,
-                    registry.render_prometheus()
-                );
-                use std::io::Write as _;
-                let appended = std::fs::OpenOptions::new()
-                    .append(true)
-                    .open(prom_path)
-                    .and_then(|mut f| f.write_all(text.as_bytes()));
-                if let Err(e) = appended {
-                    let _ = writeln!(out, "error: cannot append to {prom_path}: {e}");
-                    return 1;
-                }
-            }
-        }
-    }
-    let elapsed = started.elapsed();
-
-    let (_, _, released) = engine.totals();
-    let _ = writeln!(out, "instance   : {path}");
-    let _ = match &trace_path {
-        Some(p) => writeln!(out, "trace      : {requests} requests replayed from {p}"),
-        None => writeln!(
-            out,
-            "trace      : {requests} requests, load {load} erlang, mean holding {holding}, seed {seed}"
-        ),
-    };
-    let _ = writeln!(out, "policy     : {policy}");
-    let _ = writeln!(
-        out,
-        "mode       : {}",
-        match mode {
-            RoutingMode::Masked => "masked (persistent auxiliary graph)",
-            RoutingMode::RebuildPerRequest => "rebuild-per-request (reference)",
-        }
-    );
-    if let (Some(e), Some(cut)) = (fail_link, cut_at) {
-        let _ = writeln!(
-            out,
-            "fibre cut  : link {e} after request {cut} ({restored} restored, {lost} lost)"
-        );
-    }
-    let _ = writeln!(out, "accepted   : {accepted}");
-    let _ = writeln!(out, "blocked    : {blocked}");
-    let _ = writeln!(out, "released   : {released}");
-    let _ = writeln!(out, "blocking   : {:.4}", blocked as f64 / requests as f64);
-    let _ = writeln!(out, "peak active: {peak_active}");
-    let _ = writeln!(out, "utilization: {:.4}", engine.utilization());
-    let _ = writeln!(
-        out,
-        "elapsed    : {:.3} ms ({:.0} requests/s)",
-        elapsed.as_secs_f64() * 1e3,
-        requests as f64 / elapsed.as_secs_f64().max(1e-9)
-    );
-    if let (Some(registry), Some(metrics_path)) = (&registry, &metrics_out) {
-        // The engine shares its instruments through the registry, so the
-        // summary reads the same histogram the hot path filled in.
-        let lat = registry.histogram("wdm_rwa_provision_latency_ns", &[]);
-        let _ = writeln!(
-            out,
-            "req latency: p50 {:.0} ns, p90 {:.0} ns, p99 {:.0} ns (mean {:.0} ns over {} requests)",
-            lat.quantile(0.5),
-            lat.quantile(0.9),
-            lat.quantile(0.99),
-            lat.mean(),
-            lat.count()
-        );
-        if let Err(e) = registry.write_json(Path::new(metrics_path)) {
-            let _ = writeln!(out, "error: cannot write {metrics_path}: {e}");
-            return 1;
-        }
-        let _ = writeln!(out, "metrics    : wrote {metrics_path}");
-        if let Some(prom_path) = &prom_path {
-            let _ = writeln!(out, "prom dumps : {dumps} appended to {prom_path}");
-        }
-    }
-    0
 }
 
-fn cmd_all_pairs(args: &[String], out: &mut String) -> i32 {
-    let mut path: Option<&String> = None;
-    let mut parallel = false;
-    let mut threads: Option<usize> = None;
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--parallel" => parallel = true,
-            "--threads" => {
-                threads = match it.next().and_then(|v| v.parse().ok()) {
-                    Some(0) | None => return usage_error(out, "bad --threads (want n >= 1)"),
-                    some => some,
-                }
-            }
-            flag if flag.starts_with("--") => {
-                return usage_error(out, &format!("unknown flag `{flag}`"))
-            }
-            _ if path.is_none() => path = Some(a),
-            extra => return usage_error(out, &format!("unexpected argument `{extra}`")),
-        }
-    }
-    let Some(path) = path else {
-        return usage_error(out, "all-pairs takes one file");
-    };
-    let net = match load(path, out) {
-        Ok(n) => n,
-        Err(code) => return code,
-    };
-    let n = net.node_count();
-    if n > 64 {
-        let _ = writeln!(out, "error: all-pairs table limited to 64 nodes (have {n})");
-        return 1;
-    }
-    // `--threads n` implies parallel; bare `--parallel` auto-sizes (0).
-    let ap = match (parallel, threads) {
-        (_, Some(t)) => AllPairs::solve_parallel(&net, wdm_core::HeapKind::Fibonacci, t),
-        (true, None) => AllPairs::solve_parallel(&net, wdm_core::HeapKind::Fibonacci, 0),
-        (false, None) => AllPairs::solve(&net),
-    };
-    let _ = write!(out, "{:>5}", "");
-    for t in 0..n {
-        let _ = write!(out, "{t:>7}");
-    }
-    out.push('\n');
-    for s in 0..n {
-        let _ = write!(out, "{s:>5}");
-        for t in 0..n {
-            let c = ap.cost(NodeId::new(s), NodeId::new(t));
-            if c.is_infinite() {
-                let _ = write!(out, "{:>7}", "∞");
-            } else {
-                let _ = write!(out, "{:>7}", c.to_string());
-            }
-        }
-        out.push('\n');
-    }
-    0
+/// Looks a subcommand up by its command-line name.
+fn find(name: &str) -> Option<&'static dyn Command> {
+    COMMANDS.iter().find(|c| c.name() == name).copied()
 }
 
-fn cmd_export(args: &[String], out: &mut String) -> i32 {
-    let [path] = args else {
-        return usage_error(out, "export takes exactly one file");
-    };
-    let net = match load(path, out) {
-        Ok(n) => n,
-        Err(code) => return code,
-    };
-    let link_labels: Vec<String> = net
-        .graph()
-        .links()
-        .map(|(e, _)| {
-            net.wavelengths_on(e)
-                .iter()
-                .map(|(w, _)| w.to_string())
-                .collect::<Vec<_>>()
-                .join(",")
-        })
-        .collect();
-    let options = wdm_graph::dot::DotOptions {
-        name: "wdm_instance".to_string(),
-        node_labels: Vec::new(),
-        link_labels,
-        merge_fibre_pairs: false,
-    };
-    out.push_str(&wdm_graph::dot::to_dot(net.graph(), &options));
-    0
-}
-
-fn usage_error(out: &mut String, msg: &str) -> i32 {
-    let _ = writeln!(out, "error: {msg}\n{USAGE}");
-    2
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn run_args(args: &[&str]) -> (i32, String) {
-        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
-        let mut out = String::new();
-        let code = run(&args, &mut out);
-        (code, out)
+/// The complete `USAGE` text, assembled from every registered command's
+/// usage block.
+pub fn full_usage() -> String {
+    let mut s =
+        String::from("wdm — optimal lightpath/semilightpath routing (Liang & Shen)\n\nUSAGE:\n");
+    for c in COMMANDS {
+        s.push_str(c.usage());
+        s.push('\n');
     }
-
-    #[test]
-    fn help_and_unknown_command() {
-        let (code, out) = run_args(&["help"]);
-        assert_eq!(code, 0);
-        assert!(out.contains("USAGE"));
-        let (code, out) = run_args(&["frobnicate"]);
-        assert_eq!(code, 2);
-        assert!(out.contains("unknown command"));
-        let (code, _) = run_args(&[]);
-        assert_eq!(code, 0);
-    }
-
-    #[test]
-    fn gen_to_stdout_parses_back() {
-        let (code, out) = run_args(&["gen", "--topology", "abilene", "--k", "3"]);
-        assert_eq!(code, 0, "{out}");
-        let net = textfmt::from_text(&out).expect("generated instance parses");
-        assert_eq!(net.node_count(), 11);
-        assert_eq!(net.k(), 3);
-    }
-
-    #[test]
-    fn gen_parametric_topologies() {
-        for (spec, nodes) in [("ring:8", 8), ("grid:2x3", 6), ("sparse:12", 12)] {
-            let (code, out) = run_args(&["gen", "--topology", spec, "--k", "2"]);
-            assert_eq!(code, 0, "{spec}: {out}");
-            let net = textfmt::from_text(&out).expect("parses");
-            assert_eq!(net.node_count(), nodes, "{spec}");
-        }
-    }
-
-    #[test]
-    fn gen_rejects_bad_specs() {
-        for bad in ["ring:2", "grid:0x3", "grid:3", "nope", "sparse:x"] {
-            let (code, _) = run_args(&["gen", "--topology", bad, "--k", "2"]);
-            assert_eq!(code, 2, "{bad} should be rejected");
-        }
-        let (code, _) = run_args(&["gen", "--k", "2"]);
-        assert_eq!(code, 2);
-        let (code, _) = run_args(&["gen", "--topology", "nsfnet"]);
-        assert_eq!(code, 2);
-    }
-
-    #[test]
-    fn full_file_workflow() {
-        let dir = std::env::temp_dir().join("wdm-cli-test");
-        std::fs::create_dir_all(&dir).expect("mkdir");
-        let file = dir.join("test.wdm");
-        let file_s = file.to_str().expect("utf8").to_string();
-
-        let (code, out) = run_args(&[
-            "gen",
-            "--topology",
-            "nsfnet",
-            "--k",
-            "4",
-            "--seed",
-            "7",
-            "-o",
-            &file_s,
-        ]);
-        assert_eq!(code, 0, "{out}");
-        assert!(out.contains("wrote"));
-
-        let (code, out) = run_args(&["info", &file_s]);
-        assert_eq!(code, 0, "{out}");
-        assert!(out.contains("nodes     : 14"));
-        assert!(out.contains("strongly connected: true"));
-
-        let (code, out) = run_args(&[
-            "route",
-            &file_s,
-            "0",
-            "13",
-            "--alternates",
-            "3",
-            "--baseline",
-        ]);
-        assert_eq!(code, 0, "{out}");
-        assert!(out.contains("optimal semilightpath") || out.contains("cannot reach"));
-        if out.contains("optimal semilightpath") {
-            assert!(out.contains("cfz baseline"));
-        }
-
-        let (code, out) = run_args(&["route", &file_s, "0", "5", "--distributed"]);
-        assert_eq!(code, 0, "{out}");
-        assert!(out.contains("distributed:"));
-
-        let (code, out) = run_args(&["all-pairs", &file_s]);
-        assert_eq!(code, 0, "{out}");
-        // Diagonal is zero.
-        assert!(out.contains('0'));
-        std::fs::remove_file(&file).ok();
-    }
-
-    #[test]
-    fn route_usage_errors() {
-        let (code, _) = run_args(&["route", "file.wdm"]);
-        assert_eq!(code, 2);
-        let (code, _) = run_args(&["route", "file.wdm", "a", "b"]);
-        assert_eq!(code, 2);
-        let (code, out) = run_args(&["route", "/nonexistent.wdm", "0", "1"]);
-        assert_eq!(code, 1);
-        assert!(out.contains("cannot read"));
-    }
-
-    #[test]
-    fn export_produces_dot() {
-        let dir = std::env::temp_dir().join("wdm-cli-test-export");
-        std::fs::create_dir_all(&dir).expect("mkdir");
-        let file = dir.join("x.wdm");
-        let file_s = file.to_str().expect("utf8").to_string();
-        let (code, _) = run_args(&["gen", "--topology", "ring:5", "--k", "2", "-o", &file_s]);
-        assert_eq!(code, 0);
-        let (code, out) = run_args(&["export", &file_s]);
-        assert_eq!(code, 0);
-        assert!(out.starts_with("digraph"));
-        assert!(out.contains("λ"));
-        std::fs::remove_file(&file).ok();
-    }
-
-    #[test]
-    fn protect_runs_on_generated_instance() {
-        let dir = std::env::temp_dir().join("wdm-cli-test-protect");
-        std::fs::create_dir_all(&dir).expect("mkdir");
-        let file = dir.join("p.wdm");
-        let file_s = file.to_str().expect("utf8").to_string();
-        let (code, _) = run_args(&[
-            "gen",
-            "--topology",
-            "nsfnet",
-            "--k",
-            "6",
-            "--seed",
-            "2",
-            "-o",
-            &file_s,
-        ]);
-        assert_eq!(code, 0);
-        let (code, out) = run_args(&["protect", &file_s, "0", "13"]);
-        assert_eq!(code, 0, "{out}");
-        assert!(out.contains("primary") || out.contains("no disjoint pair"));
-        let (code, _) = run_args(&["protect", &file_s, "0", "13", "--physical"]);
-        assert_eq!(code, 0);
-        std::fs::remove_file(&file).ok();
-    }
-
-    #[test]
-    fn all_pairs_parallel_flags() {
-        let dir = std::env::temp_dir().join("wdm-cli-test-parallel");
-        std::fs::create_dir_all(&dir).expect("mkdir");
-        let file = dir.join("ap.wdm");
-        let file_s = file.to_str().expect("utf8").to_string();
-        let (code, _) = run_args(&[
-            "gen",
-            "--topology",
-            "nsfnet",
-            "--k",
-            "4",
-            "--seed",
-            "9",
-            "-o",
-            &file_s,
-        ]);
-        assert_eq!(code, 0);
-
-        let (code, serial) = run_args(&["all-pairs", &file_s]);
-        assert_eq!(code, 0, "{serial}");
-        // Determinism contract: the printed matrix is byte-identical
-        // however the computation is spread across threads.
-        for extra in [
-            vec!["--parallel"],
-            vec!["--threads", "1"],
-            vec!["--threads", "3"],
-            vec!["--parallel", "--threads", "2"],
-        ] {
-            let mut args = vec!["all-pairs", file_s.as_str()];
-            args.extend(extra.iter().copied());
-            let (code, out) = run_args(&args);
-            assert_eq!(code, 0, "{extra:?}: {out}");
-            assert_eq!(out, serial, "{extra:?}");
-        }
-
-        let (code, _) = run_args(&["all-pairs", &file_s, "--threads", "0"]);
-        assert_eq!(code, 2, "--threads 0 is a usage error");
-        let (code, _) = run_args(&["all-pairs", &file_s, "--threads", "x"]);
-        assert_eq!(code, 2);
-        let (code, _) = run_args(&["all-pairs", &file_s, "--bogus"]);
-        assert_eq!(code, 2);
-        let (code, _) = run_args(&["all-pairs", "--parallel"]);
-        assert_eq!(code, 2, "file is still required");
-        std::fs::remove_file(&file).ok();
-    }
-
-    #[test]
-    fn serve_workload_masked_matches_rebuild() {
-        let dir = std::env::temp_dir().join("wdm-cli-test-serve");
-        std::fs::create_dir_all(&dir).expect("mkdir");
-        let file = dir.join("sw.wdm");
-        let file_s = file.to_str().expect("utf8").to_string();
-        let (code, _) = run_args(&[
-            "gen",
-            "--topology",
-            "nsfnet",
-            "--k",
-            "4",
-            "--seed",
-            "3",
-            "-o",
-            &file_s,
-        ]);
-        assert_eq!(code, 0);
-
-        // The masked hot path and the rebuild-per-request reference must
-        // report byte-identical statistics (only the timing line may
-        // differ).
-        let strip_timing = |s: &str| -> String {
-            s.lines()
-                .filter(|l| !l.starts_with("elapsed") && !l.starts_with("mode"))
-                .collect::<Vec<_>>()
-                .join("\n")
-        };
-        let common = [
-            "serve-workload",
-            file_s.as_str(),
-            "--requests",
-            "60",
-            "--load",
-            "5",
-            "--seed",
-            "11",
-        ];
-        for policy in ["optimal", "lightpath", "first-fit"] {
-            let mut masked = common.to_vec();
-            masked.extend(["--policy", policy]);
-            let mut rebuild = masked.clone();
-            rebuild.extend(["--mode", "rebuild"]);
-            let (code, out_m) = run_args(&masked);
-            assert_eq!(code, 0, "{out_m}");
-            assert!(out_m.contains("masked (persistent auxiliary graph)"));
-            let (code, out_r) = run_args(&rebuild);
-            assert_eq!(code, 0, "{out_r}");
-            assert!(out_r.contains("rebuild-per-request"));
-            assert_eq!(strip_timing(&out_m), strip_timing(&out_r), "{policy}");
-        }
-
-        // Fibre cut halfway through the trace, still mode-agnostic.
-        let mut cut = common.to_vec();
-        cut.extend(["--fail-link", "0"]);
-        let (code, out_m) = run_args(&cut);
-        assert_eq!(code, 0, "{out_m}");
-        assert!(out_m.contains("fibre cut  : link 0 after request 30"));
-        cut.extend(["--mode", "rebuild"]);
-        let (code, out_r) = run_args(&cut);
-        assert_eq!(code, 0, "{out_r}");
-        assert_eq!(strip_timing(&out_m), strip_timing(&out_r));
-        std::fs::remove_file(&file).ok();
-    }
-
-    #[test]
-    fn serve_workload_usage_errors() {
-        let (code, _) = run_args(&["serve-workload"]);
-        assert_eq!(code, 2, "file required");
-        for bad in [
-            vec!["serve-workload", "x.wdm", "--requests", "0"],
-            vec!["serve-workload", "x.wdm", "--load", "-1"],
-            vec!["serve-workload", "x.wdm", "--holding", "0"],
-            vec!["serve-workload", "x.wdm", "--policy", "magic"],
-            vec!["serve-workload", "x.wdm", "--mode", "psychic"],
-            vec!["serve-workload", "x.wdm", "--fail-link", "x"],
-            vec!["serve-workload", "x.wdm", "--bogus"],
-        ] {
-            let (code, _) = run_args(&bad);
-            assert_eq!(code, 2, "{bad:?}");
-        }
-        let (code, out) = run_args(&["serve-workload", "/nonexistent.wdm"]);
-        assert_eq!(code, 1);
-        assert!(out.contains("cannot read"));
-    }
-
-    #[test]
-    fn serve_workload_rejects_out_of_range_fail_link() {
-        let dir = std::env::temp_dir().join("wdm-cli-test-serve-range");
-        std::fs::create_dir_all(&dir).expect("mkdir");
-        let file = dir.join("r.wdm");
-        let file_s = file.to_str().expect("utf8").to_string();
-        let (code, _) = run_args(&["gen", "--topology", "ring:4", "--k", "2", "-o", &file_s]);
-        assert_eq!(code, 0);
-        let (code, out) = run_args(&["serve-workload", &file_s, "--fail-link", "999"]);
-        assert_eq!(code, 1, "{out}");
-        assert!(out.contains("out of range"));
-        std::fs::remove_file(&file).ok();
-    }
-
-    #[test]
-    fn info_on_missing_file() {
-        let (code, out) = run_args(&["info", "/nonexistent.wdm"]);
-        assert_eq!(code, 1);
-        assert!(out.contains("cannot read"));
-    }
-
-    /// Sum of every counter series named `name` (optionally restricted
-    /// to one label pair) in a parsed metrics snapshot.
-    fn counter_sum(snap: &wdm_obs::json::Value, name: &str, label: Option<(&str, &str)>) -> u64 {
-        snap.get("counters")
-            .and_then(|v| v.as_array())
-            .expect("counters array")
-            .iter()
-            .filter(|c| c.get("name").and_then(|v| v.as_str()) == Some(name))
-            .filter(|c| match label {
-                None => true,
-                Some((k, want)) => {
-                    c.get("labels")
-                        .and_then(|l| l.get(k))
-                        .and_then(|v| v.as_str())
-                        == Some(want)
-                }
-            })
-            .map(|c| c.get("value").and_then(|v| v.as_u64()).expect("value"))
-            .sum()
-    }
-
-    fn histogram_count(snap: &wdm_obs::json::Value, name: &str) -> u64 {
-        snap.get("histograms")
-            .and_then(|v| v.as_array())
-            .expect("histograms array")
-            .iter()
-            .find(|h| h.get("name").and_then(|v| v.as_str()) == Some(name))
-            .and_then(|h| h.get("count"))
-            .and_then(|v| v.as_u64())
-            .unwrap_or_else(|| panic!("histogram {name} missing"))
-    }
-
-    #[test]
-    fn serve_workload_metrics_snapshot_is_consistent() {
-        let dir = std::env::temp_dir().join("wdm-cli-test-metrics");
-        std::fs::create_dir_all(&dir).expect("mkdir");
-        let file = dir.join("m.wdm");
-        let file_s = file.to_str().expect("utf8").to_string();
-        let snap_path = dir.join("m.json");
-        let snap_s = snap_path.to_str().expect("utf8").to_string();
-        let (code, _) = run_args(&[
-            "gen",
-            "--topology",
-            "nsfnet",
-            "--k",
-            "4",
-            "--seed",
-            "3",
-            "-o",
-            &file_s,
-        ]);
-        assert_eq!(code, 0);
-
-        let (code, out) = run_args(&[
-            "serve-workload",
-            &file_s,
-            "--requests",
-            "60",
-            "--load",
-            "5",
-            "--seed",
-            "11",
-            "--metrics-out",
-            &snap_s,
-        ]);
-        assert_eq!(code, 0, "{out}");
-        assert!(out.contains("req latency: p50"), "{out}");
-        assert!(
-            out.contains(&format!("metrics    : wrote {snap_s}")),
-            "{out}"
-        );
-
-        let text = std::fs::read_to_string(&snap_path).expect("snapshot written");
-        let snap = wdm_obs::json::parse(&text).expect("snapshot parses");
-
-        // offered == accepted + blocked, and the latency histogram saw
-        // every request (no --fail-link, so no extra restoration calls).
-        let offered = counter_sum(&snap, "wdm_rwa_requests_total", None);
-        assert_eq!(offered, 60);
-        let accepted = counter_sum(&snap, "wdm_rwa_accepted_total", None);
-        let blocked = counter_sum(&snap, "wdm_rwa_blocked_total", None);
-        assert_eq!(offered, accepted + blocked, "{text}");
-        assert_eq!(
-            blocked,
-            counter_sum(&snap, "wdm_rwa_blocked_total", Some(("cause", "no_path")))
-                + counter_sum(&snap, "wdm_rwa_blocked_total", Some(("cause", "capacity")))
-        );
-        assert_eq!(histogram_count(&snap, "wdm_rwa_provision_latency_ns"), 60);
-        // The stdout report and the registry agree.
-        assert!(out.contains(&format!("accepted   : {accepted}")), "{out}");
-        assert!(out.contains(&format!("blocked    : {blocked}")), "{out}");
-        // Search kernels ran and reported.
-        assert!(counter_sum(&snap, "wdm_core_search_settled_total", None) > 0);
-        assert!(counter_sum(&snap, "wdm_core_search_pushes_total", None) > 0);
-
-        std::fs::remove_file(&file).ok();
-        std::fs::remove_file(&snap_path).ok();
-    }
-
-    #[test]
-    fn serve_workload_metrics_interval_appends_prometheus_dumps() {
-        let dir = std::env::temp_dir().join("wdm-cli-test-metrics-prom");
-        std::fs::create_dir_all(&dir).expect("mkdir");
-        let file = dir.join("p.wdm");
-        let file_s = file.to_str().expect("utf8").to_string();
-        let snap_path = dir.join("p.json");
-        let snap_s = snap_path.to_str().expect("utf8").to_string();
-        let (code, _) = run_args(&["gen", "--topology", "ring:6", "--k", "3", "-o", &file_s]);
-        assert_eq!(code, 0);
-
-        let (code, out) = run_args(&[
-            "serve-workload",
-            &file_s,
-            "--requests",
-            "60",
-            "--seed",
-            "4",
-            "--metrics-out",
-            &snap_s,
-            "--metrics-interval",
-            "20",
-        ]);
-        assert_eq!(code, 0, "{out}");
-        let prom_path = format!("{snap_s}.prom");
-        assert!(
-            out.contains(&format!("prom dumps : 3 appended to {prom_path}")),
-            "{out}"
-        );
-        let prom = std::fs::read_to_string(&prom_path).expect("prom file written");
-        assert_eq!(prom.matches("# dump ").count(), 3, "{prom}");
-        assert!(prom.contains("# dump 1 after request 20"), "{prom}");
-        assert!(prom.contains("# dump 3 after request 60"), "{prom}");
-        assert!(
-            prom.contains("# TYPE wdm_rwa_requests_total counter"),
-            "{prom}"
-        );
-        assert!(prom.contains("wdm_rwa_requests_total 60"), "{prom}");
-        assert!(
-            prom.contains("wdm_rwa_provision_latency_ns_bucket"),
-            "{prom}"
-        );
-
-        std::fs::remove_file(&file).ok();
-        std::fs::remove_file(&snap_path).ok();
-        std::fs::remove_file(&prom_path).ok();
-    }
-
-    #[test]
-    fn serve_workload_metrics_usage_errors() {
-        for bad in [
-            vec!["serve-workload", "x.wdm", "--metrics-interval", "10"],
-            vec!["serve-workload", "x.wdm", "--metrics-out"],
-            vec![
-                "serve-workload",
-                "x.wdm",
-                "--metrics-out",
-                "m.json",
-                "--metrics-interval",
-                "0",
-            ],
-            vec![
-                "serve-workload",
-                "x.wdm",
-                "--metrics-out",
-                "m.json",
-                "--metrics-interval",
-                "x",
-            ],
-        ] {
-            let (code, _) = run_args(&bad);
-            assert_eq!(code, 2, "{bad:?}");
-        }
-    }
-
-    #[test]
-    fn route_metrics_out_writes_snapshot() {
-        let dir = std::env::temp_dir().join("wdm-cli-test-route-metrics");
-        std::fs::create_dir_all(&dir).expect("mkdir");
-        let file = dir.join("r.wdm");
-        let file_s = file.to_str().expect("utf8").to_string();
-        let snap_path = dir.join("r.json");
-        let snap_s = snap_path.to_str().expect("utf8").to_string();
-        let (code, _) = run_args(&[
-            "gen",
-            "--topology",
-            "nsfnet",
-            "--k",
-            "4",
-            "--seed",
-            "7",
-            "-o",
-            &file_s,
-        ]);
-        assert_eq!(code, 0);
-
-        let (code, out) = run_args(&["route", &file_s, "0", "13", "--metrics-out", &snap_s]);
-        assert_eq!(code, 0, "{out}");
-        assert!(out.contains(&format!("metrics: wrote {snap_s}")), "{out}");
-        let text = std::fs::read_to_string(&snap_path).expect("snapshot written");
-        let snap = wdm_obs::json::parse(&text).expect("snapshot parses");
-        assert_eq!(histogram_count(&snap, "wdm_cli_route_latency_ns"), 1);
-        assert!(counter_sum(&snap, "wdm_core_search_settled_total", None) > 0);
-        let nodes = snap
-            .get("gauges")
-            .and_then(|v| v.as_array())
-            .expect("gauges")
-            .iter()
-            .find(|g| g.get("name").and_then(|v| v.as_str()) == Some("wdm_core_search_graph_nodes"))
-            .and_then(|g| g.get("value"))
-            .and_then(|v| v.as_f64())
-            .expect("search graph node gauge");
-        assert!(nodes > 0.0, "{text}");
-
-        let (code, _) = run_args(&["route", &file_s, "0", "13", "--metrics-out"]);
-        assert_eq!(code, 2, "missing path is a usage error");
-
-        std::fs::remove_file(&file).ok();
-        std::fs::remove_file(&snap_path).ok();
-    }
+    s.push_str("  wdm help [<command>]");
+    s
 }

@@ -1,0 +1,95 @@
+//! Helpers shared by the `cmd` modules: instance loading, topology
+//! parsing, path pretty-printing, and the usage-error exit path.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use rand::rngs::SmallRng;
+use wdm_core::{textfmt, Semilightpath, WdmNetwork};
+use wdm_graph::topology;
+
+/// Reads and parses a `.wdm` instance file, reporting failures to `out`
+/// and returning the exit code to propagate.
+pub(crate) fn load(path: &str, out: &mut String) -> Result<WdmNetwork, i32> {
+    let text = std::fs::read_to_string(Path::new(path)).map_err(|e| {
+        let _ = writeln!(out, "error: cannot read {path}: {e}");
+        1
+    })?;
+    textfmt::from_text(&text).map_err(|e| {
+        let _ = writeln!(out, "error: {path}: {e}");
+        1
+    })
+}
+
+/// Prints `error: <msg>` plus the full usage text and returns the usage
+/// exit code (2).
+pub(crate) fn usage_error(out: &mut String, msg: &str) -> i32 {
+    let _ = writeln!(out, "error: {msg}\n{}", crate::full_usage());
+    2
+}
+
+/// Resolves a `--topology` spec (named instance or parametric
+/// `ring:`/`grid:`/`sparse:` form) into a digraph.
+pub(crate) fn build_topology(spec: &str, rng: &mut SmallRng) -> Result<wdm_graph::DiGraph, String> {
+    match spec {
+        "nsfnet" => Ok(topology::nsfnet()),
+        "arpanet" => Ok(topology::arpanet()),
+        "eon" => Ok(topology::eon()),
+        "abilene" => Ok(topology::abilene()),
+        "geant" => Ok(topology::geant()),
+        other => {
+            if let Some(n) = other.strip_prefix("ring:") {
+                let n: usize = n.parse().map_err(|_| format!("bad ring size `{n}`"))?;
+                if n < 3 {
+                    return Err("ring needs at least 3 nodes".to_string());
+                }
+                Ok(topology::ring(n, true))
+            } else if let Some(dims) = other.strip_prefix("grid:") {
+                let (r, c) = dims
+                    .split_once('x')
+                    .ok_or_else(|| format!("bad grid spec `{dims}` (want RxC)"))?;
+                let r: usize = r.parse().map_err(|_| "bad grid rows".to_string())?;
+                let c: usize = c.parse().map_err(|_| "bad grid cols".to_string())?;
+                if r == 0 || c == 0 {
+                    return Err("grid dimensions must be positive".to_string());
+                }
+                Ok(topology::grid(r, c))
+            } else if let Some(n) = other.strip_prefix("sparse:") {
+                let n: usize = n.parse().map_err(|_| format!("bad node count `{n}`"))?;
+                topology::random_sparse(n, n / 2, 6, rng).map_err(|e| e.to_string())
+            } else {
+                Err(format!("unknown topology `{other}`"))
+            }
+        }
+    }
+}
+
+/// Pretty-prints one semilightpath with its shape and node sequence.
+pub(crate) fn describe(out: &mut String, net: &WdmNetwork, label: &str, path: &Semilightpath) {
+    let _ = writeln!(out, "{label}: {path}");
+    let _ = writeln!(
+        out,
+        "  {} link(s), {} conversion(s), lightpath: {}",
+        path.len(),
+        path.conversion_count(),
+        path.is_lightpath()
+    );
+    let seq: Vec<String> = path
+        .node_sequence(net)
+        .iter()
+        .map(|v| v.to_string())
+        .collect();
+    if !seq.is_empty() {
+        let _ = writeln!(out, "  via {}", seq.join(" → "));
+    }
+}
+
+/// Parses a `--policy` flag value.
+pub(crate) fn parse_policy(value: Option<&str>) -> Option<wdm_rwa::Policy> {
+    match value {
+        Some("optimal") => Some(wdm_rwa::Policy::Optimal),
+        Some("lightpath") => Some(wdm_rwa::Policy::LightpathOnly),
+        Some("first-fit") => Some(wdm_rwa::Policy::FirstFit),
+        _ => None,
+    }
+}

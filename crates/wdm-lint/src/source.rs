@@ -21,7 +21,10 @@ use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 
 /// Crates whose library code must be panic-free (L1, deny).
-const L1_DENY_CRATES: &[&str] = &["wdm-core", "wdm-rwa", "heaps"];
+/// `wdm-serve` joined when the control-plane daemon landed: a panic in
+/// a connection worker would tear down a long-lived server over one bad
+/// request, so every error there must be a typed reply instead.
+const L1_DENY_CRATES: &[&str] = &["wdm-core", "wdm-rwa", "heaps", "wdm-serve"];
 /// Crates where L1 reports but never fails the run.
 const L1_WARN_CRATES: &[&str] = &["wdm-cli"];
 /// Crates whose `Ordering::` uses need justification (L4). `wdm-core`
@@ -30,7 +33,7 @@ const L1_WARN_CRATES: &[&str] = &["wdm-cli"];
 /// ordering there must come from the audited module too.
 const L4_CRATES: &[&str] = &["wdm-core", "wdm-obs", "wdm-rwa"];
 /// Crates whose public items require doc comments (L5).
-const L5_CRATES: &[&str] = &["wdm-core", "wdm-rwa"];
+const L5_CRATES: &[&str] = &["wdm-core", "wdm-rwa", "wdm-serve"];
 
 /// Atomic memory-ordering variants; `cmp::Ordering` variants
 /// (`Less`/`Equal`/`Greater`) are deliberately not listed.

@@ -1,0 +1,147 @@
+//! Atomic file publication for metrics snapshots.
+//!
+//! A periodic exporter that writes its snapshot with a bare
+//! `std::fs::write` truncates the destination and then fills it back
+//! in; any scraper that opens the file inside that window reads a torn
+//! (empty or half-written) document. [`write_atomic`] closes the
+//! window: the bytes land in a temporary file in the *same directory*
+//! (same filesystem, so the rename cannot degrade to copy+delete) and
+//! are published with a single `rename`, which POSIX guarantees to be
+//! atomic with respect to concurrent opens — a reader sees either the
+//! complete old file or the complete new one, never a mixture.
+
+use crate::ordering::RELAXED;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::atomic::AtomicU64;
+
+/// Distinguishes temp files when several writers target the same path
+/// from one process; the process id distinguishes across processes.
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Writes `contents` to `path` atomically: temp file alongside the
+/// destination, then rename over it.
+///
+/// On any error the temp file is removed (best-effort) before the
+/// error propagates, so failed writes leave neither a torn destination
+/// nor stray `.tmp` litter next to it.
+pub fn write_atomic(path: &Path, contents: &[u8]) -> std::io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path.file_name().ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("write_atomic: path {} has no file name", path.display()),
+        )
+    })?;
+    let seq = TEMP_SEQ.fetch_add(1, RELAXED);
+    let mut temp_name = std::ffi::OsString::from(".");
+    temp_name.push(file_name);
+    temp_name.push(format!(".tmp.{}.{}", std::process::id(), seq));
+    let temp_path = match dir {
+        Some(d) => d.join(&temp_name),
+        None => std::path::PathBuf::from(&temp_name),
+    };
+
+    let result = (|| {
+        let mut f = fs::File::create(&temp_path)?;
+        f.write_all(contents)?;
+        // Push the bytes to disk before the rename publishes the name:
+        // otherwise a crash can leave a successfully renamed file with
+        // missing tail data — a slower-motion version of the same tear.
+        f.sync_all()?;
+        fs::rename(&temp_path, path)
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&temp_path);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "wdm_obs_fsutil_{tag}_{}_{}",
+            std::process::id(),
+            TEMP_SEQ.fetch_add(1, RELAXED)
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_and_replaces_contents() {
+        let dir = temp_dir("basic");
+        let target = dir.join("snap.json");
+        write_atomic(&target, b"first").unwrap();
+        assert_eq!(fs::read(&target).unwrap(), b"first");
+        write_atomic(&target, b"second, longer payload").unwrap();
+        assert_eq!(fs::read(&target).unwrap(), b"second, longer payload");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The regression the satellite demands: prove the *rename* path is
+    /// used, not truncate-and-rewrite. A hard link pins the original
+    /// inode; `fs::write` would mutate that shared inode in place
+    /// (witness changes), while rename points the target name at a new
+    /// inode and leaves the witness holding the old, complete bytes.
+    #[test]
+    fn replacement_goes_through_rename_not_truncate() {
+        let dir = temp_dir("rename");
+        let target = dir.join("metrics.prom");
+        write_atomic(&target, b"old snapshot\n").unwrap();
+        let witness = dir.join("witness");
+        fs::hard_link(&target, &witness).unwrap();
+
+        write_atomic(&target, b"new snapshot\n").unwrap();
+
+        assert_eq!(fs::read(&target).unwrap(), b"new snapshot\n");
+        assert_eq!(
+            fs::read(&witness).unwrap(),
+            b"old snapshot\n",
+            "old inode was mutated in place: the write did not go through rename"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn no_temp_litter_after_success_or_failure() {
+        let dir = temp_dir("litter");
+        let target = dir.join("out.json");
+        write_atomic(&target, b"ok").unwrap();
+        // Failure path: the parent directory does not exist.
+        let missing = dir.join("no_such_dir").join("out.json");
+        assert!(write_atomic(&missing, b"x").is_err());
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n != "out.json")
+            .collect();
+        assert!(leftovers.is_empty(), "stray files: {leftovers:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bare_file_name_resolves_against_cwd() {
+        // `path.parent()` is `Some("")` for a bare name; the helper must
+        // not try to create a temp file under the empty path.
+        let name = format!(
+            "wdm_obs_fsutil_cwd_{}_{}.json",
+            std::process::id(),
+            TEMP_SEQ.fetch_add(1, RELAXED)
+        );
+        let path = std::path::PathBuf::from(&name);
+        write_atomic(&path, b"cwd-relative").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"cwd-relative");
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn pathless_input_is_an_input_error() {
+        let err = write_atomic(Path::new(""), b"x").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    }
+}

@@ -20,8 +20,13 @@ pub const BUCKET_COUNT: usize = 65;
 /// resolution is exactly what log-bucketed production histograms
 /// (HDR-style) accept on purpose.
 ///
-/// The running [`sum`](Self::sum) wraps on overflow (2⁶⁴ ns ≈ 584
-/// years of accumulated latency, so in practice it does not).
+/// The running [`sum`](Self::sum) **saturates** at `u64::MAX` instead of
+/// wrapping: a long-lived daemon scraping the Prometheus `_sum` series
+/// must never see it jump backwards, because rate() over a wrapped
+/// counter fabricates enormous negative (or, post-reset-detection,
+/// enormous positive) deltas. Once saturated the series pins at
+/// `u64::MAX` — visibly wrong in a dashboard, which is the point —
+/// while `count`, the buckets, and the quantile estimates stay exact.
 ///
 /// # Examples
 ///
@@ -81,10 +86,18 @@ impl Histogram {
     }
 
     /// Records one sample.
+    ///
+    /// The running sum accumulates with a saturating CAS loop (see the
+    /// type docs for why wrapping is unacceptable on long uptimes); the
+    /// loop retries only when another writer lands between the read and
+    /// the exchange, so the uncontended cost stays at a few relaxed
+    /// atomics.
     #[inline]
     pub fn observe(&self, v: u64) {
         self.buckets[bucket_index(v)].fetch_add(1, RELAXED);
-        self.sum.fetch_add(v, RELAXED);
+        let _ = self
+            .sum
+            .fetch_update(RELAXED, RELAXED, |cur| Some(cur.saturating_add(v)));
         self.count.fetch_add(1, RELAXED);
     }
 
@@ -93,7 +106,7 @@ impl Histogram {
         self.count.load(RELAXED)
     }
 
-    /// Sum of all samples (wrapping).
+    /// Sum of all samples (saturating at `u64::MAX`; see the type docs).
     pub fn sum(&self) -> u64 {
         self.sum.load(RELAXED)
     }
@@ -205,8 +218,51 @@ mod tests {
             Histogram::bucket_bounds(BUCKET_COUNT - 1),
             (1u64 << 63, u64::MAX)
         );
-        // The wrapping sum is documented, not a crash.
+        // The saturating sum is documented, not a crash.
         assert_eq!(h.count(), 2);
+    }
+
+    /// Regression for the daemon-uptime overflow bug: the `_sum` series
+    /// used to wrap on u64 overflow, which corrupts Prometheus rate()
+    /// on exactly the long uptimes a long-lived server accumulates. It
+    /// must saturate and stay pinned instead.
+    #[test]
+    fn sum_saturates_instead_of_wrapping() {
+        let h = Histogram::new();
+        h.observe(u64::MAX - 10);
+        assert_eq!(h.sum(), u64::MAX - 10);
+        // This observe would wrap; it must pin at MAX.
+        h.observe(100);
+        assert_eq!(h.sum(), u64::MAX);
+        // Saturation is sticky: further samples keep counting without
+        // disturbing the pinned sum.
+        h.observe(7);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), 3);
+        // Quantiles and mean stay finite and well-defined.
+        assert!(h.quantile(0.5).is_finite());
+        assert!(h.mean().is_finite());
+    }
+
+    #[test]
+    fn sum_saturation_survives_concurrent_observers() {
+        // Many near-MAX observes from several threads: whatever the
+        // interleaving, the sum must end exactly at MAX (monotone,
+        // never wrapped past it) and the count must be exact.
+        let h = Histogram::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let h = &h;
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        h.observe(u64::MAX / 2);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 4000);
     }
 
     #[test]

@@ -47,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fsutil;
 mod histogram;
 pub mod json;
 mod metric;
@@ -54,6 +55,7 @@ pub mod ordering;
 mod registry;
 mod span;
 
+pub use fsutil::write_atomic;
 pub use histogram::{Histogram, BUCKET_COUNT};
 pub use metric::{Counter, Gauge};
 pub use registry::MetricsRegistry;

@@ -5,12 +5,19 @@ use std::sync::atomic::{AtomicI64, AtomicU64};
 
 /// A monotonically increasing event counter.
 ///
-/// Every mutation is a single relaxed `fetch_add`, so a counter on the
-/// provisioning hot path costs one uncontended atomic RMW (~1 ns) —
-/// effectively free next to a Dijkstra run. Relaxed ordering is
-/// sufficient because counters carry no cross-thread happens-before
-/// obligations: exporters read a value that is exact for the events
-/// already published and merely slightly stale for in-flight ones.
+/// Every mutation is a single relaxed atomic RMW, so a counter on the
+/// provisioning hot path costs ~1 ns uncontended — effectively free
+/// next to a Dijkstra run. Relaxed ordering is sufficient because
+/// counters carry no cross-thread happens-before obligations: exporters
+/// read a value that is exact for the events already published and
+/// merely slightly stale for in-flight ones.
+///
+/// Like [`crate::Histogram`]'s running sum, the total **saturates** at
+/// `u64::MAX` instead of wrapping: Prometheus `rate()` treats any
+/// decrease as a process restart, so a wrapped counter fabricates a
+/// bogus reset on exactly the long daemon uptimes where overflow is
+/// reachable. A pinned `u64::MAX` is visibly wrong in a dashboard; a
+/// wrap is silently wrong in every derived rate.
 ///
 /// # Examples
 ///
@@ -35,10 +42,16 @@ impl Counter {
         self.add(1);
     }
 
-    /// Adds `n` events.
+    /// Adds `n` events (saturating at `u64::MAX`; see the type docs).
+    ///
+    /// The saturating CAS loop retries only when another writer lands
+    /// between the read and the exchange, so the uncontended cost stays
+    /// one relaxed RMW.
     #[inline]
     pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, RELAXED);
+        let _ = self
+            .0
+            .fetch_update(RELAXED, RELAXED, |cur| Some(cur.saturating_add(n)));
     }
 
     /// The total so far.
@@ -123,6 +136,20 @@ mod tests {
         assert_eq!(g.get(), -4);
         g.set(7);
         assert_eq!(g.get(), 7);
+    }
+
+    /// Regression companion to the histogram-sum overflow fix: counter
+    /// totals must pin at `u64::MAX`, never wrap back through zero.
+    #[test]
+    fn counter_saturates_instead_of_wrapping() {
+        let c = Counter::new();
+        c.add(u64::MAX - 1);
+        assert_eq!(c.get(), u64::MAX - 1);
+        c.add(10);
+        assert_eq!(c.get(), u64::MAX);
+        // Sticky: increments past the ceiling stay pinned.
+        c.inc();
+        assert_eq!(c.get(), u64::MAX);
     }
 
     #[test]

@@ -306,9 +306,11 @@ impl MetricsRegistry {
         out
     }
 
-    /// Writes [`snapshot_json`](Self::snapshot_json) to `path`.
+    /// Writes [`snapshot_json`](Self::snapshot_json) to `path`
+    /// atomically (temp file + rename, via [`crate::write_atomic`]), so
+    /// a scraper polling the file never observes a torn snapshot.
     pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
-        std::fs::write(path, self.snapshot_json())
+        crate::write_atomic(path, self.snapshot_json().as_bytes())
     }
 }
 

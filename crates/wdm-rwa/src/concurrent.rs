@@ -99,6 +99,14 @@ pub enum RaceInjection {
     /// both "win" the same (link, λ) — the classic check-then-act race a
     /// non-atomic mask flip would exhibit.
     SkipShardLock,
+    /// Every provision validation fails as if a concurrent writer had
+    /// committed underneath it, so the optimistic loop conflicts on
+    /// every attempt and a bounded-retry driver is guaranteed to exhaust
+    /// its budget. Exists to pin the retry-exhaustion outcome
+    /// ([`RwaError::Contended`], never a fabricated
+    /// `Blocked { cause }`): real contention heavy enough to exhaust a
+    /// budget is timing-dependent, this knob makes it deterministic.
+    ForceValidationConflict,
 }
 
 /// A provision's blocked-verdict memo entry: the epoch it was probed
@@ -443,6 +451,59 @@ impl ConcurrentHandle {
         }
     }
 
+    /// [`provision`](Self::provision) with a bounded retry budget: the
+    /// transaction is abandoned once it has absorbed `max_conflicts`
+    /// validation conflicts (or, with a budget of zero, on its first
+    /// contended step of any kind).
+    ///
+    /// Retry exhaustion is **not** a blocked verdict. A blocked commit
+    /// proves an occupancy state that rejected the request existed at
+    /// the validation instant; an exhausted budget proves only that the
+    /// engine was busy — the request was never decided, engine totals
+    /// are untouched, and the caller may retry it verbatim. Long-lived
+    /// callers that must not stall behind a hot engine (the
+    /// control-plane daemon) use this and surface the distinction to
+    /// their clients.
+    ///
+    /// # Errors
+    ///
+    /// * [`RwaError::NodeOutOfRange`] for invalid endpoints;
+    /// * [`RwaError::Blocked`] when no route exists at the commit
+    ///   instant;
+    /// * [`RwaError::Contended`] when the retry budget is exhausted
+    ///   before any verdict commits.
+    pub fn provision_bounded(
+        &mut self,
+        s: NodeId,
+        t: NodeId,
+        policy: Policy,
+        max_conflicts: u64,
+    ) -> Result<ConnectionId, RwaError> {
+        let mut txn = ProvisionTxn::new(&self.engine, s, t, policy)?;
+        loop {
+            match txn.step(&self.engine, &mut self.scratch) {
+                Step::Done(ProvisionOutcome::Accepted { id, .. }) => return Ok(id),
+                Step::Done(ProvisionOutcome::Blocked { .. }) => {
+                    return Err(RwaError::Blocked { s, t })
+                }
+                Step::Progress => {}
+                Step::Contended => {
+                    // A contended step never leaves shard claims behind,
+                    // so abandoning here is clean (see
+                    // [`ProvisionTxn::conflicts`]).
+                    if txn.conflicts() >= max_conflicts {
+                        return Err(RwaError::Contended {
+                            s,
+                            t,
+                            conflicts: txn.conflicts(),
+                        });
+                    }
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
     /// Releases an active connection, freeing its resources.
     ///
     /// # Errors
@@ -516,6 +577,10 @@ pub struct ProvisionTxn {
     touched: Vec<usize>,
     claimed: usize,
     flipped: usize,
+    /// Validation conflicts this transaction has absorbed (each one a
+    /// wasted route computation); the bounded-retry drivers read it to
+    /// decide when to give up.
+    conflicts: u64,
     phase: ProvisionPhase,
 }
 
@@ -545,8 +610,18 @@ impl ProvisionTxn {
             touched: Vec::new(),
             claimed: 0,
             flipped: 0,
+            conflicts: 0,
             phase: ProvisionPhase::ReadVersions,
         })
+    }
+
+    /// Validation conflicts absorbed so far. After any
+    /// [`Step::Contended`] the transaction holds no shard claims, so a
+    /// driver that decides this count has exhausted its budget can
+    /// simply stop stepping and drop the transaction — reporting
+    /// [`RwaError::Contended`], never a fabricated blocked verdict.
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
     }
 
     /// Rolls claimed shards back to their pre-claim versions (no bits
@@ -557,6 +632,7 @@ impl ProvisionTxn {
             shared.shards[sh].store(self.versions[sh], RELEASE);
         }
         shared.conflicts.fetch_add(1, RELAXED);
+        self.conflicts += 1;
         self.claimed = 0;
         self.path = None;
         self.touched.clear();
@@ -639,12 +715,13 @@ impl ProvisionTxn {
                 // Order the route's relaxed mask loads before the
                 // validating version loads (see wdm_obs::ordering).
                 fence_acquire();
-                let consistent = shared
-                    .shards
-                    .iter()
-                    .enumerate()
-                    .filter(|(i, _)| !self.touched.contains(i))
-                    .all(|(i, shard)| shard.load(RELAXED) == self.versions[i]);
+                let consistent = shared.race != RaceInjection::ForceValidationConflict
+                    && shared
+                        .shards
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| !self.touched.contains(i))
+                        .all(|(i, shard)| shard.load(RELAXED) == self.versions[i]);
                 if consistent {
                     self.phase = ProvisionPhase::Flip;
                     Step::Progress
@@ -692,13 +769,15 @@ impl ProvisionTxn {
             }
             ProvisionPhase::CommitBlocked => {
                 fence_acquire();
-                let consistent = shared
-                    .shards
-                    .iter()
-                    .enumerate()
-                    .all(|(i, shard)| shard.load(RELAXED) == self.versions[i]);
+                let consistent = shared.race != RaceInjection::ForceValidationConflict
+                    && shared
+                        .shards
+                        .iter()
+                        .enumerate()
+                        .all(|(i, shard)| shard.load(RELAXED) == self.versions[i]);
                 if !consistent {
                     shared.conflicts.fetch_add(1, RELAXED);
+                    self.conflicts += 1;
                     self.phase = ProvisionPhase::ReadVersions;
                     return Step::Contended;
                 }
@@ -1182,6 +1261,71 @@ mod tests {
         assert_eq!(ConcurrentEngine::new(&net, 0).num_shards(), 2);
         assert_eq!(ConcurrentEngine::new(&net, 1).num_shards(), 1);
         assert_eq!(ConcurrentEngine::new(&net, 64).num_shards(), 2);
+    }
+
+    /// The retry-exhaustion audit (ISSUE 7 satellite): when the bounded
+    /// optimistic loop gives up, the caller must see a *contention*
+    /// outcome — distinct from `Blocked { cause }` — and no engine
+    /// totals may move, because no verdict ever committed.
+    #[test]
+    fn retry_exhaustion_is_contended_not_blocked() {
+        let net = base();
+        let conc =
+            ConcurrentEngine::with_race_injection(&net, 2, RaceInjection::ForceValidationConflict);
+        let mut h = conc.handle();
+        let budget = 3;
+        let got = h.provision_bounded(0.into(), 3.into(), Policy::Optimal, budget);
+        match got {
+            Err(RwaError::Contended { s, t, conflicts }) => {
+                assert_eq!((s, t), (0.into(), 3.into()));
+                assert!(conflicts >= budget, "gave up early: {conflicts} < {budget}");
+            }
+            other => panic!("expected Contended, got {other:?}"),
+        }
+        // Undecided means unaccounted: no accepted, no blocked (either
+        // cause), no released — and no resources held.
+        assert_eq!(conc.totals(), (0, 0, 0));
+        assert_eq!(conc.blocked_by_cause(), (0, 0));
+        assert_eq!(conc.active_count(), 0);
+        assert_eq!(conc.busy_count(), 0);
+        // The absorbed conflicts are visible in the engine-wide counter.
+        assert_eq!(conc.conflicts(), budget);
+        // The blocked-verdict path (s == t routes empty and must commit
+        // through CommitBlocked) conflicts forever under the injection
+        // too, so it must also exhaust as Contended rather than
+        // fabricate a cause.
+        let got = h.provision_bounded(2.into(), 2.into(), Policy::Optimal, 2);
+        assert!(
+            matches!(got, Err(RwaError::Contended { .. })),
+            "blocked-verdict path must also exhaust as Contended: {got:?}"
+        );
+        assert_eq!(conc.blocked_by_cause(), (0, 0));
+    }
+
+    #[test]
+    fn bounded_provision_behaves_normally_without_contention() {
+        // With the audited protocol and a single thread the bounded
+        // driver is byte-for-byte the unbounded one: accepts, blocks
+        // with a real verdict, and never reports contention.
+        let net = base();
+        let conc = ConcurrentEngine::new(&net, 2);
+        let mut h = conc.handle();
+        let a = h
+            .provision_bounded(0.into(), 3.into(), Policy::Optimal, 0)
+            .expect("routes");
+        let _b = h
+            .provision_bounded(0.into(), 3.into(), Policy::Optimal, 0)
+            .expect("second wavelength");
+        assert_eq!(
+            h.provision_bounded(0.into(), 3.into(), Policy::Optimal, 0),
+            Err(RwaError::Blocked {
+                s: 0.into(),
+                t: 3.into()
+            })
+        );
+        assert_eq!(conc.conflicts(), 0);
+        assert_eq!(conc.totals(), (2, 1, 0));
+        h.release(a).expect("active");
     }
 
     #[test]

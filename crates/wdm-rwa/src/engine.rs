@@ -25,6 +25,21 @@ impl ConnectionId {
     pub(crate) fn from_raw(raw: u64) -> Self {
         ConnectionId(raw)
     }
+
+    /// The raw id, for wire protocols that must round-trip connection
+    /// handles as plain numbers (the control-plane daemon).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs a handle from a raw id received off the wire.
+    ///
+    /// Constructing an id that was never issued is safe: every engine
+    /// operation validates the handle against its active-connection map
+    /// and answers [`RwaError::UnknownConnection`] for strangers.
+    pub fn from_u64(raw: u64) -> Self {
+        ConnectionId(raw)
+    }
 }
 
 impl fmt::Display for ConnectionId {
@@ -48,6 +63,18 @@ pub enum RwaError {
     UnknownConnection(ConnectionId),
     /// A query endpoint is not a node of the network.
     NodeOutOfRange(NodeId),
+    /// A bounded-retry concurrent transaction gave up after repeated
+    /// validation conflicts. Unlike [`RwaError::Blocked`] this says
+    /// nothing about network resources — the request was never decided;
+    /// the caller may retry it verbatim.
+    Contended {
+        /// Requested source.
+        s: NodeId,
+        /// Requested destination.
+        t: NodeId,
+        /// Conflicts absorbed before giving up.
+        conflicts: u64,
+    },
 }
 
 impl fmt::Display for RwaError {
@@ -56,6 +83,10 @@ impl fmt::Display for RwaError {
             RwaError::Blocked { s, t } => write!(f, "request {s} → {t} blocked"),
             RwaError::UnknownConnection(id) => write!(f, "connection {id} is not active"),
             RwaError::NodeOutOfRange(v) => write!(f, "node {v} out of range"),
+            RwaError::Contended { s, t, conflicts } => write!(
+                f,
+                "request {s} → {t} contended: undecided after {conflicts} conflicts"
+            ),
         }
     }
 }
@@ -132,6 +163,10 @@ pub struct ProvisioningEngine {
     ///
     /// [`fail_link`]: Self::fail_link
     failed_link: Option<LinkId>,
+    /// Cause of the most recent blocked request, for callers (the
+    /// control-plane daemon) that answer each request individually and
+    /// want the verdict without re-deriving it from counter deltas.
+    last_block_cause: Option<BlockCause>,
     /// Shared instruments when a registry is attached; `None` keeps the
     /// hot path at one branch per operation.
     metrics: Option<EngineMetrics>,
@@ -178,6 +213,7 @@ impl ProvisioningEngine {
             free_reach_cache: HashMap::new(),
             cause_epoch: 0,
             failed_link: None,
+            last_block_cause: None,
             metrics: None,
         }
     }
@@ -233,6 +269,14 @@ impl ProvisioningEngine {
     /// have carried. The two always sum to the blocked total.
     pub fn blocked_by_cause(&self) -> (u64, u64) {
         (self.blocked_no_path, self.blocked_capacity)
+    }
+
+    /// Cause of the most recent blocked request (`None` until one
+    /// blocks). Lets a per-request responder report the verdict of the
+    /// [`RwaError::Blocked`] it just received without diffing
+    /// [`blocked_by_cause`](Self::blocked_by_cause) totals.
+    pub fn last_block_cause(&self) -> Option<BlockCause> {
+        self.last_block_cause
     }
 
     /// Fraction of base (link, wavelength) resources currently occupied.
@@ -377,6 +421,7 @@ impl ProvisioningEngine {
     /// (when attached) the blocked counters.
     fn note_blocked(&mut self, s: NodeId, t: NodeId, policy: Policy) {
         let cause = self.classify_blocked(s, t, policy);
+        self.last_block_cause = Some(cause);
         self.blocked += 1;
         match cause {
             BlockCause::NoPath => self.blocked_no_path += 1,

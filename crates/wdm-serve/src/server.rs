@@ -1,0 +1,467 @@
+//! The listener, accept loop, and per-connection workers.
+//!
+//! One thread per connection, line-delimited JSON in request order, and
+//! three operational guarantees (see the crate docs): bounded admission
+//! (`overloaded` instead of unbounded queueing), graceful drain (the
+//! `drain` op or SIGTERM finishes in-flight work before
+//! [`Server::serve`] returns), and an HTTP `GET /metrics` branch on the
+//! same listener that renders the live in-memory registry — never a
+//! file that a concurrent writer could tear.
+
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use wdm_obs::MetricsRegistry;
+
+use crate::backend::{render_malformed, render_overloaded, EngineBackend};
+use crate::protocol::{parse_request, Request};
+use crate::signal;
+
+/// How long a worker blocks in `read` before re-checking the drain
+/// flag. Bounds drain latency for idle connections.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// How long the accept loop sleeps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(15);
+
+/// A parsed `--listen` endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Listen {
+    /// A TCP endpoint, e.g. `127.0.0.1:4170` (port `0` picks a free one).
+    Tcp(String),
+    /// A unix-domain socket path (spelled `unix:<path>` on the CLI).
+    Unix(PathBuf),
+}
+
+impl Listen {
+    /// Parses a `--listen` argument: `unix:<path>` selects a unix
+    /// socket, anything else is a TCP `host:port`.
+    pub fn parse(addr: &str) -> Listen {
+        match addr.strip_prefix("unix:") {
+            Some(path) => Listen::Unix(PathBuf::from(path)),
+            None => Listen::Tcp(addr.to_string()),
+        }
+    }
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Requests allowed to execute at once across all connections;
+    /// excess requests are answered `overloaded` without touching the
+    /// engine.
+    pub max_inflight: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { max_inflight: 64 }
+    }
+}
+
+/// Totals reported by [`Server::serve`] after a drain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// Requests executed (including error replies; excluding rejected
+    /// `overloaded` ones).
+    pub requests: u64,
+    /// Frames rejected as malformed (each also closed its connection).
+    pub malformed: u64,
+    /// Requests rejected by admission control.
+    pub overloaded: u64,
+}
+
+enum ListenerKind {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixListener),
+}
+
+/// State shared between the accept loop and every worker.
+struct Shared {
+    backend: Arc<EngineBackend>,
+    registry: Arc<MetricsRegistry>,
+    drain: AtomicBool,
+    inflight: AtomicUsize,
+    max_inflight: usize,
+}
+
+/// A bound daemon: listener plus engine backend plus live metrics.
+pub struct Server {
+    listener: ListenerKind,
+    shared: Arc<Shared>,
+    unix_path: Option<PathBuf>,
+}
+
+impl Server {
+    /// Binds `listen` and wires `backend` behind it. For a TCP endpoint
+    /// with port `0` the kernel picks a free port — read it back with
+    /// [`Server::local_addr`]. A stale unix-socket file at the path is
+    /// removed before binding.
+    pub fn bind(
+        listen: &Listen,
+        backend: EngineBackend,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        let registry = Arc::new(MetricsRegistry::new());
+        backend.attach_metrics(&registry);
+        let (listener, unix_path) = match listen {
+            Listen::Tcp(addr) => (ListenerKind::Tcp(TcpListener::bind(addr.as_str())?), None),
+            #[cfg(unix)]
+            Listen::Unix(path) => {
+                if path.exists() {
+                    std::fs::remove_file(path)?;
+                }
+                (
+                    ListenerKind::Unix(std::os::unix::net::UnixListener::bind(path)?),
+                    Some(path.clone()),
+                )
+            }
+            #[cfg(not(unix))]
+            Listen::Unix(_) => {
+                return Err(io::Error::new(
+                    ErrorKind::Unsupported,
+                    "unix sockets are not available on this platform",
+                ))
+            }
+        };
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                backend: Arc::new(backend),
+                registry,
+                drain: AtomicBool::new(false),
+                inflight: AtomicUsize::new(0),
+                max_inflight: config.max_inflight,
+            }),
+            unix_path,
+        })
+    }
+
+    /// The bound endpoint: `ip:port` for TCP (with the real port even
+    /// if `0` was requested), the socket path for unix.
+    pub fn local_addr(&self) -> String {
+        match &self.listener {
+            ListenerKind::Tcp(l) => match l.local_addr() {
+                Ok(addr) => addr.to_string(),
+                Err(_) => "unknown".to_string(),
+            },
+            #[cfg(unix)]
+            ListenerKind::Unix(_) => match &self.unix_path {
+                Some(path) => path.display().to_string(),
+                None => "unknown".to_string(),
+            },
+        }
+    }
+
+    /// The live metrics registry served at `GET /metrics`.
+    pub fn registry(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.shared.registry)
+    }
+
+    /// Requests a drain as if a `drain` op had arrived — the accept
+    /// loop stops, in-flight requests finish, [`Server::serve`]
+    /// returns.
+    pub fn request_drain(&self) {
+        self.shared.drain.store(true, Ordering::Relaxed);
+    }
+
+    /// Runs the accept loop until a drain is requested (by the `drain`
+    /// op, [`Server::request_drain`], or SIGTERM/SIGINT after
+    /// [`signal::install`]), then joins every worker and reports
+    /// lifetime totals.
+    pub fn serve(&self) -> io::Result<ServeSummary> {
+        self.set_nonblocking(true)?;
+        let mut workers: Vec<thread::JoinHandle<()>> = Vec::new();
+        loop {
+            if self.shared.drain.load(Ordering::Relaxed) {
+                break;
+            }
+            if signal::termination_requested() {
+                self.shared.drain.store(true, Ordering::Relaxed);
+                break;
+            }
+            match self.accept_one() {
+                Ok(Some(worker)) => workers.push(worker),
+                Ok(None) => thread::sleep(ACCEPT_POLL),
+                // Transient accept failures (e.g. per-process fd
+                // exhaustion) must not kill a long-lived daemon.
+                Err(_) => thread::sleep(ACCEPT_POLL),
+            }
+            // Reap finished workers so a long-lived daemon's handle
+            // list tracks live connections, not lifetime connections.
+            workers.retain(|w| !w.is_finished());
+        }
+        for worker in workers {
+            let _ = worker.join();
+        }
+        let c = |name: &str| self.shared.registry.counter(name, &[]).get();
+        let requests = {
+            let mut total = 0u64;
+            for op in [
+                "provision",
+                "release",
+                "fail-link",
+                "batch",
+                "stats",
+                "drain",
+            ] {
+                total = total.saturating_add(
+                    self.shared
+                        .registry
+                        .counter("wdm_serve_requests_total", &[("op", op)])
+                        .get(),
+                );
+            }
+            total
+        };
+        Ok(ServeSummary {
+            connections: c("wdm_serve_connections_total"),
+            requests,
+            malformed: c("wdm_serve_malformed_total"),
+            overloaded: c("wdm_serve_overloaded_total"),
+        })
+    }
+
+    fn set_nonblocking(&self, on: bool) -> io::Result<()> {
+        match &self.listener {
+            ListenerKind::Tcp(l) => l.set_nonblocking(on),
+            #[cfg(unix)]
+            ListenerKind::Unix(l) => l.set_nonblocking(on),
+        }
+    }
+
+    /// Accepts one pending connection and spawns its worker, or returns
+    /// `Ok(None)` when no connection is waiting.
+    fn accept_one(&self) -> io::Result<Option<thread::JoinHandle<()>>> {
+        match &self.listener {
+            ListenerKind::Tcp(l) => match l.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(false)?;
+                    stream.set_read_timeout(Some(READ_POLL))?;
+                    // Replies are one small write per request; Nagle would
+                    // hold them back waiting for data that never comes.
+                    stream.set_nodelay(true)?;
+                    self.spawn_worker(stream).map(Some)
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            },
+            #[cfg(unix)]
+            ListenerKind::Unix(l) => match l.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(false)?;
+                    stream.set_read_timeout(Some(READ_POLL))?;
+                    self.spawn_worker(stream).map(Some)
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            },
+        }
+    }
+
+    fn spawn_worker<S>(&self, stream: S) -> io::Result<thread::JoinHandle<()>>
+    where
+        S: Read + Write + Send + 'static,
+    {
+        let shared = Arc::clone(&self.shared);
+        shared
+            .registry
+            .counter("wdm_serve_connections_total", &[])
+            .inc();
+        thread::Builder::new()
+            .name("wdm-serve-conn".to_string())
+            .spawn(move || handle_connection(stream, &shared))
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if let Some(path) = &self.unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// The short `op` label used on the request counter.
+fn op_name(req: &Request) -> &'static str {
+    match req {
+        Request::Provision { .. } => "provision",
+        Request::Release { .. } => "release",
+        Request::FailLink { .. } => "fail-link",
+        Request::Batch { .. } => "batch",
+        Request::Stats => "stats",
+        Request::Drain => "drain",
+    }
+}
+
+/// Runs one connection to completion: frames lines out of the byte
+/// stream, executes requests in order, and writes one reply line each.
+/// Returns (closing the connection) on disconnect, malformed frame,
+/// drain, or write failure.
+fn handle_connection<S: Read + Write>(mut stream: S, shared: &Shared) {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let mut ctx = shared.backend.new_ctx();
+    loop {
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line_bytes: Vec<u8> = buf.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&line_bytes);
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with("GET ") {
+                serve_http(&mut stream, shared, line);
+                return;
+            }
+            if !handle_frame(&mut stream, shared, &mut ctx, line) {
+                return;
+            }
+        }
+        if shared.drain.load(Ordering::Relaxed) {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                // Read timeout: partial frames stay buffered; loop back
+                // to re-check the drain flag.
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Executes one JSON frame and writes its reply. Returns `false` when
+/// the connection must close (malformed frame, drain, write failure).
+fn handle_frame<S: Read + Write>(
+    stream: &mut S,
+    shared: &Shared,
+    ctx: &mut crate::backend::ExecCtx,
+    line: &str,
+) -> bool {
+    let req = match parse_request(line) {
+        Ok(req) => req,
+        Err(detail) => {
+            // The stream may be desynced after a bad frame; answer
+            // typed and close rather than guess at a resync point.
+            shared
+                .registry
+                .counter("wdm_serve_malformed_total", &[])
+                .inc();
+            let _ = write_line(stream, &render_malformed(&detail));
+            return false;
+        }
+    };
+    if matches!(req, Request::Drain) {
+        shared
+            .registry
+            .counter("wdm_serve_requests_total", &[("op", "drain")])
+            .inc();
+        let _ = write_line(stream, &shared.backend.execute(ctx, &req));
+        shared.drain.store(true, Ordering::Relaxed);
+        return false;
+    }
+    let inflight = shared.inflight.fetch_add(1, Ordering::Relaxed);
+    if inflight >= shared.max_inflight {
+        shared.inflight.fetch_sub(1, Ordering::Relaxed);
+        shared
+            .registry
+            .counter("wdm_serve_overloaded_total", &[])
+            .inc();
+        // Rejected, not fatal: the client may retry after backoff on
+        // the same connection.
+        return write_line(stream, &render_overloaded()).is_ok();
+    }
+    shared.registry.gauge("wdm_serve_inflight", &[]).inc();
+    let started = Instant::now();
+    let reply = shared.backend.execute(ctx, &req);
+    let elapsed = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    shared.inflight.fetch_sub(1, Ordering::Relaxed);
+    shared.registry.gauge("wdm_serve_inflight", &[]).dec();
+    shared
+        .registry
+        .histogram("wdm_serve_request_latency_ns", &[])
+        .observe(elapsed);
+    shared
+        .registry
+        .counter("wdm_serve_requests_total", &[("op", op_name(&req))])
+        .inc();
+    write_line(stream, &reply).is_ok()
+}
+
+fn write_line<S: Write>(stream: &mut S, reply: &str) -> io::Result<()> {
+    let mut framed = String::with_capacity(reply.len() + 1);
+    framed.push_str(reply);
+    framed.push('\n');
+    stream.write_all(framed.as_bytes())?;
+    stream.flush()
+}
+
+/// Answers an HTTP request on the JSON listener: `GET /metrics` renders
+/// the live registry (Prometheus text format), anything else is 404.
+/// The connection closes after one response.
+fn serve_http<S: Read + Write>(stream: &mut S, shared: &Shared, request_line: &str) {
+    let path = request_line.split_whitespace().nth(1).unwrap_or("");
+    let (status, body) = if path == "/metrics" {
+        ("200 OK", shared.registry.render_prometheus())
+    } else {
+        ("404 Not Found", "not found\n".to_string())
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listen_parses_tcp_and_unix() {
+        assert_eq!(
+            Listen::parse("127.0.0.1:0"),
+            Listen::Tcp("127.0.0.1:0".to_string())
+        );
+        assert_eq!(
+            Listen::parse("unix:/tmp/wdm.sock"),
+            Listen::Unix(PathBuf::from("/tmp/wdm.sock"))
+        );
+    }
+
+    #[test]
+    fn op_names_cover_every_request() {
+        assert_eq!(
+            op_name(&Request::Provision {
+                s: 0,
+                t: 1,
+                policy: None
+            }),
+            "provision"
+        );
+        assert_eq!(op_name(&Request::Release { id: 0 }), "release");
+        assert_eq!(op_name(&Request::FailLink { link: 0 }), "fail-link");
+        assert_eq!(
+            op_name(&Request::Batch {
+                pairs: vec![],
+                policy: None
+            }),
+            "batch"
+        );
+        assert_eq!(op_name(&Request::Stats), "stats");
+        assert_eq!(op_name(&Request::Drain), "drain");
+    }
+}
