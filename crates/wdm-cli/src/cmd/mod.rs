@@ -10,3 +10,4 @@ pub mod protect;
 pub mod route;
 pub mod serve;
 pub mod serve_workload;
+pub mod trace_check;

@@ -27,9 +27,12 @@ impl Command for Route {
 
     fn usage(&self) -> &'static str {
         "  wdm route <file.wdm> <src> <dst> [--alternates <k>] [--distributed] [--baseline]
-      [--metrics-out <file>]
+      [--metrics-out <file>] [--trace-out <file>]
       --metrics-out writes a JSON metrics snapshot (route latency,
-      search-kernel operation counts) after the query"
+      search-kernel operation counts) after the query; --trace-out
+      provisions the request through a traced engine and writes the
+      flight-recorder snapshot as Chrome trace_event JSON (open in
+      chrome://tracing or Perfetto)"
     }
 
     fn run(&self, args: &[String], out: &mut String) -> i32 {
@@ -44,6 +47,7 @@ impl Command for Route {
         let mut distributed = false;
         let mut baseline = false;
         let mut metrics_out: Option<String> = None;
+        let mut trace_out: Option<String> = None;
         let mut it = args[3..].iter();
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -59,6 +63,12 @@ impl Command for Route {
                     metrics_out = match it.next() {
                         Some(p) => Some(p.clone()),
                         None => return usage_error(out, "missing --metrics-out path"),
+                    }
+                }
+                "--trace-out" => {
+                    trace_out = match it.next() {
+                        Some(p) => Some(p.clone()),
+                        None => return usage_error(out, "missing --trace-out path"),
                     }
                 }
                 other => return usage_error(out, &format!("unknown flag `{other}`")),
@@ -117,6 +127,24 @@ impl Command for Route {
                 return 1;
             }
             let _ = writeln!(out, "metrics: wrote {metrics_path}");
+        }
+
+        if let Some(trace_path) = &trace_out {
+            // The routing query above went through the bare router; the
+            // trace rides a provisioning engine so the export shows the
+            // full request lifecycle (route span, mask flips, verdict).
+            let recorder = wdm_obs::trace::FlightRecorder::new(1, 4096);
+            let mut engine = wdm_rwa::ProvisioningEngine::new(&net);
+            engine.attach_tracer(&recorder);
+            let _ = engine.provision(s, t, wdm_rwa::Policy::Optimal);
+            if let Err(e) = wdm_obs::trace::export::write_chrome_trace(
+                Path::new(trace_path),
+                &recorder.snapshot(),
+            ) {
+                let _ = writeln!(out, "error: cannot write {trace_path}: {e}");
+                return 1;
+            }
+            let _ = writeln!(out, "trace  : wrote {trace_path}");
         }
 
         if alternates > 1 {

@@ -29,15 +29,20 @@ impl Command for Serve {
       [--policy optimal|lightpath|first-fit] [--mode masked|rebuild]
       [--sharded] [--shards <n>] [--max-conflicts <n>]
       [--max-inflight <n>] [--ready-file <path>]
+      [--trace-buffer <records>] [--trace-sample <n>]
       speaks line-delimited JSON (provision/release/fail-link/batch/
-      stats/drain; one request per line, one reply per line) and answers
-      HTTP `GET /metrics` on the same listener; port 0 picks a free
-      port (printed on stdout and, with --ready-file, published
-      atomically to a file); --sharded runs the lock-free concurrent
-      engine with --shards shards (0 = auto) and a per-request retry
-      budget of --max-conflicts; at most --max-inflight requests
-      execute at once, the rest are answered `overloaded`; drain with
-      the `drain` op or SIGTERM"
+      stats/trace/drain; one request per line, one reply per line) and
+      answers HTTP `GET /metrics` and `GET /trace` on the same
+      listener; port 0 picks a free port (printed on stdout and, with
+      --ready-file, published atomically to a file); --sharded runs the
+      lock-free concurrent engine with --shards shards (0 = auto) and a
+      per-request retry budget of --max-conflicts; at most
+      --max-inflight requests execute at once, the rest are answered
+      `overloaded`; --trace-buffer enables the in-memory flight
+      recorder (records per writer segment; requests may tag a
+      trace_id, GET /trace exports Chrome trace_event JSON) and
+      --trace-sample keeps only blocked/contended plus the slowest n
+      traces; drain with the `drain` op or SIGTERM"
     }
 
     fn run(&self, args: &[String], out: &mut String) -> i32 {
@@ -50,6 +55,8 @@ impl Command for Serve {
         let mut max_conflicts = 64u64;
         let mut max_inflight = 64usize;
         let mut ready_file: Option<String> = None;
+        let mut trace_buffer = 0usize;
+        let mut trace_sample = 0usize;
         let mut it = args.iter();
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -103,6 +110,28 @@ impl Command for Serve {
                         None => return usage_error(out, "missing --ready-file path"),
                     }
                 }
+                "--trace-buffer" => {
+                    trace_buffer = match it.next().and_then(|v| v.parse().ok()) {
+                        Some(n) => n,
+                        None => {
+                            return usage_error(
+                                out,
+                                "bad --trace-buffer (want records per segment, 0 = off)",
+                            )
+                        }
+                    }
+                }
+                "--trace-sample" => {
+                    trace_sample = match it.next().and_then(|v| v.parse().ok()) {
+                        Some(n) => n,
+                        None => {
+                            return usage_error(
+                                out,
+                                "bad --trace-sample (want slowest-n count, 0 = keep all)",
+                            )
+                        }
+                    }
+                }
                 flag if flag.starts_with("--") => {
                     return usage_error(out, &format!("unknown flag `{flag}`"))
                 }
@@ -133,7 +162,11 @@ impl Command for Serve {
         let server = match Server::bind(
             &Listen::parse(&listen),
             backend,
-            ServerConfig { max_inflight },
+            ServerConfig {
+                max_inflight,
+                trace_buffer,
+                trace_sample,
+            },
         ) {
             Ok(s) => s,
             Err(e) => {

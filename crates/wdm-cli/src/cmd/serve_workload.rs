@@ -29,6 +29,7 @@ impl Command for ServeWorkload {
       [--holding <mean>] [--seed <s>] [--policy optimal|lightpath|first-fit]
       [--mode masked|rebuild] [--fail-link <id>] [--trace <file>]
       [--metrics-out <file>] [--metrics-interval <n>]
+      [--trace-out <file>] [--trace-text <file>] [--trace-sample <n>]
       drives a Poisson request/release trace through the provisioning
       engine; --trace replays a recorded trace file instead (one
       `s t arrival holding` line per request, `#` comments, `inf`
@@ -38,7 +39,11 @@ impl Command for ServeWorkload {
       --metrics-out writes a JSON metrics snapshot at the end (and adds
       a request-latency summary to the report), --metrics-interval n
       rewrites a Prometheus text dump at <file>.prom every n requests
-      (atomic whole-file replace — scrapers never see a torn file)"
+      (atomic whole-file replace — scrapers never see a torn file);
+      --trace-out attaches a flight recorder and writes its snapshot as
+      Chrome trace_event JSON, --trace-text writes the human-readable
+      span tree, --trace-sample n tail-samples the snapshot to blocked
+      traces plus the slowest n (keeps long runs bounded)"
     }
 
     fn run(&self, args: &[String], out: &mut String) -> i32 {
@@ -53,6 +58,9 @@ impl Command for ServeWorkload {
         let mut trace_path: Option<String> = None;
         let mut metrics_out: Option<String> = None;
         let mut metrics_interval: Option<usize> = None;
+        let mut trace_out: Option<String> = None;
+        let mut trace_text: Option<String> = None;
+        let mut trace_sample = 0usize;
         let mut it = args.iter();
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -121,6 +129,29 @@ impl Command for ServeWorkload {
                         some => some,
                     }
                 }
+                "--trace-out" => {
+                    trace_out = match it.next() {
+                        Some(p) => Some(p.clone()),
+                        None => return usage_error(out, "missing --trace-out path"),
+                    }
+                }
+                "--trace-text" => {
+                    trace_text = match it.next() {
+                        Some(p) => Some(p.clone()),
+                        None => return usage_error(out, "missing --trace-text path"),
+                    }
+                }
+                "--trace-sample" => {
+                    trace_sample = match it.next().and_then(|v| v.parse().ok()) {
+                        Some(n) => n,
+                        None => {
+                            return usage_error(
+                                out,
+                                "bad --trace-sample (want slowest-n count, 0 = keep all)",
+                            )
+                        }
+                    }
+                }
                 flag if flag.starts_with("--") => {
                     return usage_error(out, &format!("unknown flag `{flag}`"))
                 }
@@ -183,11 +214,27 @@ impl Command for ServeWorkload {
                 workload::poisson_requests(net.node_count(), requests, load, holding, &mut rng)
             }
         };
+        if trace_sample > 0 && trace_out.is_none() && trace_text.is_none() {
+            return usage_error(out, "--trace-sample requires --trace-out or --trace-text");
+        }
         let requests = trace.len();
         let mut engine = ProvisioningEngine::with_mode(&net, mode);
         let registry = metrics_out.as_ref().map(|_| MetricsRegistry::new());
         if let Some(registry) = &registry {
             engine.attach_metrics(registry);
+        }
+        // The single engine runs the whole trace from one thread, so one
+        // writer segment suffices; the ring bounds memory for arbitrarily
+        // long traces and tail sampling keeps the interesting requests.
+        let recorder = (trace_out.is_some() || trace_text.is_some()).then(|| {
+            use wdm_obs::trace::{FlightRecorder, TailSampling};
+            match trace_sample {
+                0 => FlightRecorder::new(1, 1 << 16),
+                n => FlightRecorder::with_sampling(1, 1 << 16, TailSampling::keep_slowest(n)),
+            }
+        });
+        if let Some(recorder) = &recorder {
+            engine.attach_tracer(recorder);
         }
         // Periodic dumps accumulate in memory and republish the sibling
         // `.prom` file as a whole via an atomic rename, so a concurrent
@@ -330,6 +377,31 @@ impl Command for ServeWorkload {
             let _ = writeln!(out, "metrics    : wrote {metrics_path}");
             if let Some(prom_path) = &prom_path {
                 let _ = writeln!(out, "prom dumps : {dumps} published to {prom_path}");
+            }
+        }
+        if let Some(recorder) = &recorder {
+            let snapshot = recorder.snapshot();
+            let _ = writeln!(
+                out,
+                "trace      : {} records in snapshot ({} recorded, {} dropped)",
+                snapshot.records.len(),
+                snapshot.recorded,
+                snapshot.dropped
+            );
+            if let Some(p) = &trace_out {
+                if let Err(e) = wdm_obs::trace::export::write_chrome_trace(Path::new(p), &snapshot)
+                {
+                    let _ = writeln!(out, "error: cannot write {p}: {e}");
+                    return 1;
+                }
+                let _ = writeln!(out, "trace json : wrote {p}");
+            }
+            if let Some(p) = &trace_text {
+                if let Err(e) = wdm_obs::trace::export::write_text_tree(Path::new(p), &snapshot) {
+                    let _ = writeln!(out, "error: cannot write {p}: {e}");
+                    return 1;
+                }
+                let _ = writeln!(out, "trace text : wrote {p}");
             }
         }
         0

@@ -1,0 +1,88 @@
+//! `wdm trace-check` — validate an exported Chrome `trace_event` JSON
+//! file against the in-tree schema checker.
+//!
+//! The CI tracing job round-trips a daemon's `GET /trace` export
+//! through this command, proving the file loads in chrome://tracing /
+//! Perfetto shape-wise and that specific wire trace ids made it into
+//! the recording.
+
+use std::fmt::Write as _;
+
+use crate::util::usage_error;
+use crate::Command;
+
+/// The `trace-check` subcommand.
+pub struct TraceCheck;
+
+impl Command for TraceCheck {
+    fn name(&self) -> &'static str {
+        "trace-check"
+    }
+
+    fn summary(&self) -> &'static str {
+        "validate an exported Chrome trace_event JSON file"
+    }
+
+    fn usage(&self) -> &'static str {
+        "  wdm trace-check <trace.json> [--expect-trace-id <id>]...
+      validates the file against the in-tree Chrome trace_event schema
+      checker (the same shape chrome://tracing and Perfetto load) and,
+      with --expect-trace-id, requires each given id to appear among
+      the recorded events' trace ids"
+    }
+
+    fn run(&self, args: &[String], out: &mut String) -> i32 {
+        let mut path: Option<&String> = None;
+        let mut expected: Vec<u64> = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--expect-trace-id" => match it.next().and_then(|v| v.parse().ok()) {
+                    Some(id) => expected.push(id),
+                    None => return usage_error(out, "bad --expect-trace-id (want an integer)"),
+                },
+                flag if flag.starts_with("--") => {
+                    return usage_error(out, &format!("unknown flag `{flag}`"))
+                }
+                _ if path.is_none() => path = Some(a),
+                extra => return usage_error(out, &format!("unexpected argument `{extra}`")),
+            }
+        }
+        let Some(path) = path else {
+            return usage_error(out, "trace-check takes one trace.json file");
+        };
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                let _ = writeln!(out, "error: cannot read {path}: {e}");
+                return 1;
+            }
+        };
+        let summary = match wdm_obs::trace::export::validate_chrome_trace(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                let _ = writeln!(out, "error: {path}: {e}");
+                return 1;
+            }
+        };
+        let _ = writeln!(
+            out,
+            "ok: {path}: {} events across {} traces",
+            summary.events,
+            summary.trace_ids.len()
+        );
+        let mut missing = 0usize;
+        for id in &expected {
+            if summary.trace_ids.contains(id) {
+                let _ = writeln!(out, "ok: trace id {id} present");
+            } else {
+                let _ = writeln!(out, "error: trace id {id} missing from {path}");
+                missing += 1;
+            }
+        }
+        if missing > 0 {
+            return 1;
+        }
+        0
+    }
+}

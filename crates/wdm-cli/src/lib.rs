@@ -59,6 +59,7 @@ pub static COMMANDS: &[&dyn Command] = &[
     &cmd::protect::Protect,
     &cmd::serve_workload::ServeWorkload,
     &cmd::serve::Serve,
+    &cmd::trace_check::TraceCheck,
     &cmd::export::Export,
 ];
 

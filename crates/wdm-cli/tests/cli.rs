@@ -537,6 +537,89 @@ fn route_metrics_out_writes_snapshot() {
 }
 
 #[test]
+fn trace_exports_round_trip_the_validator() {
+    let dir = std::env::temp_dir().join("wdm-cli-test-trace-out");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let file = dir.join("t.wdm");
+    let file_s = file.to_str().expect("utf8").to_string();
+    let (code, _) = run_args(&[
+        "gen",
+        "--topology",
+        "nsfnet",
+        "--k",
+        "4",
+        "--seed",
+        "9",
+        "-o",
+        &file_s,
+    ]);
+    assert_eq!(code, 0);
+
+    // serve-workload with all three trace knobs.
+    let json_path = dir.join("w.trace.json");
+    let json_s = json_path.to_str().expect("utf8").to_string();
+    let text_path = dir.join("w.trace.txt");
+    let text_s = text_path.to_str().expect("utf8").to_string();
+    let (code, out) = run_args(&[
+        "serve-workload",
+        &file_s,
+        "--requests",
+        "60",
+        "--seed",
+        "3",
+        "--trace-out",
+        &json_s,
+        "--trace-text",
+        &text_s,
+        "--trace-sample",
+        "10",
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(
+        out.contains(&format!("trace json : wrote {json_s}")),
+        "{out}"
+    );
+    assert!(
+        out.contains(&format!("trace text : wrote {text_s}")),
+        "{out}"
+    );
+
+    // The exported JSON round-trips the in-tree validator via trace-check.
+    let (code, out) = run_args(&["trace-check", &json_s]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("events across"), "{out}");
+    // The text tree is non-empty and mentions the root span label.
+    let tree = std::fs::read_to_string(&text_path).expect("tree written");
+    assert!(tree.contains("provision"), "{tree}");
+
+    // route --trace-out produces a single-request trace.
+    let route_path = dir.join("r.trace.json");
+    let route_s = route_path.to_str().expect("utf8").to_string();
+    let (code, out) = run_args(&["route", &file_s, "0", "13", "--trace-out", &route_s]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains(&format!("trace  : wrote {route_s}")), "{out}");
+    let (code, out) = run_args(&["trace-check", &route_s]);
+    assert_eq!(code, 0, "{out}");
+
+    // Expecting an id that was never recorded fails loudly.
+    let (code, out) = run_args(&["trace-check", &route_s, "--expect-trace-id", "999999"]);
+    assert_eq!(code, 1, "{out}");
+    assert!(out.contains("missing"), "{out}");
+
+    // Garbage input is a runtime error, not a panic.
+    let bogus = dir.join("bogus.json");
+    std::fs::write(&bogus, b"{\"nope\":true}").expect("write");
+    let (code, out) = run_args(&["trace-check", bogus.to_str().expect("utf8")]);
+    assert_eq!(code, 1, "{out}");
+
+    // --trace-sample without an export target is a usage error.
+    let (code, _) = run_args(&["serve-workload", &file_s, "--trace-sample", "5"]);
+    assert_eq!(code, 2);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn help_per_command_shows_usage() {
     let (code, out) = run_args(&["help", "serve"]);
     assert_eq!(code, 0, "{out}");
@@ -555,6 +638,7 @@ fn help_per_command_shows_usage() {
         "protect",
         "serve-workload",
         "serve",
+        "trace-check",
         "export",
     ] {
         assert!(

@@ -20,13 +20,32 @@ use std::sync::atomic::AtomicU64;
 /// from one process; the process id distinguishes across processes.
 static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
+/// How many temp-name collisions a single write tolerates before it
+/// gives up and reports the error. Collisions are only possible
+/// against leftovers of a *crashed* writer that reused our pid (the
+/// counter never repeats within a process), so one retry normally
+/// suffices; the bound keeps a pathological directory from looping us
+/// forever.
+const TEMP_RETRY_LIMIT: u32 = 16;
+
 /// Writes `contents` to `path` atomically: temp file alongside the
 /// destination, then rename over it.
+///
+/// The temp file is opened with `create_new`, so a name collision
+/// (a leftover from a crashed earlier process that had the same pid)
+/// is detected rather than silently truncated; the write retries with
+/// the next sequence number, leaving the foreign file untouched.
 ///
 /// On any error the temp file is removed (best-effort) before the
 /// error propagates, so failed writes leave neither a torn destination
 /// nor stray `.tmp` litter next to it.
 pub fn write_atomic(path: &Path, contents: &[u8]) -> std::io::Result<()> {
+    write_atomic_from(path, contents, &TEMP_SEQ)
+}
+
+/// The implementation, parameterised over the sequence source so tests
+/// can force deterministic temp names (and deterministic collisions).
+fn write_atomic_from(path: &Path, contents: &[u8], seq_source: &AtomicU64) -> std::io::Result<()> {
     let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
     let file_name = path.file_name().ok_or_else(|| {
         std::io::Error::new(
@@ -34,28 +53,48 @@ pub fn write_atomic(path: &Path, contents: &[u8]) -> std::io::Result<()> {
             format!("write_atomic: path {} has no file name", path.display()),
         )
     })?;
-    let seq = TEMP_SEQ.fetch_add(1, RELAXED);
-    let mut temp_name = std::ffi::OsString::from(".");
-    temp_name.push(file_name);
-    temp_name.push(format!(".tmp.{}.{}", std::process::id(), seq));
-    let temp_path = match dir {
-        Some(d) => d.join(&temp_name),
-        None => std::path::PathBuf::from(&temp_name),
-    };
+    let mut attempt = 0;
+    loop {
+        let seq = seq_source.fetch_add(1, RELAXED);
+        let mut temp_name = std::ffi::OsString::from(".");
+        temp_name.push(file_name);
+        temp_name.push(format!(".tmp.{}.{}", std::process::id(), seq));
+        let temp_path = match dir {
+            Some(d) => d.join(&temp_name),
+            None => std::path::PathBuf::from(&temp_name),
+        };
 
-    let result = (|| {
-        let mut f = fs::File::create(&temp_path)?;
-        f.write_all(contents)?;
-        // Push the bytes to disk before the rename publishes the name:
-        // otherwise a crash can leave a successfully renamed file with
-        // missing tail data — a slower-motion version of the same tear.
-        f.sync_all()?;
-        fs::rename(&temp_path, path)
-    })();
-    if result.is_err() {
-        let _ = fs::remove_file(&temp_path);
+        let mut f = match fs::File::options()
+            .write(true)
+            .create_new(true)
+            .open(&temp_path)
+        {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                // Someone else's file wears our next temp name; leave
+                // it alone and pick another.
+                attempt += 1;
+                if attempt >= TEMP_RETRY_LIMIT {
+                    return Err(e);
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        let result = (|| {
+            f.write_all(contents)?;
+            // Push the bytes to disk before the rename publishes the
+            // name: otherwise a crash can leave a successfully renamed
+            // file with missing tail data — a slower-motion version of
+            // the same tear.
+            f.sync_all()?;
+            fs::rename(&temp_path, path)
+        })();
+        if result.is_err() {
+            let _ = fs::remove_file(&temp_path);
+        }
+        return result;
     }
-    result
 }
 
 #[cfg(test)]
@@ -143,5 +182,106 @@ mod tests {
     fn pathless_input_is_an_input_error() {
         let err = write_atomic(Path::new(""), b"x").unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    }
+
+    /// A leftover temp file wearing exactly the name we would pick
+    /// (same pid, same sequence — the crashed-predecessor scenario)
+    /// must not be truncated or deleted: the write detects the
+    /// collision via `create_new`, retries with the next sequence
+    /// number, and still publishes atomically.
+    #[test]
+    fn temp_name_collision_retries_and_spares_the_foreign_file() {
+        let dir = temp_dir("collide");
+        let target = dir.join("snap.json");
+        let seq = AtomicU64::new(7000);
+        // Pre-create the files the first *two* attempts will want.
+        for s in [7000u64, 7001] {
+            let squatter = dir.join(format!(".snap.json.tmp.{}.{}", std::process::id(), s));
+            fs::write(&squatter, b"foreign bytes").unwrap();
+        }
+        write_atomic_from(&target, b"payload", &seq).unwrap();
+        assert_eq!(fs::read(&target).unwrap(), b"payload");
+        // Both squatters survive with their contents intact.
+        for s in [7000u64, 7001] {
+            let squatter = dir.join(format!(".snap.json.tmp.{}.{}", std::process::id(), s));
+            assert_eq!(fs::read(&squatter).unwrap(), b"foreign bytes", "seq {s}");
+        }
+        // Two collisions consumed three sequence numbers.
+        assert_eq!(seq.load(RELAXED), 7003);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// An unbroken wall of collisions must terminate with the
+    /// AlreadyExists error instead of looping forever.
+    #[test]
+    fn collision_retry_is_bounded() {
+        let dir = temp_dir("collide_wall");
+        let target = dir.join("snap.json");
+        let seq = AtomicU64::new(8000);
+        for s in 8000..8000 + u64::from(TEMP_RETRY_LIMIT) {
+            let squatter = dir.join(format!(".snap.json.tmp.{}.{}", std::process::id(), s));
+            fs::write(&squatter, b"wall").unwrap();
+        }
+        let err = write_atomic_from(&target, b"payload", &seq).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::AlreadyExists);
+        assert!(!target.exists(), "target must not appear on failure");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Parent exists but is a regular file: the temp-file create fails
+    /// and the error propagates with no litter anywhere.
+    #[test]
+    fn parent_is_a_file_fails_cleanly() {
+        let dir = temp_dir("parent_file");
+        let blocker = dir.join("blocker");
+        fs::write(&blocker, b"i am a file").unwrap();
+        let err = write_atomic(&blocker.join("child.json"), b"x").unwrap_err();
+        assert_ne!(err.kind(), std::io::ErrorKind::InvalidInput);
+        assert_eq!(fs::read(&blocker).unwrap(), b"i am a file");
+        let entries: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert_eq!(entries, vec![std::ffi::OsString::from("blocker")]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Read-only target directory: either the write is refused (normal
+    /// users) with no litter left behind, or it succeeds because the
+    /// process holds CAP_DAC_OVERRIDE (root in CI) — both must leave
+    /// the directory litter-free.
+    #[test]
+    #[cfg(unix)]
+    fn read_only_directory_leaves_no_litter() {
+        use std::os::unix::fs::PermissionsExt as _;
+        let dir = temp_dir("readonly");
+        let target = dir.join("snap.json");
+        fs::set_permissions(&dir, fs::Permissions::from_mode(0o555)).unwrap();
+        let result = write_atomic(&target, b"payload");
+        // Restore before asserting so cleanup works on every path.
+        fs::set_permissions(&dir, fs::Permissions::from_mode(0o755)).unwrap();
+        match result {
+            Err(e) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::PermissionDenied);
+                assert!(!target.exists());
+                let leftovers: Vec<_> = fs::read_dir(&dir)
+                    .unwrap()
+                    .map(|e| e.unwrap().file_name())
+                    .collect();
+                assert!(leftovers.is_empty(), "stray files: {leftovers:?}");
+            }
+            Ok(()) => {
+                // Privileged process: permissions did not bite, but the
+                // atomic contract must still hold.
+                assert_eq!(fs::read(&target).unwrap(), b"payload");
+                let leftovers: Vec<_> = fs::read_dir(&dir)
+                    .unwrap()
+                    .map(|e| e.unwrap().file_name())
+                    .filter(|n| n != "snap.json")
+                    .collect();
+                assert!(leftovers.is_empty(), "stray files: {leftovers:?}");
+            }
+        }
+        fs::remove_dir_all(&dir).unwrap();
     }
 }

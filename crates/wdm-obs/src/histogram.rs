@@ -144,12 +144,33 @@ impl Histogram {
             cumulative += c;
             if cumulative as f64 >= rank {
                 let lo = bucket_lo(i) as f64;
+                if i == BUCKET_COUNT - 1 {
+                    // The overflow bucket spans [2^63, u64::MAX]:
+                    // interpolating toward u64::MAX would let a single
+                    // saturated outlier drag p99 up to ~1.8e19 ns (580
+                    // years). Clamp to the bucket floor and let
+                    // `overflow_count` make the saturation visible.
+                    return lo;
+                }
                 let hi = bucket_hi(i) as f64;
                 let frac = ((rank - before as f64) / c as f64).clamp(0.0, 1.0);
                 return lo + (hi - lo) * frac;
             }
         }
-        bucket_hi(BUCKET_COUNT - 1) as f64
+        bucket_lo(BUCKET_COUNT - 1) as f64
+    }
+
+    /// Number of samples that landed in the top overflow bucket
+    /// `[2^63, u64::MAX]`.
+    ///
+    /// Real latencies never reach 2^63 ns; a non-zero value means
+    /// something saturated upstream (a wrapped subtraction, a stuck
+    /// clock). Quantile estimates clamp inside that bucket (see
+    /// [`quantile`](Self::quantile)), so this counter is the *only*
+    /// place saturation shows — expositions surface it for that
+    /// reason.
+    pub fn overflow_count(&self) -> u64 {
+        self.buckets[BUCKET_COUNT - 1].load(RELAXED)
     }
 
     /// Mean sample value (0 on an empty histogram).
@@ -280,6 +301,41 @@ mod tests {
         assert_eq!(h.count(), 1000);
         assert_eq!(h.sum(), 500_500);
         assert!((h.mean() - 500.5).abs() < 1e-9);
+    }
+
+    /// Regression for the silent p99 skew: one saturated observation
+    /// used to interpolate toward u64::MAX (~1.8e19), dwarfing every
+    /// real sample in the estimate. Quantiles that resolve to the
+    /// overflow bucket must clamp to its floor, and the saturation
+    /// must be countable.
+    #[test]
+    fn overflow_bucket_quantiles_clamp_instead_of_interpolating() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.observe(1_000); // bucket [512, 1023]
+        }
+        h.observe(u64::MAX); // one saturated outlier
+        assert_eq!(h.overflow_count(), 1);
+        let p99 = h.quantile(0.99);
+        // p99 ranks into the normal data, untouched by the outlier.
+        assert!((512.0..=1023.0).contains(&p99), "{p99}");
+        // p100 resolves to the overflow bucket and clamps to its
+        // floor, not to u64::MAX.
+        let p100 = h.quantile(1.0);
+        assert_eq!(p100, (1u64 << 63) as f64);
+        // Without the fix this read ~1.84e19.
+        assert!(p100 < 1e19, "{p100}");
+    }
+
+    #[test]
+    fn overflow_count_is_zero_for_sane_samples() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 1_000_000, (1u64 << 63) - 1] {
+            h.observe(v);
+        }
+        assert_eq!(h.overflow_count(), 0);
+        h.observe(1u64 << 63);
+        assert_eq!(h.overflow_count(), 1);
     }
 
     #[test]

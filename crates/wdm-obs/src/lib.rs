@@ -18,6 +18,12 @@
 //! minimal parser so tests and tools can round-trip snapshots without
 //! serde.
 //!
+//! Aggregates explain populations; the [`trace`] module explains
+//! individual requests: u64 trace IDs, typed span/instant events, and
+//! a lock-free bounded [`FlightRecorder`] ring buffer with Chrome
+//! `trace_event` and text-tree exporters. Like metrics, tracing costs
+//! one branch when detached.
+//!
 //! # Conventions
 //!
 //! * metric names are `snake_case`, prefixed by the producing crate
@@ -54,9 +60,14 @@ mod metric;
 pub mod ordering;
 mod registry;
 mod span;
+pub mod trace;
 
 pub use fsutil::write_atomic;
 pub use histogram::{Histogram, BUCKET_COUNT};
 pub use metric::{Counter, Gauge};
 pub use registry::MetricsRegistry;
 pub use span::Span;
+pub use trace::{
+    FlightRecorder, RootVerdict, TailSampling, TraceEventKind, TraceId, TraceRecord, TraceSnapshot,
+    TraceWriter,
+};

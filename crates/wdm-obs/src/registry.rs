@@ -141,8 +141,10 @@ impl MetricsRegistry {
     /// format, sorted by `(name, labels)` for deterministic output.
     ///
     /// Histograms emit cumulative `_bucket{le="..."}` series (only
-    /// non-empty buckets plus the mandatory `+Inf`), `_sum`, and
-    /// `_count`, with `le` boundaries at the exact bucket upper bounds.
+    /// non-empty buckets plus the mandatory `+Inf`), `_sum`, `_count`,
+    /// and `_overflow` (samples in the saturated top bucket, which
+    /// quantile estimates clamp over), with `le` boundaries at the
+    /// exact bucket upper bounds.
     pub fn render_prometheus(&self) -> String {
         let inner = self.inner.lock().expect("registry poisoned");
         let entries = &inner.entries;
@@ -214,6 +216,18 @@ impl MetricsRegistry {
                         label_block(&e.labels, None),
                         h.count()
                     );
+                    // Saturated samples clamp in quantile estimates
+                    // (see Histogram::overflow_count), so the overflow
+                    // bucket gets its own always-present series —
+                    // non-zero means the quantiles are hiding
+                    // something.
+                    let _ = writeln!(
+                        out,
+                        "{}_overflow{} {}",
+                        e.name,
+                        label_block(&e.labels, None),
+                        h.overflow_count()
+                    );
                 }
             }
         }
@@ -225,8 +239,10 @@ impl MetricsRegistry {
     ///
     /// Each element carries `name` and `labels`; counters and gauges a
     /// `value`; histograms `count`, `sum`, `mean`, `p50`/`p90`/`p99`
-    /// estimates, and the non-empty `buckets` as `[lo, hi, count]`
-    /// triples. The output parses with [`crate::json::parse`].
+    /// estimates, an `overflow` count (saturated top-bucket samples the
+    /// quantiles clamp over), and the non-empty `buckets` as
+    /// `[lo, hi, count]` triples. The output parses with
+    /// [`crate::json::parse`].
     pub fn snapshot_json(&self) -> String {
         let inner = self.inner.lock().expect("registry poisoned");
         let entries = &inner.entries;
@@ -269,13 +285,15 @@ impl MetricsRegistry {
                     let _ = write!(
                         obj,
                         ", \"count\": {}, \"sum\": {}, \"mean\": {}, \
-                         \"p50\": {}, \"p90\": {}, \"p99\": {}",
+                         \"p50\": {}, \"p90\": {}, \"p99\": {}, \
+                         \"overflow\": {}",
                         h.count(),
                         h.sum(),
                         fmt_f64(h.mean()),
                         fmt_f64(h.quantile(0.5)),
                         fmt_f64(h.quantile(0.9)),
                         fmt_f64(h.quantile(0.99)),
+                        h.overflow_count(),
                     );
                     obj.push_str(", \"buckets\": [");
                     let mut first = true;
@@ -478,6 +496,24 @@ mod tests {
             .map(|b| b.index(2).and_then(|v| v.as_u64()).unwrap())
             .sum();
         assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn histogram_overflow_is_surfaced_in_both_exports() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("lat_ns", &[]);
+        h.observe(100);
+        let text = r.render_prometheus();
+        assert!(text.contains("lat_ns_overflow 0"), "{text}");
+        h.observe(u64::MAX);
+        let text = r.render_prometheus();
+        assert!(text.contains("lat_ns_overflow 1"), "{text}");
+        let snap = json::parse(&r.snapshot_json()).expect("snapshot parses");
+        let hists = snap.get("histograms").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(hists[0].get("overflow").and_then(|v| v.as_u64()), Some(1));
+        // The clamped p99 stays in-range despite the saturated sample.
+        let p99 = hists[0].get("p99").and_then(|v| v.as_f64()).unwrap();
+        assert!(p99 <= (1u64 << 63) as f64, "{p99}");
     }
 
     #[test]

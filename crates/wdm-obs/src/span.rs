@@ -91,6 +91,31 @@ mod tests {
         assert_eq!(h.count(), 1);
     }
 
+    /// Drop-recording must survive panic unwinding: a span live across
+    /// a panicking section still lands exactly one observation while
+    /// the stack unwinds (this is what keeps latency histograms honest
+    /// when a request handler dies — the slow, broken requests are
+    /// precisely the ones that must not vanish from the tail).
+    #[test]
+    fn panic_unwinding_still_records_once() {
+        let h = Arc::new(Histogram::new());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _span = Span::start(Arc::clone(&h));
+            panic!("request handler died");
+        }));
+        assert!(result.is_err(), "the closure must have panicked");
+        assert_eq!(h.count(), 1, "drop during unwinding records the span");
+        // A span consumed by finish() before the panic must not
+        // double-record during unwinding.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let span = Span::start(Arc::clone(&h));
+            span.finish();
+            panic!("after finish");
+        }));
+        assert!(result.is_err());
+        assert_eq!(h.count(), 2, "finish + unwind is still one record");
+    }
+
     #[test]
     fn elapsed_is_monotone() {
         let h = Arc::new(Histogram::new());

@@ -64,12 +64,13 @@ use crate::policy::Policy;
 use crate::{ConnectionId, RwaError};
 use std::collections::HashMap;
 use std::sync::atomic::AtomicU64;
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use wdm_core::{
     AcquireOutcome, ResidualState, SearchScratch, Semilightpath, Wavelength, WdmNetwork,
 };
 use wdm_graph::{LinkId, NodeId};
 use wdm_obs::ordering::{fence_acquire, ACQUIRE, ACQ_REL, RELAXED, RELEASE};
+use wdm_obs::trace::{FlightRecorder, RootVerdict, TraceEventKind, TraceId, TraceWriter};
 
 /// Locks a mutex, recovering the data from a poisoned lock. Every
 /// guarded section in this module performs a single map operation (an
@@ -148,6 +149,10 @@ struct Shared {
     /// Base (link, λ) resource count, for utilization.
     total_resources: usize,
     race: RaceInjection,
+    /// The flight recorder, once attached. Write-once so transactions
+    /// can read it with a single lock-free load; unset engines pay one
+    /// branch per transaction, same discipline as detached metrics.
+    tracer: OnceLock<Arc<FlightRecorder>>,
 }
 
 impl Shared {
@@ -316,8 +321,29 @@ impl ConcurrentEngine {
                 memo: Mutex::new(Arc::new(HashMap::new())),
                 total_resources,
                 race,
+                tracer: OnceLock::new(),
             }),
         }
+    }
+
+    /// Attaches a flight recorder: every provision transaction from now
+    /// on records a per-request trace — the routing query as a span,
+    /// one instant per shard claim, the validation verdict, every
+    /// conflict retry, and a root span carrying the outcome. This is
+    /// what makes seqlock conflict churn visible *per request* instead
+    /// of only as the aggregate [`conflicts`](Self::conflicts) counter.
+    ///
+    /// Write-once: the first recorder wins and later calls are ignored
+    /// (transactions read the cell lock-free mid-flight, so swapping
+    /// recorders underneath them is not supported). Unattached engines
+    /// pay one branch per transaction.
+    pub fn attach_tracer(&self, recorder: &Arc<FlightRecorder>) {
+        let _ = self.shared.tracer.set(Arc::clone(recorder));
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn tracer(&self) -> Option<&Arc<FlightRecorder>> {
+        self.shared.tracer.get()
     }
 
     /// A per-thread handle bundling this engine with its own search
@@ -492,6 +518,7 @@ impl ConcurrentHandle {
                     // so abandoning here is clean (see
                     // [`ProvisionTxn::conflicts`]).
                     if txn.conflicts() >= max_conflicts {
+                        txn.trace_abandon();
                         return Err(RwaError::Contended {
                             s,
                             t,
@@ -582,6 +609,34 @@ pub struct ProvisionTxn {
     /// decide when to give up.
     conflicts: u64,
     phase: ProvisionPhase,
+    /// Per-request trace state when the engine has a recorder attached.
+    trace: Option<TxnTrace>,
+}
+
+/// The trace bookkeeping one traced transaction carries: its writer,
+/// its id, when the request started, and when the current routing
+/// attempt started.
+#[derive(Debug)]
+struct TxnTrace {
+    writer: TraceWriter,
+    id: TraceId,
+    start_ns: u64,
+    route_start: u64,
+}
+
+impl TxnTrace {
+    /// Emits the root span and feeds the tail sampler.
+    fn finish(&self, s: NodeId, t: NodeId, verdict: RootVerdict) {
+        let dur = self.writer.span(
+            self.id,
+            TraceEventKind::Provision,
+            self.start_ns,
+            verdict.code(),
+            s.index() as u64,
+            t.index() as u64,
+        );
+        self.writer.recorder().note_root(self.id, dur, verdict);
+    }
 }
 
 impl ProvisionTxn {
@@ -596,11 +651,40 @@ impl ProvisionTxn {
         t: NodeId,
         policy: Policy,
     ) -> Result<Self, RwaError> {
+        Self::new_traced(engine, s, t, policy, None)
+    }
+
+    /// [`new`](Self::new) with an explicit wire trace id: when the
+    /// engine has a recorder attached, the transaction's trace records
+    /// under `wire` (or a freshly allocated id when `None`). Without a
+    /// recorder, `wire` is ignored.
+    ///
+    /// # Errors
+    ///
+    /// [`RwaError::NodeOutOfRange`] for invalid endpoints.
+    pub fn new_traced(
+        engine: &ConcurrentEngine,
+        s: NodeId,
+        t: NodeId,
+        policy: Policy,
+        wire: Option<TraceId>,
+    ) -> Result<Self, RwaError> {
         for v in [s, t] {
             if v.index() >= engine.shared().base.node_count() {
                 return Err(RwaError::NodeOutOfRange(v));
             }
         }
+        let trace = engine.shared().tracer.get().map(|rec| {
+            let writer = rec.writer();
+            let id = wire.unwrap_or_else(|| rec.next_trace_id());
+            let start_ns = writer.now_ns();
+            TxnTrace {
+                writer,
+                id,
+                start_ns,
+                route_start: 0,
+            }
+        });
         Ok(ProvisionTxn {
             s,
             t,
@@ -612,7 +696,20 @@ impl ProvisionTxn {
             flipped: 0,
             conflicts: 0,
             phase: ProvisionPhase::ReadVersions,
+            trace,
         })
+    }
+
+    /// Records the abandoned-root span for a transaction its driver is
+    /// giving up on (retry budget exhausted): the trace ends with the
+    /// `contended` verdict — always kept by tail sampling — so the
+    /// request's wasted route attempts stay visible. No-op untraced.
+    /// The driver must only call this after a [`Step::Contended`], when
+    /// the transaction holds no shard claims.
+    pub fn trace_abandon(&self) {
+        if let Some(tr) = &self.trace {
+            tr.finish(self.s, self.t, RootVerdict::Contended);
+        }
     }
 
     /// Validation conflicts absorbed so far. After any
@@ -633,6 +730,10 @@ impl ProvisionTxn {
         }
         shared.conflicts.fetch_add(1, RELAXED);
         self.conflicts += 1;
+        if let Some(tr) = &self.trace {
+            tr.writer
+                .instant(tr.id, TraceEventKind::ShardRetry, self.conflicts, 0);
+        }
         self.claimed = 0;
         self.path = None;
         self.touched.clear();
@@ -661,9 +762,22 @@ impl ProvisionTxn {
                 Step::Progress
             }
             ProvisionPhase::Route => {
+                if let Some(tr) = &mut self.trace {
+                    tr.route_start = tr.writer.now_ns();
+                }
                 let path = self
                     .policy
                     .route_shared(&shared.state, scratch, self.s, self.t);
+                if let Some(tr) = &self.trace {
+                    tr.writer.span(
+                        tr.id,
+                        TraceEventKind::Route,
+                        tr.route_start,
+                        0,
+                        self.s.index() as u64,
+                        self.t.index() as u64,
+                    );
+                }
                 match path {
                     Some(p) if !p.is_empty() => {
                         self.touched = shared.touched_shards(&p);
@@ -687,6 +801,9 @@ impl ProvisionTxn {
                         if matches!(self.phase, ProvisionPhase::Done) {
                             let cause = shared.classify(scratch, self.s, self.t, self.policy, None);
                             shared.note_blocked(cause);
+                            if let Some(tr) = &self.trace {
+                                tr.finish(self.s, self.t, RootVerdict::Blocked);
+                            }
                             return Step::Done(ProvisionOutcome::Blocked { cause });
                         }
                     }
@@ -703,6 +820,10 @@ impl ProvisionTxn {
                 match shared.shards[sh].compare_exchange(v, v + 1, ACQ_REL, ACQUIRE) {
                     Ok(_) => {
                         self.claimed += 1;
+                        if let Some(tr) = &self.trace {
+                            tr.writer
+                                .instant(tr.id, TraceEventKind::ShardClaim, sh as u64, v);
+                        }
                         Step::Progress
                     }
                     Err(_) => {
@@ -723,6 +844,10 @@ impl ProvisionTxn {
                         .filter(|(i, _)| !self.touched.contains(i))
                         .all(|(i, shard)| shard.load(RELAXED) == self.versions[i]);
                 if consistent {
+                    if let Some(tr) = &self.trace {
+                        tr.writer
+                            .instant(tr.id, TraceEventKind::ShardValidate, 1, 0);
+                    }
                     self.phase = ProvisionPhase::Flip;
                     Step::Progress
                 } else {
@@ -764,6 +889,9 @@ impl ProvisionTxn {
                         shared.shards[sh].store(self.versions[sh] + 2, RELEASE);
                     }
                 }
+                if let Some(tr) = &self.trace {
+                    tr.finish(self.s, self.t, RootVerdict::Ok);
+                }
                 self.phase = ProvisionPhase::Done;
                 Step::Done(ProvisionOutcome::Accepted { id, path })
             }
@@ -778,11 +906,23 @@ impl ProvisionTxn {
                 if !consistent {
                     shared.conflicts.fetch_add(1, RELAXED);
                     self.conflicts += 1;
+                    if let Some(tr) = &self.trace {
+                        tr.writer
+                            .instant(tr.id, TraceEventKind::ShardRetry, self.conflicts, 0);
+                    }
                     self.phase = ProvisionPhase::ReadVersions;
                     return Step::Contended;
                 }
                 let cause = shared.classify(scratch, self.s, self.t, self.policy, None);
                 shared.note_blocked(cause);
+                if let Some(tr) = &self.trace {
+                    let code = match cause {
+                        BlockCause::NoPath => 0,
+                        BlockCause::Capacity => 1,
+                    };
+                    tr.writer.instant(tr.id, TraceEventKind::Blocked, code, 0);
+                    tr.finish(self.s, self.t, RootVerdict::Blocked);
+                }
                 self.phase = ProvisionPhase::Done;
                 Step::Done(ProvisionOutcome::Blocked { cause })
             }
@@ -1338,5 +1478,95 @@ mod tests {
             Err(RwaError::NodeOutOfRange(_))
         ));
         assert_eq!(conc.totals(), (0, 0, 0));
+    }
+
+    #[test]
+    fn tracing_makes_seqlock_phases_visible_per_request() {
+        use wdm_obs::trace::{FlightRecorder, TraceEventKind, TraceId};
+        let net = base();
+        let conc = ConcurrentEngine::new(&net, 2);
+        let recorder = FlightRecorder::new(1, 256);
+        conc.attach_tracer(&recorder);
+        let mut scratch = conc.handle_scratch();
+        let mut txn = ProvisionTxn::new_traced(
+            &conc,
+            0.into(),
+            3.into(),
+            Policy::Optimal,
+            Some(TraceId::from_u64(500)),
+        )
+        .expect("endpoints valid");
+        loop {
+            match txn.step(&conc, &mut scratch) {
+                Step::Done(ProvisionOutcome::Accepted { .. }) => break,
+                Step::Done(other) => panic!("unexpected outcome {other:?}"),
+                Step::Progress => {}
+                Step::Contended => panic!("uncontended single-threaded run"),
+            }
+        }
+        let snap = recorder.snapshot();
+        let of_500: Vec<_> = snap.records.iter().filter(|r| r.trace_id == 500).collect();
+        let root = of_500
+            .iter()
+            .find(|r| r.kind == TraceEventKind::Provision)
+            .expect("root span");
+        assert_eq!(root.flags, wdm_obs::trace::RootVerdict::Ok.code());
+        assert!(of_500.iter().any(|r| r.kind == TraceEventKind::Route));
+        let claims: Vec<_> = of_500
+            .iter()
+            .filter(|r| r.kind == TraceEventKind::ShardClaim)
+            .collect();
+        assert!(!claims.is_empty(), "claims recorded per shard");
+        assert!(of_500
+            .iter()
+            .any(|r| r.kind == TraceEventKind::ShardValidate));
+        // Claimed shard versions were even (pre-claim values).
+        for c in &claims {
+            assert_eq!(c.b % 2, 0);
+        }
+        assert_eq!(snap.dropped, 0);
+    }
+
+    #[test]
+    fn tracing_records_conflict_retries_and_contended_abandonment() {
+        use wdm_obs::trace::{FlightRecorder, RootVerdict, TraceEventKind};
+        let net = base();
+        let conc =
+            ConcurrentEngine::with_race_injection(&net, 2, RaceInjection::ForceValidationConflict);
+        let recorder = FlightRecorder::new(1, 512);
+        conc.attach_tracer(&recorder);
+        let mut h = conc.handle();
+        let budget = 3;
+        let got = h.provision_bounded(0.into(), 3.into(), Policy::Optimal, budget);
+        assert!(matches!(got, Err(RwaError::Contended { .. })));
+        let snap = recorder.snapshot();
+        // Every absorbed conflict is visible as a ShardRetry instant on
+        // one trace, and the abandoned request closes with a contended
+        // root span.
+        let root = snap
+            .records
+            .iter()
+            .find(|r| r.kind == TraceEventKind::Provision)
+            .expect("root span");
+        assert_eq!(root.flags, RootVerdict::Contended.code());
+        let retries: Vec<_> = snap
+            .records
+            .iter()
+            .filter(|r| r.kind == TraceEventKind::ShardRetry && r.trace_id == root.trace_id)
+            .collect();
+        assert_eq!(retries.len() as u64, budget, "one instant per conflict");
+        // Retry ordinals count up from 1.
+        let mut ordinals: Vec<u64> = retries.iter().map(|r| r.a).collect();
+        ordinals.sort_unstable();
+        assert_eq!(ordinals, vec![1, 2, 3]);
+        // One Route span per attempt: each attempt routes, claims, and
+        // dies in validation; the budget check abandons *before* a
+        // further routing pass, so attempts == conflicts == budget.
+        let routes = snap
+            .records
+            .iter()
+            .filter(|r| r.kind == TraceEventKind::Route && r.trace_id == root.trace_id)
+            .count();
+        assert_eq!(routes as u64, budget);
     }
 }

@@ -5,9 +5,11 @@ use crate::policy::Policy;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 use wdm_core::{PersistentAuxGraph, SearchStats, Semilightpath, Wavelength, WdmNetwork};
 use wdm_graph::{LinkId, NodeId};
+use wdm_obs::trace::{FlightRecorder, RootVerdict, TraceEventKind, TraceId, TraceWriter};
 use wdm_obs::MetricsRegistry;
 
 /// Nanoseconds since `t0`, saturating at `u64::MAX`.
@@ -170,6 +172,15 @@ pub struct ProvisioningEngine {
     /// Shared instruments when a registry is attached; `None` keeps the
     /// hot path at one branch per operation.
     metrics: Option<EngineMetrics>,
+    /// Flight-recorder writer when tracing is attached; same one-branch
+    /// discipline as `metrics`.
+    tracer: Option<TraceWriter>,
+    /// The trace the *current* operation records under, so interior
+    /// helpers ([`Self::set_resource`], [`Self::note_blocked`]) can
+    /// attribute their events without parameter plumbing. Set on entry
+    /// to a traced operation, cleared on exit; always `None` between
+    /// operations.
+    active_trace: Option<TraceId>,
 }
 
 impl ProvisioningEngine {
@@ -215,6 +226,8 @@ impl ProvisioningEngine {
             failed_link: None,
             last_block_cause: None,
             metrics: None,
+            tracer: None,
+            active_trace: None,
         }
     }
 
@@ -238,6 +251,19 @@ impl ProvisioningEngine {
         // Search work done before the attach stays unattributed.
         let _ = self.residual.take_search_totals();
         self.metrics = Some(m);
+    }
+
+    /// Attaches a flight recorder: from now on every provision /
+    /// release / fail_link records a per-request trace — a root span
+    /// with the outcome verdict, the routing query as a nested span,
+    /// one instant per mask flip, and the blocked-cause verdict —
+    /// under a [`TraceId`] that is either supplied by the caller (the
+    /// daemon threads wire `trace_id`s through
+    /// [`provision_traced`](Self::provision_traced)) or allocated from
+    /// the recorder. Detached engines pay one branch per check, the
+    /// same discipline as [`attach_metrics`](Self::attach_metrics).
+    pub fn attach_tracer(&mut self, recorder: &Arc<FlightRecorder>) {
+        self.tracer = Some(recorder.writer());
     }
 
     /// The base network the engine was created from.
@@ -323,6 +349,14 @@ impl ProvisioningEngine {
                 let delta = if busy { 1 } else { -1 };
                 m.occupied.add(delta);
                 m.link_occupancy[link.index()].add(delta);
+            }
+            if let (Some(w), Some(trace)) = (&self.tracer, self.active_trace) {
+                w.instant(
+                    trace,
+                    TraceEventKind::MaskFlip,
+                    link.index() as u64,
+                    wavelength.index() as u64,
+                );
             }
         }
     }
@@ -430,6 +464,13 @@ impl ProvisioningEngine {
         if let Some(m) = &self.metrics {
             m.record_blocked(cause);
         }
+        if let (Some(w), Some(trace)) = (&self.tracer, self.active_trace) {
+            let code = match cause {
+                BlockCause::NoPath => 0,
+                BlockCause::Capacity => 1,
+            };
+            w.instant(trace, TraceEventKind::Blocked, code, 0);
+        }
     }
 
     /// Debug-build cross-check of the masked answer against the legacy
@@ -485,6 +526,22 @@ impl ProvisioningEngine {
         t: NodeId,
         policy: Policy,
     ) -> Result<ConnectionId, RwaError> {
+        self.provision_traced(s, t, policy, None)
+    }
+
+    /// [`provision`](Self::provision) with an explicit wire trace id:
+    /// when a recorder is attached, the request's trace records under
+    /// `wire` (or a freshly allocated id when `None`), so a daemon
+    /// client that tagged its request can find the exact trace in the
+    /// exported Chrome JSON. Without a recorder, `wire` is ignored and
+    /// this is byte-for-byte `provision`.
+    pub fn provision_traced(
+        &mut self,
+        s: NodeId,
+        t: NodeId,
+        policy: Policy,
+        wire: Option<TraceId>,
+    ) -> Result<ConnectionId, RwaError> {
         for v in [s, t] {
             if v.index() >= self.base.node_count() {
                 return Err(RwaError::NodeOutOfRange(v));
@@ -496,7 +553,29 @@ impl ProvisioningEngine {
             m.requests.inc();
             Instant::now()
         });
+        let trace = self.tracer.as_ref().map(|w| {
+            let id = wire.unwrap_or_else(|| w.recorder().next_trace_id());
+            (id, w.now_ns())
+        });
+        if let Some((id, _)) = trace {
+            self.active_trace = Some(id);
+        }
+        let route_started = if trace.is_some() {
+            self.tracer.as_ref().map(|w| w.now_ns())
+        } else {
+            None
+        };
         let (routed, search) = self.route_request(s, t, policy);
+        if let (Some(w), Some((id, _)), Some(t0)) = (&self.tracer, trace, route_started) {
+            w.span(
+                id,
+                TraceEventKind::Route,
+                t0,
+                0,
+                s.index() as u64,
+                t.index() as u64,
+            );
+        }
         if let Some(m) = &self.metrics {
             m.flush_search(&search);
         }
@@ -528,6 +607,23 @@ impl ProvisioningEngine {
         if let (Some(m), Some(t0)) = (&self.metrics, started) {
             m.provision_latency.observe(ns_since(t0));
         }
+        if let (Some(w), Some((id, t0))) = (&self.tracer, trace) {
+            let verdict = if result.is_ok() {
+                RootVerdict::Ok
+            } else {
+                RootVerdict::Blocked
+            };
+            let dur = w.span(
+                id,
+                TraceEventKind::Provision,
+                t0,
+                verdict.code(),
+                s.index() as u64,
+                t.index() as u64,
+            );
+            w.recorder().note_root(id, dur, verdict);
+        }
+        self.active_trace = None;
         result
     }
 
@@ -595,11 +691,41 @@ impl ProvisioningEngine {
     ///
     /// [`RwaError::UnknownConnection`] if `id` is not active.
     pub fn release(&mut self, id: ConnectionId) -> Result<(), RwaError> {
+        self.release_traced(id, None)
+    }
+
+    /// [`release`](Self::release) with an explicit wire trace id; see
+    /// [`provision_traced`](Self::provision_traced) for the semantics.
+    /// A release of an unknown connection still records a root span,
+    /// with the `failed` verdict.
+    pub fn release_traced(
+        &mut self,
+        id: ConnectionId,
+        wire: Option<TraceId>,
+    ) -> Result<(), RwaError> {
         let started = self.metrics.as_ref().map(|_| Instant::now());
-        let conn = self
-            .active
-            .remove(&id)
-            .ok_or(RwaError::UnknownConnection(id))?;
+        let trace = self.tracer.as_ref().map(|w| {
+            let tid = wire.unwrap_or_else(|| w.recorder().next_trace_id());
+            (tid, w.now_ns())
+        });
+        if let Some((tid, _)) = trace {
+            self.active_trace = Some(tid);
+        }
+        let Some(conn) = self.active.remove(&id) else {
+            if let (Some(w), Some((tid, t0))) = (&self.tracer, trace) {
+                let dur = w.span(
+                    tid,
+                    TraceEventKind::Release,
+                    t0,
+                    RootVerdict::Failed.code(),
+                    id.as_u64(),
+                    0,
+                );
+                w.recorder().note_root(tid, dur, RootVerdict::Failed);
+            }
+            self.active_trace = None;
+            return Err(RwaError::UnknownConnection(id));
+        };
         for hop in conn.path.hops() {
             self.set_resource(hop.link, hop.wavelength, false);
         }
@@ -609,6 +735,18 @@ impl ProvisioningEngine {
             m.active.set(self.active.len() as i64);
             m.release_latency.observe(ns_since(t0));
         }
+        if let (Some(w), Some((tid, t0))) = (&self.tracer, trace) {
+            let dur = w.span(
+                tid,
+                TraceEventKind::Release,
+                t0,
+                RootVerdict::Ok.code(),
+                id.as_u64(),
+                0,
+            );
+            w.recorder().note_root(tid, dur, RootVerdict::Ok);
+        }
+        self.active_trace = None;
         Ok(())
     }
 
@@ -646,8 +784,14 @@ impl ProvisioningEngine {
         );
         // The whole cut — teardowns, blocking, restorations — is one
         // span; the nested release/provision calls also meter their own
-        // operations (documented on the latency metric).
+        // operations (documented on the latency metric). Tracing works
+        // the same way: the cut gets a root span of its own, while each
+        // nested teardown/restoration records under its own trace id.
         let started = self.metrics.as_ref().map(|_| Instant::now());
+        let trace = self
+            .tracer
+            .as_ref()
+            .map(|w| (w.recorder().next_trace_id(), w.now_ns()));
         let mut affected: Vec<ConnectionId> = self
             .active
             .iter()
@@ -677,6 +821,12 @@ impl ProvisioningEngine {
         // see the cut too — a restoration whose only free-network routes
         // crossed the fibre is topology-blocked for the duration — so the
         // failed-link regime changes and the memo epoch advances with it.
+        if let Some((tid, _)) = trace {
+            // Nested release calls cleared the active trace; the
+            // blanket busy-marking flips below belong to the cut's own
+            // trace.
+            self.active_trace = Some(tid);
+        }
         for lambda in 0..self.base.k() {
             self.set_resource(link, Wavelength::new(lambda), true);
         }
@@ -690,6 +840,9 @@ impl ProvisioningEngine {
         // affected ones were torn down and restorations excluded it), so
         // its true resource state is all-free; clear the block markers
         // and leave the in-cut cause verdicts behind with their epoch.
+        if let Some((tid, _)) = trace {
+            self.active_trace = Some(tid);
+        }
         for lambda in 0..self.base.k() {
             self.set_resource(link, Wavelength::new(lambda), false);
         }
@@ -698,6 +851,18 @@ impl ProvisioningEngine {
         if let (Some(m), Some(t0)) = (&self.metrics, started) {
             m.fail_link_latency.observe(ns_since(t0));
         }
+        if let (Some(w), Some((tid, t0))) = (&self.tracer, trace) {
+            let dur = w.span(
+                tid,
+                TraceEventKind::FailLink,
+                t0,
+                RootVerdict::Ok.code(),
+                link.index() as u64,
+                outcome.len() as u64,
+            );
+            w.recorder().note_root(tid, dur, RootVerdict::Ok);
+        }
+        self.active_trace = None;
         outcome
     }
 }
@@ -772,6 +937,122 @@ mod tests {
             .expect("routes");
         engine.release(id).expect("active");
         assert_eq!(engine.release(id), Err(RwaError::UnknownConnection(id)));
+    }
+
+    #[test]
+    fn tracing_records_request_scoped_spans_and_events() {
+        use wdm_obs::trace::{FlightRecorder, TraceEventKind, TraceId};
+        let mut engine = ProvisioningEngine::new(&base());
+        let recorder = FlightRecorder::new(1, 256);
+        engine.attach_tracer(&recorder);
+
+        // A wire-tagged provision records under exactly that id.
+        let id = engine
+            .provision_traced(
+                0.into(),
+                3.into(),
+                Policy::Optimal,
+                Some(TraceId::from_u64(42)),
+            )
+            .expect("routes");
+        let snap = recorder.snapshot();
+        let of_42: Vec<_> = snap.records.iter().filter(|r| r.trace_id == 42).collect();
+        let root = of_42
+            .iter()
+            .find(|r| r.kind == TraceEventKind::Provision)
+            .expect("root span");
+        assert!(root.is_span());
+        assert_eq!((root.a, root.b), (0, 3));
+        assert_eq!(root.flags, RootVerdict::Ok.code());
+        let route = of_42
+            .iter()
+            .find(|r| r.kind == TraceEventKind::Route)
+            .expect("route span");
+        assert!(route.is_span());
+        // The route span nests inside the root span's time window.
+        assert!(route.ts_ns >= root.ts_ns);
+        assert!(route.ts_ns + route.dur_ns <= root.ts_ns + root.dur_ns);
+        let flips: Vec<_> = of_42
+            .iter()
+            .filter(|r| r.kind == TraceEventKind::MaskFlip)
+            .collect();
+        let hops = engine.path_of(id).expect("active").hops().len();
+        assert_eq!(flips.len(), hops, "one flip instant per committed hop");
+
+        // An untagged release allocates its own id and records flips.
+        engine.release(id).expect("active");
+        let snap = recorder.snapshot();
+        let release_root = snap
+            .records
+            .iter()
+            .find(|r| r.kind == TraceEventKind::Release)
+            .expect("release root");
+        assert_ne!(release_root.trace_id, 42);
+        assert_eq!(release_root.flags, RootVerdict::Ok.code());
+        assert_eq!(release_root.a, id.as_u64());
+
+        // Blocked requests record the cause instant under their trace.
+        for _ in 0..2 {
+            let _ = engine.provision(0.into(), 3.into(), Policy::Optimal);
+        }
+        let _ = engine
+            .provision(0.into(), 3.into(), Policy::Optimal)
+            .expect_err("capacity exhausted");
+        let snap = recorder.snapshot();
+        let blocked_root = snap
+            .records
+            .iter()
+            .rfind(|r| {
+                r.kind == TraceEventKind::Provision && r.flags == RootVerdict::Blocked.code()
+            })
+            .expect("blocked root");
+        let cause = snap
+            .records
+            .iter()
+            .find(|r| r.kind == TraceEventKind::Blocked && r.trace_id == blocked_root.trace_id)
+            .expect("cause instant");
+        assert_eq!(cause.a, 1, "capacity-blocked");
+        assert_eq!(snap.dropped, 0);
+    }
+
+    #[test]
+    fn tracing_failed_release_and_fail_link_record_roots() {
+        use wdm_obs::trace::{FlightRecorder, TraceEventKind};
+        let mut engine = ProvisioningEngine::new(&base());
+        let recorder = FlightRecorder::new(1, 256);
+        engine.attach_tracer(&recorder);
+        let id = engine
+            .provision(0.into(), 3.into(), Policy::Optimal)
+            .expect("routes");
+        engine.release(id).expect("active");
+        let err = engine.release(id).expect_err("already gone");
+        assert_eq!(err, RwaError::UnknownConnection(id));
+        let snap = recorder.snapshot();
+        assert!(snap.records.iter().any(|r| {
+            r.kind == TraceEventKind::Release && r.flags == RootVerdict::Failed.code()
+        }));
+        let id = engine
+            .provision(0.into(), 3.into(), Policy::Optimal)
+            .expect("routes");
+        let mid = engine.path_of(id).expect("active").hops()[1].link;
+        let outcome = engine.fail_link(mid, Policy::Optimal);
+        let snap = recorder.snapshot();
+        let cut = snap
+            .records
+            .iter()
+            .find(|r| r.kind == TraceEventKind::FailLink)
+            .expect("fail-link root");
+        assert_eq!(cut.a, mid.index() as u64);
+        assert_eq!(cut.b, outcome.len() as u64);
+    }
+
+    #[test]
+    fn detached_engine_records_nothing() {
+        let mut engine = ProvisioningEngine::new(&base());
+        let recorder = wdm_obs::trace::FlightRecorder::new(1, 16);
+        // Never attached: provisioning must not touch the recorder.
+        let _ = engine.provision(0.into(), 3.into(), Policy::Optimal);
+        assert_eq!(recorder.snapshot().recorded, 0);
     }
 
     #[test]

@@ -20,10 +20,11 @@
 
 use std::fmt::Write as _;
 use std::sync::atomic::AtomicU64;
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 use wdm_graph::{LinkId, NodeId};
 use wdm_obs::ordering::RELAXED;
+use wdm_obs::trace::{FlightRecorder, TraceId};
 use wdm_obs::MetricsRegistry;
 use wdm_rwa::concurrent::{ProvisionOutcome, ProvisionTxn, ReleaseTxn, Step};
 use wdm_rwa::{
@@ -31,7 +32,7 @@ use wdm_rwa::{
     RoutingMode, RwaError,
 };
 
-use crate::protocol::{escape_json, Request};
+use crate::protocol::{escape_json, Frame, Request};
 
 /// Locks a mutex, recovering the data from a poisoned lock. The engine
 /// state is a set of busy bits plus counters — every operation leaves
@@ -64,6 +65,10 @@ enum Inner {
 pub struct EngineBackend {
     inner: Inner,
     policy: Policy,
+    /// The flight recorder behind request-scoped tracing, write-once.
+    /// `None` means tracing is disabled and every request pays exactly
+    /// one branch (inside the engines) for the privilege.
+    tracer: OnceLock<Arc<FlightRecorder>>,
 }
 
 /// Per-connection execution state.
@@ -90,6 +95,7 @@ impl EngineBackend {
                 seq: 0,
             }))),
             policy,
+            tracer: OnceLock::new(),
         }
     }
 
@@ -124,6 +130,7 @@ impl EngineBackend {
                 max_conflicts,
             },
             policy,
+            tracer: OnceLock::new(),
         }
     }
 
@@ -141,6 +148,26 @@ impl EngineBackend {
         }
     }
 
+    /// Attaches `recorder` to whichever engine this backend fronts:
+    /// every request now records request-scoped spans, labelled by the
+    /// wire `trace_id` when the client sent one. Write-once — the first
+    /// recorder wins and later calls are ignored (the sharded engine
+    /// reads the cell lock-free mid-transaction).
+    pub fn attach_tracer(&self, recorder: &Arc<FlightRecorder>) {
+        if self.tracer.set(Arc::clone(recorder)).is_err() {
+            return;
+        }
+        match &self.inner {
+            Inner::Single(state) => lock(state).engine.attach_tracer(recorder),
+            Inner::Sharded { engine, .. } => engine.attach_tracer(recorder),
+        }
+    }
+
+    /// The attached flight recorder, if tracing is enabled.
+    pub fn recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.tracer.get()
+    }
+
     /// Creates the per-connection execution state for this backend.
     pub fn new_ctx(&self) -> ExecCtx {
         ExecCtx {
@@ -154,19 +181,52 @@ impl EngineBackend {
     /// Executes one engine-touching request and renders its reply line
     /// (without the trailing newline).
     ///
-    /// `Drain` is a server-level operation; at this layer it is
-    /// acknowledged without touching the engine or consuming a `seq`,
-    /// which keeps offline replay of recorded sessions trivial.
+    /// `Drain` is a server-level operation, and `Trace` only reads
+    /// recorder counters; at this layer both are acknowledged without
+    /// touching the engine or consuming a `seq`, which keeps offline
+    /// replay of recorded sessions trivial.
     pub fn execute(&self, ctx: &mut ExecCtx, req: &Request) -> String {
+        self.execute_wired(ctx, req, None)
+    }
+
+    /// Executes one parsed [`Frame`]: the request runs with its wire
+    /// `trace_id` labelling the recorded spans, and the reply echoes the
+    /// id back as a final `"trace_id"` field — so the bytes a client
+    /// correlates against are exactly the bytes it tagged.
+    pub fn execute_frame(&self, ctx: &mut ExecCtx, frame: &Frame) -> String {
+        let reply = self.execute_wired(ctx, &frame.req, frame.trace_id.map(TraceId::from_u64));
+        match frame.trace_id {
+            None => reply,
+            Some(id) => echo_trace_id(reply, TraceId::from_u64(id)),
+        }
+    }
+
+    /// The shared execution path behind [`execute`](Self::execute) and
+    /// [`execute_frame`](Self::execute_frame).
+    fn execute_wired(&self, ctx: &mut ExecCtx, req: &Request, wire: Option<TraceId>) -> String {
         if matches!(req, Request::Drain) {
             return r#"{"ok":true,"op":"drain"}"#.to_string();
         }
+        if matches!(req, Request::Trace) {
+            return match self.tracer.get() {
+                None => r#"{"ok":false,"op":"trace","error":"tracing_disabled"}"#.to_string(),
+                Some(rec) => format!(
+                    r#"{{"ok":true,"op":"trace","records":{},"dropped":{}}}"#,
+                    rec.recorded_count(),
+                    rec.drop_count()
+                ),
+            };
+        }
+        let trace_counts = self
+            .tracer
+            .get()
+            .map(|rec| (rec.recorded_count(), rec.drop_count()));
         match &self.inner {
             Inner::Single(state) => {
                 let st = &mut *lock(state);
                 st.seq += 1;
                 let seq = st.seq;
-                execute_single(&mut st.engine, self.policy, seq, req)
+                execute_single(&mut st.engine, self.policy, seq, req, wire, trace_counts)
             }
             Inner::Sharded {
                 engine,
@@ -176,17 +236,27 @@ impl EngineBackend {
                 // Relaxed is enough: the counter only needs uniqueness
                 // and atomicity, not ordering against engine commits.
                 let seq = seq.fetch_add(1, RELAXED) + 1;
-                execute_sharded(engine, ctx, self.policy, seq, *max_conflicts, req)
+                execute_sharded(
+                    engine,
+                    ctx,
+                    self.policy,
+                    seq,
+                    *max_conflicts,
+                    req,
+                    wire,
+                    trace_counts,
+                )
             }
         }
     }
 
     /// Parses and executes one request line — the offline-replay entry
     /// point used by the conformance tests. Malformed lines get the
-    /// same `malformed` reply the server would send.
+    /// same `malformed` reply the server would send, and `trace_id`
+    /// tags round-trip exactly as they do on a live connection.
     pub fn execute_line(&self, ctx: &mut ExecCtx, line: &str) -> String {
-        match crate::protocol::parse_request(line.trim()) {
-            Ok(req) => self.execute(ctx, &req),
+        match crate::protocol::parse_frame(line.trim()) {
+            Ok(frame) => self.execute_frame(ctx, &frame),
             Err(detail) => render_malformed(&detail),
         }
     }
@@ -206,6 +276,16 @@ impl EngineBackend {
             Inner::Sharded { engine, .. } => engine.active_count(),
         }
     }
+}
+
+/// Appends `"trace_id":N` as the final field of a rendered reply
+/// object. Every reply renderer in this module ends with `}`, so the
+/// echo is a truncate-and-extend, not a reparse.
+pub(crate) fn echo_trace_id(mut reply: String, id: TraceId) -> String {
+    debug_assert!(reply.ends_with('}'));
+    reply.truncate(reply.len() - 1);
+    let _ = write!(reply, r#","trace_id":{}}}"#, id.as_u64());
+    reply
 }
 
 /// Renders the reply for a malformed frame.
@@ -341,6 +421,8 @@ fn execute_single(
     default: Policy,
     seq: u64,
     req: &Request,
+    wire: Option<TraceId>,
+    trace_counts: Option<(u64, u64)>,
 ) -> String {
     match req {
         Request::Provision { s, t, policy } => {
@@ -348,7 +430,7 @@ fn execute_single(
                 return render_node_out_of_range(seq, bad);
             }
             let pol = policy.unwrap_or(default);
-            let verdict = provision_one_single(engine, *s, *t, pol);
+            let verdict = provision_one_single(engine, *s, *t, pol, wire);
             let cause = match &verdict {
                 Err(RwaError::Blocked { .. }) => engine.last_block_cause(),
                 _ => None,
@@ -357,7 +439,7 @@ fn execute_single(
         }
         Request::Release { id } => {
             let id = ConnectionId::from_u64(*id);
-            render_release(seq, id, engine.release(id).is_ok())
+            render_release(seq, id, engine.release_traced(id, wire).is_ok())
         }
         Request::FailLink { link } => {
             let links = engine.base().link_count();
@@ -411,7 +493,7 @@ fn execute_single(
                     .map(|&(s, t)| match node_out_of_range(s, t, nodes) {
                         Some(bad) => render_node_out_of_range_bare(bad),
                         None => {
-                            let verdict = provision_one_single(engine, s, t, pol);
+                            let verdict = provision_one_single(engine, s, t, pol, wire);
                             if verdict.is_ok() {
                                 accepted += 1;
                             }
@@ -425,15 +507,27 @@ fn execute_single(
         Request::Stats => {
             let (accepted, blocked, released) = engine.totals();
             let (no_path, capacity) = engine.blocked_by_cause();
-            format!(
-                r#"{{"ok":true,"op":"stats","seq":{seq},"accepted":{accepted},"blocked":{blocked},"blocked_no_path":{no_path},"blocked_capacity":{capacity},"released":{released},"active":{},"utilization":{}}}"#,
+            let mut s = format!(
+                r#"{{"ok":true,"op":"stats","seq":{seq},"accepted":{accepted},"blocked":{blocked},"blocked_no_path":{no_path},"blocked_capacity":{capacity},"released":{released},"active":{},"utilization":{},"conflicts":0"#,
                 engine.active_count(),
                 engine.utilization()
-            )
+            );
+            push_stats_trace_fields(&mut s, trace_counts);
+            s.push('}');
+            s
         }
-        // Handled in `EngineBackend::execute` before dispatch.
+        // Handled in `EngineBackend::execute_wired` before dispatch.
         Request::Drain => r#"{"ok":true,"op":"drain"}"#.to_string(),
+        Request::Trace => r#"{"ok":false,"op":"trace","error":"tracing_disabled"}"#.to_string(),
     }
+}
+
+/// Appends the flight-recorder fields to a `stats` reply, in the fixed
+/// key order the replay-identity conformance test pins. Absent recorder
+/// renders zeros, so traced and untraced daemons agree on the schema.
+fn push_stats_trace_fields(s: &mut String, trace_counts: Option<(u64, u64)>) {
+    let (records, dropped) = trace_counts.unwrap_or((0, 0));
+    let _ = write!(s, r#","trace_records":{records},"trace_dropped":{dropped}"#);
 }
 
 fn render_release(seq: u64, id: ConnectionId, ok: bool) -> String {
@@ -456,8 +550,9 @@ fn provision_one_single(
     s: usize,
     t: usize,
     policy: Policy,
+    wire: Option<TraceId>,
 ) -> ProvisionVerdict {
-    let id = engine.provision(NodeId::new(s), NodeId::new(t), policy)?;
+    let id = engine.provision_traced(NodeId::new(s), NodeId::new(t), policy, wire)?;
     let (hops, conversions, cost) = match engine.path_of(id) {
         Some(path) => (path.len(), path.conversion_count(), path.cost()),
         None => (0, 0, wdm_core::Cost::ZERO),
@@ -465,6 +560,7 @@ fn provision_one_single(
     Ok((id, hops, conversions, cost))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn execute_sharded(
     engine: &ConcurrentEngine,
     ctx: &mut ExecCtx,
@@ -472,6 +568,8 @@ fn execute_sharded(
     seq: u64,
     max_conflicts: u64,
     req: &Request,
+    wire: Option<TraceId>,
+    trace_counts: Option<(u64, u64)>,
 ) -> String {
     match req {
         Request::Provision { s, t, policy } => {
@@ -479,7 +577,8 @@ fn execute_sharded(
                 return render_node_out_of_range(seq, bad);
             }
             let pol = policy.unwrap_or(default);
-            let (verdict, cause) = provision_one_sharded(engine, ctx, *s, *t, pol, max_conflicts);
+            let (verdict, cause) =
+                provision_one_sharded(engine, ctx, *s, *t, pol, max_conflicts, wire);
             render_provision_reply(seq, &verdict, cause)
         }
         Request::Release { id } => {
@@ -513,7 +612,7 @@ fn execute_sharded(
                     Some(bad) => render_node_out_of_range_bare(bad),
                     None => {
                         let (verdict, _) =
-                            provision_one_sharded(engine, ctx, s, t, pol, max_conflicts);
+                            provision_one_sharded(engine, ctx, s, t, pol, max_conflicts, wire);
                         if verdict.is_ok() {
                             accepted += 1;
                         }
@@ -526,14 +625,18 @@ fn execute_sharded(
         Request::Stats => {
             let (accepted, blocked, released) = engine.totals();
             let (no_path, capacity) = engine.blocked_by_cause();
-            format!(
-                r#"{{"ok":true,"op":"stats","seq":{seq},"accepted":{accepted},"blocked":{blocked},"blocked_no_path":{no_path},"blocked_capacity":{capacity},"released":{released},"active":{},"utilization":{},"conflicts":{}}}"#,
+            let mut s = format!(
+                r#"{{"ok":true,"op":"stats","seq":{seq},"accepted":{accepted},"blocked":{blocked},"blocked_no_path":{no_path},"blocked_capacity":{capacity},"released":{released},"active":{},"utilization":{},"conflicts":{}"#,
                 engine.active_count(),
                 engine.utilization(),
                 engine.conflicts()
-            )
+            );
+            push_stats_trace_fields(&mut s, trace_counts);
+            s.push('}');
+            s
         }
         Request::Drain => r#"{"ok":true,"op":"drain"}"#.to_string(),
+        Request::Trace => r#"{"ok":false,"op":"trace","error":"tracing_disabled"}"#.to_string(),
     }
 }
 
@@ -546,10 +649,11 @@ fn provision_one_sharded(
     t: usize,
     policy: Policy,
     max_conflicts: u64,
+    wire: Option<TraceId>,
 ) -> (ProvisionVerdict, Option<BlockCause>) {
     let scratch = ctx.scratch.get_or_insert_with(|| engine.handle_scratch());
     let (s_id, t_id) = (NodeId::new(s), NodeId::new(t));
-    let mut txn = match ProvisionTxn::new(engine, s_id, t_id, policy) {
+    let mut txn = match ProvisionTxn::new_traced(engine, s_id, t_id, policy, wire) {
         Ok(txn) => txn,
         Err(e) => return (Err(e), None),
     };
@@ -571,6 +675,7 @@ fn provision_one_sharded(
                 // decided and engine totals are untouched (pinned by
                 // the provisioning conformance suite).
                 if txn.conflicts() >= max_conflicts {
+                    txn.trace_abandon();
                     return (
                         Err(RwaError::Contended {
                             s: s_id,

@@ -20,9 +20,17 @@
 //! {"op":"fail-link","link":2}               fibre cut with restoration
 //! {"op":"batch","pairs":[[0,3],[1,2]]}      pre-screened batch provision
 //! {"op":"stats"}                            engine totals + utilization
+//! {"op":"trace"}                            flight-recorder totals
 //! {"op":"drain"}                            graceful shutdown
 //! GET /metrics HTTP/1.1                     Prometheus scrape (same port)
+//! GET /trace HTTP/1.1                       Chrome trace_event snapshot
 //! ```
+//!
+//! Any request may carry an integer `trace_id` field; the daemon echoes
+//! it back as the final field of the reply and — when started with
+//! tracing enabled (`--trace-buffer`) — labels the request's recorded
+//! spans with it, so a client can find its exact request in the
+//! exported Chrome trace. See [`protocol::Frame`].
 //!
 //! # Operational properties
 //!
@@ -53,5 +61,5 @@ pub mod server;
 pub mod signal;
 
 pub use backend::{EngineBackend, ExecCtx};
-pub use protocol::Request;
+pub use protocol::{Frame, Request};
 pub use server::{Listen, ServeSummary, Server, ServerConfig};

@@ -6,6 +6,14 @@
 //! typed error and a closed connection (the stream may be desynced) —
 //! but tolerant about extras: unknown keys are ignored so clients can
 //! tag requests.
+//!
+//! One tag is understood rather than ignored: an optional integer
+//! `trace_id` names the request in the daemon's flight recorder and is
+//! echoed verbatim in the reply, so a client can correlate its wire
+//! replies with the spans in an exported Chrome trace. A `trace_id`
+//! that is present but not a non-negative integer is a malformed frame
+//! (silently dropping a mistyped correlation id would break the very
+//! correlation it exists for).
 
 use wdm_obs::json::{self, Value};
 use wdm_rwa::Policy;
@@ -41,29 +49,59 @@ pub enum Request {
     },
     /// Report engine totals and utilization.
     Stats,
+    /// Report flight-recorder totals (records kept, records dropped).
+    Trace,
     /// Graceful shutdown: stop accepting, finish in-flight, exit.
     Drain,
+}
+
+/// One parsed wire frame: the request plus its optional `trace_id` tag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// The operation to execute.
+    pub req: Request,
+    /// Client-chosen trace id, echoed in the reply and used (when the
+    /// daemon has a flight recorder) to label the request's spans.
+    pub trace_id: Option<u64>,
 }
 
 /// Parses one request line. The error string is a human-readable
 /// diagnostic suitable for the `detail` field of a `malformed` reply.
 pub fn parse_request(line: &str) -> Result<Request, String> {
+    parse_frame(line).map(|f| f.req)
+}
+
+/// Parses one request line into a [`Frame`], including the optional
+/// `trace_id` tag.
+pub fn parse_frame(line: &str) -> Result<Frame, String> {
     let value = json::parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
+    let trace_id = match value.get("trace_id") {
+        None => None,
+        Some(v) => Some(
+            v.as_u64()
+                .ok_or_else(|| "`trace_id` must be a non-negative integer".to_string())?,
+        ),
+    };
+    parse_op(&value).map(|req| Frame { req, trace_id })
+}
+
+/// Parses the `op` field and its operands out of a frame object.
+fn parse_op(value: &Value) -> Result<Request, String> {
     let op = value
         .get("op")
         .and_then(Value::as_str)
         .ok_or_else(|| "missing string field `op`".to_string())?;
     match op {
         "provision" => Ok(Request::Provision {
-            s: usize_field(&value, "s")?,
-            t: usize_field(&value, "t")?,
-            policy: policy_field(&value)?,
+            s: usize_field(value, "s")?,
+            t: usize_field(value, "t")?,
+            policy: policy_field(value)?,
         }),
         "release" => Ok(Request::Release {
-            id: u64_field(&value, "id")?,
+            id: u64_field(value, "id")?,
         }),
         "fail-link" => Ok(Request::FailLink {
-            link: usize_field(&value, "link")?,
+            link: usize_field(value, "link")?,
         }),
         "batch" => {
             let pairs = value
@@ -83,10 +121,11 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             }
             Ok(Request::Batch {
                 pairs: parsed,
-                policy: policy_field(&value)?,
+                policy: policy_field(value)?,
             })
         }
         "stats" => Ok(Request::Stats),
+        "trace" => Ok(Request::Trace),
         "drain" => Ok(Request::Drain),
         other => Err(format!("unknown op `{other}`")),
     }
@@ -182,7 +221,38 @@ mod tests {
             })
         );
         assert_eq!(parse_request(r#"{"op":"stats"}"#), Ok(Request::Stats));
+        assert_eq!(parse_request(r#"{"op":"trace"}"#), Ok(Request::Trace));
         assert_eq!(parse_request(r#"{"op":"drain"}"#), Ok(Request::Drain));
+    }
+
+    #[test]
+    fn frames_carry_optional_trace_ids() {
+        assert_eq!(
+            parse_frame(r#"{"op":"stats"}"#),
+            Ok(Frame {
+                req: Request::Stats,
+                trace_id: None
+            })
+        );
+        assert_eq!(
+            parse_frame(r#"{"op":"provision","s":0,"t":3,"trace_id":42}"#),
+            Ok(Frame {
+                req: Request::Provision {
+                    s: 0,
+                    t: 3,
+                    policy: None
+                },
+                trace_id: Some(42)
+            })
+        );
+        // Present but mistyped is malformed, not silently dropped.
+        for bad in [
+            r#"{"op":"stats","trace_id":"7"}"#,
+            r#"{"op":"stats","trace_id":-1}"#,
+            r#"{"op":"stats","trace_id":true}"#,
+        ] {
+            assert!(parse_frame(bad).is_err(), "{bad} should be malformed");
+        }
     }
 
     #[test]

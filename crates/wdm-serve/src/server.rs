@@ -16,10 +16,11 @@ use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
+use wdm_obs::trace::{FlightRecorder, TailSampling, TraceEventKind, TraceId};
 use wdm_obs::MetricsRegistry;
 
-use crate::backend::{render_malformed, render_overloaded, EngineBackend};
-use crate::protocol::{parse_request, Request};
+use crate::backend::{echo_trace_id, render_malformed, render_overloaded, EngineBackend};
+use crate::protocol::{parse_frame, Frame, Request};
 use crate::signal;
 
 /// How long a worker blocks in `read` before re-checking the drain
@@ -56,13 +57,31 @@ pub struct ServerConfig {
     /// excess requests are answered `overloaded` without touching the
     /// engine.
     pub max_inflight: usize,
+    /// Flight-recorder capacity in records per writer segment; `0`
+    /// disables tracing entirely (requests pay one branch, nothing is
+    /// recorded, `GET /trace` answers 404).
+    pub trace_buffer: usize,
+    /// Tail-sampling knob: keep only the slowest `N` traces plus every
+    /// blocked/contended/failed one in `GET /trace` snapshots; `0`
+    /// keeps everything still in the ring.
+    pub trace_sample: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { max_inflight: 64 }
+        ServerConfig {
+            max_inflight: 64,
+            trace_buffer: 0,
+            trace_sample: 0,
+        }
     }
 }
+
+/// How many writer segments the daemon's flight recorder shards into.
+/// Matches the one-thread-per-connection model well enough: segments
+/// are assigned round-robin, and a collision only costs a dropped
+/// record (counted), never a stall.
+const TRACE_SEGMENTS: usize = 4;
 
 /// Totals reported by [`Server::serve`] after a drain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,6 +131,17 @@ impl Server {
     ) -> io::Result<Server> {
         let registry = Arc::new(MetricsRegistry::new());
         backend.attach_metrics(&registry);
+        if config.trace_buffer > 0 {
+            let recorder = match config.trace_sample {
+                0 => FlightRecorder::new(TRACE_SEGMENTS, config.trace_buffer),
+                n => FlightRecorder::with_sampling(
+                    TRACE_SEGMENTS,
+                    config.trace_buffer,
+                    TailSampling::keep_slowest(n),
+                ),
+            };
+            backend.attach_tracer(&recorder);
+        }
         let (listener, unix_path) = match listen {
             Listen::Tcp(addr) => (ListenerKind::Tcp(TcpListener::bind(addr.as_str())?), None),
             #[cfg(unix)]
@@ -211,6 +241,7 @@ impl Server {
                 "fail-link",
                 "batch",
                 "stats",
+                "trace",
                 "drain",
             ] {
                 total = total.saturating_add(
@@ -298,6 +329,7 @@ fn op_name(req: &Request) -> &'static str {
         Request::FailLink { .. } => "fail-link",
         Request::Batch { .. } => "batch",
         Request::Stats => "stats",
+        Request::Trace => "trace",
         Request::Drain => "drain",
     }
 }
@@ -350,8 +382,8 @@ fn handle_frame<S: Read + Write>(
     ctx: &mut crate::backend::ExecCtx,
     line: &str,
 ) -> bool {
-    let req = match parse_request(line) {
-        Ok(req) => req,
+    let frame = match parse_frame(line) {
+        Ok(frame) => frame,
         Err(detail) => {
             // The stream may be desynced after a bad frame; answer
             // typed and close rather than guess at a resync point.
@@ -363,12 +395,12 @@ fn handle_frame<S: Read + Write>(
             return false;
         }
     };
-    if matches!(req, Request::Drain) {
+    if matches!(frame.req, Request::Drain) {
         shared
             .registry
             .counter("wdm_serve_requests_total", &[("op", "drain")])
             .inc();
-        let _ = write_line(stream, &shared.backend.execute(ctx, &req));
+        let _ = write_line(stream, &shared.backend.execute_frame(ctx, &frame));
         shared.drain.store(true, Ordering::Relaxed);
         return false;
     }
@@ -379,13 +411,19 @@ fn handle_frame<S: Read + Write>(
             .registry
             .counter("wdm_serve_overloaded_total", &[])
             .inc();
+        note_admission_reject(shared, &frame, inflight);
         // Rejected, not fatal: the client may retry after backoff on
-        // the same connection.
-        return write_line(stream, &render_overloaded()).is_ok();
+        // the same connection. The rejection still echoes the wire
+        // trace id so a tagged client can tell *which* request bounced.
+        let mut reply = render_overloaded();
+        if let Some(id) = frame.trace_id {
+            reply = echo_trace_id(reply, TraceId::from_u64(id));
+        }
+        return write_line(stream, &reply).is_ok();
     }
     shared.registry.gauge("wdm_serve_inflight", &[]).inc();
     let started = Instant::now();
-    let reply = shared.backend.execute(ctx, &req);
+    let reply = shared.backend.execute_frame(ctx, &frame);
     let elapsed = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
     shared.inflight.fetch_sub(1, Ordering::Relaxed);
     shared.registry.gauge("wdm_serve_inflight", &[]).dec();
@@ -395,9 +433,29 @@ fn handle_frame<S: Read + Write>(
         .observe(elapsed);
     shared
         .registry
-        .counter("wdm_serve_requests_total", &[("op", op_name(&req))])
+        .counter("wdm_serve_requests_total", &[("op", op_name(&frame.req))])
         .inc();
     write_line(stream, &reply).is_ok()
+}
+
+/// Records an admission-control rejection in the flight recorder: an
+/// `admission` instant on the request's wire trace (or a fresh trace id
+/// for untagged requests), carrying the observed in-flight count and
+/// the configured ceiling. Rejections are where operators reach for
+/// traces first, so they must never be invisible in the export.
+fn note_admission_reject(shared: &Shared, frame: &Frame, inflight: usize) {
+    if let Some(rec) = shared.backend.recorder() {
+        let id = frame
+            .trace_id
+            .map(TraceId::from_u64)
+            .unwrap_or_else(|| rec.next_trace_id());
+        rec.writer().instant(
+            id,
+            TraceEventKind::Admission,
+            inflight as u64,
+            shared.max_inflight as u64,
+        );
+    }
 }
 
 fn write_line<S: Write>(stream: &mut S, reply: &str) -> io::Result<()> {
@@ -409,17 +467,40 @@ fn write_line<S: Write>(stream: &mut S, reply: &str) -> io::Result<()> {
 }
 
 /// Answers an HTTP request on the JSON listener: `GET /metrics` renders
-/// the live registry (Prometheus text format), anything else is 404.
-/// The connection closes after one response.
+/// the live registry (Prometheus text format), `GET /trace` snapshots
+/// the flight recorder as Chrome `trace_event` JSON (404 when tracing
+/// is disabled), anything else is 404. The connection closes after one
+/// response.
 fn serve_http<S: Read + Write>(stream: &mut S, shared: &Shared, request_line: &str) {
     let path = request_line.split_whitespace().nth(1).unwrap_or("");
-    let (status, body) = if path == "/metrics" {
-        ("200 OK", shared.registry.render_prometheus())
+    let (status, content_type, body) = if path == "/metrics" {
+        (
+            "200 OK",
+            "text/plain; version=0.0.4",
+            shared.registry.render_prometheus(),
+        )
+    } else if path == "/trace" {
+        match shared.backend.recorder() {
+            Some(rec) => (
+                "200 OK",
+                "application/json",
+                wdm_obs::trace::export::render_chrome_trace(&rec.snapshot()),
+            ),
+            None => (
+                "404 Not Found",
+                "text/plain; version=0.0.4",
+                "tracing disabled (start with --trace-buffer)\n".to_string(),
+            ),
+        }
     } else {
-        ("404 Not Found", "not found\n".to_string())
+        (
+            "404 Not Found",
+            "text/plain; version=0.0.4",
+            "not found\n".to_string(),
+        )
     };
     let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     );
     let _ = stream.write_all(response.as_bytes());
@@ -462,6 +543,7 @@ mod tests {
             "batch"
         );
         assert_eq!(op_name(&Request::Stats), "stats");
+        assert_eq!(op_name(&Request::Trace), "trace");
         assert_eq!(op_name(&Request::Drain), "drain");
     }
 }

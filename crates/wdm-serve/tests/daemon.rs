@@ -301,7 +301,13 @@ fn admission_control_rejects_overloaded_requests() {
     let backend = EngineBackend::single(&net, RoutingMode::Masked, Policy::Optimal);
     // A zero budget makes every engine-touching request overloaded —
     // deterministically, without having to race real in-flight work.
-    let (server, addr, handle) = start(backend, ServerConfig { max_inflight: 0 });
+    let (server, addr, handle) = start(
+        backend,
+        ServerConfig {
+            max_inflight: 0,
+            ..ServerConfig::default()
+        },
+    );
 
     let mut client = Client::connect(&addr);
     for line in [r#"{"op":"provision","s":0,"t":1}"#, r#"{"op":"stats"}"#] {
@@ -445,6 +451,201 @@ fn sharded_backend_serves_provision_release_and_stats() {
     handle.join().expect("join").expect("serve");
 }
 
+/// One HTTP GET against the daemon's JSON listener, returning the raw
+/// response (status line, headers, body).
+fn http_get(addr: &str, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: wdm\r\n\r\n").as_bytes())
+        .expect("request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("response");
+    response
+}
+
+#[test]
+fn traced_session_echoes_ids_and_exports_valid_chrome_trace() {
+    let net = instance(37, 16, 4);
+    let backend = EngineBackend::single(&net, RoutingMode::Masked, Policy::Optimal);
+    let (server, addr, handle) = start(
+        backend,
+        ServerConfig {
+            trace_buffer: 4096,
+            ..ServerConfig::default()
+        },
+    );
+
+    let mut client = Client::connect(&addr);
+    let mut wire_ids: Vec<u64> = Vec::new();
+    let mut live: Vec<u64> = Vec::new();
+    for (i, (s, t)) in [(0usize, 7usize), (1, 5), (2, 9)].iter().enumerate() {
+        let tid = 9000 + i as u64;
+        let reply = client.roundtrip(&format!(
+            r#"{{"op":"provision","s":{s},"t":{t},"trace_id":{tid}}}"#
+        ));
+        // The echo is the *final* field, byte-for-byte.
+        assert!(
+            reply.ends_with(&format!(r#","trace_id":{tid}}}"#)),
+            "{reply}"
+        );
+        wire_ids.push(tid);
+        if let Some(id) = json::parse(&reply)
+            .expect("parses")
+            .get("id")
+            .and_then(|v| v.as_u64())
+        {
+            live.push(id);
+        }
+    }
+    assert!(!live.is_empty(), "at least one provision should accept");
+    let reply = client.roundtrip(&format!(
+        r#"{{"op":"release","id":{},"trace_id":9100}}"#,
+        live[0]
+    ));
+    assert!(reply.ends_with(r#","trace_id":9100}"#), "{reply}");
+    wire_ids.push(9100);
+
+    // The trace op reports live recorder totals.
+    let reply = client.roundtrip(r#"{"op":"trace"}"#);
+    let parsed = json::parse(&reply).expect("parses");
+    assert!(matches!(parsed.get("ok"), Some(json::Value::Bool(true))));
+    let records = parsed
+        .get("records")
+        .and_then(|v| v.as_u64())
+        .expect("records field");
+    assert!(records > 0, "traced requests must have recorded events");
+    assert_eq!(parsed.get("dropped").and_then(|v| v.as_u64()), Some(0));
+
+    // Stats exposes the recorder counters after the engine fields.
+    let stats = client.roundtrip(r#"{"op":"stats"}"#);
+    assert!(
+        stats.contains(&format!(r#""trace_records":{records},"trace_dropped":0"#)),
+        "{stats}"
+    );
+
+    // GET /trace snapshots the recorder as Chrome trace_event JSON that
+    // round-trips the in-tree validator, wire trace ids intact — the
+    // acceptance bar for client-side correlation.
+    let response = http_get(&addr, "/trace");
+    assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+    assert!(
+        response.contains("Content-Type: application/json"),
+        "{response}"
+    );
+    let body = response.split("\r\n\r\n").nth(1).expect("body");
+    let summary =
+        wdm_obs::trace::export::validate_chrome_trace(body).expect("valid chrome trace JSON");
+    assert!(summary.events > 0);
+    for tid in &wire_ids {
+        assert!(
+            summary.trace_ids.contains(tid),
+            "wire trace {tid} missing from export"
+        );
+    }
+
+    server.request_drain();
+    handle.join().expect("join").expect("serve");
+}
+
+#[test]
+fn untraced_daemon_answers_trace_disabled_and_404() {
+    let net = instance(41, 12, 3);
+    let backend = EngineBackend::single(&net, RoutingMode::Masked, Policy::Optimal);
+    let (server, addr, handle) = start(backend, ServerConfig::default());
+
+    let mut client = Client::connect(&addr);
+    // The reply is typed, carries no seq (nothing touched the engine),
+    // and still echoes the correlation tag.
+    let reply = client.roundtrip(r#"{"op":"trace","trace_id":5}"#);
+    assert_eq!(
+        reply,
+        r#"{"ok":false,"op":"trace","error":"tracing_disabled","trace_id":5}"#
+    );
+    let response = http_get(&addr, "/trace");
+    assert!(response.starts_with("HTTP/1.1 404"), "{response}");
+
+    server.request_drain();
+    handle.join().expect("join").expect("serve");
+}
+
+/// The full stats byte layout is the wire contract: replay identity
+/// depends on every renderer emitting the same keys in the same order,
+/// so this test pins both backends' stats replies exactly.
+#[test]
+fn stats_reply_key_order_is_pinned() {
+    let net = instance(43, 12, 3);
+    let single = EngineBackend::single(&net, RoutingMode::Masked, Policy::Optimal);
+    let mut ctx = single.new_ctx();
+    assert_eq!(
+        single.execute_line(&mut ctx, r#"{"op":"stats"}"#),
+        r#"{"ok":true,"op":"stats","seq":1,"accepted":0,"blocked":0,"blocked_no_path":0,"blocked_capacity":0,"released":0,"active":0,"utilization":0,"conflicts":0,"trace_records":0,"trace_dropped":0}"#
+    );
+    let sharded = EngineBackend::sharded(&net, 2, 8, Policy::Optimal);
+    let mut ctx = sharded.new_ctx();
+    assert_eq!(
+        sharded.execute_line(&mut ctx, r#"{"op":"stats","trace_id":3}"#),
+        r#"{"ok":true,"op":"stats","seq":1,"accepted":0,"blocked":0,"blocked_no_path":0,"blocked_capacity":0,"released":0,"active":0,"utilization":0,"conflicts":0,"trace_records":0,"trace_dropped":0,"trace_id":3}"#
+    );
+}
+
+/// Trace-id echoes come from the parsed frame, not the recorder, so a
+/// recorded *traced* session still replays byte-identical through an
+/// offline backend with no recorder attached. (Stats is excluded: its
+/// `trace_records`/`trace_dropped` fields report the live recorder and
+/// are zeros offline by design.)
+#[test]
+fn traced_session_replays_byte_identical_offline() {
+    let net = instance(47, 16, 4);
+    let backend = EngineBackend::single(&net, RoutingMode::Masked, Policy::Optimal);
+    let (server, addr, handle) = start(
+        backend,
+        ServerConfig {
+            trace_buffer: 1024,
+            trace_sample: 8,
+            ..ServerConfig::default()
+        },
+    );
+
+    let mut client = Client::connect(&addr);
+    let mut session: Vec<(String, String)> = Vec::new();
+    let mut live: Vec<u64> = Vec::new();
+    for i in 0..40u64 {
+        let line = if i % 5 == 4 && !live.is_empty() {
+            let id = live.remove(0);
+            format!(r#"{{"op":"release","id":{id},"trace_id":{}}}"#, 100 + i)
+        } else {
+            format!(
+                r#"{{"op":"provision","s":{},"t":{},"trace_id":{}}}"#,
+                i % 7,
+                (i + 5) % 11,
+                100 + i
+            )
+        };
+        let reply = client.roundtrip(&line);
+        assert!(
+            reply.ends_with(&format!(r#","trace_id":{}}}"#, 100 + i)),
+            "{reply}"
+        );
+        if let Some(id) = json::parse(&reply)
+            .expect("parses")
+            .get("id")
+            .and_then(|v| v.as_u64())
+        {
+            live.push(id);
+        }
+        session.push((line, reply));
+    }
+    server.request_drain();
+    handle.join().expect("join").expect("serve");
+
+    let offline = EngineBackend::single(&net, RoutingMode::Masked, Policy::Optimal);
+    let mut ctx = offline.new_ctx();
+    for (line, expected) in &session {
+        let replayed = offline.execute_line(&mut ctx, line);
+        assert_eq!(&replayed, expected, "replay diverged on {line}");
+    }
+}
+
 /// ~1M requests through real loopback sockets. Run with:
 /// `WDM_SOAK=1 cargo test -p wdm-serve --release -- --ignored soak`
 #[test]
@@ -457,7 +658,13 @@ fn soak_one_million_requests_over_loopback() {
     let net = instance(101, 32, 6);
     let nodes = net.node_count();
     let backend = EngineBackend::single(&net, RoutingMode::Masked, Policy::Optimal);
-    let (server, addr, handle) = start(backend, ServerConfig { max_inflight: 256 });
+    let (server, addr, handle) = start(
+        backend,
+        ServerConfig {
+            max_inflight: 256,
+            ..ServerConfig::default()
+        },
+    );
 
     const CLIENTS: u64 = 8;
     const PER_CLIENT: usize = 125_000;
