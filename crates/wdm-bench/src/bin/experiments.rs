@@ -121,6 +121,9 @@ fn main() {
     if want("e17") {
         provisioning_records.extend(e17(quick));
     }
+    if want("e18") {
+        provisioning_records.extend(e18(quick));
+    }
     if !provisioning_records.is_empty() {
         let mut records = String::from("[\n");
         records.push_str(&provisioning_records.join(",\n"));
@@ -567,6 +570,95 @@ fn e17(quick: bool) -> Vec<String> {
          recording tax is a fixed few hundred ns per request — span allocation is \
          two monotonic clock reads plus one sequenced slot store, no heap — so it \
          shows on the n = 32 toy instance and dissolves into routing cost by n = 128."
+    );
+    records
+}
+
+/// E18 — Monte-Carlo blocking campaign over the reference WANs, plus
+/// the greedy sparse-converter placer. Deterministic in the fixed seed
+/// (thread count cannot change a record), so the record lines double as
+/// a golden output for CI.
+fn e18(quick: bool) -> Vec<String> {
+    use wdm_campaign::{
+        build_wan, e18_placement_record, e18_record, place_converters, run_campaign,
+        CampaignConfig, PlacerConfig,
+    };
+    use wdm_graph::topology::ReferenceTopology;
+    use wdm_rwa::Policy;
+    println!("\n## E18 — blocking-vs-load campaign with converter placement\n");
+    println!("| net | load | density | blocking | no-path | capacity |");
+    println!("|---|---|---|---|---|---|");
+    let seed = 42u64;
+    let k = 4usize;
+    let nets: &[ReferenceTopology] = if quick {
+        &[ReferenceTopology::Nsfnet]
+    } else {
+        &ReferenceTopology::ALL
+    };
+    let cfg = CampaignConfig {
+        k,
+        loads: if quick {
+            vec![30.0, 45.0]
+        } else {
+            vec![20.0, 30.0, 45.0, 60.0, 80.0]
+        },
+        densities: vec![0.0, 0.3, 1.0],
+        requests: if quick { 150 } else { 400 },
+        replicas: if quick { 2 } else { 3 },
+        seed,
+        threads: std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+        policy: Policy::Optimal,
+    };
+    let mut records = Vec::new();
+    for &topo in nets {
+        let net = build_wan(topo, k, seed);
+        for p in run_campaign(&net, &cfg) {
+            println!(
+                "| {} | {} | {} | {:.4} | {} | {} |",
+                topo.name(),
+                p.load,
+                p.density,
+                p.stats.blocking(),
+                p.stats.no_path,
+                p.stats.capacity
+            );
+            records.push(e18_record(topo.name(), k, &cfg, &p));
+        }
+        // Placement at the continuity-dominated load: converters win
+        // most where blocking comes from wavelength continuity, not raw
+        // capacity (at saturation conversion can even hurt — optimal
+        // routing with conversion takes longer paths).
+        let pcfg = PlacerConfig {
+            budget: 2,
+            load: 45.0,
+            requests: if quick { 150 } else { 300 },
+            replicas: 2,
+            seed,
+            policy: Policy::Optimal,
+        };
+        let placement = place_converters(&net, &pcfg);
+        println!(
+            "placement {}: budget {} -> {:?}, blocking {:.4} -> {:.4}",
+            topo.name(),
+            pcfg.budget,
+            placement
+                .chosen
+                .iter()
+                .map(|v| v.index())
+                .collect::<Vec<_>>(),
+            placement.baseline.blocking(),
+            placement.placed.blocking()
+        );
+        records.push(e18_placement_record(topo.name(), k, &pcfg, &placement));
+    }
+    println!(
+        "\nshape check: blocking rises with load and the cause split moves from \
+         no-path toward capacity; density 1.0 (full conversion) dominates at \
+         moderate load but can cross over at saturation. The placer's paired- \
+         comparison greedy must recover most of the full-conversion gain with \
+         budget 2 on every WAN at load 45."
     );
     records
 }

@@ -1,0 +1,84 @@
+//! Campaign configuration: the sweep grid and its sampling effort.
+
+use wdm_rwa::Policy;
+
+/// One campaign: a load × converter-density grid, each point estimated
+/// from `replicas` independent Monte-Carlo replicas of `requests`
+/// Poisson arrivals.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Wavelengths per fibre for the generated instance.
+    pub k: usize,
+    /// Offered loads in Erlangs (arrival rate × mean holding time).
+    pub loads: Vec<f64>,
+    /// Converter densities to sweep: fraction of nodes given a free
+    /// wavelength converter (0.0 = wavelength-continuity everywhere).
+    pub densities: Vec<f64>,
+    /// Poisson arrivals per replica.
+    pub requests: usize,
+    /// Independent replicas per sweep point; their counts are summed.
+    pub replicas: usize,
+    /// Campaign seed. Instance structure, converter placement, and
+    /// every replica's arrival stream all derive from it, so equal
+    /// seeds reproduce the campaign bit-for-bit.
+    pub seed: u64,
+    /// Worker threads. Affects wall-clock only, never results.
+    pub threads: usize,
+    /// Routing policy for every request.
+    pub policy: Policy,
+}
+
+impl CampaignConfig {
+    /// A small default sweep: loads 20–100 Erlang, densities 0 / 0.3 /
+    /// 1.0, 400 requests × 3 replicas per point.
+    pub fn standard(k: usize, seed: u64) -> Self {
+        CampaignConfig {
+            k,
+            loads: vec![20.0, 40.0, 60.0, 80.0, 100.0],
+            densities: vec![0.0, 0.3, 1.0],
+            requests: 400,
+            replicas: 3,
+            seed,
+            threads: 1,
+            policy: Policy::Optimal,
+        }
+    }
+
+    /// Validates the grid; the error names the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.k == 0 {
+            return Err("k must be at least 1".into());
+        }
+        if self.loads.is_empty() {
+            return Err("loads must be non-empty".into());
+        }
+        if let Some(l) = self.loads.iter().find(|l| !(l.is_finite() && **l > 0.0)) {
+            return Err(format!("load {l} is not a positive finite Erlang value"));
+        }
+        if self.densities.is_empty() {
+            return Err("densities must be non-empty".into());
+        }
+        if let Some(d) = self
+            .densities
+            .iter()
+            .find(|d| !(d.is_finite() && (0.0..=1.0).contains(*d)))
+        {
+            return Err(format!("density {d} is not in [0, 1]"));
+        }
+        if self.requests == 0 {
+            return Err("requests must be at least 1".into());
+        }
+        if self.replicas == 0 {
+            return Err("replicas must be at least 1".into());
+        }
+        if self.threads == 0 {
+            return Err("threads must be at least 1".into());
+        }
+        Ok(())
+    }
+
+    /// Number of sweep points (`loads × densities`).
+    pub fn points(&self) -> usize {
+        self.loads.len() * self.densities.len()
+    }
+}

@@ -1,0 +1,67 @@
+//! The Erlang-B loss formula, used to anchor the Monte-Carlo estimator.
+
+/// Blocking probability of an M/M/c/c loss system: `c` servers offered
+/// `a` Erlangs, blocked calls cleared.
+///
+/// Computed with the standard numerically stable recurrence
+/// `B(0) = 1`, `B(n) = a·B(n−1) / (n + a·B(n−1))`, which never over- or
+/// underflows for realistic `(c, a)`.
+///
+/// A two-node WDM instance with `k` wavelengths per direction and no
+/// conversion is exactly this system per direction (the Poisson split
+/// over directions is again Poisson), which is what the conformance
+/// test in this crate pins the simulator against.
+///
+/// # Examples
+///
+/// ```
+/// let b = wdm_campaign::erlang_b(10, 6.0);
+/// assert!((b - 0.0431).abs() < 5e-4); // classic table value
+/// assert_eq!(wdm_campaign::erlang_b(0, 6.0), 1.0);
+/// ```
+pub fn erlang_b(servers: usize, offered: f64) -> f64 {
+    assert!(
+        offered.is_finite() && offered >= 0.0,
+        "offered load must be a finite non-negative Erlang value"
+    );
+    let mut b = 1.0_f64;
+    for n in 1..=servers {
+        b = offered * b / (n as f64 + offered * b);
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_published_table_values() {
+        // (servers, offered Erlangs, B) from standard Erlang-B tables.
+        let table = [
+            (1, 1.0, 0.5),
+            (2, 1.0, 0.2),
+            (5, 2.0, 0.036697),
+            (10, 6.0, 0.043132),
+            (20, 12.0, 0.009847),
+        ];
+        for (c, a, want) in table {
+            let got = erlang_b(c, a);
+            assert!(
+                (got - want).abs() < 1e-4,
+                "B({c}, {a}) = {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn monotone_in_load_and_servers() {
+        for c in 1..12 {
+            assert!(erlang_b(c, 3.0) > erlang_b(c + 1, 3.0));
+        }
+        for tenth in 1..50 {
+            let a = tenth as f64 / 10.0;
+            assert!(erlang_b(4, a) < erlang_b(4, a + 0.1));
+        }
+    }
+}

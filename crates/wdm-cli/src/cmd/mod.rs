@@ -3,6 +3,7 @@
 //! [`COMMANDS`](crate::COMMANDS).
 
 pub mod all_pairs;
+pub mod campaign;
 pub mod export;
 pub mod gen;
 pub mod info;

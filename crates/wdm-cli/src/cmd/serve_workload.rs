@@ -27,7 +27,8 @@ impl Command for ServeWorkload {
     fn usage(&self) -> &'static str {
         "  wdm serve-workload <file.wdm> [--requests <n>] [--load <erlang>]
       [--holding <mean>] [--seed <s>] [--policy optimal|lightpath|first-fit]
-      [--mode masked|rebuild] [--fail-link <id>] [--trace <file>]
+      [--mode masked|rebuild] [--fail-link <id>] [--restore-after <n>]
+      [--trace <file>]
       [--metrics-out <file>] [--metrics-interval <n>]
       [--trace-out <file>] [--trace-text <file>] [--trace-sample <n>]
       drives a Poisson request/release trace through the provisioning
@@ -35,7 +36,10 @@ impl Command for ServeWorkload {
       `s t arrival holding` line per request, `#` comments, `inf`
       holding), ignoring --requests/--load/--holding/--seed;
       --mode rebuild reconstructs the auxiliary graph per request
-      (reference), --fail-link cuts a fibre halfway through the trace;
+      (reference), --fail-link cuts a fibre halfway through the trace
+      (the cut persists until restored), --restore-after n heals that
+      fibre again just before request n (must lie past the midpoint
+      cut);
       --metrics-out writes a JSON metrics snapshot at the end (and adds
       a request-latency summary to the report), --metrics-interval n
       rewrites a Prometheus text dump at <file>.prom every n requests
@@ -55,6 +59,7 @@ impl Command for ServeWorkload {
         let mut policy = Policy::Optimal;
         let mut mode = RoutingMode::Masked;
         let mut fail_link: Option<usize> = None;
+        let mut restore_after: Option<usize> = None;
         let mut trace_path: Option<String> = None;
         let mut metrics_out: Option<String> = None;
         let mut metrics_interval: Option<usize> = None;
@@ -107,6 +112,14 @@ impl Command for ServeWorkload {
                     fail_link = match it.next().and_then(|v| v.parse().ok()) {
                         Some(e) => Some(e),
                         None => return usage_error(out, "bad --fail-link (want link index)"),
+                    }
+                }
+                "--restore-after" => {
+                    restore_after = match it.next().and_then(|v| v.parse().ok()) {
+                        Some(n) => Some(n),
+                        None => {
+                            return usage_error(out, "bad --restore-after (want request index)")
+                        }
                     }
                 }
                 "--trace" => {
@@ -164,6 +177,9 @@ impl Command for ServeWorkload {
         };
         if metrics_interval.is_some() && metrics_out.is_none() {
             return usage_error(out, "--metrics-interval requires --metrics-out");
+        }
+        if restore_after.is_some() && fail_link.is_none() {
+            return usage_error(out, "--restore-after requires --fail-link");
         }
         let net = match util::load(path, out) {
             Ok(n) => n,
@@ -263,6 +279,18 @@ impl Command for ServeWorkload {
         let (mut lost, mut restored) = (0u64, 0u64);
         let mut peak_active = 0usize;
         let cut_at = fail_link.map(|_| requests / 2);
+        // The heal must land while the cut is in effect, or the restore
+        // would be a guaranteed no-op — reject it as a usage error now
+        // that the trace length (and so the cut point) is known.
+        if let (Some(h), Some(cut)) = (restore_after, cut_at) {
+            if h <= cut || h >= requests {
+                return usage_error(
+                    out,
+                    &format!("--restore-after {h} must lie in ({cut}, {requests}) — after the midpoint cut, within the trace"),
+                );
+            }
+        }
+        let mut healed: Option<bool> = None;
         let started = std::time::Instant::now();
         for (i, req) in trace.iter().enumerate() {
             if let (Some(fl), true) = (fail_link, cut_at == Some(i)) {
@@ -273,6 +301,9 @@ impl Command for ServeWorkload {
                         None => lost += 1,
                     }
                 }
+            }
+            if let (Some(fl), true) = (fail_link, restore_after == Some(i)) {
+                healed = Some(engine.restore_link(wdm_graph::LinkId::new(fl)));
             }
             // f64 arrival times are strictly increasing, so the bit pattern
             // preserves their order and gives the heap a total Ord key.
@@ -343,6 +374,12 @@ impl Command for ServeWorkload {
             let _ = writeln!(
                 out,
                 "fibre cut  : link {e} after request {cut} ({restored} restored, {lost} lost)"
+            );
+        }
+        if let (Some(e), Some(h), Some(cleared)) = (fail_link, restore_after, healed) {
+            let _ = writeln!(
+                out,
+                "fibre heal : link {e} after request {h} (cut cleared: {cleared})"
             );
         }
         let _ = writeln!(out, "accepted   : {accepted}");

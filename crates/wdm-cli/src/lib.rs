@@ -13,6 +13,7 @@
 //! wdm all-pairs nsf.wdm                                 # Corollary-1 matrix
 //! wdm serve-workload nsf.wdm --requests 500             # dynamic provisioning trace
 //! wdm serve nsf.wdm --listen 127.0.0.1:4700             # control-plane daemon
+//! wdm campaign --net nsfnet --seed 42 --place 2         # blocking sweep + placer
 //! ```
 //!
 //! Argument parsing is hand-rolled (the workspace carries no CLI
@@ -59,6 +60,7 @@ pub static COMMANDS: &[&dyn Command] = &[
     &cmd::protect::Protect,
     &cmd::serve_workload::ServeWorkload,
     &cmd::serve::Serve,
+    &cmd::campaign::Campaign,
     &cmd::trace_check::TraceCheck,
     &cmd::export::Export,
 ];

@@ -268,6 +268,19 @@ fn serve_workload_masked_matches_rebuild() {
     let (code, out_r) = run_args(&cut);
     assert_eq!(code, 0, "{out_r}");
     assert_eq!(strip_timing(&out_m), strip_timing(&out_r));
+
+    // Cut then heal: the restore is an exact involution, so both modes
+    // still agree and the heal reports the cleared cut.
+    let mut heal = common.to_vec();
+    heal.extend(["--fail-link", "0", "--restore-after", "45"]);
+    let (code, out_m) = run_args(&heal);
+    assert_eq!(code, 0, "{out_m}");
+    assert!(out_m.contains("fibre cut  : link 0 after request 30"));
+    assert!(out_m.contains("fibre heal : link 0 after request 45 (cut cleared: true)"));
+    heal.extend(["--mode", "rebuild"]);
+    let (code, out_r) = run_args(&heal);
+    assert_eq!(code, 0, "{out_r}");
+    assert_eq!(strip_timing(&out_m), strip_timing(&out_r));
     std::fs::remove_file(&file).ok();
 }
 
@@ -282,6 +295,9 @@ fn serve_workload_usage_errors() {
         vec!["serve-workload", "x.wdm", "--policy", "magic"],
         vec!["serve-workload", "x.wdm", "--mode", "psychic"],
         vec!["serve-workload", "x.wdm", "--fail-link", "x"],
+        vec!["serve-workload", "x.wdm", "--restore-after", "x"],
+        // A heal without a cut can never fire.
+        vec!["serve-workload", "x.wdm", "--restore-after", "45"],
         vec!["serve-workload", "x.wdm", "--bogus"],
     ] {
         let (code, _) = run_args(&bad);
@@ -306,6 +322,23 @@ fn serve_workload_rejects_out_of_range_fail_link() {
     assert_eq!(code, 2, "{out}");
     assert!(out.contains("out of range"));
     assert!(out.contains("USAGE"), "{out}");
+    // A heal point at or before the midpoint cut (or past the trace)
+    // could never clear the cut — rejected once the trace length is
+    // known.
+    for heal_at in ["10", "100", "999"] {
+        let (code, out) = run_args(&[
+            "serve-workload",
+            &file_s,
+            "--requests",
+            "60",
+            "--fail-link",
+            "0",
+            "--restore-after",
+            heal_at,
+        ]);
+        assert_eq!(code, 2, "heal at {heal_at}: {out}");
+        assert!(out.contains("must lie in"), "{out}");
+    }
     std::fs::remove_file(&file).ok();
 }
 
@@ -728,4 +761,60 @@ fn serve_usage_errors() {
     assert_eq!(code, 1);
     assert!(out.contains("cannot read"));
     std::fs::remove_file(&file).ok();
+}
+
+#[test]
+fn campaign_small_sweep_is_thread_invariant() {
+    let base = [
+        "campaign",
+        "--net",
+        "nsfnet",
+        "--seed",
+        "42",
+        "--loads",
+        "30,45",
+        "--densities",
+        "0,0.5",
+        "--requests",
+        "60",
+        "--replicas",
+        "2",
+        "--place",
+        "1",
+    ];
+    let mut solo: Vec<&str> = base.to_vec();
+    solo.extend(["--threads", "1"]);
+    let mut wide: Vec<&str> = base.to_vec();
+    wide.extend(["--threads", "4"]);
+    let (code_a, out_a) = run_args(&solo);
+    let (code_b, out_b) = run_args(&wide);
+    assert_eq!(code_a, 0, "{out_a}");
+    assert_eq!(code_b, 0, "{out_b}");
+    // The report carries no wall-clock, so thread count must not change
+    // a single byte of it.
+    assert_eq!(out_a, out_b);
+    assert!(out_a.contains("net        : NSFNET-14"));
+    assert!(out_a.contains("\"experiment\": \"e18_blocking_campaign\""));
+    assert!(out_a.contains("\"experiment\": \"e18_converter_placement\""));
+    assert!(out_a.contains("placement  : budget 1"));
+}
+
+#[test]
+fn campaign_usage_errors() {
+    for bad in [
+        vec!["campaign"],
+        vec!["campaign", "--net", "fddi"],
+        vec!["campaign", "--net", "nsfnet", "--k", "0"],
+        vec!["campaign", "--net", "nsfnet", "--loads", "0,-3"],
+        vec!["campaign", "--net", "nsfnet", "--densities", "1.5"],
+        vec!["campaign", "--net", "nsfnet", "--requests", "0"],
+        vec!["campaign", "--net", "nsfnet", "--threads", "0"],
+        vec!["campaign", "--net", "nsfnet", "--policy", "psychic"],
+        vec!["campaign", "--net", "nsfnet", "--place", "0"],
+        vec!["campaign", "--net", "nsfnet", "--frob"],
+    ] {
+        let (code, out) = run_args(&bad);
+        assert_eq!(code, 2, "{bad:?}: {out}");
+        assert!(out.contains("USAGE"), "{bad:?}: {out}");
+    }
 }

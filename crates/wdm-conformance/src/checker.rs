@@ -198,10 +198,13 @@ fn done_words(done: &[bool]) -> Vec<u64> {
 }
 
 /// A state fingerprint for memoization: the active connections as the
-/// *concurrent* engine named them, with their paths. Two replay states
-/// with equal fingerprints behave identically on every remaining op
-/// (busy bits are a function of the active paths; counters don't steer
-/// routing).
+/// *concurrent* engine named them, with their paths, plus the set of
+/// currently-cut links. Two replay states with equal fingerprints
+/// behave identically on every remaining op (busy bits are a function
+/// of the active paths and persistent cut markers; counters don't
+/// steer routing). Omitting the failed set would be unsound: the same
+/// active paths with different links cut route — and block — very
+/// differently.
 fn fingerprint(engine: &ProvisioningEngine, idmap: &HashMap<ConnectionId, ConnectionId>) -> u64 {
     let mut entries: Vec<(ConnectionId, Vec<(usize, usize)>)> = idmap
         .iter()
@@ -220,6 +223,7 @@ fn fingerprint(engine: &ProvisioningEngine, idmap: &HashMap<ConnectionId, Connec
     entries.sort();
     let mut hasher = std::collections::hash_map::DefaultHasher::new();
     entries.hash(&mut hasher);
+    engine.failed_links().hash(&mut hasher);
     hasher.finish()
 }
 
@@ -289,6 +293,9 @@ fn replay(
                 }
             }
             cause_delta_matches(before, engine.blocked_by_cause(), &lost_causes)
+        }
+        (OpKind::RestoreLink { link }, OpResponse::LinkRestored { restored }) => {
+            engine.restore_link(*link) == *restored
         }
         _ => unreachable!("op/response kinds always pair up"),
     }

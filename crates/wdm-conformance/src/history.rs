@@ -29,6 +29,11 @@ pub enum OpKind {
         /// Restoration policy.
         policy: Policy,
     },
+    /// `restore_link(link)` — repair of a (possibly not) cut fibre.
+    RestoreLink {
+        /// The repaired fibre.
+        link: LinkId,
+    },
 }
 
 /// One operation's observed response.
@@ -55,6 +60,12 @@ pub enum OpResponse {
     FailedLink {
         /// Teardown/restoration outcomes.
         outcomes: Vec<RestorationOutcome>,
+    },
+    /// Fibre repair handled.
+    LinkRestored {
+        /// `true` iff the link was actually cut (a repair of a healthy
+        /// fibre is a reported no-op).
+        restored: bool,
     },
 }
 

@@ -2,8 +2,9 @@
 //! engine.
 //!
 //! The concurrent engine ([`wdm_rwa::ConcurrentEngine`]) claims that
-//! every history of concurrent `provision` / `release` / `fail_link`
-//! calls is **linearizable**: equivalent to *some* serial execution of
+//! every history of concurrent `provision` / `release` / `fail_link` /
+//! `restore_link` calls is **linearizable**: equivalent to *some*
+//! serial execution of
 //! the same operations on the single-threaded reference engine, one
 //! that respects real time (an operation that finished before another
 //! started must come first). This crate is the gate for that claim,

@@ -16,7 +16,9 @@ use crate::history::{History, OpKind, OpRecord, OpResponse};
 use rand::prelude::*;
 use wdm_core::{SearchScratch, WdmNetwork};
 use wdm_graph::{LinkId, NodeId};
-use wdm_rwa::concurrent::{FailLinkTxn, ProvisionOutcome, ProvisionTxn, ReleaseTxn, Step};
+use wdm_rwa::concurrent::{
+    FailLinkTxn, ProvisionOutcome, ProvisionTxn, ReleaseTxn, RestoreLinkTxn, Step,
+};
 use wdm_rwa::{ConcurrentEngine, ConnectionId, Policy, RaceInjection, RwaError};
 
 /// Workload shape for one scheduled run.
@@ -41,6 +43,10 @@ pub struct WorkloadConfig {
     /// Probability that an op slot becomes a `fail_link` (keep small;
     /// cuts serialize the whole engine).
     pub fail_link_bias: f64,
+    /// Probability that an op slot becomes a `restore_link`. Cuts
+    /// persist until repaired, so without repairs a long history on a
+    /// small network degenerates to all-blocked.
+    pub restore_link_bias: f64,
 }
 
 impl WorkloadConfig {
@@ -55,6 +61,7 @@ impl WorkloadConfig {
             policy: Policy::Optimal,
             release_bias: 0.35,
             fail_link_bias: 0.03,
+            restore_link_bias: 0.03,
         }
     }
 }
@@ -65,6 +72,7 @@ enum Slot {
     Provision(Box<ProvisionTxn>, OpKind, u64),
     Release(ReleaseTxn, OpKind, u64),
     FailLink(Box<FailLinkTxn>, OpKind, u64),
+    RestoreLink(RestoreLinkTxn, OpKind, u64),
 }
 
 struct SimThread {
@@ -133,6 +141,11 @@ pub fn run_workload(net: &WdmNetwork, cfg: &WorkloadConfig) -> History {
                     };
                     let txn = FailLinkTxn::new(&engine, link, cfg.policy);
                     th.slot = Slot::FailLink(Box::new(txn), op, invoked_at);
+                } else if rng.gen_bool(cfg.restore_link_bias) {
+                    let link = LinkId::new(rng.gen_range(0..links));
+                    let op = OpKind::RestoreLink { link };
+                    let txn = RestoreLinkTxn::new(&engine, link);
+                    th.slot = Slot::RestoreLink(txn, op, invoked_at);
                 } else if !pool.is_empty() && rng.gen_bool(cfg.release_bias) {
                     let id = pool.swap_remove(rng.gen_range(0..pool.len()));
                     let op = OpKind::Release { id };
@@ -210,6 +223,19 @@ pub fn run_workload(net: &WdmNetwork, cfg: &WorkloadConfig) -> History {
                     Step::Progress | Step::Contended => {}
                 }
             }
+            Slot::RestoreLink(txn, op, invoked_at) => match txn.step(&engine) {
+                Step::Done(restored) => {
+                    records.push(OpRecord {
+                        op: op.clone(),
+                        thread: ti,
+                        invoked_at: *invoked_at,
+                        responded_at: step,
+                        response: OpResponse::LinkRestored { restored },
+                    });
+                    th.slot = Slot::Idle;
+                }
+                Step::Progress | Step::Contended => {}
+            },
         }
     }
 

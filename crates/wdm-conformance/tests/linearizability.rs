@@ -111,6 +111,10 @@ fn contended_single_resource_linearizes() {
         let mut cfg = WorkloadConfig::mixed(4, 20, seed);
         cfg.release_bias = 0.5;
         cfg.fail_link_bias = 0.05;
+        // Cuts persist, and this network has exactly one fibre: without
+        // repairs a single cut would turn the rest of the history into
+        // uncontended no-path blocks.
+        cfg.restore_link_bias = 0.1;
         assert_linearizable(&net, &cfg, &check);
     }
 }
@@ -153,6 +157,7 @@ fn injected_race_is_caught() {
         cfg.race = RaceInjection::SkipShardLock;
         cfg.release_bias = 0.5;
         cfg.fail_link_bias = 0.0;
+        cfg.restore_link_bias = 0.0;
         let history = run_workload(&net, &cfg);
         examined += 1;
         match check_history(&net, &history, &check) {
@@ -181,6 +186,7 @@ fn injected_race_double_books_the_resource() {
         cfg.race = RaceInjection::SkipShardLock;
         cfg.release_bias = 0.0;
         cfg.fail_link_bias = 0.0;
+        cfg.restore_link_bias = 0.0;
         let history = run_workload(&net, &cfg);
         // One fibre × one wavelength: any history ending with >1 active
         // connection over-committed the resource.

@@ -147,6 +147,28 @@ impl WdmNetwork {
         &self.conversion[node.index()]
     }
 
+    /// Replaces the conversion policy of one node, returning the
+    /// previous policy.
+    ///
+    /// This is the runtime converter-placement mutation: the network's
+    /// topology and link wavelengths are immutable after
+    /// [`build`](WdmNetworkBuilder::build), but conversion capability
+    /// may be added or removed at a node (e.g. by a sparse-converter
+    /// placer). Structures derived from this network — auxiliary
+    /// graphs, residual states — bake conversion gadgets in at
+    /// construction and must be rebuilt after this call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn set_conversion_at(
+        &mut self,
+        node: NodeId,
+        policy: ConversionPolicy,
+    ) -> ConversionPolicy {
+        std::mem::replace(&mut self.conversion[node.index()], policy)
+    }
+
     /// Conversion cost `c_v(from, to)` at `node`.
     pub fn conversion_cost(&self, node: NodeId, from: Wavelength, to: Wavelength) -> Cost {
         self.conversion[node.index()].cost(from, to)

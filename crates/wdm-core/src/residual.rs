@@ -393,20 +393,20 @@ impl ResidualState {
     }
 
     /// Like [`reachable_when_free`](Self::reachable_when_free) but with
-    /// every wavelength of `excluded` unavailable — the probe behind
-    /// failed-link-aware blocked-cause classification: while a fibre is
-    /// cut, a pair whose only free-network routes crossed it is blocked
-    /// by topology, not capacity.
+    /// every wavelength of each link in `excluded` unavailable — the
+    /// probe behind failed-link-aware blocked-cause classification:
+    /// while fibres are cut, a pair whose only free-network routes
+    /// crossed one of them is blocked by topology, not capacity.
     ///
     /// # Panics
     ///
-    /// Panics if an endpoint or `excluded` is out of range.
+    /// Panics if an endpoint or any excluded link is out of range.
     pub fn reachable_when_free_excluding(
         &self,
         scratch: &mut SearchScratch,
         s: NodeId,
         t: NodeId,
-        excluded: LinkId,
+        excluded: &[LinkId],
     ) -> bool {
         if s == t {
             return true;
@@ -414,8 +414,10 @@ impl ResidualState {
         if scratch.probe_aux.len() != self.aux.graph().edge_count() {
             scratch.probe_aux = EdgeMask::all_clear(self.aux.graph().edge_count());
         }
-        for &(_, idx) in &self.aux_edge[excluded.index()] {
-            scratch.probe_aux.set(idx as usize);
+        for link in excluded {
+            for &(_, idx) in &self.aux_edge[link.index()] {
+                scratch.probe_aux.set(idx as usize);
+            }
         }
         let (source, _) = self.aux.all_pairs_terminals(s);
         let (_, sink) = self.aux.all_pairs_terminals(t);
@@ -427,8 +429,10 @@ impl ResidualState {
             sink,
         );
         let reachable = scratch.ws.dist()[sink].is_finite();
-        for &(_, idx) in &self.aux_edge[excluded.index()] {
-            scratch.probe_aux.clear(idx as usize);
+        for link in excluded {
+            for &(_, idx) in &self.aux_edge[link.index()] {
+                scratch.probe_aux.clear(idx as usize);
+            }
         }
         reachable
     }
@@ -469,13 +473,13 @@ impl ResidualState {
     ///
     /// # Panics
     ///
-    /// Panics if an endpoint or `excluded` is out of range.
+    /// Panics if an endpoint or any excluded link is out of range.
     pub fn reachable_when_free_single_wavelength_excluding(
         &self,
         scratch: &mut SearchScratch,
         s: NodeId,
         t: NodeId,
-        excluded: LinkId,
+        excluded: &[LinkId],
     ) -> bool {
         if s == t {
             return false;
@@ -488,16 +492,21 @@ impl ResidualState {
                 .collect();
         }
         for (lg, probe) in self.lambda.iter().zip(&mut scratch.probe_lambda) {
-            let e = lg.edge_of_link[excluded.index()];
-            if e != NO_EDGE {
-                probe.set(e as usize);
+            for link in excluded {
+                let e = lg.edge_of_link[link.index()];
+                if e != NO_EDGE {
+                    probe.set(e as usize);
+                }
             }
             scratch
                 .ws
                 .run_masked_to(&lg.graph, s.index(), &mut scratch.heap, probe, t.index());
             let reachable = scratch.ws.dist()[t.index()].is_finite();
-            if e != NO_EDGE {
-                probe.clear(e as usize);
+            for link in excluded {
+                let e = lg.edge_of_link[link.index()];
+                if e != NO_EDGE {
+                    probe.clear(e as usize);
+                }
             }
             if reachable {
                 return true;
@@ -828,30 +837,34 @@ mod tests {
         assert!(state.reachable_when_free(&mut scratch, 0.into(), 2.into()));
         assert!(state.reachable_when_free_single_wavelength(&mut scratch, 0.into(), 2.into()));
         // Excluding the only middle link cuts 0 → 2 but not 0 → 1.
-        let link = LinkId::new(1);
-        assert!(!state.reachable_when_free_excluding(&mut scratch, 0.into(), 2.into(), link));
-        assert!(state.reachable_when_free_excluding(&mut scratch, 0.into(), 1.into(), link));
+        let cut = [LinkId::new(1)];
+        assert!(!state.reachable_when_free_excluding(&mut scratch, 0.into(), 2.into(), &cut));
+        assert!(state.reachable_when_free_excluding(&mut scratch, 0.into(), 1.into(), &cut));
         assert!(!state.reachable_when_free_single_wavelength_excluding(
             &mut scratch,
             0.into(),
             2.into(),
-            link
+            &cut
         ));
         assert!(state.reachable_when_free_single_wavelength_excluding(
             &mut scratch,
             0.into(),
             1.into(),
-            link
+            &cut
+        ));
+        // An empty exclusion set degenerates to the plain probe; a
+        // multi-link set masks every listed link at once.
+        assert!(state.reachable_when_free_excluding(&mut scratch, 0.into(), 2.into(), &[]));
+        assert!(!state.reachable_when_free_excluding(
+            &mut scratch,
+            0.into(),
+            1.into(),
+            &[LinkId::new(0), LinkId::new(1)]
         ));
         // The probe masks are scratch-local and restored after each call:
         // the same probes answer identically a second time, and normal
         // routing still sees a fully free network.
-        assert!(!state.reachable_when_free_excluding(
-            &mut scratch,
-            0.into(),
-            2.into(),
-            LinkId::new(1)
-        ));
+        assert!(!state.reachable_when_free_excluding(&mut scratch, 0.into(), 2.into(), &cut));
         assert!(state
             .route_optimal(&mut scratch, 0.into(), 2.into())
             .is_some());

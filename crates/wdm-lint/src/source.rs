@@ -24,7 +24,10 @@ use std::path::{Path, PathBuf};
 /// `wdm-serve` joined when the control-plane daemon landed: a panic in
 /// a connection worker would tear down a long-lived server over one bad
 /// request, so every error there must be a typed reply instead.
-const L1_DENY_CRATES: &[&str] = &["wdm-core", "wdm-rwa", "heaps", "wdm-serve"];
+/// `wdm-campaign` joined with the Monte-Carlo harness: a panic in one
+/// worker would poison the campaign's result slots and lose the whole
+/// sweep, so fallible paths must carry typed errors, not `.unwrap()`.
+const L1_DENY_CRATES: &[&str] = &["wdm-core", "wdm-rwa", "heaps", "wdm-serve", "wdm-campaign"];
 /// Crates where L1 reports but never fails the run.
 const L1_WARN_CRATES: &[&str] = &["wdm-cli"];
 /// Crates whose `Ordering::` uses need justification (L4). `wdm-core`
@@ -32,8 +35,9 @@ const L1_WARN_CRATES: &[&str] = &["wdm-cli"];
 /// engine: its words are flipped from multiple threads, so every
 /// ordering there must come from the audited module too.
 const L4_CRATES: &[&str] = &["wdm-core", "wdm-obs", "wdm-rwa"];
-/// Crates whose public items require doc comments (L5).
-const L5_CRATES: &[&str] = &["wdm-core", "wdm-rwa", "wdm-serve"];
+/// Crates whose public items require doc comments (L5). `wdm-campaign`
+/// is held to the same bar as the engine crates it drives.
+const L5_CRATES: &[&str] = &["wdm-core", "wdm-rwa", "wdm-serve", "wdm-campaign"];
 
 /// Atomic memory-ordering variants; `cmp::Ordering` variants
 /// (`Less`/`Equal`/`Greater`) are deliberately not listed.

@@ -54,10 +54,11 @@
 //!
 //! On a blocked verdict the engine classifies the cause exactly like the
 //! single-threaded engine, memoized in an **epoch/snapshot** map: the
-//! epoch advances whenever the failed-link set changes (entering and
-//! leaving a cut), entries are tagged with the epoch they were probed
-//! under, and readers clone an `Arc` snapshot of the map so the hot path
-//! never holds the map lock across a probe.
+//! epoch advances whenever the failed-link set changes (a fibre is cut
+//! by [`FailLinkTxn`] or repaired by [`RestoreLinkTxn`]), entries are
+//! tagged with the epoch they were probed under, and readers clone an
+//! `Arc` snapshot of the map so the hot path never holds the map lock
+//! across a probe.
 
 use crate::metrics::BlockCause;
 use crate::policy::Policy;
@@ -143,6 +144,11 @@ struct Shared {
     /// Advances every time the failed-link set changes; tags memo
     /// entries so verdicts probed under another regime are re-probed.
     memo_epoch: AtomicU64,
+    /// Links currently cut and not yet repaired, kept sorted. Mutated
+    /// only by [`FailLinkTxn`] / [`RestoreLinkTxn`] while they hold
+    /// every shard; read by blocked-cause classification (which locks
+    /// only long enough to copy the set out).
+    failed: Mutex<Vec<LinkId>>,
     /// Blocked-cause memo behind a snapshot pointer: readers briefly
     /// lock, clone the `Arc`, and probe against the immutable snapshot.
     memo: Mutex<Arc<HashMap<MemoKey, MemoEntry>>>,
@@ -172,16 +178,19 @@ impl Shared {
         touched
     }
 
-    /// Classifies a blocked request against the free network (minus
-    /// `failed`, when a cut is in flight), through the epoch-tagged
-    /// snapshot memo.
+    /// Classifies a blocked request against the free network (minus the
+    /// currently failed links), through the epoch-tagged snapshot memo.
+    ///
+    /// The epoch is read *before* the failed set is copied out: a
+    /// concurrent cut/repair between the two bumps the epoch, so the
+    /// entry this probe writes is already stale and will be re-probed —
+    /// a harmless extra probe, never a wrong cached verdict.
     fn classify(
         &self,
         scratch: &mut SearchScratch,
         s: NodeId,
         t: NodeId,
         policy: Policy,
-        failed: Option<LinkId>,
     ) -> BlockCause {
         if s == t {
             // The engine rejects s == t; capacity is irrelevant.
@@ -194,15 +203,18 @@ impl Shared {
         let reachable = match snapshot.get(&key) {
             Some(&(e, hit)) if e == epoch => hit,
             _ => {
-                let probed = match (converts, failed) {
-                    (true, None) => self.state.reachable_when_free(scratch, s, t),
-                    (true, Some(l)) => self.state.reachable_when_free_excluding(scratch, s, t, l),
-                    (false, None) => self
+                let failed = lock(&self.failed).clone();
+                let probed = match (converts, failed.is_empty()) {
+                    (true, true) => self.state.reachable_when_free(scratch, s, t),
+                    (true, false) => self
+                        .state
+                        .reachable_when_free_excluding(scratch, s, t, &failed),
+                    (false, true) => self
                         .state
                         .reachable_when_free_single_wavelength(scratch, s, t),
-                    (false, Some(l)) => self
+                    (false, false) => self
                         .state
-                        .reachable_when_free_single_wavelength_excluding(scratch, s, t, l),
+                        .reachable_when_free_single_wavelength_excluding(scratch, s, t, &failed),
                 };
                 let _ = scratch.take_search_totals();
                 let mut guard = lock(&self.memo);
@@ -318,6 +330,7 @@ impl ConcurrentEngine {
                 released: AtomicU64::new(0),
                 conflicts: AtomicU64::new(0),
                 memo_epoch: AtomicU64::new(0),
+                failed: Mutex::new(Vec::new()),
                 memo: Mutex::new(Arc::new(HashMap::new())),
                 total_resources,
                 race,
@@ -426,6 +439,13 @@ impl ConcurrentEngine {
     /// conformance harness reads it only at quiescent points).
     pub fn is_busy(&self, link: LinkId, lambda: Wavelength) -> bool {
         self.shared.state.is_busy(link, lambda)
+    }
+
+    /// Links currently failed and not yet repaired, sorted by id
+    /// (copied out; exact at quiescence, racy mid-cut like every other
+    /// aggregate peek).
+    pub fn failed_links(&self) -> Vec<LinkId> {
+        lock(&self.shared.failed).clone()
     }
 
     fn shared(&self) -> &Shared {
@@ -570,6 +590,26 @@ impl ConcurrentHandle {
                         .map(|o| (o.torn, o.restored.map(|(id, _)| id)))
                         .collect()
                 }
+                Step::Progress => {}
+                Step::Contended => std::thread::yield_now(),
+            }
+        }
+    }
+
+    /// Repairs a fibre previously cut by [`fail_link`](Self::fail_link),
+    /// like
+    /// [`ProvisioningEngine::restore_link`](crate::ProvisioningEngine::restore_link):
+    /// returns `true` when the link was failed and is now restored,
+    /// `false` for the no-op repair of a healthy link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn restore_link(&mut self, link: LinkId) -> bool {
+        let mut txn = RestoreLinkTxn::new(&self.engine, link);
+        loop {
+            match txn.step(&self.engine) {
+                Step::Done(restored) => return restored,
                 Step::Progress => {}
                 Step::Contended => std::thread::yield_now(),
             }
@@ -799,7 +839,7 @@ impl ProvisionTxn {
                             ProvisionPhase::CommitBlocked
                         };
                         if matches!(self.phase, ProvisionPhase::Done) {
-                            let cause = shared.classify(scratch, self.s, self.t, self.policy, None);
+                            let cause = shared.classify(scratch, self.s, self.t, self.policy);
                             shared.note_blocked(cause);
                             if let Some(tr) = &self.trace {
                                 tr.finish(self.s, self.t, RootVerdict::Blocked);
@@ -913,7 +953,7 @@ impl ProvisionTxn {
                     self.phase = ProvisionPhase::ReadVersions;
                     return Step::Contended;
                 }
-                let cause = shared.classify(scratch, self.s, self.t, self.policy, None);
+                let cause = shared.classify(scratch, self.s, self.t, self.policy);
                 shared.note_blocked(cause);
                 if let Some(tr) = &self.trace {
                     let code = match cause {
@@ -1073,18 +1113,21 @@ enum FailLinkPhase {
     Teardown,
     MarkCut,
     Restore,
-    UnmarkCut,
     PublishAll,
     Done,
 }
 
 /// A stepped fibre-cut transaction. Claims **every** shard (ascending —
 /// the same global order provisions and releases use, so claim cycles
-/// cannot form), then runs the teardown → mark → restore → unmark
-/// sequence exclusively, exactly mirroring the single-threaded
-/// [`fail_link`](crate::ProvisioningEngine::fail_link). The memo epoch
-/// advances entering and leaving the cut so blocked-cause verdicts
-/// probed under one failed-link regime are never reused under another.
+/// cannot form), then runs the teardown → mark → restore sequence
+/// exclusively, exactly mirroring the single-threaded
+/// [`fail_link`](crate::ProvisioningEngine::fail_link). The cut is
+/// persistent: the link's wavelengths stay marked busy and the link
+/// stays in the failed set until a [`RestoreLinkTxn`] repairs it; the
+/// memo epoch advances with every such regime change so blocked-cause
+/// verdicts probed under one failed-link set are never reused under
+/// another. Cutting an already-failed link is an idempotent no-op (no
+/// teardown, no epoch churn, empty outcomes).
 #[derive(Debug)]
 pub struct FailLinkTxn {
     link: LinkId,
@@ -1093,9 +1136,6 @@ pub struct FailLinkTxn {
     claimed: usize,
     affected: Vec<(ConnectionId, Semilightpath)>,
     torn: usize,
-    /// Wavelengths of the cut link we marked busy (those the base
-    /// carries).
-    marked: Vec<Wavelength>,
     restored: usize,
     outcomes: Vec<RestorationOutcome>,
     phase: FailLinkPhase,
@@ -1119,7 +1159,6 @@ impl FailLinkTxn {
             claimed: 0,
             affected: Vec::new(),
             torn: 0,
-            marked: Vec::new(),
             restored: 0,
             outcomes: Vec::new(),
             phase: FailLinkPhase::ClaimAll,
@@ -1154,8 +1193,25 @@ impl FailLinkTxn {
                 }
             }
             FailLinkPhase::Snapshot => {
-                // Exclusive from here on. Entering the cut changes the
-                // failed-link regime for cause classification.
+                // Exclusive from here on.
+                {
+                    let mut failed = lock(&shared.failed);
+                    if failed.contains(&self.link) {
+                        // Already cut: nothing crosses a failed fibre,
+                        // so there is nothing to tear down and the
+                        // regime does not change — no epoch churn.
+                        drop(failed);
+                        self.phase = FailLinkPhase::PublishAll;
+                        return Step::Progress;
+                    }
+                    failed.push(self.link);
+                    failed.sort();
+                }
+                // The failed set is updated *before* the epoch advances:
+                // a classifier that acquires the new epoch is guaranteed
+                // (release/acquire on memo_epoch) to also see the new
+                // set, so no fresh-epoch entry can be probed against the
+                // old regime.
                 shared.memo_epoch.fetch_add(1, RELEASE);
                 let active = lock(&shared.active);
                 let mut affected: Vec<(ConnectionId, Semilightpath)> = active
@@ -1185,18 +1241,25 @@ impl FailLinkTxn {
                 Step::Progress
             }
             FailLinkPhase::MarkCut => {
+                // After the teardown no connection holds any of the cut
+                // link's wavelengths, so every carried λ acquires; the
+                // markers stay until a RestoreLinkTxn clears them.
                 for lambda in 0..shared.base.k() {
                     let lam = Wavelength::new(lambda);
-                    if shared.state.try_acquire_shared(self.link, lam) == AcquireOutcome::Acquired {
-                        self.marked.push(lam);
-                    }
+                    let got = shared.state.try_acquire_shared(self.link, lam);
+                    debug_assert_ne!(
+                        got,
+                        AcquireOutcome::Busy,
+                        "cut link ({}, {lam}) still held after teardown",
+                        self.link
+                    );
                 }
                 self.phase = FailLinkPhase::Restore;
                 Step::Progress
             }
             FailLinkPhase::Restore => {
                 if self.restored == self.affected.len() {
-                    self.phase = FailLinkPhase::UnmarkCut;
+                    self.phase = FailLinkPhase::PublishAll;
                     return Step::Progress;
                 }
                 let (torn_id, old_path) = self.affected[self.restored].clone();
@@ -1222,7 +1285,7 @@ impl FailLinkTxn {
                         }
                     }
                     _ => {
-                        let cause = shared.classify(scratch, s, t, self.policy, Some(self.link));
+                        let cause = shared.classify(scratch, s, t, self.policy);
                         shared.note_blocked(cause);
                         RestorationOutcome {
                             torn: torn_id,
@@ -1235,15 +1298,6 @@ impl FailLinkTxn {
                 self.restored += 1;
                 Step::Progress
             }
-            FailLinkPhase::UnmarkCut => {
-                for &lam in &self.marked {
-                    shared.state.release_shared(self.link, lam);
-                }
-                // Leaving the cut: back to the no-failed-links regime.
-                shared.memo_epoch.fetch_add(1, RELEASE);
-                self.phase = FailLinkPhase::PublishAll;
-                Step::Progress
-            }
             FailLinkPhase::PublishAll => {
                 for (sh, shard) in shared.shards.iter().enumerate() {
                     shard.store(self.claim_base[sh] + 2, RELEASE);
@@ -1252,6 +1306,118 @@ impl FailLinkTxn {
                 Step::Done(std::mem::take(&mut self.outcomes))
             }
             FailLinkPhase::Done => unreachable!("stepped a finished transaction"),
+        }
+    }
+}
+
+/// Restore-link transaction phases.
+#[derive(Debug)]
+enum RestorePhase {
+    ClaimAll,
+    Apply,
+    PublishAll,
+    Done,
+}
+
+/// A stepped fibre-repair transaction — the involution of
+/// [`FailLinkTxn`]'s cut marking. Claims every shard (same ascending
+/// order), then, exclusively: if the link is failed, clears the cut's
+/// blanket busy markers, removes it from the failed set, and advances
+/// the memo epoch; if it is not failed, does nothing (a blind unmark
+/// would free wavelengths held by active connections). Resolves to
+/// `true` iff the link was failed and is now repaired. Existing
+/// connections are untouched either way — restoration re-routing
+/// happens at cut time, not at repair time.
+#[derive(Debug)]
+pub struct RestoreLinkTxn {
+    link: LinkId,
+    claim_base: Vec<u64>,
+    claimed: usize,
+    restored: bool,
+    phase: RestorePhase,
+}
+
+impl RestoreLinkTxn {
+    /// Starts a restore-link transaction for `link`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn new(engine: &ConcurrentEngine, link: LinkId) -> Self {
+        assert!(
+            link.index() < engine.shared().base.link_count(),
+            "link {link} out of range"
+        );
+        RestoreLinkTxn {
+            link,
+            claim_base: vec![0; engine.shared().shards.len()],
+            claimed: 0,
+            restored: false,
+            phase: RestorePhase::ClaimAll,
+        }
+    }
+
+    /// Advances the transaction by one step.
+    pub fn step(&mut self, engine: &ConcurrentEngine) -> Step<bool> {
+        let shared = engine.shared();
+        match self.phase {
+            RestorePhase::ClaimAll => {
+                if self.claimed == shared.shards.len() {
+                    self.phase = RestorePhase::Apply;
+                    return Step::Progress;
+                }
+                let sh = self.claimed;
+                let v = shared.shards[sh].load(ACQUIRE);
+                if v % 2 == 1 {
+                    return Step::Contended;
+                }
+                match shared.shards[sh].compare_exchange(v, v + 1, ACQ_REL, ACQUIRE) {
+                    Ok(_) => {
+                        self.claim_base[sh] = v;
+                        self.claimed += 1;
+                        Step::Progress
+                    }
+                    Err(_) => Step::Contended,
+                }
+            }
+            RestorePhase::Apply => {
+                let removed = {
+                    let mut failed = lock(&shared.failed);
+                    match failed.binary_search(&self.link) {
+                        Ok(pos) => {
+                            failed.remove(pos);
+                            true
+                        }
+                        Err(_) => false,
+                    }
+                };
+                if removed {
+                    // Exact involution of MarkCut: only the cut's own
+                    // markers exist on this link (its connections were
+                    // torn at cut time and every later route excluded
+                    // it), so releasing every carried λ un-flips
+                    // precisely the bits the cut flipped.
+                    for lambda in 0..shared.base.k() {
+                        shared
+                            .state
+                            .release_shared(self.link, Wavelength::new(lambda));
+                    }
+                    // Set first, then epoch — same publication order as
+                    // the cut, for the same memo-correctness reason.
+                    shared.memo_epoch.fetch_add(1, RELEASE);
+                    self.restored = true;
+                }
+                self.phase = RestorePhase::PublishAll;
+                Step::Progress
+            }
+            RestorePhase::PublishAll => {
+                for (sh, shard) in shared.shards.iter().enumerate() {
+                    shard.store(self.claim_base[sh] + 2, RELEASE);
+                }
+                self.phase = RestorePhase::Done;
+                Step::Done(self.restored)
+            }
+            RestorePhase::Done => unreachable!("stepped a finished transaction"),
         }
     }
 }
@@ -1330,6 +1496,31 @@ mod tests {
         assert_eq!(oa[0].1.is_some(), ob[0].1.is_some());
         assert_eq!(conc.totals(), seq.totals());
         assert_eq!(conc.blocked_by_cause(), seq.blocked_by_cause());
+        assert!((conc.utilization() - seq.utilization()).abs() < 1e-12);
+        // The cut persists identically: the failed set matches, a
+        // double-fail is an empty no-op in both engines, and requests
+        // crossing the cut block in both.
+        assert_eq!(conc.failed_links(), seq.failed_links());
+        assert!(h.fail_link(cut, Policy::Optimal).is_empty());
+        assert!(seq.fail_link(cut, Policy::Optimal).is_empty());
+        let ra = h.provision(0.into(), 3.into(), Policy::Optimal);
+        let rb = seq.provision(0.into(), 3.into(), Policy::Optimal);
+        assert_eq!(ra.is_err(), rb.is_err());
+        assert_eq!(conc.blocked_by_cause(), seq.blocked_by_cause());
+        // Repair: both restore, both report the double-restore no-op,
+        // and the pair routes again in both.
+        assert_eq!(h.restore_link(cut), seq.restore_link(cut));
+        assert!(!h.restore_link(cut));
+        assert!(!seq.restore_link(cut));
+        assert_eq!(conc.failed_links(), seq.failed_links());
+        let ra = h
+            .provision(0.into(), 3.into(), Policy::Optimal)
+            .expect("repaired fibre routes");
+        let rb = seq
+            .provision(0.into(), 3.into(), Policy::Optimal)
+            .expect("repaired fibre routes");
+        assert_eq!(conc.path_of(ra), seq.path_of(rb).cloned());
+        assert_eq!(conc.totals(), seq.totals());
         assert!((conc.utilization() - seq.utilization()).abs() < 1e-12);
     }
 

@@ -150,21 +150,27 @@ pub struct ProvisioningEngine {
     /// `(s, t, conversion-capable)` and tagged with the
     /// [`cause_epoch`](Self::cause_epoch) it was probed under. The
     /// blocked-cause verdict depends only on the free network *minus the
-    /// currently failed link* — never on occupancy — so entries stay
-    /// valid until the failed-link set changes; churn workloads that
-    /// block the same pairs repeatedly pay the probe once per epoch.
+    /// currently failed links* — never on occupancy — so entries stay
+    /// valid until the failed-link set or the conversion layout changes;
+    /// churn workloads that block the same pairs repeatedly pay the
+    /// probe once per epoch.
     free_reach_cache: HashMap<(NodeId, NodeId, bool), (u64, bool)>,
-    /// Bumped every time the failed-link set changes (entering *and*
-    /// leaving a [`fail_link`](Self::fail_link) cut), invalidating all
-    /// memoized cause verdicts probed under the previous set.
+    /// Bumped every time the free-network reachability regime changes —
+    /// a link fails ([`fail_link`](Self::fail_link)), a link is repaired
+    /// ([`restore_link`](Self::restore_link)), or a node's conversion
+    /// capability is mutated ([`set_converter`](Self::set_converter)) —
+    /// invalidating all memoized cause verdicts probed under the
+    /// previous regime.
     cause_epoch: u64,
-    /// The link currently cut by an in-flight [`fail_link`] — blocked
-    /// restorations must be classified against the free network *without*
-    /// this link: a pair whose only free-network routes crossed the cut
-    /// is topology-blocked for the duration, not capacity-blocked.
+    /// Links currently cut by [`fail_link`] and not yet repaired by
+    /// [`restore_link`], kept sorted by id. Blocked requests are
+    /// classified against the free network *without* these links: a pair
+    /// whose only free-network routes crossed a cut is topology-blocked
+    /// for the duration, not capacity-blocked.
     ///
     /// [`fail_link`]: Self::fail_link
-    failed_link: Option<LinkId>,
+    /// [`restore_link`]: Self::restore_link
+    failed_links: Vec<LinkId>,
     /// Cause of the most recent blocked request, for callers (the
     /// control-plane daemon) that answer each request individually and
     /// want the verdict without re-deriving it from counter deltas.
@@ -223,7 +229,7 @@ impl ProvisioningEngine {
             blocked_capacity: 0,
             free_reach_cache: HashMap::new(),
             cause_epoch: 0,
-            failed_link: None,
+            failed_links: Vec::new(),
             last_block_cause: None,
             metrics: None,
             tracer: None,
@@ -407,13 +413,14 @@ impl ProvisioningEngine {
     /// Classifies a blocked request: topology-blocked (`no_path`) when
     /// the pair cannot be routed even with every resource free under
     /// `policy`'s capabilities — on the free network *minus the
-    /// currently failed link*, if a cut is in flight — and
+    /// currently failed links*, while any cut is outstanding — and
     /// occupancy-blocked (`capacity`) otherwise. Runs on the cold
     /// blocked path only; the probe's search work is discarded so it
     /// never pollutes request metering. Verdicts are memoized per
     /// `(s, t, conversion-capable)` under the current
     /// [`cause_epoch`](Self::cause_epoch): stale entries from a
-    /// different failed-link regime are re-probed, never trusted.
+    /// different failed-link or conversion regime are re-probed, never
+    /// trusted.
     fn classify_blocked(&mut self, s: NodeId, t: NodeId, policy: Policy) -> BlockCause {
         let reachable = if s == t {
             // The engine rejects s == t (an empty path carries nothing);
@@ -427,15 +434,14 @@ impl ProvisioningEngine {
             match self.free_reach_cache.get(&(s, t, converts)) {
                 Some(&(e, hit)) if e == epoch => hit,
                 _ => {
-                    let failed = self.failed_link;
+                    let failed = &self.failed_links;
                     let (state, scratch) = self.residual.split_mut();
-                    let probed = match (converts, failed) {
-                        (true, None) => state.reachable_when_free(scratch, s, t),
-                        (true, Some(l)) => state.reachable_when_free_excluding(scratch, s, t, l),
-                        (false, None) => state.reachable_when_free_single_wavelength(scratch, s, t),
-                        (false, Some(l)) => {
-                            state.reachable_when_free_single_wavelength_excluding(scratch, s, t, l)
-                        }
+                    let probed = match (converts, failed.is_empty()) {
+                        (true, true) => state.reachable_when_free(scratch, s, t),
+                        (true, false) => state.reachable_when_free_excluding(scratch, s, t, failed),
+                        (false, true) => state.reachable_when_free_single_wavelength(scratch, s, t),
+                        (false, false) => state
+                            .reachable_when_free_single_wavelength_excluding(scratch, s, t, failed),
                     };
                     let _ = self.residual.take_search_totals();
                     self.free_reach_cache
@@ -760,11 +766,25 @@ impl ProvisioningEngine {
         self.active.keys().copied()
     }
 
+    /// Links currently failed (cut by [`fail_link`](Self::fail_link)
+    /// and not yet repaired by [`restore_link`](Self::restore_link)),
+    /// sorted by id.
+    pub fn failed_links(&self) -> &[LinkId] {
+        &self.failed_links
+    }
+
     /// Simulates a fibre cut: every active connection crossing `link` is
     /// torn down and immediately re-routed under `policy` on the residual
-    /// network (restoration). The failed link itself is excluded from the
-    /// restoration routes but is *not* removed from the base network —
-    /// call again after repair semantics are up to the caller.
+    /// network (restoration). The cut is **persistent**: the link's
+    /// wavelengths stay marked busy — and count as occupied in
+    /// [`utilization`](Self::utilization) — until
+    /// [`restore_link`](Self::restore_link) repairs it, so later
+    /// requests route around the fibre and blocked ones are classified
+    /// against the free network without it.
+    ///
+    /// Failing an already-failed link is an idempotent no-op: nothing
+    /// crosses a cut fibre, so there is nothing to tear down and the
+    /// memo epoch does not move. The returned vector is empty.
     ///
     /// Returns the affected connection ids paired with their restoration
     /// outcome (`Some(new_id)` when restored, `None` when the connection
@@ -782,6 +802,9 @@ impl ProvisioningEngine {
             link.index() < self.base.link_count(),
             "link {link} out of range"
         );
+        if self.failed_links.contains(&link) {
+            return Vec::new();
+        }
         // The whole cut — teardowns, blocking, restorations — is one
         // span; the nested release/provision calls also meter their own
         // operations (documented on the latency metric). Tracing works
@@ -814,11 +837,11 @@ impl ProvisioningEngine {
                 unreachable!("releasing an active connection cannot fail");
             }
         }
-        // Mark the failed link busy on every wavelength so restoration
+        // Mark the failed link busy on every wavelength so routing
         // avoids it. (Wavelengths the link does not carry have no mask
         // bit; flagging them in the busy matrix alone is harmless because
         // no route can use them either way.) Cause classification must
-        // see the cut too — a restoration whose only free-network routes
+        // see the cut too — a request whose only free-network routes
         // crossed the fibre is topology-blocked for the duration — so the
         // failed-link regime changes and the memo epoch advances with it.
         if let Some((tid, _)) = trace {
@@ -830,24 +853,16 @@ impl ProvisioningEngine {
         for lambda in 0..self.base.k() {
             self.set_resource(link, Wavelength::new(lambda), true);
         }
-        self.failed_link = Some(link);
+        self.failed_links.push(link);
+        self.failed_links.sort();
         self.cause_epoch += 1;
         let mut outcome = Vec::with_capacity(affected.len());
         for (&id, &(s, t)) in affected.iter().zip(&endpoints) {
             outcome.push((id, self.provision(s, t, policy).ok()));
         }
-        // No active connection crosses the cut fibre any more (the
-        // affected ones were torn down and restorations excluded it), so
-        // its true resource state is all-free; clear the block markers
-        // and leave the in-cut cause verdicts behind with their epoch.
         if let Some((tid, _)) = trace {
             self.active_trace = Some(tid);
         }
-        for lambda in 0..self.base.k() {
-            self.set_resource(link, Wavelength::new(lambda), false);
-        }
-        self.failed_link = None;
-        self.cause_epoch += 1;
         if let (Some(m), Some(t0)) = (&self.metrics, started) {
             m.fail_link_latency.observe(ns_since(t0));
         }
@@ -864,6 +879,138 @@ impl ProvisioningEngine {
         }
         self.active_trace = None;
         outcome
+    }
+
+    /// Repairs a fibre previously cut by [`fail_link`](Self::fail_link):
+    /// clears the blanket busy markers — the exact involution of the
+    /// cut's marking, through the same [`Self::set_resource`] path that
+    /// maintains the mask-sync invariant — removes the link from the
+    /// failed set, and advances the memo epoch so cause verdicts probed
+    /// under the cut are never trusted again.
+    ///
+    /// Returns `true` when the link was failed and is now restored.
+    /// Restoring a link that is not failed is a reported no-op
+    /// (`false`): a blind unmark would free resources that may be held
+    /// by active connections, so only the cut's own markers are ever
+    /// cleared. Existing connections are untouched either way —
+    /// restoration re-routing happens at cut time, not at repair time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn restore_link(&mut self, link: wdm_graph::LinkId) -> bool {
+        assert!(
+            link.index() < self.base.link_count(),
+            "link {link} out of range"
+        );
+        let Ok(pos) = self.failed_links.binary_search(&link) else {
+            return false;
+        };
+        let started = self.metrics.as_ref().map(|_| Instant::now());
+        let trace = self
+            .tracer
+            .as_ref()
+            .map(|w| (w.recorder().next_trace_id(), w.now_ns()));
+        if let Some((tid, _)) = trace {
+            self.active_trace = Some(tid);
+        }
+        // No active connection crosses the cut fibre (the cut tore them
+        // down and every later route excluded it), so the only busy bits
+        // on this link are the cut's own markers.
+        for lambda in 0..self.base.k() {
+            self.set_resource(link, Wavelength::new(lambda), false);
+        }
+        self.failed_links.remove(pos);
+        self.cause_epoch += 1;
+        if let (Some(m), Some(t0)) = (&self.metrics, started) {
+            m.restore_link_latency.observe(ns_since(t0));
+        }
+        if let (Some(w), Some((tid, t0))) = (&self.tracer, trace) {
+            let dur = w.span(
+                tid,
+                TraceEventKind::FailLink,
+                t0,
+                RootVerdict::Ok.code(),
+                link.index() as u64,
+                0,
+            );
+            w.recorder().note_root(tid, dur, RootVerdict::Ok);
+        }
+        self.active_trace = None;
+        true
+    }
+
+    /// Adds (`enabled`) or removes (`enabled == false`) full-range
+    /// wavelength conversion at `node` — the runtime converter-placement
+    /// mutation behind sparse-placer searches. Shorthand for
+    /// [`set_converter_policy`](Self::set_converter_policy) with
+    /// [`ConversionPolicy::Free`] / [`ConversionPolicy::Forbidden`].
+    ///
+    /// # Errors
+    ///
+    /// [`RwaError::NodeOutOfRange`] if `node` is not a node of the base
+    /// network.
+    pub fn set_converter(&mut self, node: NodeId, enabled: bool) -> Result<bool, RwaError> {
+        let policy = if enabled {
+            wdm_core::ConversionPolicy::Free
+        } else {
+            wdm_core::ConversionPolicy::Forbidden
+        };
+        self.set_converter_policy(node, policy)
+    }
+
+    /// Replaces the conversion policy at `node`, rebuilding the routing
+    /// structures around the new conversion gadget.
+    ///
+    /// Returns `Ok(true)` when the policy changed and `Ok(false)` for a
+    /// no-op (the node already had exactly this policy). On change:
+    ///
+    /// * the base network's policy is swapped and the persistent
+    ///   auxiliary structure is rebuilt from it with the current busy
+    ///   state — including any [`fail_link`](Self::fail_link) cut
+    ///   markers — replayed, so resource occupancy survives the mutation
+    ///   bit-for-bit;
+    /// * the memo epoch advances: free-network reachability verdicts
+    ///   probed under the old conversion layout are stale (a pair that
+    ///   was `no_path` without conversion may be routable with it, and
+    ///   vice versa) and must never be trusted by
+    ///   [`blocked_by_cause`](Self::blocked_by_cause) classification.
+    ///
+    /// Active connections are grandfathered: their paths were valid when
+    /// provisioned and their resources stay locked; removing a converter
+    /// does not tear down connections that used it.
+    ///
+    /// # Errors
+    ///
+    /// [`RwaError::NodeOutOfRange`] if `node` is not a node of the base
+    /// network.
+    pub fn set_converter_policy(
+        &mut self,
+        node: NodeId,
+        policy: wdm_core::ConversionPolicy,
+    ) -> Result<bool, RwaError> {
+        if node.index() >= self.base.node_count() {
+            return Err(RwaError::NodeOutOfRange(node));
+        }
+        if *self.base.conversion_at(node) == policy {
+            return Ok(false);
+        }
+        self.base.set_conversion_at(node, policy);
+        #[cfg(debug_assertions)]
+        {
+            let findings = wdm_lint::verify_network(&self.base, "set-converter");
+            debug_assert!(
+                findings.is_empty(),
+                "auxiliary-graph construction failed static verification:\n{}",
+                wdm_lint::render_text(&findings, std::path::Path::new("."))
+            );
+        }
+        // Conversion gadgets are baked into the auxiliary graph at
+        // construction; a policy change is a structural mutation, so the
+        // persistent structure is rebuilt and the busy state replayed.
+        self.residual = self.rebuild_residual();
+        self.cause_epoch += 1;
+        Ok(true)
     }
 }
 
@@ -1115,13 +1262,20 @@ mod tests {
         let outcome = engine.fail_link(mid, Policy::Optimal);
         assert_eq!(outcome, vec![(id, None)]);
         assert_eq!(engine.active_count(), 0);
-        // The cut fibre's resources are accounted free afterwards.
-        assert_eq!(engine.utilization(), 0.0);
+        // The cut is persistent: the fibre's wavelengths stay marked
+        // busy (and count as occupied) until the link is repaired.
+        assert_eq!(engine.failed_links(), &[mid]);
+        assert!(engine.utilization() > 0.0);
         // Unaffected traffic keeps flowing: a fresh request not crossing
         // the cut still provisions.
-        assert!(engine
+        let side = engine
             .provision(0.into(), 1.into(), Policy::Optimal)
-            .is_ok());
+            .expect("does not cross the cut");
+        engine.release(side).expect("active");
+        // Repair: the involution clears exactly the cut's markers.
+        assert!(engine.restore_link(mid));
+        assert!(engine.failed_links().is_empty());
+        assert_eq!(engine.utilization(), 0.0);
     }
 
     #[test]
@@ -1234,6 +1388,21 @@ mod tests {
         for (_, restored) in &oa {
             if let Some(id) = restored {
                 assert_eq!(masked.path_of(*id), rebuild.path_of(*id));
+            }
+        }
+        // Route around the persistent cut, then repair and route again.
+        for (s, t) in [(0, 1), (1, 2)] {
+            let a = masked.provision(NodeId::new(s), NodeId::new(t), Policy::Optimal);
+            let b = rebuild.provision(NodeId::new(s), NodeId::new(t), Policy::Optimal);
+            assert_eq!(a, b, "{s}->{t} while cut");
+        }
+        assert_eq!(masked.restore_link(cut), rebuild.restore_link(cut));
+        for (s, t) in [(1, 3), (0, 3)] {
+            let a = masked.provision(NodeId::new(s), NodeId::new(t), Policy::Optimal);
+            let b = rebuild.provision(NodeId::new(s), NodeId::new(t), Policy::Optimal);
+            assert_eq!(a, b, "{s}->{t} after repair");
+            if let Ok(id) = a {
+                assert_eq!(masked.path_of(id), rebuild.path_of(id));
             }
         }
         assert_eq!(masked.totals(), rebuild.totals());
@@ -1503,19 +1672,179 @@ mod tests {
         );
         let _ = (a, b);
 
-        // The cut is over (markers cleared): the pair routes again, and
-        // once re-filled the verdict flips back to capacity — the
-        // no-path entries from the cut regime must not stick either.
+        // While the fibre is down every 0 → 3 request stays no-path
+        // (the cut is persistent; the memo serves the in-cut verdict).
+        assert!(engine
+            .provision(0.into(), 3.into(), Policy::Optimal)
+            .is_err());
+        assert_eq!(engine.blocked_by_cause(), (3, 1));
+
+        // Repair the fibre: the pair routes again, and once re-filled
+        // the verdict flips back to capacity — the no-path entries from
+        // the cut regime must not stick either.
+        assert!(engine.restore_link(LinkId::new(1)));
         let c = engine
             .provision(0.into(), 3.into(), Policy::Optimal)
-            .expect("resources freed by the teardown");
+            .expect("resources freed by the teardown and repair");
         let _ = engine
             .provision(0.into(), 3.into(), Policy::Optimal)
             .expect("second wavelength free again");
         assert!(engine
             .provision(0.into(), 3.into(), Policy::Optimal)
             .is_err());
-        assert_eq!(engine.blocked_by_cause(), (2, 2));
+        assert_eq!(engine.blocked_by_cause(), (3, 2));
         engine.release(c).expect("active");
+    }
+
+    /// Double-fail and double-restore are reported no-ops: failing a
+    /// cut fibre twice tears nothing down twice, and restoring a
+    /// healthy fibre must never blindly unmark resources — they may be
+    /// held by active connections.
+    #[test]
+    fn fail_and_restore_are_idempotent() {
+        let mut engine = ProvisioningEngine::new(&base());
+        let cut = LinkId::new(1);
+        // Restore before any cut: reported no-op.
+        assert!(!engine.restore_link(cut));
+        let id = engine
+            .provision(0.into(), 3.into(), Policy::Optimal)
+            .expect("routes");
+        let outcome = engine.fail_link(cut, Policy::Optimal);
+        assert_eq!(outcome, vec![(id, None)]);
+        // Failing the already-cut fibre again: nothing left to tear
+        // down, nothing re-marked, epoch untouched.
+        assert!(engine.fail_link(cut, Policy::Optimal).is_empty());
+        assert_eq!(engine.failed_links(), &[cut]);
+        assert!(engine.restore_link(cut));
+        assert_eq!(engine.utilization(), 0.0);
+        // Re-occupy the repaired fibre, then restore again: the no-op
+        // guard must leave the active connection's resources busy.
+        let id = engine
+            .provision(0.into(), 3.into(), Policy::Optimal)
+            .expect("repaired fibre routes");
+        let before = engine.utilization();
+        assert!(!engine.restore_link(cut));
+        assert_eq!(engine.utilization(), before);
+        assert!(engine.path_of(id).is_some());
+    }
+
+    #[test]
+    fn overlapping_cuts_restore_independently() {
+        let mut engine = ProvisioningEngine::new(&base());
+        engine.fail_link(LinkId::new(0), Policy::Optimal);
+        engine.fail_link(LinkId::new(2), Policy::Optimal);
+        assert_eq!(engine.failed_links(), &[LinkId::new(0), LinkId::new(2)]);
+        // Only the middle link is up: 1 → 2 routes, 0 → 3 is no-path.
+        assert!(engine
+            .provision(1.into(), 2.into(), Policy::Optimal)
+            .is_ok());
+        assert!(engine
+            .provision(0.into(), 3.into(), Policy::Optimal)
+            .is_err());
+        assert_eq!(engine.blocked_by_cause(), (1, 0));
+        assert!(engine.restore_link(LinkId::new(0)));
+        assert_eq!(engine.failed_links(), &[LinkId::new(2)]);
+        // Link 2 is still down: 0 → 3 stays no-path, 0 → 1 routes.
+        assert!(engine
+            .provision(0.into(), 3.into(), Policy::Optimal)
+            .is_err());
+        assert_eq!(engine.blocked_by_cause(), (2, 0));
+        assert!(engine
+            .provision(0.into(), 1.into(), Policy::Optimal)
+            .is_ok());
+        assert!(engine.restore_link(LinkId::new(2)));
+        assert!(engine.failed_links().is_empty());
+    }
+
+    /// Regression mirroring
+    /// [`blocked_cause_memo_invalidated_across_fail_link`]: the
+    /// blocked-cause memo must also be invalidated when a node's
+    /// conversion capability changes at runtime. A placer that removes
+    /// the junction converter flips a conversion-dependent pair from
+    /// capacity-blocked to topology-blocked; a stale cached probe from
+    /// the old layout would keep answering "reachable".
+    #[test]
+    fn blocked_cause_memo_invalidated_across_set_converter() {
+        // λ0 on link 0, λ1 on link 1: only conversion at node 1 routes
+        // 0 → 2 (same shape as blocked_causes_respect_policy_capabilities).
+        let g = DiGraph::from_links(3, [(0, 1), (1, 2)]);
+        let net = WdmNetwork::builder(g, 2)
+            .link_wavelengths(0, [(0, 10)])
+            .link_wavelengths(1, [(1, 10)])
+            .uniform_conversion(ConversionPolicy::Uniform(Cost::new(1)))
+            .build()
+            .expect("valid");
+        let mut engine = ProvisioningEngine::new(&net);
+        // Seed the memo: 0 → 2 is reachable when free, so the blocked
+        // request classifies as capacity and the probe is cached.
+        let held = engine
+            .provision(0.into(), 2.into(), Policy::Optimal)
+            .expect("conversion routes");
+        assert!(engine
+            .provision(0.into(), 2.into(), Policy::Optimal)
+            .is_err());
+        assert_eq!(engine.blocked_by_cause(), (0, 1));
+
+        // Remove the junction converter: the free network can no longer
+        // route 0 → 2, so the next blocked request must classify as
+        // no-path — the stale cached probe said "reachable". The active
+        // connection is grandfathered (its resources stay locked).
+        assert_eq!(engine.set_converter(1.into(), false), Ok(true));
+        assert!(engine.path_of(held).is_some());
+        assert!(engine
+            .provision(0.into(), 2.into(), Policy::Optimal)
+            .is_err());
+        assert_eq!(
+            engine.blocked_by_cause(),
+            (1, 1),
+            "verdict probed under the old conversion layout must not be trusted"
+        );
+
+        // Re-add the converter: the verdict flips back to capacity —
+        // the converter-less entries must not stick either.
+        assert_eq!(engine.set_converter(1.into(), true), Ok(true));
+        assert!(engine
+            .provision(0.into(), 2.into(), Policy::Optimal)
+            .is_err());
+        assert_eq!(engine.blocked_by_cause(), (1, 2));
+        // The grandfathered connection releases cleanly through the
+        // rebuilt structures.
+        engine.release(held).expect("active");
+        assert_eq!(engine.utilization(), 0.0);
+    }
+
+    #[test]
+    fn set_converter_validates_and_reports_no_ops() {
+        let g = DiGraph::from_links(3, [(0, 1), (1, 2)]);
+        let net = WdmNetwork::builder(g, 2)
+            .link_wavelengths(0, [(0, 10)])
+            .link_wavelengths(1, [(1, 10)])
+            .build()
+            .expect("valid");
+        let mut engine = ProvisioningEngine::new(&net);
+        assert_eq!(
+            engine.set_converter(9.into(), true),
+            Err(RwaError::NodeOutOfRange(9.into()))
+        );
+        // Default policy is Forbidden: disabling again is a no-op.
+        assert_eq!(engine.set_converter(1.into(), false), Ok(false));
+        // Without conversion the pair is topology-blocked...
+        assert!(engine
+            .provision(0.into(), 2.into(), Policy::Optimal)
+            .is_err());
+        assert_eq!(engine.blocked_by_cause(), (1, 0));
+        // ...adding the converter makes it routable...
+        assert_eq!(engine.set_converter(1.into(), true), Ok(true));
+        assert_eq!(engine.set_converter(1.into(), true), Ok(false));
+        let id = engine
+            .provision(0.into(), 2.into(), Policy::Optimal)
+            .expect("converter routes");
+        engine.release(id).expect("active");
+        // ...and removing it blocks the pair again.
+        assert_eq!(engine.set_converter(1.into(), false), Ok(true));
+        assert!(engine
+            .provision(0.into(), 2.into(), Policy::Optimal)
+            .is_err());
+        assert_eq!(engine.blocked_by_cause(), (2, 0));
     }
 }

@@ -40,6 +40,9 @@ pub(crate) struct EngineMetrics {
     /// including restorations (which also count individually as
     /// provisions).
     pub fail_link_latency: Arc<Histogram>,
+    /// `wdm_rwa_restore_link_latency_ns` — fibre-repair handling (the
+    /// un-marking involution of a cut).
+    pub restore_link_latency: Arc<Histogram>,
     /// `wdm_rwa_requests_total` — one per `provision()` with valid
     /// endpoints; equals accepted + blocked.
     pub requests: Arc<Counter>,
@@ -79,6 +82,7 @@ impl EngineMetrics {
             provision_latency: registry.histogram("wdm_rwa_provision_latency_ns", &[]),
             release_latency: registry.histogram("wdm_rwa_release_latency_ns", &[]),
             fail_link_latency: registry.histogram("wdm_rwa_fail_link_latency_ns", &[]),
+            restore_link_latency: registry.histogram("wdm_rwa_restore_link_latency_ns", &[]),
             requests: registry.counter("wdm_rwa_requests_total", &[]),
             accepted: registry.counter("wdm_rwa_accepted_total", &[]),
             blocked_no_path: registry.counter("wdm_rwa_blocked_total", &[("cause", "no_path")]),

@@ -82,7 +82,7 @@ fn step(
                 prop_assert_eq!(masked.release(id), rebuild.release(id), "release {}", id);
             }
         }
-        _ => {
+        7 => {
             let link = LinkId::new((a % m as u64) as usize);
             let got = masked.fail_link(link, policy);
             let want = rebuild.fail_link(link, policy);
@@ -101,6 +101,19 @@ fn step(
                     live.push(new);
                 }
             }
+            prop_assert_eq!(masked.failed_links(), rebuild.failed_links());
+        }
+        _ => {
+            // Fibre repair: exercises both the real involution (when the
+            // link is cut) and the double-restore no-op (when it isn't).
+            let link = LinkId::new((a % m as u64) as usize);
+            prop_assert_eq!(
+                masked.restore_link(link),
+                rebuild.restore_link(link),
+                "restore_link {}",
+                link
+            );
+            prop_assert_eq!(masked.failed_links(), rebuild.failed_links());
         }
     }
     prop_assert_eq!(masked.totals(), rebuild.totals());
@@ -168,7 +181,7 @@ proptest! {
         n in 4usize..12,
         k in 2usize..5,
         policy_idx in 0u8..3,
-        ops in prop::collection::vec((0u8..8, 0u64..1_000_000, 0u64..1_000_000), 1..30),
+        ops in prop::collection::vec((0u8..9, 0u64..1_000_000, 0u64..1_000_000), 1..30),
     ) {
         let net = instance(seed, n, k, 0.7);
         let m = net.link_count();
@@ -182,6 +195,12 @@ proptest! {
         // Drain everything: the engines must agree to the very end.
         for id in live {
             prop_assert_eq!(masked.release(id), rebuild.release(id));
+        }
+        // Cuts persist until repaired, so heal every fibre before
+        // demanding an empty network.
+        for link in masked.failed_links().to_vec() {
+            prop_assert!(masked.restore_link(link));
+            prop_assert!(rebuild.restore_link(link));
         }
         prop_assert_eq!(masked.utilization(), 0.0);
         prop_assert_eq!(masked.totals(), rebuild.totals());

@@ -390,9 +390,9 @@ fn render_node_out_of_range_bare(node: usize) -> String {
     format!(r#"{{"ok":false,"error":"node_out_of_range","node":{node}}}"#)
 }
 
-fn render_link_out_of_range(seq: u64, link: usize, links: usize) -> String {
+fn render_link_out_of_range(op: &str, seq: u64, link: usize, links: usize) -> String {
     format!(
-        r#"{{"ok":false,"op":"fail-link","seq":{seq},"error":"link_out_of_range","link":{link},"links":{links}}}"#
+        r#"{{"ok":false,"op":"{op}","seq":{seq},"error":"link_out_of_range","link":{link},"links":{links}}}"#
     )
 }
 
@@ -406,6 +406,12 @@ fn render_fail_link(
     format!(
         r#"{{"ok":true,"op":"fail-link","seq":{seq},"link":{link},"restored":{restored},"lost":{lost}}}"#
     )
+}
+
+/// `restored` is false when the link was not cut — a reported no-op,
+/// mirroring the engines' idempotent `restore_link`.
+fn render_restore_link(seq: u64, link: usize, restored: bool) -> String {
+    format!(r#"{{"ok":true,"op":"restore-link","seq":{seq},"link":{link},"restored":{restored}}}"#)
 }
 
 fn render_batch(seq: u64, elements: &[String], accepted: usize) -> String {
@@ -444,10 +450,17 @@ fn execute_single(
         Request::FailLink { link } => {
             let links = engine.base().link_count();
             if *link >= links {
-                return render_link_out_of_range(seq, *link, links);
+                return render_link_out_of_range("fail-link", seq, *link, links);
             }
             let outcomes = engine.fail_link(LinkId::new(*link), default);
             render_fail_link(seq, *link, &outcomes)
+        }
+        Request::RestoreLink { link } => {
+            let links = engine.base().link_count();
+            if *link >= links {
+                return render_link_out_of_range("restore-link", seq, *link, links);
+            }
+            render_restore_link(seq, *link, engine.restore_link(LinkId::new(*link)))
         }
         Request::Batch { pairs, policy } => {
             let pol = policy.unwrap_or(default);
@@ -596,11 +609,19 @@ fn execute_sharded(
         Request::FailLink { link } => {
             let links = engine.base().link_count();
             if *link >= links {
-                return render_link_out_of_range(seq, *link, links);
+                return render_link_out_of_range("fail-link", seq, *link, links);
             }
             let mut handle = engine.handle();
             let outcomes = handle.fail_link(LinkId::new(*link), default);
             render_fail_link(seq, *link, &outcomes)
+        }
+        Request::RestoreLink { link } => {
+            let links = engine.base().link_count();
+            if *link >= links {
+                return render_link_out_of_range("restore-link", seq, *link, links);
+            }
+            let restored = engine.handle().restore_link(LinkId::new(*link));
+            render_restore_link(seq, *link, restored)
         }
         Request::Batch { pairs, policy } => {
             let pol = policy.unwrap_or(default);

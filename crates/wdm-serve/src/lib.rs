@@ -18,6 +18,7 @@
 //! {"op":"provision","s":0,"t":3}            route + lock one request
 //! {"op":"release","id":7}                   free an active connection
 //! {"op":"fail-link","link":2}               fibre cut with restoration
+//! {"op":"restore-link","link":2}            repair a cut fibre (involution)
 //! {"op":"batch","pairs":[[0,3],[1,2]]}      pre-screened batch provision
 //! {"op":"stats"}                            engine totals + utilization
 //! {"op":"trace"}                            flight-recorder totals

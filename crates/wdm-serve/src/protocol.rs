@@ -40,6 +40,11 @@ pub enum Request {
         /// Link index to cut.
         link: usize,
     },
+    /// Repair a cut fibre (exact involution of `fail-link`).
+    RestoreLink {
+        /// Link index to restore.
+        link: usize,
+    },
     /// Provision a batch of `(s, t)` pairs with all-pairs pre-screening.
     Batch {
         /// The request pairs, in order.
@@ -101,6 +106,9 @@ fn parse_op(value: &Value) -> Result<Request, String> {
             id: u64_field(value, "id")?,
         }),
         "fail-link" => Ok(Request::FailLink {
+            link: usize_field(value, "link")?,
+        }),
+        "restore-link" => Ok(Request::RestoreLink {
             link: usize_field(value, "link")?,
         }),
         "batch" => {
@@ -212,6 +220,10 @@ mod tests {
         assert_eq!(
             parse_request(r#"{"op":"fail-link","link":2}"#),
             Ok(Request::FailLink { link: 2 })
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"restore-link","link":2}"#),
+            Ok(Request::RestoreLink { link: 2 })
         );
         assert_eq!(
             parse_request(r#"{"op":"batch","pairs":[[0,3],[1,2]]}"#),

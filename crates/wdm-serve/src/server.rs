@@ -239,6 +239,7 @@ impl Server {
                 "provision",
                 "release",
                 "fail-link",
+                "restore-link",
                 "batch",
                 "stats",
                 "trace",
@@ -327,6 +328,7 @@ fn op_name(req: &Request) -> &'static str {
         Request::Provision { .. } => "provision",
         Request::Release { .. } => "release",
         Request::FailLink { .. } => "fail-link",
+        Request::RestoreLink { .. } => "restore-link",
         Request::Batch { .. } => "batch",
         Request::Stats => "stats",
         Request::Trace => "trace",
@@ -535,6 +537,7 @@ mod tests {
         );
         assert_eq!(op_name(&Request::Release { id: 0 }), "release");
         assert_eq!(op_name(&Request::FailLink { link: 0 }), "fail-link");
+        assert_eq!(op_name(&Request::RestoreLink { link: 0 }), "restore-link");
         assert_eq!(
             op_name(&Request::Batch {
                 pairs: vec![],

@@ -262,7 +262,28 @@ fn out_of_range_nodes_and_links_get_typed_errors() {
     // A fibre cut on a link the instance doesn't have.
     let reply = client.roundtrip(r#"{"op":"fail-link","link":9999}"#);
     assert!(reply.contains(r#""error":"link_out_of_range""#), "{reply}");
+    assert!(reply.contains(r#""op":"fail-link""#), "{reply}");
     assert!(reply.contains(&format!(r#""links":{links}"#)), "{reply}");
+
+    // Repairing it is out of range the same way, under its own op name.
+    let reply = client.roundtrip(r#"{"op":"restore-link","link":9999}"#);
+    assert!(reply.contains(r#""error":"link_out_of_range""#), "{reply}");
+    assert!(reply.contains(r#""op":"restore-link""#), "{reply}");
+
+    // Restoring a healthy in-range link is a reported no-op, and a
+    // cut/restore pair round-trips to restored:true.
+    let reply = client.roundtrip(r#"{"op":"restore-link","link":0}"#);
+    assert!(
+        reply.contains(r#""ok":true,"op":"restore-link","seq":"#)
+            && reply.contains(r#""restored":false"#),
+        "{reply}"
+    );
+    let reply = client.roundtrip(r#"{"op":"fail-link","link":0}"#);
+    assert!(reply.contains(r#""ok":true,"op":"fail-link""#), "{reply}");
+    let reply = client.roundtrip(r#"{"op":"restore-link","link":0}"#);
+    assert!(reply.contains(r#""restored":true"#), "{reply}");
+    let reply = client.roundtrip(r#"{"op":"restore-link","link":0}"#);
+    assert!(reply.contains(r#""restored":false"#), "{reply}");
 
     // Batches answer bad elements typed and still commit the rest.
     let reply = client.roundtrip(&format!(

@@ -178,11 +178,47 @@ pub mod rngs {
 
     use super::{RngCore, SeedableRng};
 
+    /// The SplitMix64 increment (golden-gamma).
+    const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+    /// The SplitMix64 output finalizer: a bijective avalanche mix of
+    /// one 64-bit word.
+    fn splitmix_mix(mut z: u64) -> u64 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Derives the sub-seed for stream `stream` of a seed family rooted
+    /// at `seed`: the value SplitMix64 seeded with `seed` outputs at
+    /// position `stream` — computed in O(1) because SplitMix64's state
+    /// walk is just repeated addition of [`GAMMA`].
+    ///
+    /// Feeding `stream_seed(seed, i)` to
+    /// [`SmallRng::seed_from_u64`] (or [`SmallRng::for_stream`], which
+    /// does exactly that) gives each stream an independent generator:
+    /// replayable from `(seed, i)` alone, with no coordination between
+    /// streams and no dependence on how many exist. This is what keeps
+    /// parallel simulation replicas bit-identical regardless of worker
+    /// count.
+    pub fn stream_seed(seed: u64, stream: u64) -> u64 {
+        splitmix_mix(seed.wrapping_add(GAMMA.wrapping_mul(stream.wrapping_add(1))))
+    }
+
     /// xoshiro256++ seeded via SplitMix64 (the real `SmallRng`'s
     /// construction on 64-bit platforms; streams differ from upstream).
     #[derive(Debug, Clone)]
     pub struct SmallRng {
         s: [u64; 4],
+    }
+
+    impl SmallRng {
+        /// Generator for stream `stream` of the seed family rooted at
+        /// `seed` — shorthand for
+        /// `seed_from_u64(stream_seed(seed, stream))`.
+        pub fn for_stream(seed: u64, stream: u64) -> Self {
+            Self::seed_from_u64(stream_seed(seed, stream))
+        }
     }
 
     impl SeedableRng for SmallRng {
@@ -191,11 +227,8 @@ pub mod rngs {
             // xoshiro authors (never yields the all-zero state).
             let mut sm = state;
             let mut next = || {
-                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
-                let mut z = sm;
-                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-                z ^ (z >> 31)
+                sm = sm.wrapping_add(GAMMA);
+                splitmix_mix(sm)
             };
             SmallRng {
                 s: [next(), next(), next(), next()],
@@ -262,7 +295,7 @@ pub mod seq {
 
 /// Prelude mirroring `rand::prelude`.
 pub mod prelude {
-    pub use super::rngs::{SmallRng, StdRng};
+    pub use super::rngs::{stream_seed, SmallRng, StdRng};
     pub use super::seq::SliceRandom;
     pub use super::{Rng, RngCore, SeedableRng};
 }
@@ -315,5 +348,38 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(2);
         assert!(!rng.gen_bool(0.0));
         assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn stream_seed_matches_splitmix_walk() {
+        // stream_seed(seed, i) must equal the i-th output of a
+        // SplitMix64 generator seeded with `seed` — i.e. exactly what
+        // seed_from_u64 consumes internally, jumped to in O(1).
+        let seed = 0xDEAD_BEEF_u64;
+        let mut sm = seed;
+        for i in 0..32u64 {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            assert_eq!(stream_seed(seed, i), z, "stream {i}");
+        }
+    }
+
+    #[test]
+    fn streams_are_independent_and_replayable() {
+        // Same (seed, stream) → same generator; different streams of
+        // the same seed → different generators.
+        let mut a = SmallRng::for_stream(42, 3);
+        let mut b = SmallRng::for_stream(42, 3);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::for_stream(42, 4);
+        let mut d = SmallRng::for_stream(43, 3);
+        let next_a = a.next_u64();
+        assert_ne!(next_a, c.next_u64());
+        assert_ne!(next_a, d.next_u64());
     }
 }
