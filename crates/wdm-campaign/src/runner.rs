@@ -72,7 +72,10 @@ pub fn converter_nodes(net: &WdmNetwork, density: f64, seed: u64) -> Vec<NodeId>
         seed,
         STREAM_PLACEMENT,
     )));
-    let take = (density * n as f64).ceil() as usize;
+    // wdm-lint: cast-checked: ceil clamped to [0, n] before truncation,
+    // so a huge or non-finite density selects every node instead of
+    // wrapping.
+    let take = (density * n as f64).ceil().clamp(0.0, n as f64) as usize;
     order[..take.min(n)]
         .iter()
         .map(|&v| NodeId::new(v))
@@ -124,6 +127,10 @@ pub fn run_campaign(net: &WdmNetwork, cfg: &CampaignConfig) -> Vec<PointResult> 
     });
     // Aggregate in job-index order — the fixed order is what makes the
     // output independent of which worker ran which job.
+    debug_assert!(
+        slots.len() == points.len() * cfg.replicas,
+        "one slot per (point, replica) job"
+    );
     points
         .iter()
         .enumerate()

@@ -2,7 +2,8 @@
 //! Erlang-B, worker-count invariance, and placer determinism.
 
 use wdm_campaign::{
-    build_wan, e18_record, erlang_b, place_converters, run_campaign, CampaignConfig, PlacerConfig,
+    build_wan, converter_nodes, e18_record, erlang_b, place_converters, run_campaign,
+    CampaignConfig, PlacerConfig,
 };
 use wdm_core::{ConversionPolicy, WdmNetwork};
 use wdm_graph::topology::ReferenceTopology;
@@ -142,4 +143,25 @@ fn zero_blocking_baseline_keeps_the_budget() {
     let p = place_converters(&net, &cfg);
     assert_eq!(p.baseline.blocked, 0);
     assert!(p.chosen.is_empty());
+}
+
+#[test]
+fn converter_density_boundaries_clamp_instead_of_wrapping() {
+    let net = build_wan(ReferenceTopology::Nsfnet, 4, 7);
+    let n = net.node_count();
+    // Density 1.0 pushes `ceil` to exactly `n`; the clamp must select
+    // every node exactly once, never wrap past the permutation.
+    let all = converter_nodes(&net, 1.0, 7);
+    assert_eq!(all.len(), n);
+    let mut seen: Vec<usize> = all.iter().map(|id| id.index()).collect();
+    seen.sort_unstable();
+    assert_eq!(seen, (0..n).collect::<Vec<_>>());
+    // Density 0.0 selects nobody.
+    assert!(converter_nodes(&net, 0.0, 7).is_empty());
+    // The density axis is nested: every sparser set is a prefix of the
+    // denser one under the same seed.
+    let sparse = converter_nodes(&net, 0.25, 7);
+    let dense = converter_nodes(&net, 0.75, 7);
+    assert!(sparse.len() <= dense.len());
+    assert_eq!(&dense[..sparse.len()], &sparse[..]);
 }

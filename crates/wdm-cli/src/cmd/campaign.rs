@@ -224,7 +224,7 @@ impl Command for Campaign {
             if let Some(budget) = place {
                 let pcfg = PlacerConfig {
                     budget,
-                    load: cfg.loads[cfg.loads.len() - 1],
+                    load: cfg.loads.last().copied().unwrap_or(60.0),
                     requests: cfg.requests,
                     replicas: cfg.replicas,
                     seed: cfg.seed,

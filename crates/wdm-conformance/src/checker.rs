@@ -147,14 +147,16 @@ impl<'a> Search<'a> {
         // An op is eligible iff it was invoked no later than every
         // still-pending response: nothing pending strictly preceded it
         // in real time.
-        let min_resp = self
+        let Some(min_resp) = self
             .records
             .iter()
             .enumerate()
             .filter(|(i, _)| !done[*i])
             .map(|(_, r)| r.responded_at)
             .min()
-            .expect("not all done");
+        else {
+            unreachable!("not all done")
+        };
         for i in 0..self.records.len() {
             if done[i] || self.records[i].invoked_at > min_resp {
                 continue;
@@ -286,7 +288,9 @@ fn replay(
                         idmap.insert(*conc_new, *serial_new);
                     }
                     (None, None) => {
-                        let cause = observed.cause.expect("lost restorations carry a cause");
+                        let Some(cause) = observed.cause else {
+                            unreachable!("lost restorations carry a cause")
+                        };
                         lost_causes.push(cause);
                     }
                     _ => return false,

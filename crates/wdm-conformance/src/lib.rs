@@ -40,7 +40,9 @@
 #![warn(missing_docs)]
 
 pub mod checker;
+/// Operation/response records and history collection.
 pub mod history;
+/// The deterministic concurrent-schedule driver.
 pub mod scheduler;
 
 pub use checker::{check_history, CheckConfig, Verdict};

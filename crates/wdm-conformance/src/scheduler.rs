@@ -157,8 +157,9 @@ pub fn run_workload(net: &WdmNetwork, cfg: &WorkloadConfig) -> History {
                         t,
                         policy: cfg.policy,
                     };
-                    let txn = ProvisionTxn::new(&engine, s, t, cfg.policy)
-                        .expect("generated endpoints are in range");
+                    let Ok(txn) = ProvisionTxn::new(&engine, s, t, cfg.policy) else {
+                        unreachable!("generated endpoints are in range")
+                    };
                     th.slot = Slot::Provision(Box::new(txn), op, invoked_at);
                 }
             }

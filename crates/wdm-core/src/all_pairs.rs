@@ -69,6 +69,7 @@ impl AllPairs {
         let n = network.node_count();
         let aux = AuxiliaryGraph::for_all_pairs(network);
         let mut costs = vec![Cost::INFINITY; n * n];
+        debug_assert!(costs.len() == n * n, "cost matrix is n x n");
         let mut total_settled = 0;
         for s in 0..n {
             let (source, _) = aux.all_pairs_terminals(NodeId::new(s));

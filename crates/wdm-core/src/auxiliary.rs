@@ -495,7 +495,9 @@ impl AuxiliaryGraph {
         if total.is_infinite() {
             return None;
         }
-        let mut hops = Vec::new();
+        // One exact allocation for the returned path; growth doubling
+        // on the backward walk is what this avoids on the hot path.
+        let mut hops = Vec::with_capacity(8);
         let mut at = sink;
         while let Some((prev, edge_idx)) = parent[at] {
             let (_, edge) = self.graph.edge(edge_idx);

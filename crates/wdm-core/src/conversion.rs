@@ -131,6 +131,7 @@ impl ConversionMatrix {
     /// as zero so that structurally equal matrices compare equal.
     fn filled(k: usize, value: Cost) -> Self {
         let mut costs = vec![value; k * k];
+        debug_assert!(costs.len() == k * k, "conversion matrix is k x k");
         for i in 0..k {
             costs[i * k + i] = Cost::ZERO;
         }

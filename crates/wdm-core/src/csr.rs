@@ -78,6 +78,7 @@ impl CsrGraph {
     ///
     /// Panics if `node` is out of range.
     pub fn out_edges(&self, node: usize) -> impl ExactSizeIterator<Item = EdgeRef> + '_ {
+        assert!(node + 1 < self.offsets.len(), "node {node} out of range");
         let range = self.offsets[node]..self.offsets[node + 1];
         range.map(move |i| EdgeRef {
             index: i,
@@ -356,7 +357,15 @@ pub struct CsrBuilder {
 
 impl CsrBuilder {
     /// A builder for a graph with `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the `u32` endpoint encoding.
     pub fn new(n: usize) -> Self {
+        assert!(
+            u32::try_from(n).is_ok(),
+            "CSR endpoints are u32-encoded; {n} nodes do not fit"
+        );
         CsrBuilder {
             n,
             edges: Vec::new(),
@@ -376,6 +385,7 @@ impl CsrBuilder {
     pub fn add_edge(&mut self, source: usize, target: usize, cost: Cost, role: EdgeRole) {
         assert!(source < self.n, "source {source} out of range");
         assert!(target < self.n, "target {target} out of range");
+        // wdm-lint: cast-checked: endpoints < n, and new() asserts n fits u32
         self.edges.push((source as u32, target as u32, cost, role));
     }
 
@@ -387,6 +397,12 @@ impl CsrBuilder {
     /// Finalizes into CSR form (counting sort by source: `O(n + m)`).
     pub fn build(self) -> CsrGraph {
         let mut offsets = vec![0usize; self.n + 1];
+        // `add_edge` bounds every endpoint below `n`, so `s + 1` indexes
+        // in range here and in the counting-sort scatter below.
+        debug_assert!(
+            offsets.len() == self.n + 1,
+            "one offset slot past each node"
+        );
         for &(s, _, _, _) in &self.edges {
             offsets[s as usize + 1] += 1;
         }

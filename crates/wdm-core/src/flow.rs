@@ -168,14 +168,17 @@ impl MinCostFlow {
                 self.edges[rev].cap += bottleneck;
                 at = self.edges[rev].to;
             }
-            debug_assert!(path_cost >= 0, "nonneg costs ⇒ nonneg augmenting paths");
-            total += path_cost as u128 * bottleneck as u128;
+            let Ok(step_cost) = u128::try_from(path_cost) else {
+                unreachable!("nonneg costs ⇒ nonneg augmenting paths")
+            };
+            total += step_cost * bottleneck as u128;
             flow += bottleneck;
         }
         assert!(
             u64::try_from(total).is_ok(),
             "total min-cost-flow cost {total} overflows u64"
         );
+        // wdm-lint: cast-checked: asserted to fit u64 directly above
         Some((flow, Cost::new(total as u64)))
     }
 

@@ -164,7 +164,10 @@ impl ResidualState {
         for i in 0..g.edge_count() {
             let (_, e) = g.edge(i);
             if let EdgeRole::Traversal { link, wavelength } = e.role {
-                aux_edge[link.index()].push((wavelength, i as u32));
+                let Ok(ei) = u32::try_from(i) else {
+                    unreachable!("aux edge count fits in u32 edge handles")
+                };
+                aux_edge[link.index()].push((wavelength, ei));
             }
         }
         for per_link in &mut aux_edge {
@@ -196,7 +199,10 @@ impl ResidualState {
             for i in 0..graph.edge_count() {
                 let (_, e) = graph.edge(i);
                 if let EdgeRole::Traversal { link, .. } = e.role {
-                    edge_of_link[link.index()] = i as u32;
+                    let Ok(ei) = u32::try_from(i) else {
+                        unreachable!("aux edge count fits in u32 edge handles")
+                    };
+                    edge_of_link[link.index()] = ei;
                 }
             }
             let mask = EdgeMask::all_clear(graph.edge_count());
@@ -352,7 +358,8 @@ impl ResidualState {
         t: NodeId,
     ) -> Option<Semilightpath> {
         if s == t {
-            return Some(Semilightpath::new(Vec::new(), Cost::ZERO));
+            // An empty hop list never allocates (capacity 0).
+            return Some(Semilightpath::new(Vec::default(), Cost::ZERO));
         }
         let (source, _) = self.aux.all_pairs_terminals(s);
         let (_, sink) = self.aux.all_pairs_terminals(t);
@@ -541,7 +548,9 @@ impl ResidualState {
         if total.is_infinite() {
             return None;
         }
-        let mut hops = Vec::new();
+        // One exact allocation for the returned path; the search itself
+        // runs entirely in `scratch`.
+        let mut hops = Vec::with_capacity(8);
         let mut at = t.index();
         while let Some((prev, edge_idx)) = scratch.ws.parent()[at] {
             let (_, edge) = lg.graph.edge(edge_idx);

@@ -28,11 +28,10 @@ impl Wavelength {
     ///
     /// Panics if `index` does not fit into `u32`.
     pub fn new(index: usize) -> Self {
-        assert!(
-            u32::try_from(index).is_ok(),
-            "wavelength index {index} exceeds u32"
-        );
-        Wavelength(index as u32)
+        let Ok(raw) = u32::try_from(index) else {
+            unreachable!("wavelength index {index} exceeds u32")
+        };
+        Wavelength(raw)
     }
 
     /// The dense index of this wavelength.

@@ -59,7 +59,9 @@ impl SsspProcess {
             if self.is_root {
                 self.terminated = true;
             } else if self.engaged {
-                let parent = self.ds_parent.take().expect("engaged ⇒ parent");
+                let Some(parent) = self.ds_parent.take() else {
+                    unreachable!("engaged ⇒ parent")
+                };
                 ctx.send(parent, Msg::Ack);
                 self.sent_acks += 1;
                 self.engaged = false;

@@ -109,7 +109,9 @@ impl NodeProcess {
             if self.is_source {
                 self.terminated = true;
             } else if self.engaged {
-                let parent = self.ds_parent.take().expect("engaged ⇒ parent");
+                let Some(parent) = self.ds_parent.take() else {
+                    unreachable!("engaged ⇒ parent")
+                };
                 ctx.send(parent, Msg::Ack);
                 self.sent_acks += 1;
                 self.engaged = false;
@@ -224,12 +226,17 @@ impl DistributedTreeOutcome {
         let mut node = v;
         let mut hops = Vec::new();
         loop {
-            let (pred, link) = table.x_parent[node][lambda.index()].expect("finite dist ⇒ parent");
+            let Some((pred, link)) = table.x_parent[node][lambda.index()] else {
+                unreachable!("finite dist ⇒ parent")
+            };
             hops.push(Hop {
                 link,
                 wavelength: lambda,
             });
-            match table.y_parent[pred][lambda.index()].expect("y state on path is set") {
+            let Some(y) = table.y_parent[pred][lambda.index()] else {
+                unreachable!("y state on path is set")
+            };
+            match y {
                 YParent::Tap => break,
                 YParent::From(arrived) => {
                     lambda = arrived;
@@ -283,7 +290,9 @@ impl DistributedTreeOutcome {
                 best = Some((Wavelength::new(l), d));
             }
         }
-        let (start_wavelength, total) = best.expect("finite cost ⇒ arrival state");
+        let Some((start_wavelength, total)) = best else {
+            unreachable!("finite cost ⇒ arrival state")
+        };
 
         let g = network.graph();
         let mut topology: Vec<Vec<ProcessId>> = vec![Vec::new(); n];
@@ -310,11 +319,9 @@ impl DistributedTreeOutcome {
             .collect();
         let mut sim = Simulator::new(processes, topology);
         let stats = sim.run()?;
-        let hops = sim
-            .process(self.source.index())
-            .result
-            .clone()
-            .expect("trace terminates at the source");
+        let Some(hops) = sim.process(self.source.index()).result.clone() else {
+            unreachable!("trace terminates at the source")
+        };
         Ok(DistributedTraceOutcome {
             path: Some(Semilightpath::new(hops, total)),
             trace_messages: stats.messages,
@@ -354,14 +361,18 @@ impl TraceProcess {
     /// state: either we are the origin (tap) and the trace is complete,
     /// or we hop one more physical channel backwards.
     fn step(&mut self, mut hops: Vec<Hop>, wavelength: Wavelength, ctx: &mut Context<TraceMsg>) {
-        match self.y_parent[wavelength.index()].expect("traced y state was reached") {
+        let Some(parent) = self.y_parent[wavelength.index()] else {
+            unreachable!("traced y state was reached")
+        };
+        match parent {
             YParent::Tap => {
                 hops.reverse();
                 self.result = Some(hops);
             }
             YParent::From(arrived) => {
-                let (pred, link) =
-                    self.x_parent[arrived.index()].expect("reached x state has a parent");
+                let Some((pred, link)) = self.x_parent[arrived.index()] else {
+                    unreachable!("reached x state has a parent")
+                };
                 hops.push(Hop {
                     link,
                     wavelength: arrived,
@@ -384,7 +395,9 @@ impl Process for TraceProcess {
     fn on_start(&mut self, ctx: &mut Context<TraceMsg>) {
         if self.is_target {
             if let Some(lambda) = self.start_wavelength {
-                let (pred, link) = self.x_parent[lambda.index()].expect("finite dist ⇒ parent");
+                let Some((pred, link)) = self.x_parent[lambda.index()] else {
+                    unreachable!("finite dist ⇒ parent")
+                };
                 let hops = vec![Hop {
                     link,
                     wavelength: lambda,

@@ -330,9 +330,9 @@ impl<P: Process> Simulator<P> {
                 round_base = self.stats.messages;
                 round_at = event.at;
             }
-            let (from, to, message) = self.payloads[event.seq as usize]
-                .take()
-                .expect("payload present for scheduled event");
+            let Some((from, to, message)) = self.payloads[event.seq as usize].take() else {
+                unreachable!("payload present for scheduled event")
+            };
             self.stats.deliveries += 1;
             self.stats.makespan = self.stats.makespan.max(event.at);
             let mut ctx = Context {

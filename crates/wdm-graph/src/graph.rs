@@ -27,7 +27,10 @@ impl NodeId {
     ///
     /// Panics if `index` does not fit into `u32`.
     pub fn new(index: usize) -> Self {
-        NodeId(u32::try_from(index).expect("node index fits in u32"))
+        let Ok(raw) = u32::try_from(index) else {
+            unreachable!("node index {index} does not fit in u32")
+        };
+        NodeId(raw)
     }
 
     /// The dense index of this node.
@@ -73,7 +76,10 @@ impl LinkId {
     ///
     /// Panics if `index` does not fit into `u32`.
     pub fn new(index: usize) -> Self {
-        LinkId(u32::try_from(index).expect("link index fits in u32"))
+        let Ok(raw) = u32::try_from(index) else {
+            unreachable!("link index {index} does not fit in u32")
+        };
+        LinkId(raw)
     }
 
     /// The dense index of this link.

@@ -132,7 +132,9 @@ pub fn bfs_hops(g: &DiGraph, source: NodeId) -> Vec<Option<usize>> {
     dist[source.index()] = Some(0);
     queue.push_back(source);
     while let Some(u) = queue.pop_front() {
-        let du = dist[u.index()].expect("queued nodes have distances");
+        let Some(du) = dist[u.index()] else {
+            unreachable!("queued nodes have distances")
+        };
         for &e in g.out_links(u) {
             let v = g.link(e).target();
             if dist[v.index()].is_none() {

@@ -1,0 +1,111 @@
+//! Grandfathered-findings baseline.
+//!
+//! CI wants a ratchet, not a wall: existing findings stay visible but
+//! only *new* ones fail the build. The baseline is a committed text
+//! file, one finding per line — `CODE<TAB>file<TAB>message` — keyed
+//! without line/column so pure code motion (reformatting, insertions
+//! above a finding) does not churn it. An empty baseline means the
+//! workspace is clean; the acceptance bar for deny-tier crates.
+
+use crate::findings::Finding;
+use std::collections::HashSet;
+use std::path::Path;
+
+/// A set of grandfathered finding keys.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    keys: HashSet<String>,
+}
+
+impl Baseline {
+    /// The line-independent identity of a finding.
+    pub fn key(f: &Finding) -> String {
+        format!("{}\t{}\t{}", f.rule.code(), f.file, f.message)
+    }
+
+    /// Loads a baseline file; `#`-prefixed and blank lines are ignored.
+    pub fn load(path: &Path) -> std::io::Result<Baseline> {
+        let text = std::fs::read_to_string(path)?;
+        let keys = text
+            .lines()
+            .map(str::trim_end)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(str::to_string)
+            .collect();
+        Ok(Baseline { keys })
+    }
+
+    /// Whether `f` is grandfathered.
+    pub fn contains(&self, f: &Finding) -> bool {
+        self.keys.contains(&Self::key(f))
+    }
+
+    /// Number of grandfathered keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the baseline is empty (a clean workspace).
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Renders `findings` as baseline file content (sorted, stable).
+    pub fn render(findings: &[Finding]) -> String {
+        let mut lines: Vec<String> = findings.iter().map(Self::key).collect();
+        lines.sort();
+        lines.dedup();
+        let mut out = String::from(
+            "# wdm-lint baseline — grandfathered findings, one per line:\n\
+             # CODE<TAB>file<TAB>message (line-independent so code motion does not churn it).\n\
+             # CI fails only on findings NOT listed here. Keep this empty for deny-tier crates.\n",
+        );
+        for l in lines {
+            out.push_str(&l);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::findings::{Rule, Severity};
+
+    fn finding(msg: &str) -> Finding {
+        Finding {
+            rule: Rule::PanicReach,
+            severity: Severity::Deny,
+            file: "crates/x/src/lib.rs".to_string(),
+            line: 10,
+            col: 3,
+            message: msg.to_string(),
+        }
+    }
+
+    #[test]
+    fn round_trips_and_ignores_line_numbers() {
+        let f = finding("reaches a panic");
+        let rendered = Baseline::render(std::slice::from_ref(&f));
+        let dir = std::env::temp_dir().join("wdm-lint-baseline-test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("baseline.txt");
+        std::fs::write(&path, rendered).expect("write");
+        let b = Baseline::load(&path).expect("load");
+        assert_eq!(b.len(), 1);
+        let mut moved = f.clone();
+        moved.line = 99; // code motion must not un-grandfather
+        assert!(b.contains(&moved));
+        let mut changed = f;
+        changed.message = "different".to_string();
+        assert!(!b.contains(&changed));
+    }
+
+    #[test]
+    fn empty_baseline_contains_nothing() {
+        let b = Baseline::default();
+        assert!(b.is_empty());
+        assert!(!b.contains(&finding("x")));
+    }
+}

@@ -25,6 +25,22 @@ pub enum Rule {
     OrderingJustification,
     /// L5 — public items need doc comments.
     MissingDocs,
+    /// L6 — library code in deny-tier crates must not *reach* a panic
+    /// primitive (`unwrap`/`expect`/`panic!`/bare `unreachable!()`/
+    /// unguarded arithmetic indexing) through any call chain in the
+    /// workspace call graph.
+    PanicReach,
+    /// L7 — `// wdm-lint: hot-path` functions must not reach an
+    /// allocating call through any call chain.
+    AllocReach,
+    /// L8 — lossy `as` casts (integer narrowing, sign loss, float→int)
+    /// outside `// wdm-lint: cast-checked: <reason>` sites.
+    LossyCast,
+    /// L9 — seqlock/shard-claim protocol conformance in
+    /// `// wdm-lint: protocol: seqlock` files: claims ascend, snapshots
+    /// validate before publishes, publishes follow claims, seqlock reads
+    /// revalidate.
+    ProtocolOrder,
     /// M1 — Theorem 1 node-count formula violated.
     Theorem1NodeCount,
     /// M2 — Theorem 1 edge-count formula violated.
@@ -49,12 +65,16 @@ pub enum Rule {
 
 impl Rule {
     /// Every rule, in report order.
-    pub const ALL: [Rule; 12] = [
+    pub const ALL: [Rule; 16] = [
         Rule::NoUnwrap,
         Rule::HotPathAlloc,
         Rule::UnsafeNeedsSafety,
         Rule::OrderingJustification,
         Rule::MissingDocs,
+        Rule::PanicReach,
+        Rule::AllocReach,
+        Rule::LossyCast,
+        Rule::ProtocolOrder,
         Rule::Theorem1NodeCount,
         Rule::Theorem1EdgeCount,
         Rule::GadgetShape,
@@ -72,6 +92,10 @@ impl Rule {
             Rule::UnsafeNeedsSafety => "unsafe_needs_safety",
             Rule::OrderingJustification => "ordering_justification",
             Rule::MissingDocs => "missing_docs",
+            Rule::PanicReach => "panic_reach",
+            Rule::AllocReach => "alloc_reach",
+            Rule::LossyCast => "lossy_cast",
+            Rule::ProtocolOrder => "protocol_order",
             Rule::Theorem1NodeCount => "theorem1_node_count",
             Rule::Theorem1EdgeCount => "theorem1_edge_count",
             Rule::GadgetShape => "gadget_shape",
@@ -90,6 +114,10 @@ impl Rule {
             Rule::UnsafeNeedsSafety => "L3",
             Rule::OrderingJustification => "L4",
             Rule::MissingDocs => "L5",
+            Rule::PanicReach => "L6",
+            Rule::AllocReach => "L7",
+            Rule::LossyCast => "L8",
+            Rule::ProtocolOrder => "L9",
             Rule::Theorem1NodeCount => "M1",
             Rule::Theorem1EdgeCount => "M2",
             Rule::GadgetShape => "M3",
@@ -103,6 +131,34 @@ impl Rule {
     /// Looks a rule up by its [`slug`](Self::slug).
     pub fn from_slug(slug: &str) -> Option<Rule> {
         Rule::ALL.into_iter().find(|r| r.slug() == slug)
+    }
+
+    /// One-line rule description, used in the SARIF rules table.
+    pub fn description(self) -> &'static str {
+        match self {
+            Rule::NoUnwrap => "no unwrap/expect/panic! in non-test library code",
+            Rule::HotPathAlloc => "no allocating calls inside hot-path functions",
+            Rule::UnsafeNeedsSafety => "every `unsafe` needs a preceding // SAFETY: comment",
+            Rule::OrderingJustification => {
+                "atomic Ordering uses need justification or an audited module"
+            }
+            Rule::MissingDocs => "public items need doc comments",
+            Rule::PanicReach => {
+                "deny-tier library code must not reach a panic primitive through any call chain"
+            }
+            Rule::AllocReach => {
+                "hot-path functions must not reach an allocating call through any call chain"
+            }
+            Rule::LossyCast => "lossy `as` casts need try_from or a cast-checked justification",
+            Rule::ProtocolOrder => "seqlock/shard-claim protocol order in protocol-marked files",
+            Rule::Theorem1NodeCount => "Theorem 1 node-count closed form",
+            Rule::Theorem1EdgeCount => "Theorem 1 edge-count closed form",
+            Rule::GadgetShape => "conversion gadget bipartite shape and costs",
+            Rule::TraversalShape => "traversal edges match the base multigraph",
+            Rule::TerminalShape => "super-source/sink taps are zero-cost and one-sided",
+            Rule::MaskIndex => "EdgeMask/CSR cross-index integrity and busy-flip involution",
+            Rule::RestrictionGate => "Restriction 1/2 gates match independent recomputation",
+        }
     }
 }
 
@@ -212,9 +268,9 @@ fn json_escape(s: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
+            c if u32::from(c) < 0x20 => {
                 let mut buf = String::new();
-                let _ = fmt::Write::write_fmt(&mut buf, format_args!("\\u{:04x}", c as u32));
+                let _ = fmt::Write::write_fmt(&mut buf, format_args!("\\u{:04x}", u32::from(c)));
                 out.push_str(&buf);
             }
             c => out.push(c),
@@ -254,6 +310,63 @@ pub fn render_json(findings: &[Finding]) -> String {
         &mut out,
         format_args!("  ],\n  \"deny_count\": {deny},\n  \"warning_count\": {warn}\n}}\n"),
     );
+    out
+}
+
+/// Renders findings as a SARIF 2.1.0 document (one run, one driver),
+/// suitable for CI upload. Model findings (no source span) anchor at
+/// line 1 of their instance label.
+pub fn render_sarif(findings: &[Finding]) -> String {
+    let mut rules_used: Vec<Rule> = Vec::new();
+    for f in findings {
+        if !rules_used.contains(&f.rule) {
+            rules_used.push(f.rule);
+        }
+    }
+    let mut out = String::from(
+        "{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \
+         \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n      \"tool\": {\n        \
+         \"driver\": {\n          \"name\": \"wdm-lint\",\n          \"rules\": [\n",
+    );
+    for (i, rule) in rules_used.iter().enumerate() {
+        let sep = if i + 1 == rules_used.len() { "" } else { "," };
+        let _ = fmt::Write::write_fmt(
+            &mut out,
+            format_args!(
+                "            {{\"id\": \"{}\", \"name\": \"{}\", \
+                 \"shortDescription\": {{\"text\": \"{}\"}}}}{}\n",
+                rule.code(),
+                rule.slug(),
+                json_escape(rule.description()),
+                sep
+            ),
+        );
+    }
+    out.push_str("          ]\n        }\n      },\n      \"results\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        let sep = if i + 1 == findings.len() { "" } else { "," };
+        let level = match f.severity {
+            Severity::Warning => "warning",
+            Severity::Deny => "error",
+        };
+        let _ = fmt::Write::write_fmt(
+            &mut out,
+            format_args!(
+                "        {{\"ruleId\": \"{}\", \"level\": \"{}\", \
+                 \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\
+                 \"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \
+                 \"region\": {{\"startLine\": {}, \"startColumn\": {}}}}}}}]}}{}\n",
+                f.rule.code(),
+                level,
+                json_escape(&f.message),
+                json_escape(&f.file),
+                f.line.max(1),
+                f.col.max(1),
+                sep
+            ),
+        );
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
     out
 }
 

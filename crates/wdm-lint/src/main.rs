@@ -1,40 +1,56 @@
-//! `wdm-lint` — run the workspace source lints and the Liang–Shen model
-//! verifier from the command line.
+//! `wdm-lint` — run the workspace source lints (token tier L1–L5 and
+//! call-graph tier L6–L9) and the Liang–Shen model verifier from the
+//! command line.
 //!
 //! ```text
-//! wdm-lint [--root DIR] [--json] [--deny all]
+//! wdm-lint [--root DIR] [--json | --sarif] [--deny all]
+//!          [--baseline FILE] [--write-baseline FILE]
 //!          [--source-only | --model-only] [INSTANCE.wdm ...]
 //! ```
 //!
 //! With no instance arguments the model engine verifies the built-in
 //! paper worked example plus every `examples/*.wdm` under the root.
-//! Exit codes: `0` clean (or not denying), `1` deny findings under
+//! `--baseline FILE` grandfathers the findings listed in FILE: they stay
+//! visible but only *new* deny findings fail the run.
+//! `--write-baseline FILE` records the current findings as the new
+//! baseline and exits clean.
+//! Exit codes: `0` clean (or not denying), `1` new deny findings under
 //! `--deny all`, `2` usage or I/O error.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use wdm_core::{paper_example, textfmt};
-use wdm_lint::{findings::Severity, model, render_json, render_text, source, Finding};
+use wdm_lint::{
+    findings::Severity, model, render_json, render_sarif, render_text, rules_v2, source, Baseline,
+    Finding, ItemIndex,
+};
 
 struct Options {
     root: PathBuf,
     json: bool,
+    sarif: bool,
     deny_all: bool,
     run_source: bool,
     run_model: bool,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
     instances: Vec<PathBuf>,
 }
 
-const USAGE: &str = "usage: wdm-lint [--root DIR] [--json] [--deny all] \
+const USAGE: &str = "usage: wdm-lint [--root DIR] [--json | --sarif] [--deny all] \
+                     [--baseline FILE] [--write-baseline FILE] \
                      [--source-only | --model-only] [INSTANCE.wdm ...]";
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         root: PathBuf::from("."),
         json: false,
+        sarif: false,
         deny_all: false,
         run_source: true,
         run_model: true,
+        baseline: None,
+        write_baseline: None,
         instances: Vec::new(),
     };
     let mut it = args.iter();
@@ -45,6 +61,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.root = PathBuf::from(dir);
             }
             "--json" => opts.json = true,
+            "--sarif" => opts.sarif = true,
+            "--baseline" => {
+                let file = it.next().ok_or("--baseline needs a file argument")?;
+                opts.baseline = Some(PathBuf::from(file));
+            }
+            "--write-baseline" => {
+                let file = it.next().ok_or("--write-baseline needs a file argument")?;
+                opts.write_baseline = Some(PathBuf::from(file));
+            }
             "--deny" => {
                 let what = it.next().ok_or("--deny needs an argument (only `all`)")?;
                 if what != "all" {
@@ -63,6 +88,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     }
     if !opts.run_source && !opts.run_model {
         return Err("--source-only and --model-only are mutually exclusive".into());
+    }
+    if opts.json && opts.sarif {
+        return Err("--json and --sarif are mutually exclusive".into());
     }
     Ok(opts)
 }
@@ -102,6 +130,9 @@ fn run(opts: &Options) -> Result<Vec<Finding>, String> {
             source::scan_workspace(&opts.root)
                 .map_err(|e| format!("scanning {}: {e}", opts.root.display()))?,
         );
+        let index = ItemIndex::build_workspace(&opts.root)
+            .map_err(|e| format!("indexing {}: {e}", opts.root.display()))?;
+        findings.extend(rules_v2::scan_graph_rules(&index));
     }
     if opts.run_model {
         findings.extend(model::verify_network(
@@ -141,13 +172,50 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    if opts.json {
+    if let Some(path) = &opts.write_baseline {
+        if let Err(e) = std::fs::write(path, Baseline::render(&findings)) {
+            eprintln!("wdm-lint: writing baseline {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "wdm-lint: wrote baseline with {} finding(s) to {}",
+            findings.len(),
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    let baseline = match &opts.baseline {
+        Some(path) => match Baseline::load(path) {
+            Ok(b) => Some(b),
+            Err(e) => {
+                eprintln!("wdm-lint: reading baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+    if opts.sarif {
+        print!("{}", render_sarif(&findings));
+    } else if opts.json {
         print!("{}", render_json(&findings));
     } else {
         print!("{}", render_text(&findings, &opts.root));
     }
-    let deny = findings.iter().any(|f| f.severity == Severity::Deny);
-    if opts.deny_all && deny {
+    let is_new = |f: &Finding| baseline.as_ref().is_none_or(|b| !b.contains(f));
+    let new_deny = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Deny && is_new(f))
+        .count();
+    if let Some(b) = &baseline {
+        let grandfathered = findings.iter().filter(|f| b.contains(f)).count();
+        if grandfathered > 0 {
+            eprintln!(
+                "wdm-lint: {grandfathered} grandfathered finding(s) (baseline holds {})",
+                b.len()
+            );
+        }
+    }
+    if opts.deny_all && new_deny > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

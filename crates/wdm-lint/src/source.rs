@@ -27,17 +27,42 @@ use std::path::{Path, PathBuf};
 /// `wdm-campaign` joined with the Monte-Carlo harness: a panic in one
 /// worker would poison the campaign's result slots and lose the whole
 /// sweep, so fallible paths must carry typed errors, not `.unwrap()`.
-const L1_DENY_CRATES: &[&str] = &["wdm-core", "wdm-rwa", "heaps", "wdm-serve", "wdm-campaign"];
+/// `wdm-lint` and `wdm-conformance` dogfood the bar they enforce.
+const L1_DENY_CRATES: &[&str] = &[
+    "wdm-core",
+    "wdm-rwa",
+    "heaps",
+    "wdm-serve",
+    "wdm-campaign",
+    "wdm-lint",
+    "wdm-conformance",
+];
 /// Crates where L1 reports but never fails the run.
 const L1_WARN_CRATES: &[&str] = &["wdm-cli"];
 /// Crates whose `Ordering::` uses need justification (L4). `wdm-core`
 /// joined when `EdgeMask` went atomic for the sharded concurrent
 /// engine: its words are flipped from multiple threads, so every
 /// ordering there must come from the audited module too.
-const L4_CRATES: &[&str] = &["wdm-core", "wdm-obs", "wdm-rwa"];
+/// `wdm-serve` joined with the inflight gate and shutdown flag;
+/// `wdm-campaign` with the work-stealing job counter.
+const L4_CRATES: &[&str] = &[
+    "wdm-core",
+    "wdm-obs",
+    "wdm-rwa",
+    "wdm-serve",
+    "wdm-campaign",
+];
 /// Crates whose public items require doc comments (L5). `wdm-campaign`
 /// is held to the same bar as the engine crates it drives.
-const L5_CRATES: &[&str] = &["wdm-core", "wdm-rwa", "wdm-serve", "wdm-campaign"];
+/// `wdm-lint` and `wdm-conformance` document themselves to the same bar.
+const L5_CRATES: &[&str] = &[
+    "wdm-core",
+    "wdm-rwa",
+    "wdm-serve",
+    "wdm-campaign",
+    "wdm-lint",
+    "wdm-conformance",
+];
 
 /// Atomic memory-ordering variants; `cmp::Ordering` variants
 /// (`Less`/`Equal`/`Greater`) are deliberately not listed.
@@ -560,7 +585,7 @@ fn parse_allow(comment: &str) -> Option<Vec<Rule>> {
 
 /// Marks the token ranges covered by `#[test]` functions and
 /// `#[cfg(test)]` items (typically the `mod tests` block).
-fn compute_test_regions(tokens: &[Token]) -> Vec<bool> {
+pub(crate) fn compute_test_regions(tokens: &[Token]) -> Vec<bool> {
     let mut in_test = vec![false; tokens.len()];
     let mut i = 0usize;
     while i < tokens.len() {
@@ -585,7 +610,7 @@ fn compute_test_regions(tokens: &[Token]) -> Vec<bool> {
 
 /// Scans an attribute starting at its `[`; returns (index past `]`,
 /// whether the attribute marks test code). `#[cfg(not(test))]` does not.
-fn scan_attribute(tokens: &[Token], open: usize) -> (usize, bool) {
+pub(crate) fn scan_attribute(tokens: &[Token], open: usize) -> (usize, bool) {
     let mut depth = 0usize;
     let mut idents: Vec<&str> = Vec::new();
     let mut i = open;

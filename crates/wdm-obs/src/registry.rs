@@ -83,7 +83,7 @@ impl MetricsRegistry {
     pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
         match self.get_or_insert(name, labels, || Kind::Counter(Arc::new(Counter::new()))) {
             Kind::Counter(c) => c,
-            other => panic!("metric {name} already registered as {}", other.type_name()),
+            other => unreachable!("metric {name} already registered as {}", other.type_name()),
         }
     }
 
@@ -95,7 +95,7 @@ impl MetricsRegistry {
     pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
         match self.get_or_insert(name, labels, || Kind::Gauge(Arc::new(Gauge::new()))) {
             Kind::Gauge(g) => g,
-            other => panic!("metric {name} already registered as {}", other.type_name()),
+            other => unreachable!("metric {name} already registered as {}", other.type_name()),
         }
     }
 
@@ -107,7 +107,7 @@ impl MetricsRegistry {
     pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
         match self.get_or_insert(name, labels, || Kind::Histogram(Arc::new(Histogram::new()))) {
             Kind::Histogram(h) => h,
-            other => panic!("metric {name} already registered as {}", other.type_name()),
+            other => unreachable!("metric {name} already registered as {}", other.type_name()),
         }
     }
 
@@ -121,7 +121,10 @@ impl MetricsRegistry {
         make: impl FnOnce() -> Kind,
     ) -> Kind {
         let labels = normalize(labels);
-        let mut inner = self.inner.lock().expect("registry poisoned");
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let key = (name.to_string(), labels.clone());
         if let Some(&i) = inner.index.get(&key) {
             return inner.entries[i].kind.clone();
@@ -146,7 +149,10 @@ impl MetricsRegistry {
     /// quantile estimates clamp over), with `le` boundaries at the
     /// exact bucket upper bounds.
     pub fn render_prometheus(&self) -> String {
-        let inner = self.inner.lock().expect("registry poisoned");
+        let inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let entries = &inner.entries;
         let mut order: Vec<usize> = (0..entries.len()).collect();
         order.sort_by(|&a, &b| {
@@ -244,7 +250,10 @@ impl MetricsRegistry {
     /// `[lo, hi, count]` triples. The output parses with
     /// [`crate::json::parse`].
     pub fn snapshot_json(&self) -> String {
-        let inner = self.inner.lock().expect("registry poisoned");
+        let inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let entries = &inner.entries;
         let mut order: Vec<usize> = (0..entries.len()).collect();
         order.sort_by(|&a, &b| {

@@ -1,6 +1,8 @@
 //! Request-scoped structured tracing: trace IDs, typed events, and the
 //! in-memory **flight recorder**.
 //!
+//! wdm-lint: protocol: seqlock
+//!
 //! Aggregates (counters, histograms) answer "how is the system doing";
 //! they cannot answer "why did *this* request block" or "which shards
 //! did *this* transaction retry on". This module adds the per-request
@@ -452,9 +454,12 @@ impl FlightRecorder {
     /// (one `Arc` clone); hand one to each producer thread.
     pub fn writer(self: &Arc<Self>) -> TraceWriter {
         let seg = self.next_writer.fetch_add(1, RELAXED) % self.segments.len();
+        let Ok(segment) = u32::try_from(seg) else {
+            unreachable!("segment count fits in u32")
+        };
         TraceWriter {
             recorder: Arc::clone(self),
-            segment: seg as u32,
+            segment,
         }
     }
 
@@ -523,6 +528,9 @@ impl FlightRecorder {
         let keep = self.kept_ids();
         let mut records = Vec::new();
         for (seg_idx, seg) in self.segments.iter().enumerate() {
+            let Ok(tid) = u32::try_from(seg_idx) else {
+                unreachable!("segment count fits in u32")
+            };
             for slot in seg.slots.iter() {
                 let s1 = slot.seq.load(ACQUIRE);
                 if s1 == 0 || s1 % 2 == 1 {
@@ -546,7 +554,7 @@ impl FlightRecorder {
                     flags: ((meta >> 8) & 0xff) as u8,
                     a: words[4],
                     b: words[5],
-                    tid: seg_idx as u32,
+                    tid,
                 };
                 if let Some(keep) = &keep {
                     if !keep.contains(&record.trace_id) {

@@ -2,6 +2,8 @@
 //! over one shared [`ResidualState`], serialized per wavelength class by
 //! seqlock version counters.
 //!
+//! wdm-lint: protocol: seqlock
+//!
 //! # Design
 //!
 //! The single-threaded [`ProvisioningEngine`](crate::ProvisioningEngine)

@@ -17,6 +17,11 @@ fn ns_since(t0: Instant) -> u64 {
     u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
+/// A collection size as a gauge value, saturating at `i64::MAX`.
+fn gauge_len(n: usize) -> i64 {
+    i64::try_from(n).unwrap_or(i64::MAX)
+}
+
 /// Handle of an active connection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ConnectionId(u64);
@@ -246,7 +251,7 @@ impl ProvisioningEngine {
     /// handles. Detached engines skip all of it behind one branch.
     pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
         let m = EngineMetrics::resolve(registry, self.base.link_count());
-        m.active.set(self.active.len() as i64);
+        m.active.set(gauge_len(self.active.len()));
         let mut occupied = 0i64;
         for (li, per_link) in self.busy.iter().enumerate() {
             let count = per_link.iter().filter(|&&b| b).count() as i64;
@@ -399,6 +404,7 @@ impl ProvisioningEngine {
                 (p, self.residual.take_search_totals())
             }
             RoutingMode::RebuildPerRequest => {
+                // wdm-lint: allow(alloc_reach) — reference arm rebuilds state per query by design
                 let mut fresh = self.rebuild_residual();
                 let p = policy.route_masked(&mut fresh, s, t);
                 let stats = fresh.take_search_totals();
@@ -406,6 +412,7 @@ impl ProvisioningEngine {
             }
         };
         #[cfg(debug_assertions)]
+        // wdm-lint: allow(alloc_reach) — debug-only cross-check against the allocating reference router
         self.cross_check_route(s, t, policy, &path);
         (path, search)
     }
@@ -601,7 +608,7 @@ impl ProvisioningEngine {
                 self.accepted += 1;
                 if let Some(m) = &self.metrics {
                     m.accepted.inc();
-                    m.active.set(self.active.len() as i64);
+                    m.active.set(gauge_len(self.active.len()));
                 }
                 Ok(id)
             }
@@ -738,7 +745,7 @@ impl ProvisioningEngine {
         self.released += 1;
         if let (Some(m), Some(t0)) = (&self.metrics, started) {
             m.released.inc();
-            m.active.set(self.active.len() as i64);
+            m.active.set(gauge_len(self.active.len()));
             m.release_latency.observe(ns_since(t0));
         }
         if let (Some(w), Some((tid, t0))) = (&self.tracer, trace) {

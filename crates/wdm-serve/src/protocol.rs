@@ -181,9 +181,11 @@ pub fn escape_json(s: &str) -> String {
             '\n' => escaped.push_str("\\n"),
             '\r' => escaped.push_str("\\r"),
             '\t' => escaped.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ =
-                    std::fmt::Write::write_fmt(&mut escaped, format_args!("\\u{:04x}", c as u32));
+            c if u32::from(c) < 0x20 => {
+                let _ = std::fmt::Write::write_fmt(
+                    &mut escaped,
+                    format_args!("\\u{:04x}", u32::from(c)),
+                );
             }
             c => escaped.push(c),
         }

@@ -200,6 +200,7 @@ impl Server {
     /// loop stops, in-flight requests finish, [`Server::serve`]
     /// returns.
     pub fn request_drain(&self) {
+        // Relaxed: drain is a standalone latch; it publishes no data.
         self.shared.drain.store(true, Ordering::Relaxed);
     }
 
@@ -211,10 +212,12 @@ impl Server {
         self.set_nonblocking(true)?;
         let mut workers: Vec<thread::JoinHandle<()>> = Vec::new();
         loop {
+            // Relaxed: polling the drain latch; no data rides on it.
             if self.shared.drain.load(Ordering::Relaxed) {
                 break;
             }
             if signal::termination_requested() {
+                // Relaxed: drain is a standalone latch; it publishes no data.
                 self.shared.drain.store(true, Ordering::Relaxed);
                 break;
             }
@@ -360,6 +363,7 @@ fn handle_connection<S: Read + Write>(mut stream: S, shared: &Shared) {
                 return;
             }
         }
+        // Relaxed: polling the drain latch; no data rides on it.
         if shared.drain.load(Ordering::Relaxed) {
             return;
         }
@@ -403,11 +407,15 @@ fn handle_frame<S: Read + Write>(
             .counter("wdm_serve_requests_total", &[("op", "drain")])
             .inc();
         let _ = write_line(stream, &shared.backend.execute_frame(ctx, &frame));
+        // Relaxed: drain is a standalone latch; it publishes no data.
         shared.drain.store(true, Ordering::Relaxed);
         return false;
     }
+    // Relaxed: inflight is a pure admission counter — the fetch_add's
+    // atomicity bounds concurrency; it orders nothing else.
     let inflight = shared.inflight.fetch_add(1, Ordering::Relaxed);
     if inflight >= shared.max_inflight {
+        // Relaxed: undoing our own admission; same counter, no ordering.
         shared.inflight.fetch_sub(1, Ordering::Relaxed);
         shared
             .registry
@@ -427,6 +435,7 @@ fn handle_frame<S: Read + Write>(
     let started = Instant::now();
     let reply = shared.backend.execute_frame(ctx, &frame);
     let elapsed = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    // Relaxed: the admission counter is independent of request effects.
     shared.inflight.fetch_sub(1, Ordering::Relaxed);
     shared.registry.gauge("wdm_serve_inflight", &[]).dec();
     shared
